@@ -1,0 +1,218 @@
+package ipin
+
+// This file exposes every experiment of the paper's evaluation — one
+// testing.B benchmark per table and figure, plus the ablations — on
+// laptop-scale datasets. Each benchmark drives the same harness code that
+// cmd/experiments uses at full scale, so `go test -bench=.` regenerates
+// the whole evaluation in miniature; the full runs (scale 20, paper
+// parameters) are produced by `go run ./cmd/experiments`.
+
+import (
+	"testing"
+
+	"ipin/internal/exp"
+)
+
+// benchScale is aggressive so a full -bench=. pass finishes in minutes:
+// slashdot/100 has ~510 nodes and ~1.4k interactions, enron/100 ~870
+// nodes and ~11.5k interactions.
+const benchScale = 100
+
+// benchDataset memoizes dataset generation across benchmark iterations.
+var benchCache = map[string]exp.Dataset{}
+
+func benchDataset(b *testing.B, name string) exp.Dataset {
+	b.Helper()
+	if d, ok := benchCache[name]; ok {
+		return d
+	}
+	d, err := exp.Load(name, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache[name] = d
+	return d
+}
+
+func benchMethodConfig() exp.MethodConfig {
+	cfg := exp.DefaultMethodConfig()
+	cfg.SKIM.Instances = 16
+	cfg.SKIM.K = 16
+	cfg.CTE.Samples = 4
+	cfg.CTE.Labels = 4
+	return cfg
+}
+
+// BenchmarkTable2DatasetStats regenerates Table 2: dataset
+// characteristics of all six generated networks.
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	datasets := make([]exp.Dataset, 0, 6)
+	for _, n := range []string{"enron", "lkml", "facebook", "higgs", "slashdot", "us2016"} {
+		datasets = append(datasets, benchDataset(b, n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table2(datasets)
+		if len(rows) != 6 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable3Accuracy regenerates Table 3: estimation error of the
+// sketch against the exact algorithm across β and window lengths.
+func BenchmarkTable3Accuracy(b *testing.B) {
+	d := benchDataset(b, "slashdot")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table3(d, []int{4, 6, 9}, []float64{1, 10, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 9 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable4Memory regenerates Table 4: sketch memory at three
+// window lengths.
+func BenchmarkTable4Memory(b *testing.B) {
+	d := benchDataset(b, "enron")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table4(d, []float64{1, 10, 20}, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Bytes == 0 {
+			b.Fatal("no memory reported")
+		}
+	}
+}
+
+// BenchmarkFig3ProcessingTime regenerates Figure 3: one-pass processing
+// time as a function of the window length.
+func BenchmarkFig3ProcessingTime(b *testing.B) {
+	d := benchDataset(b, "enron")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig3(d, []float64{1, 10, 20, 50, 100}, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4OracleQuery regenerates Figure 4: oracle query latency as
+// a function of the seed-set size.
+func BenchmarkFig4OracleQuery(b *testing.B) {
+	d := benchDataset(b, "enron")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig4(d, []int{1, 10, 100, 500}, 20, 9, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5InfluenceSpread regenerates one panel of Figure 5: the
+// TCIC spread of top-k seeds for all seven methods.
+func BenchmarkFig5InfluenceSpread(b *testing.B) {
+	d := benchDataset(b, "enron")
+	params := exp.Fig5Params{
+		Methods:   exp.AllMethods(),
+		Ks:        []int{5, 25, 50},
+		WindowPct: 20,
+		P:         0.5,
+		Trials:    5,
+		Seed:      1,
+	}
+	cfg := benchMethodConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.Fig5(d, params, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(params.Methods)*len(params.Ks) {
+			b.Fatalf("got %d points", len(pts))
+		}
+	}
+}
+
+// BenchmarkTable5SeedOverlap regenerates Table 5: common top-10 seeds
+// between window lengths.
+func BenchmarkTable5SeedOverlap(b *testing.B) {
+	d := benchDataset(b, "facebook")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table5(d, []float64{1, 10, 20}, 10, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable6SeedTime regenerates Table 6: time to select the top-50
+// seeds with every method.
+func BenchmarkTable6SeedTime(b *testing.B) {
+	d := benchDataset(b, "slashdot")
+	cfg := benchMethodConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table6(d, exp.AllMethods(), 50, 20, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(exp.AllMethods()) {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkAblationVersioning runs ablation A1: versioned sketch vs a
+// window-less HyperLogLog on windowed estimates.
+func BenchmarkAblationVersioning(b *testing.B) {
+	d := benchDataset(b, "slashdot")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationVersioning(d, []float64{1, 20}, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkAblationCELF runs ablation A2: Algorithm 4 greedy vs CELF.
+func BenchmarkAblationCELF(b *testing.B) {
+	d := benchDataset(b, "facebook")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationCELF(d, []int{10, 50}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.GreedySpread != r.CELFSpread {
+				b.Fatalf("greedy %g != CELF %g", r.GreedySpread, r.CELFSpread)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBeta runs ablation A3: the precision sweep.
+func BenchmarkAblationBeta(b *testing.B) {
+	d := benchDataset(b, "slashdot")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationBeta(d, []int{4, 6, 9}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§6) over the synthetic Table 2 stand-ins (or real datasets
+// via -files), printing aligned text tables, ASCII charts for the
+// figures, and optionally writing CSVs.
+//
+// Usage:
+//
+//	experiments                      # everything at the default scale
+//	experiments -exp table3,fig5     # a subset
+//	experiments -scale 50 -csv out/  # smaller datasets, CSVs into out/
+//	experiments -files data/         # real <name>.txt datasets
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results. The orchestration lives in internal/exp
+// (RunSuite); this command only parses flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ipin/internal/exp"
+)
+
+func main() {
+	def := exp.DefaultSuiteConfig()
+	var (
+		exps    = flag.String("exp", "all", "comma list: table2,table3,table4,table5,table6,fig3,fig4,fig5,ablation (or all)")
+		scale   = flag.Int("scale", def.Scale, "dataset down-scaling factor (1 = paper size)")
+		csvDir  = flag.String("csv", "", "directory to write CSV files into (optional)")
+		trials  = flag.Int("trials", def.Trials, "TCIC simulation trials per Figure 5 point")
+		maxK    = flag.Int("maxk", def.MaxK, "largest seed-set size for Figure 5 / Table 6")
+		precBit = flag.Int("precision", def.Precision, "sketch precision (β = 2^precision)")
+		files   = flag.String("files", "", "directory with real datasets (<name>.txt) overriding the generators")
+		par     = flag.Int("parallelism", 0, "simulation fan-out (0 = GOMAXPROCS)")
+		noChart = flag.Bool("nocharts", false, "suppress the ASCII charts")
+		report  = flag.String("report", "", "write all tables into one markdown report file")
+	)
+	flag.Parse()
+
+	cfg := exp.SuiteConfig{
+		Scale:       *scale,
+		FilesDir:    *files,
+		CSVDir:      *csvDir,
+		Trials:      *trials,
+		MaxK:        *maxK,
+		Precision:   *precBit,
+		Parallelism: *par,
+		Charts:      !*noChart,
+		ReportFile:  *report,
+		Out:         os.Stdout,
+	}
+	if *exps != "all" {
+		for _, e := range strings.Split(*exps, ",") {
+			cfg.Experiments = append(cfg.Experiments, strings.TrimSpace(e))
+		}
+	}
+	if err := exp.RunSuite(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

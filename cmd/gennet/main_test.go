@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"ipin/internal/gen"
+)
+
+func TestBuildConfigDataset(t *testing.T) {
+	cfg, err := buildConfig("enron", 20, "", 0, 0, 0, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "enron" || cfg.Model != gen.ModelEmail {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if _, err := buildConfig("nosuch", 20, "", 0, 0, 0, 0, 0, 0, 0); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestBuildConfigCustom(t *testing.T) {
+	cfg, err := buildConfig("", 0, "cascade", 100, 1000, 50000, 7, 1.5, 0.3, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Model != gen.ModelCascade || cfg.Nodes != 100 || cfg.Interactions != 1000 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Seed != 7 || cfg.ZipfS != 1.5 || cfg.BranchMean != 1.1 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	for _, model := range []string{"email", "social", "uniform"} {
+		if _, err := buildConfig("", 0, model, 10, 100, 1000, 1, 1.5, 0.3, 1.1); err != nil {
+			t.Errorf("model %s rejected: %v", model, err)
+		}
+	}
+	if _, err := buildConfig("", 0, "nosuch", 10, 100, 1000, 1, 1.5, 0.3, 1.1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestCustomConfigGenerates(t *testing.T) {
+	cfg, err := buildConfig("", 0, "uniform", 50, 300, 10000, 3, 1.5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 300 {
+		t.Fatalf("generated %d interactions", l.Len())
+	}
+}

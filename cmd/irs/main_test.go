@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+func TestParseSeeds(t *testing.T) {
+	table := graph.NewNodeTable()
+	a := table.Intern("alice")
+	b := table.Intern("bob")
+
+	seeds, err := parseSeeds("alice,bob", table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 || seeds[0] != a || seeds[1] != b {
+		t.Fatalf("seeds = %v", seeds)
+	}
+	// Whitespace tolerated.
+	if _, err := parseSeeds(" alice , bob ", table); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseSeeds("alice,carol", table); err == nil {
+		t.Fatal("unknown seed accepted")
+	}
+}

@@ -1,0 +1,207 @@
+// Oracleserver exposes the influence oracle as a small HTTP service: the
+// deployment shape the paper's "influence oracle" framing suggests —
+// preprocess the interaction log once, then answer spread queries in
+// O(|seeds|·β) regardless of network size.
+//
+// Endpoints:
+//
+//	GET /influence?node=<id>           one node's estimated reach
+//	GET /spread?seeds=<id>,<id>,...    combined estimated reach
+//	GET /topk?k=<n>                    greedy top-k seed selection
+//	GET /channel?src=<id>&dst=<id>     a witness information channel
+//	GET /spreadby?seeds=...&deadline=t reach achievable BY a deadline
+//	GET /stats                         network and sketch statistics
+//
+// Run with:
+//
+//	go run ./examples/oracleserver [-addr :8080] [-dataset slashdot]
+//
+// and query with e.g. curl 'localhost:8080/spread?seeds=1,2,3'.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ipin"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataset   = flag.String("dataset", "slashdot", "Table 2 dataset to serve")
+		scale     = flag.Int("scale", 100, "dataset down-scaling factor")
+		windowPct = flag.Float64("window", 10, "window as % of the time span")
+	)
+	flag.Parse()
+
+	cfg, err := ipin.GenDataset(*dataset, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := ipin.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	omega := net.WindowFromPercent(*windowPct)
+	irs, err := ipin.ComputeApprox(net, omega, ipin.DefaultPrecision)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &server{
+		net:    net,
+		irs:    irs,
+		oracle: ipin.NewApproxOracle(irs),
+		omega:  omega,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/influence", srv.influence)
+	mux.HandleFunc("/spread", srv.spread)
+	mux.HandleFunc("/topk", srv.topk)
+	mux.HandleFunc("/channel", srv.channel)
+	mux.HandleFunc("/spreadby", srv.spreadBy)
+	mux.HandleFunc("/stats", srv.stats)
+	log.Printf("oracle for %s (%d nodes, %d interactions, ω=%d) on %s",
+		*dataset, net.NumNodes, net.Len(), omega, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type server struct {
+	net    *ipin.Network
+	irs    *ipin.ApproxIRS
+	oracle ipin.Oracle
+	omega  int64
+}
+
+func (s *server) influence(w http.ResponseWriter, r *http.Request) {
+	id, err := s.parseNode(r.URL.Query().Get("node"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"node": id, "influence": s.oracle.InfluenceSize(id)})
+}
+
+func (s *server) spread(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("seeds")
+	if raw == "" {
+		httpError(w, fmt.Errorf("missing seeds parameter"))
+		return
+	}
+	var seeds []ipin.NodeID
+	for _, part := range strings.Split(raw, ",") {
+		id, err := s.parseNode(strings.TrimSpace(part))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		seeds = append(seeds, id)
+	}
+	writeJSON(w, map[string]any{"seeds": seeds, "spread": s.oracle.Spread(seeds)})
+}
+
+func (s *server) topk(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k < 1 || k > s.net.NumNodes {
+		httpError(w, fmt.Errorf("bad k parameter"))
+		return
+	}
+	seeds := ipin.TopKApprox(s.irs, k)
+	writeJSON(w, map[string]any{"seeds": seeds, "spread": s.oracle.Spread(seeds)})
+}
+
+// spreadBy estimates how many distinct nodes the seeds can have
+// influenced by the given deadline (channels ending at or before it).
+func (s *server) spreadBy(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("seeds")
+	if raw == "" {
+		httpError(w, fmt.Errorf("missing seeds parameter"))
+		return
+	}
+	var seeds []ipin.NodeID
+	for _, part := range strings.Split(raw, ",") {
+		id, err := s.parseNode(strings.TrimSpace(part))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		seeds = append(seeds, id)
+	}
+	deadline, err := strconv.ParseInt(r.URL.Query().Get("deadline"), 10, 64)
+	if err != nil {
+		httpError(w, fmt.Errorf("bad deadline parameter"))
+		return
+	}
+	writeJSON(w, map[string]any{
+		"seeds":    seeds,
+		"deadline": deadline,
+		"spread":   ipin.SpreadByEstimate(s.irs, seeds, ipin.Time(deadline)),
+	})
+}
+
+// channel exhibits a witness information channel src→dst, answering WHY
+// the oracle counts dst in src's influence.
+func (s *server) channel(w http.ResponseWriter, r *http.Request) {
+	src, err := s.parseNode(r.URL.Query().Get("src"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	dst, err := s.parseNode(r.URL.Query().Get("dst"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	ch := ipin.FindChannel(s.net, src, dst, s.omega)
+	if ch == nil {
+		writeJSON(w, map[string]any{"src": src, "dst": dst, "channel": nil})
+		return
+	}
+	type hop struct {
+		Src ipin.NodeID `json:"src"`
+		Dst ipin.NodeID `json:"dst"`
+		At  ipin.Time   `json:"at"`
+	}
+	hops := make([]hop, len(ch))
+	for i, e := range ch {
+		hops[i] = hop{Src: e.Src, Dst: e.Dst, At: e.At}
+	}
+	writeJSON(w, map[string]any{
+		"src": src, "dst": dst,
+		"channel": hops, "duration": ch.Duration(), "end": ch.End(),
+	})
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"nodes":        s.net.NumNodes,
+		"interactions": s.net.Len(),
+		"omega":        s.omega,
+		"sketch_bytes": s.irs.MemoryBytes(),
+		"entries":      s.irs.EntryCount(),
+	})
+}
+
+func (s *server) parseNode(raw string) (ipin.NodeID, error) {
+	id, err := strconv.Atoi(raw)
+	if err != nil || id < 0 || id >= s.net.NumNodes {
+		return 0, fmt.Errorf("bad node id %q", raw)
+	}
+	return ipin.NodeID(id), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("oracleserver: encode: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}

@@ -1,0 +1,70 @@
+// Socialcascade compares seed-selection strategies under the paper's
+// Time-Constrained Information Cascade model on a retweet-style network:
+// IRS-selected seeds against plain out-degree selection. This is a small
+// single-panel version of the paper's Figure 5 experiment.
+//
+// Run with:
+//
+//	go run ./examples/socialcascade
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"ipin"
+)
+
+func main() {
+	cfg, err := ipin.GenDataset("higgs", 100) // ~3k users, ~5.3k retweets
+	if err != nil {
+		panic(err)
+	}
+	net, err := ipin.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("generated cascade network: %d users, %d interactions\n", net.NumNodes, net.Len())
+
+	const (
+		windowPct = 10
+		p         = 0.5
+		trials    = 50
+	)
+	omega := net.WindowFromPercent(windowPct)
+	simCfg := ipin.CascadeConfig{Omega: omega, P: p, Seed: 7}
+
+	// Strategy 1: IRS sketch selection (this paper).
+	irs, err := ipin.ComputeApprox(net, omega, ipin.DefaultPrecision)
+	if err != nil {
+		panic(err)
+	}
+
+	// Strategy 2: highest distinct out-degree on the flattened graph
+	// (the classic static baseline).
+	degree := make([]int, net.NumNodes)
+	seen := map[[2]ipin.NodeID]bool{}
+	for _, e := range net.Interactions {
+		key := [2]ipin.NodeID{e.Src, e.Dst}
+		if e.Src != e.Dst && !seen[key] {
+			seen[key] = true
+			degree[e.Src]++
+		}
+	}
+	byDegree := make([]ipin.NodeID, net.NumNodes)
+	for i := range byDegree {
+		byDegree[i] = ipin.NodeID(i)
+	}
+	sort.SliceStable(byDegree, func(i, j int) bool { return degree[byDegree[i]] > degree[byDegree[j]] })
+
+	fmt.Printf("\nTCIC spread (ω = %g%%, p = %g, %d trials):\n", float64(windowPct), p, trials)
+	fmt.Printf("%4s  %12s  %12s\n", "k", "IRS seeds", "high degree")
+	for _, k := range []int{5, 10, 20, 40} {
+		irsSeeds := ipin.TopKApprox(irs, k)
+		irsSpread := ipin.AverageSpread(net, irsSeeds, simCfg, trials, 0)
+		hdSpread := ipin.AverageSpread(net, byDegree[:k], simCfg, trials, 0)
+		fmt.Printf("%4d  %12.1f  %12.1f\n", k, irsSpread, hdSpread)
+	}
+	fmt.Println("\nIRS seeds win where timing matters: degree counts neighbours,")
+	fmt.Println("IRS counts nodes reachable through time-respecting channels.")
+}

@@ -1,0 +1,3 @@
+module ipin
+
+go 1.22

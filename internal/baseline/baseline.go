@@ -1,0 +1,165 @@
+// Package baseline implements the non-sketch seed-selection baselines the
+// paper compares against in §6: PageRank (on the reversed static graph),
+// High Degree, and Smart High Degree (greedy distinct-neighbour coverage,
+// which the paper notes is the ω→minimal special case of IRS selection).
+package baseline
+
+import (
+	"sort"
+
+	"ipin/internal/graph"
+)
+
+// PageRankConfig carries the parameters the paper uses: restart
+// probability 0.15 (damping 0.85) and an L1 stopping tolerance of 1e-4
+// between successive iterations.
+type PageRankConfig struct {
+	Damping   float64
+	Tolerance float64
+	MaxIter   int
+}
+
+// DefaultPageRank is the configuration from the paper's evaluation.
+func DefaultPageRank() PageRankConfig {
+	return PageRankConfig{Damping: 0.85, Tolerance: 1e-4, MaxIter: 100}
+}
+
+// PageRank computes PageRank scores on s by power iteration with dangling
+// mass redistributed uniformly. Scores sum to 1.
+func PageRank(s *graph.Static, cfg PageRankConfig) []float64 {
+	n := s.NumNodes
+	if n == 0 {
+		return nil
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1.0 / float64(n)
+	}
+	base := (1 - cfg.Damping) / float64(n)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		dangling := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			adj := s.Out[u]
+			if len(adj) == 0 {
+				dangling += cur[u]
+				continue
+			}
+			share := cur[u] / float64(len(adj))
+			for _, v := range adj {
+				next[v] += share
+			}
+		}
+		spread := cfg.Damping * dangling / float64(n)
+		var l1 float64
+		for i := range next {
+			next[i] = base + cfg.Damping*next[i] + spread
+			d := next[i] - cur[i]
+			if d < 0 {
+				d = -d
+			}
+			l1 += d
+		}
+		cur, next = next, cur
+		if l1 < cfg.Tolerance {
+			break
+		}
+	}
+	return cur
+}
+
+// TopKPageRank selects the k highest-PageRank nodes of the REVERSED static
+// projection of l, the transformation the paper applies so that incoming
+// importance measures outgoing influence (§6).
+func TopKPageRank(l *graph.Log, k int, cfg PageRankConfig) []graph.NodeID {
+	scores := PageRank(graph.StaticFrom(l).Reversed(), cfg)
+	return TopKByScore(scores, k)
+}
+
+// TopKByScore returns the k indices with the highest scores, ties broken
+// by smaller NodeID for determinism.
+func TopKByScore(scores []float64, k int) []graph.NodeID {
+	order := make([]graph.NodeID, len(scores))
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return scores[order[i]] > scores[order[j]] })
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+// TopKHighDegree selects the k nodes with the most distinct out-neighbours
+// in the static projection (the paper's HD baseline).
+func TopKHighDegree(s *graph.Static, k int) []graph.NodeID {
+	scores := make([]float64, s.NumNodes)
+	for u := range scores {
+		scores[u] = float64(s.OutDegree(graph.NodeID(u)))
+	}
+	return TopKByScore(scores, k)
+}
+
+// TopKSmartHighDegree selects k nodes greedily maximizing the number of
+// DISTINCT covered out-neighbours (the paper's SHD baseline): at each step
+// the node adding the most uncovered neighbours wins. Candidates are
+// scanned in descending degree order with the same early-exit as the IRS
+// greedy — a node's marginal gain never exceeds its degree.
+func TopKSmartHighDegree(s *graph.Static, k int) []graph.NodeID {
+	n := s.NumNodes
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return s.OutDegree(order[i]) > s.OutDegree(order[j])
+	})
+	if k > n {
+		k = n
+	}
+	covered := make([]bool, n)
+	chosen := make([]bool, n)
+	selected := make([]graph.NodeID, 0, k)
+	for len(selected) < k {
+		best := graph.NodeID(-1)
+		bestGain := 0
+		for _, u := range order {
+			if chosen[u] {
+				continue
+			}
+			if bestGain >= s.OutDegree(u) {
+				break
+			}
+			g := 0
+			for _, v := range s.Out[u] {
+				if !covered[v] {
+					g++
+				}
+			}
+			if g > bestGain {
+				bestGain = g
+				best = u
+			}
+		}
+		if best < 0 {
+			for _, u := range order {
+				if !chosen[u] {
+					best = u
+					break
+				}
+			}
+			if best < 0 {
+				break
+			}
+		}
+		chosen[best] = true
+		for _, v := range s.Out[best] {
+			covered[v] = true
+		}
+		selected = append(selected, best)
+	}
+	return selected
+}

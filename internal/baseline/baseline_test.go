@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// lineStatic builds the static projection of a simple directed path
+// 0→1→2→3.
+func lineStatic() *graph.Static {
+	l := graph.New(4)
+	l.Add(0, 1, 1)
+	l.Add(1, 2, 2)
+	l.Add(2, 3, 3)
+	l.Sort()
+	return graph.StaticFrom(l)
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	pr := PageRank(lineStatic(), DefaultPageRank())
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sums to %.8f", sum)
+	}
+}
+
+func TestPageRankOrderOnPath(t *testing.T) {
+	// On 0→1→2→3 importance accumulates downstream: pr(3) > pr(2) >
+	// pr(1) > pr(0)? Node 3 is dangling; mass flows 0→1→2→3 and recycles.
+	pr := PageRank(lineStatic(), DefaultPageRank())
+	if !(pr[3] > pr[2] && pr[2] > pr[1] && pr[1] > pr[0]) {
+		t.Fatalf("PageRank order wrong: %v", pr)
+	}
+}
+
+func TestPageRankStarCenter(t *testing.T) {
+	// Edges all point INTO node 0: it must dominate.
+	l := graph.New(5)
+	for v := 1; v < 5; v++ {
+		l.Add(graph.NodeID(v), 0, graph.Time(v))
+	}
+	l.Sort()
+	pr := PageRank(graph.StaticFrom(l), DefaultPageRank())
+	for v := 1; v < 5; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("star center pr %.4f not above leaf pr %.4f", pr[0], pr[v])
+		}
+	}
+}
+
+func TestPageRankRespectsMaxIter(t *testing.T) {
+	// A two-node cycle with tolerance 0 would iterate forever without the
+	// MaxIter bound; scores still normalize.
+	l := graph.New(2)
+	l.Add(0, 1, 1)
+	l.Add(1, 0, 2)
+	l.Sort()
+	pr := PageRank(graph.StaticFrom(l), PageRankConfig{Damping: 0.85, Tolerance: 0, MaxIter: 25})
+	if math.Abs(pr[0]+pr[1]-1) > 1e-9 {
+		t.Fatalf("scores sum to %g", pr[0]+pr[1])
+	}
+	if math.Abs(pr[0]-pr[1]) > 1e-9 {
+		t.Fatalf("symmetric cycle has asymmetric scores: %v", pr)
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	if pr := PageRank(&graph.Static{}, DefaultPageRank()); pr != nil {
+		t.Fatalf("PageRank on empty graph = %v, want nil", pr)
+	}
+}
+
+func TestTopKPageRankReversesEdges(t *testing.T) {
+	// Interactions flow OUT of node 0 into everything; after the paper's
+	// edge reversal node 0 collects all importance and must rank first.
+	l := graph.New(5)
+	for v := 1; v < 5; v++ {
+		l.Add(0, graph.NodeID(v), graph.Time(v))
+	}
+	l.Sort()
+	seeds := TopKPageRank(l, 1, DefaultPageRank())
+	if len(seeds) != 1 || seeds[0] != 0 {
+		t.Fatalf("TopKPageRank = %v, want [0]", seeds)
+	}
+}
+
+func TestTopKByScoreTiesAreDeterministic(t *testing.T) {
+	scores := []float64{1, 3, 3, 2}
+	got := TopKByScore(scores, 3)
+	want := []graph.NodeID{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopKByScore = %v, want %v", got, want)
+		}
+	}
+	// k beyond n clamps.
+	if got := TopKByScore(scores, 99); len(got) != 4 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+}
+
+func TestTopKHighDegree(t *testing.T) {
+	l := graph.New(6)
+	// Node 0 → {1,2,3}; node 1 → {2,3}; node 2 → {3}.
+	l.Add(0, 1, 1)
+	l.Add(0, 2, 2)
+	l.Add(0, 3, 3)
+	l.Add(1, 2, 4)
+	l.Add(1, 3, 5)
+	l.Add(2, 3, 6)
+	// Repeats must not inflate the degree.
+	l.Add(2, 3, 7)
+	l.Sort()
+	s := graph.StaticFrom(l)
+	got := TopKHighDegree(s, 3)
+	want := []graph.NodeID{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HD = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSmartHighDegreePrefersDisjointCoverage(t *testing.T) {
+	// Node 0 covers {1,2,3}; node 4 covers {2,3} (subset of 0's); node 5
+	// covers {6,7}. Plain HD picks {0,4}; SHD must pick {0,5}.
+	l := graph.New(8)
+	l.Add(0, 1, 1)
+	l.Add(0, 2, 2)
+	l.Add(0, 3, 3)
+	l.Add(4, 2, 4)
+	l.Add(4, 3, 5)
+	l.Add(5, 6, 6)
+	l.Add(5, 7, 7)
+	l.Sort()
+	s := graph.StaticFrom(l)
+
+	hd := TopKHighDegree(s, 2)
+	if hd[0] != 0 || (hd[1] != 4 && hd[1] != 5) {
+		t.Fatalf("HD = %v", hd)
+	}
+	shd := TopKSmartHighDegree(s, 2)
+	if shd[0] != 0 || shd[1] != 5 {
+		t.Fatalf("SHD = %v, want [0 5]", shd)
+	}
+}
+
+func TestSmartHighDegreeFillsWhenCoverageExhausts(t *testing.T) {
+	l := graph.New(4)
+	l.Add(0, 1, 1)
+	l.Sort()
+	s := graph.StaticFrom(l)
+	got := TopKSmartHighDegree(s, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %d seeds, want 3", len(got))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, u := range got {
+		if seen[u] {
+			t.Fatalf("duplicate seed in %v", got)
+		}
+		seen[u] = true
+	}
+}

@@ -1,0 +1,32 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+var benchStatic = func() *graph.Static {
+	rng := rand.New(rand.NewSource(9))
+	l := graph.New(5000)
+	for i := 0; i < 50000; i++ {
+		l.Add(graph.NodeID(rng.Intn(5000)), graph.NodeID(rng.Intn(5000)), graph.Time(i+1))
+	}
+	l.Sort()
+	return graph.StaticFrom(l)
+}()
+
+func BenchmarkPageRank(b *testing.B) {
+	cfg := DefaultPageRank()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PageRank(benchStatic, cfg)
+	}
+}
+
+func BenchmarkSmartHighDegree50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = TopKSmartHighDegree(benchStatic, 50)
+	}
+}

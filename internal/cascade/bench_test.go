@@ -1,0 +1,37 @@
+package cascade
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+var benchLog = func() *graph.Log {
+	rng := rand.New(rand.NewSource(2))
+	l := graph.New(2000)
+	for i := 0; i < 20000; i++ {
+		l.Add(graph.NodeID(rng.Intn(2000)), graph.NodeID(rng.Intn(2000)), graph.Time(i+1))
+	}
+	l.Sort()
+	return l
+}()
+
+func BenchmarkSimulate(b *testing.B) {
+	seeds := []graph.NodeID{0, 1, 2, 3, 4}
+	cfg := Config{Omega: 2000, P: 0.5, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		_ = Simulate(benchLog, seeds, cfg)
+	}
+}
+
+func BenchmarkAverageSpreadParallel(b *testing.B) {
+	seeds := []graph.NodeID{0, 1, 2, 3, 4}
+	cfg := Config{Omega: 2000, P: 0.5, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AverageSpread(benchLog, seeds, cfg, 16, 0)
+	}
+}

@@ -1,0 +1,219 @@
+package cascade
+
+import (
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+func chain() *graph.Log {
+	// 0→1@10, 1→2@12, 2→3@15, 3→4@30.
+	l := graph.New(5)
+	l.Add(0, 1, 10)
+	l.Add(1, 2, 12)
+	l.Add(2, 3, 15)
+	l.Add(3, 4, 30)
+	l.Sort()
+	return l
+}
+
+func TestDeterministicChainP1(t *testing.T) {
+	l := chain()
+	// ω=10 from the seed's activation at t=10: 1@12 and 2@15 and 3@15 are
+	// within [10,20]; the hop 3→4@30 exceeds the inherited window
+	// (30−10 > 10), so 4 stays clean. Infected: 0,1,2,3.
+	got := Simulate(l, []graph.NodeID{0}, Config{Omega: 10, P: 1, Seed: 1})
+	if got != 4 {
+		t.Fatalf("spread = %d, want 4", got)
+	}
+	// ω=25 admits the last hop too.
+	got = Simulate(l, []graph.NodeID{0}, Config{Omega: 25, P: 1, Seed: 1})
+	if got != 5 {
+		t.Fatalf("spread = %d, want 5", got)
+	}
+	// ω=1: only 0→1 (12−10 > 1 stops 1→2).
+	got = Simulate(l, []graph.NodeID{0}, Config{Omega: 1, P: 1, Seed: 1})
+	if got != 2 {
+		t.Fatalf("spread = %d, want 2", got)
+	}
+}
+
+func TestWindowAnchorsAtSeedActivation(t *testing.T) {
+	// Algorithm 1 inherits the infector's activation time, so the window
+	// constrains the WHOLE cascade, not each hop: 0 activates at 10;
+	// 1 inherits 10; the hop 1→2@25 has 25−10 = 15 > ω=12 even though the
+	// hop itself is only 15 ticks after 1's infection event.
+	l := graph.New(3)
+	l.Add(0, 1, 10)
+	l.Add(1, 2, 25)
+	l.Sort()
+	got := Simulate(l, []graph.NodeID{0}, Config{Omega: 12, P: 1, Seed: 1})
+	if got != 2 {
+		t.Fatalf("spread = %d, want 2 (window anchored at seed)", got)
+	}
+}
+
+func TestSeedActivatesAtFirstInteraction(t *testing.T) {
+	// The seed's LAST interaction is in range of node 2, but its window
+	// starts at its FIRST interaction.
+	l := graph.New(3)
+	l.Add(0, 1, 5)
+	l.Add(0, 2, 100)
+	l.Sort()
+	got := Simulate(l, []graph.NodeID{0}, Config{Omega: 10, P: 1, Seed: 1})
+	if got != 2 { // 0 and 1; the interaction at 100 is outside [5,15]
+		t.Fatalf("spread = %d, want 2", got)
+	}
+}
+
+func TestLaterInfectorRefreshesWindow(t *testing.T) {
+	// Node 2 is first infected through seed 0 (activation 1). Seed 3
+	// activates later (t=50) and re-infects 2, refreshing its inherited
+	// activation to 50, which re-opens the window for the hop 2→4@55.
+	l := graph.New(5)
+	l.Add(0, 2, 1)
+	l.Add(3, 2, 50)
+	l.Add(2, 4, 55)
+	l.Sort()
+	cfg := Config{Omega: 10, P: 1, Seed: 1}
+	if got := Simulate(l, []graph.NodeID{0, 3}, cfg); got != 4 {
+		t.Fatalf("spread = %d, want 4 (refreshed window)", got)
+	}
+	// Without seed 3 the hop 2→4@55 is far outside [1,11].
+	if got := Simulate(l, []graph.NodeID{0}, cfg); got != 2 {
+		t.Fatalf("spread = %d, want 2", got)
+	}
+}
+
+func TestSeedWithoutInteractionsNeverActivates(t *testing.T) {
+	l := chain()
+	// Node 4 never appears as a source.
+	got := Simulate(l, []graph.NodeID{4}, Config{Omega: 100, P: 1, Seed: 1})
+	if got != 0 {
+		t.Fatalf("spread = %d, want 0", got)
+	}
+}
+
+func TestProbabilityZeroInfectsOnlySeeds(t *testing.T) {
+	l := chain()
+	got := Simulate(l, []graph.NodeID{0}, Config{Omega: 100, P: 0, Seed: 1})
+	if got != 1 {
+		t.Fatalf("spread = %d, want 1 (just the seed)", got)
+	}
+}
+
+func TestSelfLoopDoesNotSpread(t *testing.T) {
+	l := graph.New(2)
+	l.Add(0, 0, 1)
+	l.Add(0, 1, 2)
+	l.Sort()
+	got := Simulate(l, []graph.NodeID{0}, Config{Omega: 10, P: 1, Seed: 1})
+	if got != 2 {
+		t.Fatalf("spread = %d, want 2", got)
+	}
+}
+
+func TestPerNodeProbabilities(t *testing.T) {
+	l := chain()
+	// Node 1 never transmits; the chain stops there even at P=1.
+	cfg := Config{Omega: 100, P: 1, Seed: 1, PerNodeP: map[graph.NodeID]float64{1: 0}}
+	got := Simulate(l, []graph.NodeID{0}, cfg)
+	if got != 2 {
+		t.Fatalf("spread = %d, want 2 (node 1 blocked)", got)
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	l := chain()
+	cfg := Config{Omega: 100, P: 0.5, Seed: 42}
+	a := Simulate(l, []graph.NodeID{0}, cfg)
+	b := Simulate(l, []graph.NodeID{0}, cfg)
+	if a != b {
+		t.Fatalf("same RNG seed produced %d and %d", a, b)
+	}
+}
+
+func TestAverageSpread(t *testing.T) {
+	l := chain()
+	cfg := Config{Omega: 100, P: 1, Seed: 1}
+	// Deterministic at P=1: every trial spreads to all 5 nodes.
+	if got := AverageSpread(l, []graph.NodeID{0}, cfg, 8, 4); got != 5 {
+		t.Fatalf("average = %.2f, want 5", got)
+	}
+	// Result is independent of the parallelism level (per-trial seeds).
+	cfg.P = 0.5
+	s1 := AverageSpread(l, []graph.NodeID{0}, cfg, 64, 1)
+	s8 := AverageSpread(l, []graph.NodeID{0}, cfg, 64, 8)
+	if s1 != s8 {
+		t.Fatalf("parallelism changed the result: %.3f vs %.3f", s1, s8)
+	}
+	// P=0.5 average sits strictly between the extremes.
+	if s1 < 1 || s1 > 5 {
+		t.Fatalf("average %.3f out of range", s1)
+	}
+	if got := AverageSpread(l, []graph.NodeID{0}, cfg, 0, 4); got != 0 {
+		t.Fatalf("zero trials → %.2f, want 0", got)
+	}
+}
+
+func TestLiteralSeedRefresh(t *testing.T) {
+	// Seed 0 interacts at t=5 and t=100; with the default semantics its
+	// window is anchored at 5, so the t=100 interaction is dead. With the
+	// literal Algorithm 1 refresh the second interaction re-opens it.
+	l := graph.New(3)
+	l.Add(0, 1, 5)
+	l.Add(0, 2, 100)
+	l.Sort()
+	base := Config{Omega: 10, P: 1, Seed: 1}
+	if got := Simulate(l, []graph.NodeID{0}, base); got != 2 {
+		t.Fatalf("default semantics spread = %d, want 2", got)
+	}
+	literal := base
+	literal.LiteralSeedRefresh = true
+	if got := Simulate(l, []graph.NodeID{0}, literal); got != 3 {
+		t.Fatalf("literal semantics spread = %d, want 3", got)
+	}
+}
+
+func TestRandomPerNode(t *testing.T) {
+	l := chain()
+	cfg := Config{Omega: 100, P: 1, Seed: 9, RandomPerNode: true}
+	// Deterministic for a fixed seed.
+	a := Simulate(l, []graph.NodeID{0}, cfg)
+	b := Simulate(l, []graph.NodeID{0}, cfg)
+	if a != b {
+		t.Fatalf("RandomPerNode not reproducible: %d vs %d", a, b)
+	}
+	// With P=0 the uniform draw is in [0,0): nothing spreads.
+	cfg.P = 0
+	if got := Simulate(l, []graph.NodeID{0}, cfg); got != 1 {
+		t.Fatalf("spread = %d with zero ceiling", got)
+	}
+	// Explicit PerNodeP still wins over the random draw.
+	cfg.P = 1
+	cfg.PerNodeP = map[graph.NodeID]float64{0: 0}
+	if got := Simulate(l, []graph.NodeID{0}, cfg); got != 1 {
+		t.Fatalf("PerNodeP override failed: spread %d", got)
+	}
+}
+
+func TestRunTrialsStats(t *testing.T) {
+	l := chain()
+	// Deterministic at P=1: stddev must be zero, min == max == 5.
+	st := RunTrials(l, []graph.NodeID{0}, Config{Omega: 100, P: 1, Seed: 1}, 16, 4)
+	if st.Mean != 5 || st.Stddev != 0 || st.Min != 5 || st.Max != 5 || st.Trials != 16 {
+		t.Fatalf("deterministic stats: %+v", st)
+	}
+	// Stochastic at P=0.5: spread varies, bounds are consistent.
+	st = RunTrials(l, []graph.NodeID{0}, Config{Omega: 100, P: 0.5, Seed: 1}, 64, 4)
+	if st.Min > st.Max || st.Mean < float64(st.Min) || st.Mean > float64(st.Max) {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+	if st.Stddev <= 0 {
+		t.Fatalf("stochastic run has zero variance: %+v", st)
+	}
+	// Zero trials.
+	if st := RunTrials(l, []graph.NodeID{0}, Config{Omega: 1, P: 1}, 0, 1); st.Trials != 0 {
+		t.Fatalf("zero-trial stats: %+v", st)
+	}
+}

@@ -1,0 +1,39 @@
+package continest
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+var benchWeighted = func() *graph.WeightedStatic {
+	rng := rand.New(rand.NewSource(6))
+	l := graph.New(1000)
+	for i := 0; i < 10000; i++ {
+		l.Add(graph.NodeID(rng.Intn(1000)), graph.NodeID(rng.Intn(1000)), graph.Time(i+1))
+	}
+	l.Sort()
+	return graph.WeightedFrom(l)
+}()
+
+func BenchmarkBuildEstimator(b *testing.B) {
+	cfg := Config{Samples: 2, Labels: 4, T: 5000, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(benchWeighted, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopK10(b *testing.B) {
+	e, err := New(benchWeighted, Config{Samples: 2, Labels: 4, T: 5000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.TopK(10)
+	}
+}

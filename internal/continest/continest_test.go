@@ -1,0 +1,184 @@
+package continest
+
+import (
+	"math"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// starWeighted builds an instant star: node 0 transmits instantly to
+// 1..10 (all interactions at the source's first-appearance time).
+func starWeighted(leaves int) *graph.WeightedStatic {
+	l := graph.New(leaves + 1)
+	for v := 1; v <= leaves; v++ {
+		l.Add(0, graph.NodeID(v), graph.Time(v))
+	}
+	l.Sort()
+	// Node 0's first source time is its first interaction, so the first
+	// edge has weight 0 and the rest grow: weights 0, 1, 2, ...
+	return graph.WeightedFrom(l)
+}
+
+func TestConfigValidation(t *testing.T) {
+	ws := starWeighted(3)
+	if _, err := New(ws, Config{Samples: 0, Labels: 4, T: 1}); err == nil {
+		t.Error("Samples=0 accepted")
+	}
+	if _, err := New(ws, Config{Samples: 2, Labels: 1, T: 1}); err == nil {
+		t.Error("Labels=1 accepted")
+	}
+	if _, err := New(ws, Config{Samples: 2, Labels: 4, T: -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestSingleNodeInfluenceIncludesSelf(t *testing.T) {
+	// An isolated node influences exactly itself (distance 0 ≤ T).
+	l := graph.New(2)
+	l.Add(0, 1, 1)
+	l.Sort()
+	ws := graph.WeightedFrom(l)
+	e, err := New(ws, Config{Samples: 4, Labels: 16, T: 0.0001, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 has no out-edges: neighbourhood = {1}.
+	got := e.Influence([]graph.NodeID{1})
+	if math.Abs(got-1) > 0.6 {
+		t.Errorf("isolated influence %.2f, want ≈1", got)
+	}
+}
+
+func TestStarCenterEstimate(t *testing.T) {
+	ws := starWeighted(20)
+	// Edge weights are 0..19; with a generous budget the center reaches
+	// all 21 nodes.
+	e, err := New(ws, Config{Samples: 6, Labels: 24, T: 1e6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Influence([]graph.NodeID{0})
+	if got < 12 || got > 32 {
+		t.Errorf("star center influence %.2f, want ≈21", got)
+	}
+	// A leaf reaches only itself.
+	leaf := e.Influence([]graph.NodeID{5})
+	if leaf < 0.3 || leaf > 2.5 {
+		t.Errorf("leaf influence %.2f, want ≈1", leaf)
+	}
+}
+
+func TestInfluenceMonotoneInBudget(t *testing.T) {
+	ws := starWeighted(20)
+	small, err := New(ws, Config{Samples: 4, Labels: 16, T: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(ws, Config{Samples: 4, Labels: 16, T: 1e6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := small.Influence([]graph.NodeID{0})
+	b := big.Influence([]graph.NodeID{0})
+	if b < s {
+		t.Errorf("influence shrank with budget: T=1 → %.2f, T=1e6 → %.2f", s, b)
+	}
+}
+
+func TestInfluenceMonotoneInSeeds(t *testing.T) {
+	ws := starWeighted(10)
+	e, err := New(ws, Config{Samples: 4, Labels: 16, T: 1e6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := e.Influence([]graph.NodeID{1})
+	two := e.Influence([]graph.NodeID{1, 2})
+	if two < one {
+		t.Errorf("adding a seed shrank influence: %.2f → %.2f", one, two)
+	}
+	if e.Influence(nil) != 0 {
+		t.Error("empty seed set has nonzero influence")
+	}
+}
+
+func TestTopKPicksStarCenterFirst(t *testing.T) {
+	ws := starWeighted(20)
+	seeds, err := TopK(ws, 3, Config{Samples: 6, Labels: 24, T: 1e6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("first seed = %d, want star center 0", seeds[0])
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, u := range seeds {
+		if seen[u] {
+			t.Fatalf("duplicate seed in %v", seeds)
+		}
+		seen[u] = true
+	}
+}
+
+func TestTwoStarsGreedyOrder(t *testing.T) {
+	// Star 0 → 1..12 (instant), star 20 → 21..26 (instant), and a chain
+	// linking nothing else. Greedy must take both centers first.
+	l := graph.New(27)
+	tt := graph.Time(1)
+	for v := 1; v <= 12; v++ {
+		l.Add(0, graph.NodeID(v), tt)
+	}
+	for v := 21; v <= 26; v++ {
+		l.Add(20, graph.NodeID(v), tt+1)
+	}
+	l.Sort()
+	l.Detie()
+	ws := graph.WeightedFrom(l)
+	seeds, err := TopK(ws, 2, Config{Samples: 6, Labels: 24, T: 1e9, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 || seeds[1] != 20 {
+		t.Fatalf("seeds = %v, want [0 20]", seeds)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	ws := starWeighted(15)
+	cfg := Config{Samples: 4, Labels: 8, T: 100, Seed: 21}
+	a, err := TopK(ws, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TopK(ws, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestQueryLeastLabel(t *testing.T) {
+	list := []labelEntry{{dist: 10, label: 0.1}, {dist: 5, label: 0.4}, {dist: 1, label: 0.9}}
+	if got := queryLeastLabel(list, 20); got != 0.1 {
+		t.Errorf("T=20 → %.2f, want 0.1", got)
+	}
+	if got := queryLeastLabel(list, 7); got != 0.4 {
+		t.Errorf("T=7 → %.2f, want 0.4", got)
+	}
+	if got := queryLeastLabel(list, 1); got != 0.9 {
+		t.Errorf("T=1 → %.2f, want 0.9", got)
+	}
+	if got := queryLeastLabel(list, 0.5); !math.IsInf(got, 1) {
+		t.Errorf("T=0.5 → %.2f, want +Inf", got)
+	}
+	if got := queryLeastLabel(nil, 10); !math.IsInf(got, 1) {
+		t.Errorf("empty list → %.2f, want +Inf", got)
+	}
+}

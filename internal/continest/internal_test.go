@@ -1,0 +1,118 @@
+package continest
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// White-box tests of the ConTinEst internals.
+
+func TestReverseWeighted(t *testing.T) {
+	l := graph.New(3)
+	l.Add(0, 1, 10)
+	l.Add(0, 2, 20)
+	l.Add(1, 2, 30)
+	l.Sort()
+	ws := graph.WeightedFrom(l)
+	rev := reverseWeighted(ws)
+	if rev.n != 3 {
+		t.Fatalf("n = %d", rev.n)
+	}
+	// Node 2 has two incoming edges (from 0 and 1); reversed, node 2's
+	// adjacency holds both.
+	deg2 := rev.start[3] - rev.start[2]
+	if deg2 != 2 {
+		t.Fatalf("rev degree of node 2 = %d, want 2", deg2)
+	}
+	// Node 0 has no incoming edges.
+	if rev.start[1]-rev.start[0] != 0 {
+		t.Fatalf("rev degree of node 0 = %d, want 0", rev.start[1]-rev.start[0])
+	}
+	// Weights survive the reversal: edge 0→1 has weight 0 (first source
+	// appearance), edge 0→2 weight 10, edge 1→2 weight 0.
+	for ei := rev.start[2]; ei < rev.start[3]; ei++ {
+		e := rev.edges[ei]
+		switch e.to {
+		case 0:
+			if e.mean != 10 {
+				t.Errorf("edge 2←0 mean %g, want 10", e.mean)
+			}
+		case 1:
+			if e.mean != 0 {
+				t.Errorf("edge 2←1 mean %g, want 0", e.mean)
+			}
+		}
+	}
+}
+
+func TestSampleTransmissionTimes(t *testing.T) {
+	l := graph.New(3)
+	l.Add(0, 1, 10)
+	l.Add(0, 2, 110)
+	l.Sort()
+	rev := reverseWeighted(graph.WeightedFrom(l))
+	rng := rand.New(rand.NewPCG(1, 2))
+	sum := 0.0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		times := sampleTransmissionTimes(rev, rng)
+		for ei, tm := range times {
+			if tm < 0 {
+				t.Fatal("negative transmission time")
+			}
+			if rev.edges[ei].mean == 0 && tm != 0 {
+				t.Fatal("zero-mean edge transmitted late")
+			}
+			sum += tm
+		}
+	}
+	// One edge has mean 100, the other 0: the empirical mean of the sum
+	// should be ≈100 per draw.
+	if avg := sum / draws; math.Abs(avg-100) > 10 {
+		t.Errorf("mean sampled delay %.1f, want ≈100", avg)
+	}
+}
+
+func TestLeastLabelListsInvariants(t *testing.T) {
+	l := graph.New(4)
+	l.Add(0, 1, 10)
+	l.Add(1, 2, 20)
+	l.Add(2, 3, 30)
+	l.Sort()
+	rev := reverseWeighted(graph.WeightedFrom(l))
+	rng := rand.New(rand.NewPCG(3, 4))
+	times := sampleTransmissionTimes(rev, rng)
+	lists := buildLeastLabelLists(rev, times, 1e9, rng)
+	for u, list := range lists {
+		if len(list) == 0 {
+			t.Fatalf("node %d has no least-label entries (it is within distance 0 of itself)", u)
+		}
+		for i := 1; i < len(list); i++ {
+			if list[i].dist >= list[i-1].dist {
+				t.Fatalf("node %d: distances not strictly decreasing", u)
+			}
+			if list[i].label <= list[i-1].label {
+				t.Fatalf("node %d: labels not ascending", u)
+			}
+		}
+	}
+}
+
+func TestEstimateHandlesUnreachableReps(t *testing.T) {
+	e := &Estimator{
+		n:    1,
+		cfg:  Config{Samples: 2, Labels: 2, T: 1},
+		reps: 4,
+	}
+	// Sample 0 has finite labels; sample 1 is entirely unreachable.
+	least := []float64{0.5, 0.5, math.Inf(1), math.Inf(1)}
+	got := e.estimate(least)
+	// Sample 0 contributes (2−1)/1.0 = 1; sample 1 contributes 0;
+	// averaged over 2 samples → 0.5.
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("estimate = %g, want 0.5", got)
+	}
+}

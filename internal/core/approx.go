@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"ipin/internal/graph"
+	"ipin/internal/hll"
+	"ipin/internal/vhll"
+)
+
+// DefaultPrecision is the sketch precision used throughout the paper's
+// evaluation after the accuracy study of Table 3 settled on β = 512 cells.
+const DefaultPrecision = 9 // β = 512
+
+// ApproxSummaries holds the output of the approximate one-pass algorithm:
+// a versioned HyperLogLog sketch per node in place of the exact summary
+// map.
+type ApproxSummaries struct {
+	// Omega is the maximum channel duration the summaries were built with.
+	Omega int64
+	// Precision is log2 of the number of cells per sketch.
+	Precision int
+	// Sketches[u] approximates ϕω(u); nil means σω(u) is empty.
+	Sketches []*vhll.Sketch
+}
+
+// ComputeApprox runs the paper's Algorithm 3: the same reverse-
+// chronological scan as ComputeExact, with ApproxAdd and ApproxMerge over
+// versioned HyperLogLog sketches. Processing interaction (u,v,t) inserts
+// v's hash at time t into ϕ(u) and then window-merges ϕ(v) into ϕ(u),
+// keeping entries with t_x − t < ω.
+//
+// Expected time is O(m·β·log²ω) and expected space O(n·β·log²ω) (paper
+// Lemmas 5 and 6). The log must be sorted ascending with distinct
+// timestamps (the paper's assumption; Detie tied inputs first — unlike
+// the exact variant, the sketch cannot tell a same-timestamp entry apart
+// and would let it chain).
+func ComputeApprox(l *graph.Log, omega int64, precision int) (*ApproxSummaries, error) {
+	if precision < hll.MinPrecision || precision > hll.MaxPrecision {
+		return nil, fmt.Errorf("core: precision %d outside [%d,%d]", precision, hll.MinPrecision, hll.MaxPrecision)
+	}
+	s := &ApproxSummaries{
+		Omega:     omega,
+		Precision: precision,
+		Sketches:  make([]*vhll.Sketch, l.NumNodes),
+	}
+	// Node hashes are pure functions of the ID; cache them once.
+	hashes := make([]uint64, l.NumNodes)
+	for i := range hashes {
+		hashes[i] = hll.Hash64(uint64(i))
+	}
+	edges := l.Interactions
+	for i := len(edges) - 1; i >= 0; i-- {
+		e := edges[i]
+		if e.Src == e.Dst {
+			continue
+		}
+		sk := s.Sketches[e.Src]
+		if sk == nil {
+			sk = vhll.MustNew(precision)
+			s.Sketches[e.Src] = sk
+		}
+		sk.AddHash(hashes[e.Dst], int64(e.At))
+		if skV := s.Sketches[e.Dst]; skV != nil {
+			// Same-precision merge cannot fail.
+			_ = sk.MergeWindow(skV, int64(e.At), omega)
+		}
+	}
+	return s, nil
+}
+
+// NumNodes returns n.
+func (s *ApproxSummaries) NumNodes() int { return len(s.Sketches) }
+
+// EstimateIRS returns the estimated |σω(u)|.
+func (s *ApproxSummaries) EstimateIRS(u graph.NodeID) float64 {
+	sk := s.Sketches[u]
+	if sk == nil {
+		return 0
+	}
+	return sk.Estimate()
+}
+
+// Collapse returns u's summary flattened to a plain HyperLogLog, the form
+// the oracle unions in O(β). The result is nil when σω(u) is empty.
+func (s *ApproxSummaries) Collapse(u graph.NodeID) *hll.Sketch {
+	sk := s.Sketches[u]
+	if sk == nil {
+		return nil
+	}
+	return sk.Collapse()
+}
+
+// EntryCount returns the total number of stored (rank, timestamp) pairs
+// across all node sketches.
+func (s *ApproxSummaries) EntryCount() int {
+	n := 0
+	for _, sk := range s.Sketches {
+		if sk != nil {
+			n += sk.EntryCount()
+		}
+	}
+	return n
+}
+
+// MemoryBytes returns the payload size of all sketches (Table 4's
+// quantity).
+func (s *ApproxSummaries) MemoryBytes() int {
+	n := 0
+	for _, sk := range s.Sketches {
+		if sk != nil {
+			n += sk.MemoryBytes()
+		}
+	}
+	return n
+}
+
+// SpreadEstimate estimates |⋃_{u∈S} σω(u)| by unioning the collapsed
+// sketches of the seeds (cell-wise maximum) and running the HyperLogLog
+// estimator once, exactly as described in paper §4.1.
+func (s *ApproxSummaries) SpreadEstimate(seeds []graph.NodeID) float64 {
+	union := hll.MustNew(s.Precision)
+	for _, u := range seeds {
+		if sk := s.Sketches[u]; sk != nil {
+			// Same-precision merge cannot fail.
+			_ = union.Merge(sk.Collapse())
+		}
+	}
+	return union.Estimate()
+}

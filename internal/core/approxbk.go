@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"ipin/internal/graph"
+	"ipin/internal/hll"
+	"ipin/internal/vbk"
+)
+
+// BottomKSummaries holds per-node IRS summaries sketched with the
+// versioned bottom-k sketch (internal/vbk) instead of the versioned
+// HyperLogLog. It exists as the alternative design point Ablation A4 of
+// the harness evaluates: same one-pass algorithm, different sketch
+// family.
+type BottomKSummaries struct {
+	// Omega is the maximum channel duration the summaries were built with.
+	Omega int64
+	// K is the bottom-k sketch size.
+	K int
+	// Sketches[u] approximates ϕω(u); nil means σω(u) is empty.
+	Sketches []*vbk.Sketch
+}
+
+// ComputeApproxBK runs the one-pass approximate IRS algorithm with
+// versioned bottom-k sketches: identical scan and merge discipline to
+// ComputeApprox, with vbk in place of vhll.
+func ComputeApproxBK(l *graph.Log, omega int64, k int) (*BottomKSummaries, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("core: bottom-k size must be >= 3, got %d", k)
+	}
+	s := &BottomKSummaries{Omega: omega, K: k, Sketches: make([]*vbk.Sketch, l.NumNodes)}
+	hashes := make([]uint64, l.NumNodes)
+	for i := range hashes {
+		hashes[i] = hll.Hash64(uint64(i))
+	}
+	edges := l.Interactions
+	for i := len(edges) - 1; i >= 0; i-- {
+		e := edges[i]
+		if e.Src == e.Dst {
+			continue
+		}
+		sk := s.Sketches[e.Src]
+		if sk == nil {
+			sk = vbk.MustNew(k)
+			s.Sketches[e.Src] = sk
+		}
+		sk.AddHash(hashes[e.Dst], int64(e.At))
+		if skV := s.Sketches[e.Dst]; skV != nil {
+			// Same-k merge cannot fail.
+			_ = sk.MergeWindow(skV, int64(e.At), omega)
+		}
+	}
+	return s, nil
+}
+
+// NumNodes returns n.
+func (s *BottomKSummaries) NumNodes() int { return len(s.Sketches) }
+
+// EstimateIRS returns the estimated |σω(u)|.
+func (s *BottomKSummaries) EstimateIRS(u graph.NodeID) float64 {
+	sk := s.Sketches[u]
+	if sk == nil {
+		return 0
+	}
+	return sk.Estimate()
+}
+
+// MemoryBytes returns the payload size of all sketches.
+func (s *BottomKSummaries) MemoryBytes() int {
+	n := 0
+	for _, sk := range s.Sketches {
+		if sk != nil {
+			n += sk.MemoryBytes()
+		}
+	}
+	return n
+}
+
+// SpreadEstimate estimates |⋃_{u∈S} σω(u)| by merging the seeds'
+// sketches and estimating once.
+func (s *BottomKSummaries) SpreadEstimate(seeds []graph.NodeID) float64 {
+	union := vbk.MustNew(s.K)
+	for _, u := range seeds {
+		if sk := s.Sketches[u]; sk != nil {
+			_ = union.Merge(sk)
+		}
+	}
+	return union.Estimate()
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+	"ipin/internal/stats"
+)
+
+func TestComputeApproxBKValidates(t *testing.T) {
+	if _, err := ComputeApproxBK(graph.New(2), 5, 2); err == nil {
+		t.Error("k=2 accepted")
+	}
+}
+
+func TestBottomKSmallGraphNearExact(t *testing.T) {
+	l := fig1a()
+	exact := ComputeExact(l, 3)
+	bk, err := ComputeApproxBK(l, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < l.NumNodes; u++ {
+		got := bk.EstimateIRS(graph.NodeID(u))
+		want := float64(exact.IRSSize(graph.NodeID(u)))
+		if u == int(e) {
+			want++ // self-cycle phantom, same as the vHLL variant
+		}
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("node %d: estimate %.2f, want %.0f (below k ⇒ exact)", u, got, want)
+		}
+	}
+	// Sink nodes have no sketch.
+	if bk.Sketches[c] != nil || bk.Sketches[f] != nil {
+		t.Error("sink nodes were allocated sketches")
+	}
+	if bk.EstimateIRS(c) != 0 {
+		t.Error("sink estimate nonzero")
+	}
+}
+
+func TestBottomKAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	l := randomLog(rng, 400, 6000)
+	omega := int64(600)
+	exact := ComputeExact(l, omega)
+	bk, err := ComputeApproxBK(l, omega, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs []float64
+	for u := 0; u < l.NumNodes; u++ {
+		truth := float64(exact.IRSSize(graph.NodeID(u)))
+		if truth == 0 {
+			continue
+		}
+		errs = append(errs, stats.RelErr(bk.EstimateIRS(graph.NodeID(u)), truth))
+	}
+	if mean := stats.Mean(errs); mean > 0.15 {
+		t.Errorf("average relative error %.4f at k=64", mean)
+	}
+}
+
+func TestBottomKSpreadEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	l := randomLog(rng, 200, 3000)
+	omega := int64(500)
+	exact := ComputeExact(l, omega)
+	bk, err := ComputeApproxBK(l, omega, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []graph.NodeID{1, 7, 13, 42}
+	truth := float64(exact.SpreadExact(seeds))
+	got := bk.SpreadEstimate(seeds)
+	if truth > 0 {
+		if rel := stats.RelErr(got, truth); rel > 0.25 {
+			t.Errorf("spread estimate %.1f vs %.0f (rel %.3f)", got, truth, rel)
+		}
+	}
+	if bk.SpreadEstimate(nil) != 0 {
+		t.Error("empty spread nonzero")
+	}
+}
+
+func TestBottomKMemoryIsEntryDriven(t *testing.T) {
+	l := fig1a()
+	bk, err := ComputeApproxBK(l, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bk.MemoryBytes() == 0 {
+		t.Fatal("no memory reported")
+	}
+	if bk.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d", bk.NumNodes())
+	}
+}

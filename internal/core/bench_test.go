@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// benchLog builds a reproducible 50k-interaction network once.
+var benchLog = func() *graph.Log {
+	rng := rand.New(rand.NewSource(1))
+	l := graph.New(5000)
+	for i := 0; i < 50000; i++ {
+		l.Add(graph.NodeID(rng.Intn(5000)), graph.NodeID(rng.Intn(5000)), graph.Time(i+1))
+	}
+	l.Sort()
+	return l
+}()
+
+func BenchmarkComputeExact(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeExact(benchLog, 5000)
+	}
+}
+
+func BenchmarkComputeApprox(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeApprox(benchLog, 5000, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOracleSpread100(b *testing.B) {
+	s, err := ComputeApprox(benchLog, 5000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := NewApproxOracle(s)
+	seeds := make([]graph.NodeID, 100)
+	for i := range seeds {
+		seeds[i] = graph.NodeID(i * 37 % benchLog.NumNodes)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = oracle.Spread(seeds)
+	}
+}
+
+func BenchmarkTopKApprox50(b *testing.B) {
+	s, err := ComputeApprox(benchLog, 5000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopKApproxSeeds(s, 50)
+	}
+}
+
+func BenchmarkTopKApproxCELF50(b *testing.B) {
+	s, err := ComputeApprox(benchLog, 5000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopKApproxCELF(s, 50)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+	"ipin/internal/stats"
+)
+
+func TestSpreadByFig1a(t *testing.T) {
+	s := ComputeExact(fig1a(), 3)
+	// ϕ(a) = {(b,5),(c,7),(e,3),(d,1)}.
+	cases := []struct {
+		deadline graph.Time
+		want     int
+	}{
+		{0, 0},
+		{1, 1},  // d
+		{3, 2},  // d, e
+		{5, 3},  // d, e, b
+		{7, 4},  // all
+		{99, 4}, // saturated
+	}
+	for _, tc := range cases {
+		if got := s.InfluenceSizeBy(a, tc.deadline); got != tc.want {
+			t.Errorf("InfluenceSizeBy(a, %d) = %d, want %d", tc.deadline, got, tc.want)
+		}
+		if got := s.SpreadBy([]graph.NodeID{a}, tc.deadline); got != tc.want {
+			t.Errorf("SpreadBy({a}, %d) = %d, want %d", tc.deadline, got, tc.want)
+		}
+	}
+	// Union semantics: {a,e} by time 4 → a gives {d,e}, e gives {f,b}.
+	if got := s.SpreadBy([]graph.NodeID{a, e}, 4); got != 4 {
+		t.Errorf("SpreadBy({a,e},4) = %d, want 4", got)
+	}
+}
+
+func TestDeadlineMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	l := randomLog(rng, 100, 1200)
+	s := ComputeExact(l, 200)
+	approx, err := ComputeApprox(l, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []graph.NodeID{1, 2, 3}
+	prevExact := -1
+	prevApprox := -1.0
+	for _, d := range []graph.Time{0, 100, 300, 600, 1200} {
+		ex := s.SpreadBy(seeds, d)
+		if ex < prevExact {
+			t.Fatalf("exact deadline spread decreased at %d", d)
+		}
+		prevExact = ex
+		ap := approx.SpreadByEstimate(seeds, d)
+		if ap < prevApprox-1e-9 {
+			t.Fatalf("approx deadline spread decreased at %d", d)
+		}
+		prevApprox = ap
+	}
+	// At the horizon the deadline query equals the plain spread.
+	if got, want := s.SpreadBy(seeds, 1<<40), s.SpreadExact(seeds); got != want {
+		t.Fatalf("unbounded deadline %d != spread %d", got, want)
+	}
+	if got, want := approx.SpreadByEstimate(seeds, 1<<40), approx.SpreadEstimate(seeds); got != want {
+		t.Fatalf("unbounded approx deadline %.3f != spread %.3f", got, want)
+	}
+}
+
+func TestDeadlineEstimateTracksExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	l := randomLog(rng, 300, 4000)
+	s := ComputeExact(l, 800)
+	approx, err := ComputeApprox(l, 800, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		seeds := []graph.NodeID{
+			graph.NodeID(rng.Intn(l.NumNodes)),
+			graph.NodeID(rng.Intn(l.NumNodes)),
+			graph.NodeID(rng.Intn(l.NumNodes)),
+		}
+		deadline := graph.Time(rng.Intn(4000))
+		truth := float64(s.SpreadBy(seeds, deadline))
+		got := approx.SpreadByEstimate(seeds, deadline)
+		if truth == 0 {
+			// Allow phantom self-cycle entries but nothing substantial.
+			if got > 3 {
+				t.Errorf("trial %d: estimate %.1f for empty deadline spread", trial, got)
+			}
+			continue
+		}
+		if rel := stats.RelErr(got, truth); rel > 0.3 {
+			t.Errorf("trial %d: deadline spread %.1f vs %.0f (rel %.3f)", trial, got, truth, rel)
+		}
+	}
+	// Per-node variant.
+	u := graph.NodeID(1)
+	if got := approx.EstimateIRSBy(u, 1<<40); got != approx.EstimateIRS(u) {
+		t.Error("unbounded EstimateIRSBy != EstimateIRS")
+	}
+}

@@ -1,0 +1,27 @@
+// Package core implements the paper's primary contribution: one-pass
+// computation of Influence Reachability Sets (IRS) over an interaction
+// network, in an exact and a sketch-based approximate variant, plus the
+// influence oracle and greedy influence maximization built on top.
+//
+// Definitions (paper §2):
+//
+//   - An information channel u→v is a sequence of interactions
+//     (u,n₁,t₁),(n₁,n₂,t₂),…,(n_k,v,t_k) with t₁ < t₂ < … < t_k. Its
+//     duration is t_k − t₁ + 1 and its end time is t_k.
+//   - σω(u), the IRS of u, is the set of nodes v reachable from u through
+//     at least one channel of duration ≤ ω.
+//   - The IRS summary ϕω(u) stores, for each v ∈ σω(u), the earliest end
+//     time λ(u,v) over all admissible channels (Definition 4); this is the
+//     exact piece of state that makes a single reverse-chronological pass
+//     sufficient (Lemmas 1 and 2).
+//
+// ComputeExact realizes Algorithm 2 with per-node hash maps; it is exact
+// but needs O(n²) space in the worst case. ComputeApprox realizes
+// Algorithm 3, replacing each map by a versioned HyperLogLog sketch
+// (internal/vhll) for O(β·log²ω) expected space per node.
+//
+// Both variants expose an Oracle (paper §4.1) answering
+// |⋃_{u∈S} σω(u)| for arbitrary seed sets S, and feed the greedy seed
+// selection of Algorithm 4 (TopK*, paper §4.2) as well as a lazy CELF
+// variant this repository adds as an extension.
+package core

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// FuzzReadExactSummaries: arbitrary bytes either fail cleanly or decode
+// to structurally valid summaries.
+func FuzzReadExactSummaries(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := ComputeExact(fig1a(), 3).WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("IRX1E"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadExactSummaries(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted summaries must be internally consistent: every entry
+		// references a node inside the declared range.
+		n := s.NumNodes()
+		for u, phi := range s.Phi {
+			for v := range phi {
+				if int(v) < 0 || int(v) >= n {
+					t.Fatalf("node %d references out-of-range %d", u, v)
+				}
+			}
+		}
+		// And usable: spread queries must not panic.
+		if n > 0 {
+			_ = s.SpreadExact([]graph.NodeID{0})
+		}
+	})
+}
+
+// FuzzReadApproxSummaries mirrors the exact variant for sketches.
+func FuzzReadApproxSummaries(f *testing.F) {
+	approx, err := ComputeApprox(fig1a(), 3, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := approx.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("IRX1A"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadApproxSummaries(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s.NumNodes() > 0 {
+			_ = s.EstimateIRS(0)
+			_ = s.SpreadEstimate([]graph.NodeID{0})
+		}
+	})
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"ipin/internal/graph"
+	"ipin/internal/hll"
+)
+
+// This file implements influence maximization on top of the IRS state:
+// the paper's Algorithm 4 (greedy marginal gain with a sorted-size early
+// exit) and, as an extension, the CELF lazy-greedy strategy of Leskovec et
+// al., which the paper cites as prior art. Both strategies work over the
+// exact summaries and over the sketches; the four entry points share one
+// greedy core through the coverage interface.
+//
+// The maximization problem is NP-hard (paper Lemma 7) but the objective
+// |⋃ σω(u)| is monotone and submodular (Lemma 8), so greedy achieves the
+// usual (1−1/e) approximation.
+
+// coverage tracks the running union ⋃_{u∈selected} σω(u) and answers
+// marginal-gain queries against it.
+type coverage interface {
+	// gain returns |covered ∪ σω(u)| − |covered| (or its estimate).
+	gain(u graph.NodeID) float64
+	// add folds σω(u) into the covered set.
+	add(u graph.NodeID)
+}
+
+// exactCoverage is the coverage over exact summaries.
+type exactCoverage struct {
+	s       *ExactSummaries
+	covered map[graph.NodeID]struct{}
+}
+
+func newExactCoverage(s *ExactSummaries) *exactCoverage {
+	return &exactCoverage{s: s, covered: make(map[graph.NodeID]struct{})}
+}
+
+func (c *exactCoverage) gain(u graph.NodeID) float64 {
+	g := 0
+	for v := range c.s.Phi[u] {
+		if _, ok := c.covered[v]; !ok {
+			g++
+		}
+	}
+	return float64(g)
+}
+
+func (c *exactCoverage) add(u graph.NodeID) {
+	for v := range c.s.Phi[u] {
+		c.covered[v] = struct{}{}
+	}
+}
+
+// approxCoverage is the coverage over collapsed sketches: the union is a
+// plain HyperLogLog, marginal gain is estimated by a clone-merge-estimate.
+type approxCoverage struct {
+	collapsed []*hll.Sketch
+	precision int
+	union     *hll.Sketch
+	current   float64
+}
+
+func newApproxCoverage(s *ApproxSummaries) *approxCoverage {
+	c := &approxCoverage{
+		collapsed: make([]*hll.Sketch, s.NumNodes()),
+		precision: s.Precision,
+		union:     hll.MustNew(s.Precision),
+	}
+	for u, sk := range s.Sketches {
+		if sk != nil {
+			c.collapsed[u] = sk.Collapse()
+		}
+	}
+	return c
+}
+
+func (c *approxCoverage) gain(u graph.NodeID) float64 {
+	if c.collapsed[u] == nil {
+		return 0
+	}
+	merged := c.union.Clone()
+	// Same-precision merge cannot fail.
+	_ = merged.Merge(c.collapsed[u])
+	g := merged.Estimate() - c.current
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+func (c *approxCoverage) add(u graph.NodeID) {
+	if c.collapsed[u] == nil {
+		return
+	}
+	_ = c.union.Merge(c.collapsed[u])
+	c.current = c.union.Estimate()
+}
+
+// greedyTopK is Algorithm 4. Candidates are scanned in descending order of
+// their individual influence size; the scan stops as soon as the best
+// marginal gain found so far is at least the next candidate's full size,
+// because a marginal gain never exceeds the full set size. When no
+// remaining candidate adds coverage, the seed set is completed with the
+// largest-size unselected nodes so callers always receive k seeds.
+func greedyTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return size[order[i]] > size[order[j]] })
+
+	if k > n {
+		k = n
+	}
+	selected := make([]graph.NodeID, 0, k)
+	chosen := make([]bool, n)
+	for len(selected) < k {
+		best := graph.NodeID(-1)
+		bestGain := 0.0
+		for _, u := range order {
+			if chosen[u] {
+				continue
+			}
+			if bestGain >= size[u] {
+				break
+			}
+			if g := cov.gain(u); g > bestGain {
+				bestGain = g
+				best = u
+			}
+		}
+		if best < 0 {
+			// Residual coverage is exhausted; fill deterministically.
+			for _, u := range order {
+				if !chosen[u] {
+					best = u
+					break
+				}
+			}
+			if best < 0 {
+				break
+			}
+		}
+		chosen[best] = true
+		cov.add(best)
+		selected = append(selected, best)
+	}
+	return selected
+}
+
+// TopKExact selects k seeds from exact summaries with Algorithm 4.
+func TopKExact(s *ExactSummaries, k int) []graph.NodeID {
+	n := s.NumNodes()
+	size := make([]float64, n)
+	for u := range size {
+		size[u] = float64(s.IRSSize(graph.NodeID(u)))
+	}
+	return greedyTopK(n, k, size, newExactCoverage(s))
+}
+
+// TopKApprox selects k seeds from sketch summaries with Algorithm 4.
+func TopKApprox(s *ApproxSummaries) func(k int) []graph.NodeID {
+	// The collapse work is shared across calls with different k.
+	cov := newApproxCoverage(s)
+	n := s.NumNodes()
+	size := make([]float64, n)
+	for u := range size {
+		if cov.collapsed[u] != nil {
+			size[u] = cov.collapsed[u].Estimate()
+		}
+	}
+	return func(k int) []graph.NodeID {
+		fresh := &approxCoverage{
+			collapsed: cov.collapsed,
+			precision: cov.precision,
+			union:     hll.MustNew(cov.precision),
+		}
+		return greedyTopK(n, k, size, fresh)
+	}
+}
+
+// TopKApproxSeeds is the common single-shot form of TopKApprox.
+func TopKApproxSeeds(s *ApproxSummaries, k int) []graph.NodeID {
+	return TopKApprox(s)(k)
+}
+
+// celfItem is a heap entry carrying a possibly stale marginal gain.
+type celfItem struct {
+	node  graph.NodeID
+	gain  float64
+	round int // selection round in which gain was computed
+}
+
+type celfHeap []celfItem
+
+func (h celfHeap) Len() int            { return len(h) }
+func (h celfHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfItem)) }
+func (h *celfHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// celfTopK is the lazy-greedy variant: marginal gains are kept in a
+// max-heap and only re-evaluated when a stale entry reaches the top.
+// Submodularity guarantees gains only shrink, so a re-evaluated top entry
+// that stays on top is the true maximizer. Returns the same seed quality
+// as Algorithm 4 with far fewer gain evaluations on large candidate sets.
+func celfTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
+	h := make(celfHeap, 0, n)
+	for u := 0; u < n; u++ {
+		if size[u] > 0 {
+			h = append(h, celfItem{node: graph.NodeID(u), gain: size[u], round: -1})
+		}
+	}
+	heap.Init(&h)
+	if k > n {
+		k = n
+	}
+	selected := make([]graph.NodeID, 0, k)
+	for len(selected) < k && h.Len() > 0 {
+		it := heap.Pop(&h).(celfItem)
+		if it.round == len(selected) {
+			cov.add(it.node)
+			selected = append(selected, it.node)
+			continue
+		}
+		it.gain = cov.gain(it.node)
+		it.round = len(selected)
+		heap.Push(&h, it)
+	}
+	// If every remaining gain was zero the heap may drain before k seeds
+	// are found; fill with the largest-size unselected nodes, matching
+	// greedyTopK's behaviour.
+	if len(selected) < k {
+		chosen := make([]bool, n)
+		for _, u := range selected {
+			chosen[u] = true
+		}
+		order := make([]graph.NodeID, n)
+		for i := range order {
+			order[i] = graph.NodeID(i)
+		}
+		sort.SliceStable(order, func(i, j int) bool { return size[order[i]] > size[order[j]] })
+		for _, u := range order {
+			if len(selected) >= k {
+				break
+			}
+			if !chosen[u] {
+				selected = append(selected, u)
+			}
+		}
+	}
+	return selected
+}
+
+// TopKExactCELF selects k seeds from exact summaries with lazy greedy.
+func TopKExactCELF(s *ExactSummaries, k int) []graph.NodeID {
+	n := s.NumNodes()
+	size := make([]float64, n)
+	for u := range size {
+		size[u] = float64(s.IRSSize(graph.NodeID(u)))
+	}
+	return celfTopK(n, k, size, newExactCoverage(s))
+}
+
+// TopKApproxCELF selects k seeds from sketch summaries with lazy greedy.
+func TopKApproxCELF(s *ApproxSummaries, k int) []graph.NodeID {
+	cov := newApproxCoverage(s)
+	n := s.NumNodes()
+	size := make([]float64, n)
+	for u := range size {
+		if cov.collapsed[u] != nil {
+			size[u] = cov.collapsed[u].Estimate()
+		}
+	}
+	return celfTopK(n, k, size, cov)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"ipin/internal/graph"
+	"ipin/internal/hll"
+)
+
+// Oracle answers influence queries over precomputed IRS state: the size
+// (or estimated size) of the combined influence reachability set of an
+// arbitrary seed set (paper Definition 3). Implementations are cheap,
+// reusable views over ExactSummaries or ApproxSummaries.
+type Oracle interface {
+	// NumNodes returns n, the number of nodes in the underlying network.
+	NumNodes() int
+	// InfluenceSize returns |σω(u)| (exact) or its estimate (approximate).
+	InfluenceSize(u graph.NodeID) float64
+	// Spread returns |⋃_{u∈S} σω(u)| or its estimate.
+	Spread(seeds []graph.NodeID) float64
+}
+
+// ExactOracle adapts ExactSummaries to the Oracle interface.
+type ExactOracle struct{ S *ExactSummaries }
+
+// NumNodes implements Oracle.
+func (o ExactOracle) NumNodes() int { return o.S.NumNodes() }
+
+// InfluenceSize implements Oracle.
+func (o ExactOracle) InfluenceSize(u graph.NodeID) float64 { return float64(o.S.IRSSize(u)) }
+
+// Spread implements Oracle.
+func (o ExactOracle) Spread(seeds []graph.NodeID) float64 { return float64(o.S.SpreadExact(seeds)) }
+
+// ApproxOracle adapts ApproxSummaries to the Oracle interface. It
+// collapses every node sketch once at construction, so each Spread query
+// costs O(|S|·β) regardless of the network size — the property Figure 4
+// measures.
+type ApproxOracle struct {
+	precision int
+	collapsed []*hll.Sketch // nil where σω(u) is empty
+}
+
+// NewApproxOracle finalizes the sketches of s into an oracle.
+func NewApproxOracle(s *ApproxSummaries) *ApproxOracle {
+	o := &ApproxOracle{precision: s.Precision, collapsed: make([]*hll.Sketch, s.NumNodes())}
+	for u, sk := range s.Sketches {
+		if sk != nil {
+			o.collapsed[u] = sk.Collapse()
+		}
+	}
+	return o
+}
+
+// NumNodes implements Oracle.
+func (o *ApproxOracle) NumNodes() int { return len(o.collapsed) }
+
+// InfluenceSize implements Oracle.
+func (o *ApproxOracle) InfluenceSize(u graph.NodeID) float64 {
+	if o.collapsed[u] == nil {
+		return 0
+	}
+	return o.collapsed[u].Estimate()
+}
+
+// Spread implements Oracle.
+func (o *ApproxOracle) Spread(seeds []graph.NodeID) float64 {
+	union := hll.MustNew(o.precision)
+	for _, u := range seeds {
+		if sk := o.collapsed[u]; sk != nil {
+			// Same-precision merge cannot fail.
+			_ = union.Merge(sk)
+		}
+	}
+	return union.Estimate()
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipin/internal/graph"
+	"ipin/internal/temporal"
+)
+
+// logFromBytes deterministically builds a small interaction network from
+// an arbitrary byte string, letting testing/quick explore the space of
+// networks.
+func logFromBytes(raw []byte, nodes int) *graph.Log {
+	l := graph.New(nodes)
+	for i := 0; i+1 < len(raw); i += 2 {
+		src := graph.NodeID(int(raw[i]) % nodes)
+		dst := graph.NodeID(int(raw[i+1]) % nodes)
+		l.Add(src, dst, graph.Time(i+1))
+	}
+	l.Sort()
+	return l
+}
+
+// Property: the one-pass exact algorithm agrees with the definition-level
+// brute force on every generated network and window.
+func TestQuickExactEqualsBruteForce(t *testing.T) {
+	f := func(raw []byte, omegaSeed uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		l := logFromBytes(raw, 7)
+		omega := int64(omegaSeed%40) + 1
+		got := ComputeExact(l, omega)
+		want := temporal.ReachSets(l, omega)
+		for u := 0; u < l.NumNodes; u++ {
+			gu := got.Phi[u]
+			if len(gu) != len(want[u]) {
+				return false
+			}
+			for v, tm := range want[u] {
+				if gu[v] != tm {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the influence objective is monotone — adding any seed never
+// shrinks the exact spread (paper Lemma 8's monotonicity).
+func TestQuickSpreadMonotone(t *testing.T) {
+	f := func(raw []byte, extra uint8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		l := logFromBytes(raw, 9)
+		s := ComputeExact(l, 20)
+		seeds := []graph.NodeID{graph.NodeID(raw[0]) % 9, graph.NodeID(raw[1]) % 9}
+		with := append(append([]graph.NodeID(nil), seeds...), graph.NodeID(extra)%9)
+		return s.SpreadExact(with) >= s.SpreadExact(seeds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the influence objective is submodular — the marginal gain of
+// a node shrinks as the seed set grows (paper Lemma 8).
+func TestQuickSpreadSubmodular(t *testing.T) {
+	f := func(raw []byte, xByte, extraByte uint8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		l := logFromBytes(raw, 9)
+		s := ComputeExact(l, 25)
+		small := []graph.NodeID{graph.NodeID(raw[0]) % 9}
+		big := append(append([]graph.NodeID(nil), small...), graph.NodeID(extraByte)%9)
+		x := graph.NodeID(xByte) % 9
+		gainSmall := s.SpreadExact(append(append([]graph.NodeID(nil), small...), x)) - s.SpreadExact(small)
+		gainBig := s.SpreadExact(append(append([]graph.NodeID(nil), big...), x)) - s.SpreadExact(big)
+		return gainSmall >= gainBig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deadline-bounded spread interpolates between 0 and the full
+// spread, and never decreases in the deadline.
+func TestQuickDeadlineInterpolates(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		l := logFromBytes(raw, 8)
+		s := ComputeExact(l, 30)
+		seeds := []graph.NodeID{graph.NodeID(raw[0]) % 8, graph.NodeID(raw[1]) % 8}
+		prev := 0
+		for d := graph.Time(0); d <= graph.Time(len(raw)+2); d += 3 {
+			cur := s.SpreadBy(seeds, d)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return prev == s.SpreadExact(seeds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

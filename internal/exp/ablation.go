@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ipin/internal/core"
+	"ipin/internal/graph"
+	"ipin/internal/stats"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: the
+// versioned cell lists of the sketch (A1), the greedy strategy (A2), and
+// the precision/size/accuracy trade-off (A3).
+
+// AblationVersioningRow compares windowed IRS estimation with the
+// versioned sketch against a plain HyperLogLog that ignores the window
+// (equivalent to running the sketch with ω = full span).
+type AblationVersioningRow struct {
+	Dataset     string
+	WindowPct   float64
+	VHLLErr     float64
+	PlainHLLErr float64
+}
+
+// AblationVersioning measures why the versioned sketch exists: without
+// per-entry timestamps, window-constrained reachability degenerates to
+// unconstrained reachability and the estimates blow up for small ω.
+func AblationVersioning(d Dataset, windowPcts []float64, precision int) ([]AblationVersioningRow, error) {
+	_, _, span := d.Log.Span()
+	plain, err := core.ComputeApprox(d.Log, span, precision)
+	if err != nil {
+		return nil, fmt.Errorf("exp: ablation versioning %s: %v", d.Name, err)
+	}
+	rows := make([]AblationVersioningRow, 0, len(windowPcts))
+	for _, pct := range windowPcts {
+		omega := d.Omega(pct)
+		exact := core.ComputeExact(d.Log, omega)
+		vhll, err := core.ComputeApprox(d.Log, omega, precision)
+		if err != nil {
+			return nil, fmt.Errorf("exp: ablation versioning %s ω=%g%%: %v", d.Name, pct, err)
+		}
+		var vErrs, pErrs []float64
+		for u := 0; u < d.Log.NumNodes; u++ {
+			truth := float64(exact.IRSSize(graph.NodeID(u)))
+			if truth == 0 {
+				continue
+			}
+			vErrs = append(vErrs, stats.RelErr(vhll.EstimateIRS(graph.NodeID(u)), truth))
+			pErrs = append(pErrs, stats.RelErr(plain.EstimateIRS(graph.NodeID(u)), truth))
+		}
+		rows = append(rows, AblationVersioningRow{
+			Dataset:     d.Name,
+			WindowPct:   pct,
+			VHLLErr:     stats.Mean(vErrs),
+			PlainHLLErr: stats.Mean(pErrs),
+		})
+	}
+	return rows, nil
+}
+
+// AblationCELFRow compares the paper's Algorithm 4 greedy with the CELF
+// lazy greedy this repository adds: identical coverage, different cost.
+type AblationCELFRow struct {
+	Dataset      string
+	K            int
+	GreedyTime   time.Duration
+	CELFTime     time.Duration
+	GreedySpread float64
+	CELFSpread   float64
+}
+
+// AblationCELF times both selection strategies over exact summaries and
+// reports the exact coverage both achieve.
+func AblationCELF(d Dataset, ks []int, windowPct float64) ([]AblationCELFRow, error) {
+	s := core.ComputeExact(d.Log, d.Omega(windowPct))
+	rows := make([]AblationCELFRow, 0, len(ks))
+	for _, k := range ks {
+		start := time.Now()
+		greedy := core.TopKExact(s, k)
+		greedyTime := time.Since(start)
+		start = time.Now()
+		celf := core.TopKExactCELF(s, k)
+		celfTime := time.Since(start)
+		rows = append(rows, AblationCELFRow{
+			Dataset:      d.Name,
+			K:            k,
+			GreedyTime:   greedyTime,
+			CELFTime:     celfTime,
+			GreedySpread: float64(s.SpreadExact(greedy)),
+			CELFSpread:   float64(s.SpreadExact(celf)),
+		})
+	}
+	return rows, nil
+}
+
+// AblationSketchRow compares the two sketch families — versioned
+// HyperLogLog and versioned bottom-k — on IRS estimation error and
+// memory, at one parameter point each.
+type AblationSketchRow struct {
+	Dataset   string
+	WindowPct float64
+	// VHLL columns: β = 2^precision cells.
+	VHLLBeta  int
+	VHLLErr   float64
+	VHLLBytes int
+	// VBK columns: bottom-k size.
+	BKK     int
+	BKErr   float64
+	BKBytes int
+}
+
+// AblationSketchFamilies runs ablation A4: the same one-pass IRS
+// computation with both sketch families against the exact truth. The
+// default pairing (β=512 vs k=64) puts the bottom-k variant at a similar
+// or smaller memory footprint so the error columns are comparable.
+func AblationSketchFamilies(d Dataset, windowPcts []float64, precision, k int) ([]AblationSketchRow, error) {
+	rows := make([]AblationSketchRow, 0, len(windowPcts))
+	for _, pct := range windowPcts {
+		omega := d.Omega(pct)
+		exact := core.ComputeExact(d.Log, omega)
+		vh, err := core.ComputeApprox(d.Log, omega, precision)
+		if err != nil {
+			return nil, fmt.Errorf("exp: ablation sketch %s ω=%g%%: %v", d.Name, pct, err)
+		}
+		bk, err := core.ComputeApproxBK(d.Log, omega, k)
+		if err != nil {
+			return nil, fmt.Errorf("exp: ablation sketch %s ω=%g%%: %v", d.Name, pct, err)
+		}
+		var vErrs, bErrs []float64
+		for u := 0; u < d.Log.NumNodes; u++ {
+			truth := float64(exact.IRSSize(graph.NodeID(u)))
+			if truth == 0 {
+				continue
+			}
+			vErrs = append(vErrs, stats.RelErr(vh.EstimateIRS(graph.NodeID(u)), truth))
+			bErrs = append(bErrs, stats.RelErr(bk.EstimateIRS(graph.NodeID(u)), truth))
+		}
+		rows = append(rows, AblationSketchRow{
+			Dataset:   d.Name,
+			WindowPct: pct,
+			VHLLBeta:  1 << precision,
+			VHLLErr:   stats.Mean(vErrs),
+			VHLLBytes: vh.MemoryBytes(),
+			BKK:       k,
+			BKErr:     stats.Mean(bErrs),
+			BKBytes:   bk.MemoryBytes(),
+		})
+	}
+	return rows, nil
+}
+
+// AblationBetaRow reports the accuracy/size/time trade-off of one sketch
+// precision.
+type AblationBetaRow struct {
+	Beta      int
+	AvgRelErr float64
+	Bytes     int
+	BuildTime time.Duration
+}
+
+// AblationBeta sweeps the sketch precision at a fixed window, extending
+// Table 3 with the memory and build-time axes.
+func AblationBeta(d Dataset, precisions []int, windowPct float64) ([]AblationBetaRow, error) {
+	omega := d.Omega(windowPct)
+	exact := core.ComputeExact(d.Log, omega)
+	rows := make([]AblationBetaRow, 0, len(precisions))
+	for _, p := range precisions {
+		start := time.Now()
+		approx, err := core.ComputeApprox(d.Log, omega, p)
+		if err != nil {
+			return nil, fmt.Errorf("exp: ablation beta %s β=%d: %v", d.Name, 1<<p, err)
+		}
+		build := time.Since(start)
+		var errs []float64
+		for u := 0; u < d.Log.NumNodes; u++ {
+			truth := float64(exact.IRSSize(graph.NodeID(u)))
+			if truth == 0 {
+				continue
+			}
+			errs = append(errs, stats.RelErr(approx.EstimateIRS(graph.NodeID(u)), truth))
+		}
+		rows = append(rows, AblationBetaRow{
+			Beta:      1 << p,
+			AvgRelErr: stats.Mean(errs),
+			Bytes:     approx.MemoryBytes(),
+			BuildTime: build,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of a chart: parallel X/Y slices.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart renders one or more series as an ASCII line chart, giving the
+// harness a way to show the paper's figures as figures, not just tables.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots log10(y), matching the paper's Figure 3 axis.
+	LogY   bool
+	Series []Series
+	// Width and Height are the plot-area dimensions in characters;
+	// zero selects 64×16.
+	Width  int
+	Height int
+}
+
+// seriesMarks assigns one rune per series, cycling if necessary.
+var seriesMarks = []rune{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Text renders the chart.
+func (c Chart) Text() string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	// Collect bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	value := func(y float64) float64 {
+		if c.LogY {
+			if y <= 0 {
+				return math.Inf(1) // skipped below
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			y := value(s.Y[i])
+			if math.IsInf(y, 1) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if minX > maxX {
+		return c.Title + "\n(no data)\n"
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Plot points and connect consecutive ones with interpolation.
+		type pt struct{ col, row int }
+		var pts []pt
+		for i := range s.X {
+			y := value(s.Y[i])
+			if math.IsInf(y, 1) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			pts = append(pts, pt{col: col, row: row})
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].col < pts[b].col })
+		for i, p := range pts {
+			grid[p.row][p.col] = mark
+			if i > 0 {
+				// Linear interpolation between consecutive columns.
+				prev := pts[i-1]
+				for col := prev.col + 1; col < p.col; col++ {
+					frac := float64(col-prev.col) / float64(p.col-prev.col)
+					row := prev.row + int(math.Round(frac*float64(p.row-prev.row)))
+					if grid[row][col] == ' ' {
+						grid[row][col] = '.'
+					}
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop, yBot := maxY, minY
+	unlog := func(v float64) float64 {
+		if c.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	axisW := 10
+	for r, row := range grid {
+		label := strings.Repeat(" ", axisW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.3g", axisW, unlog(yTop))
+		case height - 1:
+			label = fmt.Sprintf("%*.3g", axisW, unlog(yBot))
+		case height / 2:
+			label = fmt.Sprintf("%*.3g", axisW, unlog((yTop+yBot)/2))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", axisW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", axisW), width/2, minX, width-width/2, maxX)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s", strings.Repeat(" ", axisW), c.XLabel)
+		if c.YLabel != "" {
+			fmt.Fprintf(&b, "   y: %s", c.YLabel)
+		}
+		b.WriteByte('\n')
+	}
+	// Legend.
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", axisW), seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return b.String()
+}
+
+// ChartFig3 turns Figure 3 points into a log-y chart, one series per
+// dataset, matching the paper's presentation.
+func ChartFig3(points []Fig3Point) Chart {
+	byDataset := map[string]*Series{}
+	var order []string
+	for _, p := range points {
+		s, ok := byDataset[p.Dataset]
+		if !ok {
+			s = &Series{Name: p.Dataset}
+			byDataset[p.Dataset] = s
+			order = append(order, p.Dataset)
+		}
+		s.X = append(s.X, p.WindowPct)
+		s.Y = append(s.Y, p.Elapsed.Seconds())
+	}
+	c := Chart{
+		Title:  "Figure 3: processing time vs window length",
+		XLabel: "window (%)",
+		YLabel: "time (s, log scale)",
+		LogY:   true,
+	}
+	for _, name := range order {
+		c.Series = append(c.Series, *byDataset[name])
+	}
+	return c
+}
+
+// ChartFig4 turns Figure 4 points into a chart, one series per dataset.
+func ChartFig4(points []Fig4Point) Chart {
+	byDataset := map[string]*Series{}
+	var order []string
+	for _, p := range points {
+		s, ok := byDataset[p.Dataset]
+		if !ok {
+			s = &Series{Name: p.Dataset}
+			byDataset[p.Dataset] = s
+			order = append(order, p.Dataset)
+		}
+		s.X = append(s.X, float64(p.Seeds))
+		s.Y = append(s.Y, float64(p.Elapsed.Microseconds())/1000)
+	}
+	c := Chart{
+		Title:  "Figure 4: oracle query time vs seed-set size",
+		XLabel: "seeds",
+		YLabel: "time (ms)",
+	}
+	for _, name := range order {
+		c.Series = append(c.Series, *byDataset[name])
+	}
+	return c
+}
+
+// ChartFig5 turns the Figure 5 points of ONE panel (one dataset, window
+// and probability) into a chart, one series per method.
+func ChartFig5(points []Fig5Point) Chart {
+	byMethod := map[Method]*Series{}
+	var order []Method
+	title := "Figure 5"
+	for _, p := range points {
+		if p.Skipped {
+			continue
+		}
+		title = fmt.Sprintf("Figure 5: %s (ω=%g%%, p=%g)", p.Dataset, p.WindowPct, p.P)
+		s, ok := byMethod[p.Method]
+		if !ok {
+			s = &Series{Name: string(p.Method)}
+			byMethod[p.Method] = s
+			order = append(order, p.Method)
+		}
+		s.X = append(s.X, float64(p.K))
+		s.Y = append(s.Y, p.Spread)
+	}
+	c := Chart{Title: title, XLabel: "top k", YLabel: "spread"}
+	for _, m := range order {
+		c.Series = append(c.Series, *byMethod[m])
+	}
+	return c
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	c := Chart{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+		},
+	}
+	out := c.Text()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* linear") || !strings.Contains(out, "o flat") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no plotted points")
+	}
+	// The linear series' highest point sits on the top row, its lowest on
+	// the bottom plot row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("top row has no point:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Text()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart rendered %q", out)
+	}
+}
+
+func TestChartLogYSkipsNonPositive(t *testing.T) {
+	c := Chart{
+		LogY: true,
+		Series: []Series{
+			{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0, 10, 100}},
+		},
+	}
+	out := c.Text()
+	if !strings.Contains(out, "*") {
+		t.Errorf("log chart lost all points:\n%s", out)
+	}
+}
+
+func TestChartSingleValueRanges(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "dot", X: []float64{5}, Y: []float64{7}}},
+	}
+	out := c.Text()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point lost:\n%s", out)
+	}
+}
+
+func TestChartFig3GroupsByDataset(t *testing.T) {
+	pts := []Fig3Point{
+		{Dataset: "a", WindowPct: 1, Elapsed: time.Millisecond},
+		{Dataset: "a", WindowPct: 10, Elapsed: 2 * time.Millisecond},
+		{Dataset: "b", WindowPct: 1, Elapsed: 3 * time.Millisecond},
+	}
+	c := ChartFig3(pts)
+	if len(c.Series) != 2 {
+		t.Fatalf("got %d series", len(c.Series))
+	}
+	if !c.LogY {
+		t.Error("figure 3 should use a log y axis")
+	}
+	if out := c.Text(); !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("chart legend:\n%s", out)
+	}
+}
+
+func TestChartFig4(t *testing.T) {
+	pts := []Fig4Point{
+		{Dataset: "a", Seeds: 1, Elapsed: time.Microsecond},
+		{Dataset: "a", Seeds: 1000, Elapsed: time.Millisecond},
+	}
+	c := ChartFig4(pts)
+	if len(c.Series) != 1 || len(c.Series[0].X) != 2 {
+		t.Fatalf("series = %+v", c.Series)
+	}
+}
+
+func TestChartFig5(t *testing.T) {
+	pts := []Fig5Point{
+		{Dataset: "lkml", Method: MethodPR, K: 5, WindowPct: 1, P: 0.5, Spread: 10},
+		{Dataset: "lkml", Method: MethodPR, K: 10, WindowPct: 1, P: 0.5, Spread: 20},
+		{Dataset: "lkml", Method: MethodIRSExact, K: 5, WindowPct: 1, P: 0.5, Spread: 30},
+		{Dataset: "lkml", Method: MethodCTE, K: 5, Skipped: true},
+	}
+	c := ChartFig5(pts)
+	if len(c.Series) != 2 {
+		t.Fatalf("got %d series (skipped method must be dropped)", len(c.Series))
+	}
+	if !strings.Contains(c.Title, "lkml") {
+		t.Errorf("title %q", c.Title)
+	}
+}

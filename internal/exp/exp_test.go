@@ -1,0 +1,440 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipin/internal/core"
+	"ipin/internal/gen"
+	"ipin/internal/graph"
+)
+
+// tinyDataset generates a small but structured network for fast harness
+// tests.
+func tinyDataset(t *testing.T) Dataset {
+	t.Helper()
+	cfg := gen.Config{
+		Name:         "tiny",
+		Model:        gen.ModelEmail,
+		Nodes:        150,
+		Interactions: 1500,
+		SpanTicks:    500_000,
+		Seed:         5,
+		ZipfS:        1.3,
+		ReplyProb:    0.4,
+	}
+	l, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Dataset{Name: "tiny", Log: l}
+}
+
+// fastMethodConfig keeps the baselines cheap in tests.
+func fastMethodConfig() MethodConfig {
+	cfg := DefaultMethodConfig()
+	cfg.SKIM.Instances = 8
+	cfg.SKIM.K = 8
+	cfg.CTE.Samples = 2
+	cfg.CTE.Labels = 4
+	return cfg
+}
+
+func TestLoadFromPrefersFiles(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny "real" enron with tied timestamps that must be de-tied.
+	content := "a b 10\nb c 10\nc a 30\n"
+	if err := os.WriteFile(filepath.Join(dir, "enron.txt"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadFrom(dir, "enron", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Log.Len() != 3 || d.Log.NumNodes != 3 {
+		t.Fatalf("file dataset: %d interactions / %d nodes", d.Log.Len(), d.Log.NumNodes)
+	}
+	if !d.Log.HasDistinctTimes() {
+		t.Fatal("ties not separated")
+	}
+	// Names without a file fall back to the generator.
+	d2, err := LoadFrom(dir, "slashdot", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Log.Len() < 100 {
+		t.Fatalf("generator fallback produced %d interactions", d2.Log.Len())
+	}
+	// Malformed files error out rather than silently falling back.
+	if err := os.WriteFile(filepath.Join(dir, "lkml.txt"), []byte("broken line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFrom(dir, "lkml", 20); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+func TestLoadKnownAndUnknown(t *testing.T) {
+	d, err := Load("slashdot", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "slashdot" || d.Log.Len() == 0 {
+		t.Fatal("slashdot load broken")
+	}
+	if _, err := Load("nosuch", 10); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	d := tinyDataset(t)
+	rows := Table2([]Dataset{d})
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Nodes != 150 || r.Interactions != 1500 {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.Days <= 0 {
+		t.Fatalf("days = %g", r.Days)
+	}
+	txt := RenderTable2(rows).Text()
+	if !strings.Contains(txt, "tiny") || !strings.Contains(txt, "1500") {
+		t.Fatalf("render missing content:\n%s", txt)
+	}
+}
+
+func TestTable3ErrorShrinksWithBeta(t *testing.T) {
+	d := tinyDataset(t)
+	rows, err := Table3(d, []int{4, 9}, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Beta != 16 || rows[1].Beta != 512 {
+		t.Fatalf("betas = %d,%d", rows[0].Beta, rows[1].Beta)
+	}
+	if rows[1].AvgRelErr >= rows[0].AvgRelErr {
+		t.Errorf("error did not shrink with beta: %.4f → %.4f", rows[0].AvgRelErr, rows[1].AvgRelErr)
+	}
+	if rows[1].AvgRelErr > 0.15 {
+		t.Errorf("β=512 error %.4f too large", rows[1].AvgRelErr)
+	}
+}
+
+func TestTable4MemoryGrowsWithWindow(t *testing.T) {
+	d := tinyDataset(t)
+	rows, err := Table4(d, []float64{1, 20}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Bytes <= 0 {
+		t.Fatal("zero memory reported")
+	}
+	if rows[1].Bytes < rows[0].Bytes {
+		t.Errorf("memory shrank with window: %d → %d", rows[0].Bytes, rows[1].Bytes)
+	}
+	if rows[0].Bytes != rows[0].Entries*9 {
+		t.Errorf("bytes %d != 9·entries %d", rows[0].Bytes, rows[0].Entries)
+	}
+}
+
+func TestFig3ProducesAllPoints(t *testing.T) {
+	d := tinyDataset(t)
+	pts, err := Fig3(d, []float64{1, 10, 50}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Elapsed <= 0 {
+			t.Errorf("window %g%%: non-positive elapsed", p.WindowPct)
+		}
+	}
+}
+
+func TestFig4QueryTimes(t *testing.T) {
+	d := tinyDataset(t)
+	pts, err := Fig4(d, []int{1, 10, 100}, 20, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Elapsed < 0 {
+			t.Errorf("seeds %d: negative elapsed", p.Seeds)
+		}
+	}
+}
+
+func TestFig5AllMethods(t *testing.T) {
+	d := tinyDataset(t)
+	params := Fig5Params{
+		Methods:     AllMethods(),
+		Ks:          []int{2, 5},
+		WindowPct:   20,
+		P:           0.5,
+		Trials:      4,
+		Parallelism: 2,
+		Seed:        1,
+	}
+	pts, err := Fig5(d, params, fastMethodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(params.Methods) * len(params.Ks); len(pts) != want {
+		t.Fatalf("got %d points, want %d", len(pts), want)
+	}
+	byMethod := map[Method][]Fig5Point{}
+	for _, p := range pts {
+		if p.Skipped {
+			t.Fatalf("method %s skipped on tiny dataset", p.Method)
+		}
+		if p.Spread < 0 || p.Spread > float64(d.Log.NumNodes) {
+			t.Fatalf("spread %.1f out of range", p.Spread)
+		}
+		byMethod[p.Method] = append(byMethod[p.Method], p)
+	}
+	// More seeds never hurt (averaged spreads; allow small noise).
+	for m, ps := range byMethod {
+		if ps[1].Spread < ps[0].Spread-2 {
+			t.Errorf("%s: spread fell from %.1f (k=2) to %.1f (k=5)", m, ps[0].Spread, ps[1].Spread)
+		}
+	}
+}
+
+func TestFig5CTESkipsOversized(t *testing.T) {
+	d := tinyDataset(t)
+	cfg := fastMethodConfig()
+	cfg.CTEMaxNodes = 10 // force the skip path
+	params := Fig5Params{Methods: []Method{MethodCTE}, Ks: []int{2}, WindowPct: 20, P: 1, Trials: 1, Seed: 1}
+	pts, err := Fig5(d, params, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || !pts[0].Skipped {
+		t.Fatalf("expected a skipped point, got %+v", pts)
+	}
+}
+
+func TestFig5RejectsEmptyKs(t *testing.T) {
+	d := tinyDataset(t)
+	if _, err := Fig5(d, Fig5Params{Methods: AllMethods()}, fastMethodConfig()); err == nil {
+		t.Fatal("empty Ks accepted")
+	}
+}
+
+func TestTable5PairsAndBounds(t *testing.T) {
+	d := tinyDataset(t)
+	rows, err := Table5(d, []float64{1, 10, 20}, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 pairs", len(rows))
+	}
+	for _, r := range rows {
+		if r.Common < 0 || r.Common > r.TopK {
+			t.Fatalf("common %d out of [0,%d]", r.Common, r.TopK)
+		}
+	}
+}
+
+func TestTable6AllMethods(t *testing.T) {
+	d := tinyDataset(t)
+	rows, err := Table6(d, AllMethods(), 5, 20, fastMethodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AllMethods()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Skipped && r.Elapsed <= 0 {
+			t.Errorf("%s: non-positive elapsed", r.Method)
+		}
+	}
+}
+
+func TestSelectSeedsUnknownMethod(t *testing.T) {
+	d := tinyDataset(t)
+	if _, err := SelectSeeds(Method("nope"), d, 3, 100, fastMethodConfig()); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestSelectSeedsIRSVariantsAgreeOnTop1(t *testing.T) {
+	// On a heavily skewed network the clear winner must be found by both
+	// the exact and the sketch selection.
+	d := tinyDataset(t)
+	omega := d.Omega(20)
+	cfg := fastMethodConfig()
+	exact, err := SelectSeeds(MethodIRSExact, d, 1, omega, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := SelectSeeds(MethodIRSApprox, d, 1, omega, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Seeds[0] != approx.Seeds[0] {
+		t.Logf("note: exact top-1 %d vs approx top-1 %d (allowed on near-ties)", exact.Seeds[0], approx.Seeds[0])
+	}
+	if len(exact.Seeds) != 1 || len(approx.Seeds) != 1 {
+		t.Fatal("wrong seed counts")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	d := tinyDataset(t)
+	v, err := AblationVersioning(d, []float64{1, 20}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 {
+		t.Fatalf("versioning rows = %d", len(v))
+	}
+	// At the small window the window-less sketch must be much worse.
+	if v[0].PlainHLLErr <= v[0].VHLLErr {
+		t.Errorf("plain HLL err %.4f not worse than vHLL %.4f at ω=1%%", v[0].PlainHLLErr, v[0].VHLLErr)
+	}
+
+	c, err := AblationCELF(d, []int{3, 6}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c {
+		if r.GreedySpread != r.CELFSpread {
+			t.Errorf("k=%d: greedy %g != CELF %g", r.K, r.GreedySpread, r.CELFSpread)
+		}
+	}
+
+	b, err := AblationBeta(d, []int{4, 6, 9}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 3 {
+		t.Fatalf("beta rows = %d", len(b))
+	}
+	if b[2].Bytes <= b[0].Bytes {
+		t.Errorf("memory did not grow with beta: %d → %d", b[0].Bytes, b[2].Bytes)
+	}
+
+	sk, err := AblationSketchFamilies(d, []float64{10}, 9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sk) != 1 {
+		t.Fatalf("sketch rows = %d", len(sk))
+	}
+	r := sk[0]
+	if r.VHLLErr <= 0 && r.BKErr <= 0 {
+		t.Error("both sketch families report zero error — suspicious")
+	}
+	if r.VHLLBytes <= 0 || r.BKBytes <= 0 {
+		t.Error("missing memory accounting")
+	}
+	if r.VHLLErr > 0.2 || r.BKErr > 0.2 {
+		t.Errorf("sketch errors too large: vHLL %.4f, vBK %.4f", r.VHLLErr, r.BKErr)
+	}
+	if txt := RenderAblationSketch(sk).Text(); !strings.Contains(txt, "vBK") {
+		t.Errorf("A4 render:\n%s", txt)
+	}
+}
+
+func TestRenderersCoverRows(t *testing.T) {
+	d := tinyDataset(t)
+	t3, err := Table3(d, []int{6}, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txt := RenderTable3(t3).Text(); !strings.Contains(txt, "64") {
+		t.Errorf("table3 render:\n%s", txt)
+	}
+	t4, err := Table4(d, []float64{10}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txt := RenderTable4(t4).Text(); !strings.Contains(txt, "tiny") {
+		t.Errorf("table4 render:\n%s", txt)
+	}
+	rows := []Table6Row{{Dataset: "x", Method: MethodCTE, Skipped: true}}
+	if txt := RenderTable6(rows).Text(); !strings.Contains(txt, "-") {
+		t.Errorf("table6 skip render:\n%s", txt)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}, {"2", `quote"inside`}},
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\n1,\"x,y\"\n2,\"quote\"\"inside\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+// TestLargeScaleSmoke drives the full approximate pipeline on the
+// largest scaled dataset to guard the size-dependent code paths (sparse
+// cell iteration, lazy sketch allocation, greedy over tens of thousands
+// of candidates).
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale smoke is slow")
+	}
+	d, err := Load("us2016", 100) // ~4.5k nodes, ~45k interactions
+	if err != nil {
+		t.Fatal(err)
+	}
+	omega := d.Omega(10)
+	approx, err := core.ComputeApprox(d.Log, omega, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CELF: the lazy greedy is the scalable selection path.
+	seeds := core.TopKApproxCELF(approx, 25)
+	if len(seeds) != 25 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	oracle := core.NewApproxOracle(approx)
+	spread := oracle.Spread(seeds)
+	// The estimate may overshoot n by sketch error, but not wildly.
+	if spread <= 0 || spread > 1.3*float64(d.Log.NumNodes) {
+		t.Fatalf("spread %.1f out of range for %d nodes", spread, d.Log.NumNodes)
+	}
+	// The combined spread is consistent with the best single seed up to
+	// estimator noise.
+	if best := oracle.InfluenceSize(seeds[0]); spread < 0.8*best {
+		t.Fatalf("spread %.1f far below top seed's own reach %.1f", spread, best)
+	}
+}
+
+func TestOmegaHelper(t *testing.T) {
+	l := graph.New(2)
+	l.Add(0, 1, 0)
+	l.Add(1, 0, 999)
+	l.Sort()
+	d := Dataset{Name: "x", Log: l}
+	if got := d.Omega(10); got != 100 {
+		t.Fatalf("Omega(10) = %d, want 100", got)
+	}
+}

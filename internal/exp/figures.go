@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"ipin/internal/cascade"
+	"ipin/internal/core"
+	"ipin/internal/graph"
+)
+
+// Fig3Point is one point of the paper's Figure 3: time to process all
+// interactions with the approximate algorithm, as a function of the
+// window length.
+type Fig3Point struct {
+	Dataset   string
+	WindowPct float64
+	Elapsed   time.Duration
+}
+
+// Fig3 reproduces the processing-time curve. The paper sweeps ω from 1%
+// to 100% of the time span and observes the cost flattening beyond ~10%.
+func Fig3(d Dataset, windowPcts []float64, precision int) ([]Fig3Point, error) {
+	points := make([]Fig3Point, 0, len(windowPcts))
+	for _, pct := range windowPcts {
+		start := time.Now()
+		if _, err := core.ComputeApprox(d.Log, d.Omega(pct), precision); err != nil {
+			return nil, fmt.Errorf("exp: fig3 %s ω=%g%%: %v", d.Name, pct, err)
+		}
+		points = append(points, Fig3Point{Dataset: d.Name, WindowPct: pct, Elapsed: time.Since(start)})
+	}
+	return points, nil
+}
+
+// Fig4Point is one point of the paper's Figure 4: influence-oracle query
+// latency as a function of the seed-set size.
+type Fig4Point struct {
+	Dataset string
+	Seeds   int
+	// Elapsed is the mean latency of one Spread query at this size.
+	Elapsed time.Duration
+}
+
+// Fig4 reproduces the query-time curve: after the one-off preprocessing
+// (sketch computation and collapse), random seed sets of growing size are
+// posed to the oracle. The paper observes latency that is linear in |S|
+// and independent of the graph size, a few milliseconds even at 10 000
+// seeds.
+func Fig4(d Dataset, seedCounts []int, windowPct float64, precision int, repeats int) ([]Fig4Point, error) {
+	approx, err := core.ComputeApprox(d.Log, d.Omega(windowPct), precision)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig4 %s: %v", d.Name, err)
+	}
+	oracle := core.NewApproxOracle(approx)
+	rng := rand.New(rand.NewPCG(7, 0xf19))
+	if repeats < 1 {
+		repeats = 1
+	}
+	points := make([]Fig4Point, 0, len(seedCounts))
+	for _, sc := range seedCounts {
+		seeds := make([]graph.NodeID, sc)
+		for i := range seeds {
+			seeds[i] = graph.NodeID(rng.IntN(d.Log.NumNodes))
+		}
+		start := time.Now()
+		for r := 0; r < repeats; r++ {
+			_ = oracle.Spread(seeds)
+		}
+		points = append(points, Fig4Point{
+			Dataset: d.Name,
+			Seeds:   sc,
+			Elapsed: time.Since(start) / time.Duration(repeats),
+		})
+	}
+	return points, nil
+}
+
+// Fig5Point is one point of the paper's Figure 5: the TCIC-simulated
+// spread of the top-k seeds chosen by one method.
+type Fig5Point struct {
+	Dataset   string
+	Method    Method
+	K         int
+	WindowPct float64
+	P         float64
+	Spread    float64
+	// SpreadStddev is the standard deviation over the simulation trials,
+	// the error bar of the point.
+	SpreadStddev float64
+	Skipped      bool
+}
+
+// Fig5Params bundles the evaluation grid of Figure 5.
+type Fig5Params struct {
+	Methods []Method
+	// Ks are the seed-set sizes; the paper plots 5,10,…,50.
+	Ks []int
+	// WindowPct and P select one of the paper's panels (ω ∈ {1,20}%,
+	// p ∈ {0.5, 1.0}).
+	WindowPct float64
+	P         float64
+	// Trials is the number of TCIC simulations averaged per point.
+	Trials int
+	// Parallelism caps the simulation fan-out; ≤0 means GOMAXPROCS.
+	Parallelism int
+	// Seed seeds the simulations.
+	Seed uint64
+}
+
+// Fig5 reproduces one panel of Figure 5. Seeds are selected once per
+// method at the largest k (greedy selections are prefix-consistent), and
+// every prefix is simulated under the Time-Constrained Information
+// Cascade model.
+func Fig5(d Dataset, params Fig5Params, cfg MethodConfig) ([]Fig5Point, error) {
+	if len(params.Ks) == 0 {
+		return nil, fmt.Errorf("exp: fig5: no seed-set sizes")
+	}
+	maxK := 0
+	for _, k := range params.Ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	omega := d.Omega(params.WindowPct)
+	// SKIM's live-edge probability matches the simulated infection
+	// probability, as in the paper.
+	cfg.SKIM.P = params.P
+	simCfg := cascade.Config{Omega: omega, P: params.P, Seed: params.Seed}
+
+	var points []Fig5Point
+	for _, m := range params.Methods {
+		sel, err := SelectSeeds(m, d, maxK, omega, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range params.Ks {
+			if sel.Skipped {
+				points = append(points, Fig5Point{
+					Dataset: d.Name, Method: m, K: k,
+					WindowPct: params.WindowPct, P: params.P, Skipped: true,
+				})
+				continue
+			}
+			seeds := sel.Seeds
+			if k < len(seeds) {
+				seeds = seeds[:k]
+			}
+			st := cascade.RunTrials(d.Log, seeds, simCfg, params.Trials, params.Parallelism)
+			points = append(points, Fig5Point{
+				Dataset: d.Name, Method: m, K: k,
+				WindowPct: params.WindowPct, P: params.P,
+				Spread: st.Mean, SpreadStddev: st.Stddev,
+			})
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ipin/internal/baseline"
+	"ipin/internal/continest"
+	"ipin/internal/core"
+	"ipin/internal/graph"
+	"ipin/internal/skim"
+)
+
+// Method identifies one seed-selection strategy of the paper's comparison.
+type Method string
+
+// The seven methods of the paper's Figure 5 / Table 6.
+const (
+	MethodPR        Method = "PR"
+	MethodHD        Method = "HD"
+	MethodSHD       Method = "SHD"
+	MethodSKIM      Method = "SKIM"
+	MethodCTE       Method = "CTE"
+	MethodIRSApprox Method = "IRS(Approx)"
+	MethodIRSExact  Method = "IRS(Exact)"
+)
+
+// AllMethods lists every method in the paper's plotting order.
+func AllMethods() []Method {
+	return []Method{MethodPR, MethodHD, MethodSHD, MethodSKIM, MethodIRSApprox, MethodIRSExact, MethodCTE}
+}
+
+// MethodConfig bundles the per-method parameters used across experiments.
+type MethodConfig struct {
+	// Precision is the IRS sketch precision (β = 2^Precision).
+	Precision int
+	// SKIM carries the SKIM parameters; P should match the cascade
+	// infection probability of the evaluation.
+	SKIM skim.Config
+	// CTE carries the ConTinEst parameters; T is overridden with the
+	// experiment's ω at selection time.
+	CTE continest.Config
+	// PageRank carries the PageRank parameters.
+	PageRank baseline.PageRankConfig
+	// CTEMaxNodes skips ConTinEst on datasets larger than this, mirroring
+	// the paper's Table 6 where ConTinEst could not finish US-2016.
+	// Zero means no limit.
+	CTEMaxNodes int
+}
+
+// DefaultMethodConfig mirrors the paper's settings: β = 512, SKIM with
+// Cohen et al.'s defaults, moderate ConTinEst sampling, and the paper's
+// PageRank parameters.
+func DefaultMethodConfig() MethodConfig {
+	return MethodConfig{
+		Precision:   core.DefaultPrecision,
+		SKIM:        skim.DefaultConfig(),
+		CTE:         continest.DefaultConfig(0),
+		PageRank:    baseline.DefaultPageRank(),
+		CTEMaxNodes: 60_000,
+	}
+}
+
+// Selection is the outcome of running one method on one dataset.
+type Selection struct {
+	Method  Method
+	Seeds   []graph.NodeID
+	Elapsed time.Duration
+	// Skipped is set when the method was deliberately not run (e.g.
+	// ConTinEst on an oversized dataset), mirroring the "-" entries of
+	// the paper's Table 6.
+	Skipped bool
+}
+
+// SelectSeeds runs one method end to end — including any preprocessing
+// the method needs, exactly like the paper's timing — and returns the
+// chosen seeds with the wall-clock cost.
+func SelectSeeds(m Method, d Dataset, k int, omega int64, cfg MethodConfig) (Selection, error) {
+	start := time.Now()
+	var seeds []graph.NodeID
+	switch m {
+	case MethodPR:
+		seeds = baseline.TopKPageRank(d.Log, k, cfg.PageRank)
+	case MethodHD:
+		seeds = baseline.TopKHighDegree(graph.StaticFrom(d.Log), k)
+	case MethodSHD:
+		seeds = baseline.TopKSmartHighDegree(graph.StaticFrom(d.Log), k)
+	case MethodSKIM:
+		var err error
+		seeds, err = skim.TopK(graph.StaticFrom(d.Log), k, cfg.SKIM)
+		if err != nil {
+			return Selection{}, fmt.Errorf("exp: SKIM on %s: %v", d.Name, err)
+		}
+	case MethodCTE:
+		if cfg.CTEMaxNodes > 0 && d.Log.NumNodes > cfg.CTEMaxNodes {
+			return Selection{Method: m, Skipped: true}, nil
+		}
+		cteCfg := cfg.CTE
+		cteCfg.T = float64(omega)
+		var err error
+		seeds, err = continest.TopK(graph.WeightedFrom(d.Log), k, cteCfg)
+		if err != nil {
+			return Selection{}, fmt.Errorf("exp: ConTinEst on %s: %v", d.Name, err)
+		}
+	case MethodIRSApprox:
+		s, err := core.ComputeApprox(d.Log, omega, cfg.Precision)
+		if err != nil {
+			return Selection{}, fmt.Errorf("exp: IRS approx on %s: %v", d.Name, err)
+		}
+		seeds = core.TopKApproxSeeds(s, k)
+	case MethodIRSExact:
+		seeds = core.TopKExact(core.ComputeExact(d.Log, omega), k)
+	default:
+		return Selection{}, fmt.Errorf("exp: unknown method %q", m)
+	}
+	return Selection{Method: m, Seeds: seeds, Elapsed: time.Since(start)}, nil
+}

@@ -1,0 +1,339 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result: a caption, a header row and the
+// data rows, ready for text or CSV output.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Text renders the table with aligned columns.
+func (t Table) Text() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table,
+// caption first as a bold paragraph.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Caption)
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	row := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" " + esc(c) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (header first). Cells are escaped only
+// as far as the simple numeric/identifier content of this harness needs.
+func (t Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// RenderTable2 formats Table 2 rows.
+func RenderTable2(rows []Table2Row) Table {
+	t := Table{
+		Caption: "Table 2: characteristics of the generated interaction networks",
+		Header:  []string{"dataset", "|V|", "|E|", "days"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Interactions),
+			fmt.Sprintf("%.0f", r.Days),
+		})
+	}
+	return t
+}
+
+// RenderTable3 formats Table 3 rows.
+func RenderTable3(rows []Table3Row) Table {
+	t := Table{
+		Caption: "Table 3: average relative error of the IRS size estimate",
+		Header:  []string{"dataset", "beta", "window%", "avg rel err"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%d", r.Beta),
+			fmt.Sprintf("%g", r.WindowPct),
+			fmt.Sprintf("%.4f", r.AvgRelErr),
+		})
+	}
+	return t
+}
+
+// RenderTable4 formats Table 4 rows.
+func RenderTable4(rows []Table4Row) Table {
+	t := Table{
+		Caption: "Table 4: sketch memory after processing all interactions",
+		Header:  []string{"dataset", "window%", "memory", "entries"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%g", r.WindowPct),
+			fmtBytes(r.Bytes),
+			fmt.Sprintf("%d", r.Entries),
+		})
+	}
+	return t
+}
+
+// RenderTable5 formats Table 5 rows.
+func RenderTable5(rows []Table5Row) Table {
+	t := Table{
+		Caption: "Table 5: common seeds between window lengths (top 10)",
+		Header:  []string{"dataset", "pair", "common"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%g%% - %g%%", r.PctA, r.PctB),
+			fmt.Sprintf("%d/%d", r.Common, r.TopK),
+		})
+	}
+	return t
+}
+
+// RenderTable6 formats Table 6 rows.
+func RenderTable6(rows []Table6Row) Table {
+	t := Table{
+		Caption: "Table 6: time to find the top-k seeds",
+		Header:  []string{"dataset", "method", "time"},
+	}
+	for _, r := range rows {
+		elapsed := fmtDur(r.Elapsed)
+		if r.Skipped {
+			elapsed = "-"
+		}
+		t.Rows = append(t.Rows, []string{r.Dataset, string(r.Method), elapsed})
+	}
+	return t
+}
+
+// RenderFig3 formats Figure 3 points.
+func RenderFig3(points []Fig3Point) Table {
+	t := Table{
+		Caption: "Figure 3: time to process all interactions vs window length",
+		Header:  []string{"dataset", "window%", "time"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{p.Dataset, fmt.Sprintf("%g", p.WindowPct), fmtDur(p.Elapsed)})
+	}
+	return t
+}
+
+// RenderFig4 formats Figure 4 points.
+func RenderFig4(points []Fig4Point) Table {
+	t := Table{
+		Caption: "Figure 4: influence-oracle query time vs seed-set size",
+		Header:  []string{"dataset", "seeds", "time"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{p.Dataset, fmt.Sprintf("%d", p.Seeds), fmtDur(p.Elapsed)})
+	}
+	return t
+}
+
+// RenderFig5 formats Figure 5 points.
+func RenderFig5(points []Fig5Point) Table {
+	t := Table{
+		Caption: "Figure 5: TCIC spread of the top-k seeds",
+		Header:  []string{"dataset", "window%", "p", "method", "k", "spread", "±σ"},
+	}
+	for _, p := range points {
+		spread, sigma := fmt.Sprintf("%.1f", p.Spread), fmt.Sprintf("%.1f", p.SpreadStddev)
+		if p.Skipped {
+			spread, sigma = "-", "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Dataset,
+			fmt.Sprintf("%g", p.WindowPct),
+			fmt.Sprintf("%g", p.P),
+			string(p.Method),
+			fmt.Sprintf("%d", p.K),
+			spread,
+			sigma,
+		})
+	}
+	return t
+}
+
+// RenderAblationVersioning formats ablation A1 rows.
+func RenderAblationVersioning(rows []AblationVersioningRow) Table {
+	t := Table{
+		Caption: "Ablation A1: windowed estimation error, versioned vs plain HLL",
+		Header:  []string{"dataset", "window%", "vHLL err", "plain HLL err"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%g", r.WindowPct),
+			fmt.Sprintf("%.4f", r.VHLLErr),
+			fmt.Sprintf("%.4f", r.PlainHLLErr),
+		})
+	}
+	return t
+}
+
+// RenderAblationCELF formats ablation A2 rows.
+func RenderAblationCELF(rows []AblationCELFRow) Table {
+	t := Table{
+		Caption: "Ablation A2: Algorithm 4 greedy vs CELF lazy greedy",
+		Header:  []string{"dataset", "k", "greedy time", "CELF time", "greedy spread", "CELF spread"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%d", r.K),
+			fmtDur(r.GreedyTime),
+			fmtDur(r.CELFTime),
+			fmt.Sprintf("%.0f", r.GreedySpread),
+			fmt.Sprintf("%.0f", r.CELFSpread),
+		})
+	}
+	return t
+}
+
+// RenderAblationSketch formats ablation A4 rows.
+func RenderAblationSketch(rows []AblationSketchRow) Table {
+	t := Table{
+		Caption: "Ablation A4: sketch families — versioned HLL vs versioned bottom-k",
+		Header:  []string{"dataset", "window%", "vHLL(beta)", "vHLL err", "vHLL mem", "vBK(k)", "vBK err", "vBK mem"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			fmt.Sprintf("%g", r.WindowPct),
+			fmt.Sprintf("%d", r.VHLLBeta),
+			fmt.Sprintf("%.4f", r.VHLLErr),
+			fmtBytes(r.VHLLBytes),
+			fmt.Sprintf("%d", r.BKK),
+			fmt.Sprintf("%.4f", r.BKErr),
+			fmtBytes(r.BKBytes),
+		})
+	}
+	return t
+}
+
+// RenderAblationBeta formats ablation A3 rows.
+func RenderAblationBeta(dataset string, rows []AblationBetaRow) Table {
+	t := Table{
+		Caption: fmt.Sprintf("Ablation A3: precision sweep on %s", dataset),
+		Header:  []string{"beta", "avg rel err", "memory", "build time"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Beta),
+			fmt.Sprintf("%.4f", r.AvgRelErr),
+			fmtBytes(r.Bytes),
+			fmtDur(r.BuildTime),
+		})
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Nanosecond, "0µs"},
+		{42 * time.Microsecond, "42µs"},
+		{3500 * time.Microsecond, "3.50ms"},
+		{2500 * time.Millisecond, "2.50s"},
+	}
+	for _, tc := range cases {
+		if got := fmtDur(tc.d); got != tc.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.0KB"},
+		{3 << 20, "3.0MB"},
+	}
+	for _, tc := range cases {
+		if got := fmtBytes(tc.n); got != tc.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestTableTextAlignment(t *testing.T) {
+	tab := Table{
+		Caption: "cap",
+		Header:  []string{"a", "longheader"},
+		Rows:    [][]string{{"xxxxxxxx", "1"}},
+	}
+	out := tab.Text()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Separator matches column widths.
+	if !strings.Contains(lines[2], "--------") {
+		t.Errorf("separator: %q", lines[2])
+	}
+}
+
+func TestRenderFig5SkippedAndSigma(t *testing.T) {
+	pts := []Fig5Point{
+		{Dataset: "d", Method: MethodPR, K: 5, WindowPct: 1, P: 0.5, Spread: 10.25, SpreadStddev: 1.5},
+		{Dataset: "d", Method: MethodCTE, K: 5, WindowPct: 1, P: 0.5, Skipped: true},
+	}
+	out := RenderFig5(pts).Text()
+	if !strings.Contains(out, "10.2") || !strings.Contains(out, "1.5") {
+		t.Errorf("spread/sigma missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("skipped marker missing:\n%s", out)
+	}
+}
+
+func TestRenderTable5Format(t *testing.T) {
+	out := RenderTable5([]Table5Row{{Dataset: "x", PctA: 1, PctB: 10, TopK: 10, Common: 3}}).Text()
+	if !strings.Contains(out, "1% - 10%") || !strings.Contains(out, "3/10") {
+		t.Errorf("table5 format:\n%s", out)
+	}
+}

@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSuiteSubset(t *testing.T) {
+	var out bytes.Buffer
+	dir := t.TempDir()
+	cfg := SuiteConfig{
+		Experiments: []string{"table2", "table4"},
+		Scale:       400,
+		CSVDir:      dir,
+		Trials:      2,
+		MaxK:        5,
+		Precision:   6,
+		Out:         &out,
+	}
+	if err := RunSuite(cfg); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== table2 ==") || !strings.Contains(text, "== table4 ==") {
+		t.Fatalf("missing sections:\n%s", text)
+	}
+	if strings.Contains(text, "== fig3 ==") {
+		t.Fatal("unselected experiment ran")
+	}
+	for _, f := range []string{"table2.csv", "table4.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+}
+
+func TestRunSuiteReportFile(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.md")
+	cfg := SuiteConfig{
+		Experiments: []string{"table2"},
+		Scale:       400,
+		ReportFile:  report,
+		Out:         &bytes.Buffer{},
+	}
+	if err := RunSuite(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	if !strings.Contains(md, "# Evaluation report") {
+		t.Fatalf("report header missing:\n%.200s", md)
+	}
+	if !strings.Contains(md, "| enron |") {
+		t.Fatalf("markdown table missing:\n%s", md)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := Table{
+		Caption: "cap",
+		Header:  []string{"a", "b"},
+		Rows:    [][]string{{"1", "x|y"}},
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "**cap**") {
+		t.Errorf("caption missing: %q", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("separator missing: %q", md)
+	}
+	if !strings.Contains(md, `x\|y`) {
+		t.Errorf("pipe not escaped: %q", md)
+	}
+}
+
+func TestRunSuiteRejectsUnknownExperiment(t *testing.T) {
+	err := RunSuite(SuiteConfig{Experiments: []string{"nosuch"}, Scale: 400, Out: &bytes.Buffer{}})
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("unknown experiment not rejected: %v", err)
+	}
+}
+
+func TestRunSuiteFig5WithCharts(t *testing.T) {
+	var out bytes.Buffer
+	cfg := SuiteConfig{
+		Experiments: []string{"fig5"},
+		Scale:       400,
+		Trials:      2,
+		MaxK:        5,
+		Precision:   6,
+		Charts:      true,
+		Out:         &out,
+	}
+	if err := RunSuite(cfg); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Figure 5: lkml") {
+		t.Fatalf("fig5 chart missing:\n%.400s", text)
+	}
+	if !strings.Contains(text, "IRS(Exact)") {
+		t.Fatal("method legend missing")
+	}
+}
+
+func TestRunSuiteUsesFilesDir(t *testing.T) {
+	dir := t.TempDir()
+	content := "a b 1\nb c 2\nc a 3\n"
+	for _, name := range []string{"enron", "lkml", "facebook", "higgs", "slashdot", "us2016"} {
+		if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	cfg := SuiteConfig{
+		Experiments: []string{"table2"},
+		Scale:       400,
+		FilesDir:    dir,
+		Out:         &out,
+	}
+	if err := RunSuite(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Every dataset row now shows the 3-node file.
+	rows := 0
+	for _, line := range strings.Split(out.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[1] == "3" && fields[2] == "3" {
+			rows++
+		}
+	}
+	if rows != 6 {
+		t.Fatalf("%d rows reflect the files, want 6:\n%s", rows, out.String())
+	}
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ipin/internal/core"
+	"ipin/internal/graph"
+	"ipin/internal/stats"
+)
+
+// Table3Row is one cell of the paper's Table 3: the average relative
+// error of the sketch estimate of |σω(u)| over all nodes with a non-empty
+// IRS, for one dataset, one β and one window length.
+type Table3Row struct {
+	Dataset   string
+	Beta      int
+	WindowPct float64
+	AvgRelErr float64
+}
+
+// Table3 reproduces the accuracy study: for every β = 2^p and window
+// percentage it compares the approximate IRS sizes against the exact
+// algorithm. The paper runs this on Higgs and Slashdot, the two datasets
+// small enough for the exact algorithm.
+func Table3(d Dataset, precisions []int, windowPcts []float64) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, pct := range windowPcts {
+		omega := d.Omega(pct)
+		exact := core.ComputeExact(d.Log, omega)
+		truth := make([]float64, d.Log.NumNodes)
+		for u := range truth {
+			truth[u] = float64(exact.IRSSize(graph.NodeID(u)))
+		}
+		for _, p := range precisions {
+			approx, err := core.ComputeApprox(d.Log, omega, p)
+			if err != nil {
+				return nil, fmt.Errorf("exp: table3 %s β=%d: %v", d.Name, 1<<p, err)
+			}
+			var errs []float64
+			for u := range truth {
+				if truth[u] == 0 {
+					continue
+				}
+				errs = append(errs, stats.RelErr(approx.EstimateIRS(graph.NodeID(u)), truth[u]))
+			}
+			rows = append(rows, Table3Row{
+				Dataset:   d.Name,
+				Beta:      1 << p,
+				WindowPct: pct,
+				AvgRelErr: stats.Mean(errs),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table4Row is one cell of the paper's Table 4: sketch memory for one
+// dataset at one window length.
+type Table4Row struct {
+	Dataset   string
+	WindowPct float64
+	Bytes     int
+	// Entries is the number of stored (rank, timestamp) pairs, the
+	// implementation-neutral size the byte count derives from.
+	Entries int
+}
+
+// Table4 reproduces the memory study: the total payload bytes of all
+// per-node sketches after processing the full log.
+func Table4(d Dataset, windowPcts []float64, precision int) ([]Table4Row, error) {
+	rows := make([]Table4Row, 0, len(windowPcts))
+	for _, pct := range windowPcts {
+		approx, err := core.ComputeApprox(d.Log, d.Omega(pct), precision)
+		if err != nil {
+			return nil, fmt.Errorf("exp: table4 %s ω=%g%%: %v", d.Name, pct, err)
+		}
+		rows = append(rows, Table4Row{
+			Dataset:   d.Name,
+			WindowPct: pct,
+			Bytes:     approx.MemoryBytes(),
+			Entries:   approx.EntryCount(),
+		})
+	}
+	return rows, nil
+}
+
+// Table5Row reports, for one dataset, how many of the top-K seeds two
+// window lengths share — the paper's Table 5 with K = 10 and the pairs
+// (1,10), (1,20), (10,20).
+type Table5Row struct {
+	Dataset string
+	PctA    float64
+	PctB    float64
+	TopK    int
+	Common  int
+}
+
+// Table5 reproduces the seed-stability study using the approximate IRS
+// selection at each window length.
+func Table5(d Dataset, windowPcts []float64, topK, precision int) ([]Table5Row, error) {
+	seedSets := make([][]graph.NodeID, len(windowPcts))
+	for i, pct := range windowPcts {
+		s, err := core.ComputeApprox(d.Log, d.Omega(pct), precision)
+		if err != nil {
+			return nil, fmt.Errorf("exp: table5 %s ω=%g%%: %v", d.Name, pct, err)
+		}
+		seedSets[i] = core.TopKApproxSeeds(s, topK)
+	}
+	var rows []Table5Row
+	for i := 0; i < len(windowPcts); i++ {
+		for j := i + 1; j < len(windowPcts); j++ {
+			rows = append(rows, Table5Row{
+				Dataset: d.Name,
+				PctA:    windowPcts[i],
+				PctB:    windowPcts[j],
+				TopK:    topK,
+				Common:  stats.Overlap(seedSets[i], seedSets[j]),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table6Row reports the wall-clock time one method needs to select the
+// top-k seeds on one dataset — the paper's Table 6 with k = 50.
+type Table6Row struct {
+	Dataset string
+	Method  Method
+	Elapsed time.Duration
+	Skipped bool
+}
+
+// Table6 reproduces the seed-selection-time study across all methods.
+func Table6(d Dataset, methods []Method, k int, windowPct float64, cfg MethodConfig) ([]Table6Row, error) {
+	omega := d.Omega(windowPct)
+	rows := make([]Table6Row, 0, len(methods))
+	for _, m := range methods {
+		sel, err := SelectSeeds(m, d, k, omega, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table6Row{Dataset: d.Name, Method: m, Elapsed: sel.Elapsed, Skipped: sel.Skipped})
+	}
+	return rows, nil
+}

@@ -1,0 +1,39 @@
+package gen
+
+import "testing"
+
+func benchConfig(m Model) Config {
+	return Config{
+		Name: "bench", Model: m,
+		Nodes: 2000, Interactions: 20000, SpanTicks: 10_000_000,
+		Seed: 1, ZipfS: 1.4, ReplyProb: 0.4, BranchMean: 1.2,
+	}
+}
+
+func BenchmarkGenerateEmail(b *testing.B) {
+	cfg := benchConfig(ModelEmail)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSocial(b *testing.B) {
+	cfg := benchConfig(ModelSocial)
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateCascade(b *testing.B) {
+	cfg := benchConfig(ModelCascade)
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

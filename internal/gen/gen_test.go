@@ -1,0 +1,358 @@
+package gen
+
+import (
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+func smallConfig(model Model) Config {
+	return Config{
+		Name:         "test-" + model.String(),
+		Model:        model,
+		Nodes:        200,
+		Interactions: 2000,
+		SpanTicks:    1_000_000,
+		Seed:         42,
+		ZipfS:        1.4,
+		ReplyProb:    0.4,
+		BranchMean:   1.2,
+	}
+}
+
+func TestGenerateAllModels(t *testing.T) {
+	for _, m := range []Model{ModelEmail, ModelSocial, ModelCascade, ModelUniform} {
+		cfg := smallConfig(m)
+		l, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if l.NumNodes != cfg.Nodes {
+			t.Errorf("%v: %d nodes, want %d", m, l.NumNodes, cfg.Nodes)
+		}
+		if l.Len() != cfg.Interactions {
+			t.Errorf("%v: %d interactions, want %d", m, l.Len(), cfg.Interactions)
+		}
+		if !l.Sorted() {
+			t.Errorf("%v: log not sorted", m)
+		}
+		if !l.HasDistinctTimes() {
+			t.Errorf("%v: timestamps not distinct", m)
+		}
+		_, _, span := l.Span()
+		if span < 1 || span > cfg.SpanTicks+int64(cfg.Interactions) {
+			t.Errorf("%v: span %d outside expectation (cfg %d)", m, span, cfg.SpanTicks)
+		}
+		if err := l.Validate(false); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, m := range []Model{ModelEmail, ModelSocial, ModelCascade, ModelUniform} {
+		cfg := smallConfig(m)
+		a, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Interactions {
+			if a.Interactions[i] != b.Interactions[i] {
+				t.Fatalf("%v: interaction %d differs between runs", m, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	cfg := smallConfig(ModelEmail)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 43
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Interactions {
+		if a.Interactions[i].Src == b.Interactions[i].Src && a.Interactions[i].Dst == b.Interactions[i].Dst {
+			same++
+		}
+	}
+	if same == len(a.Interactions) {
+		t.Fatal("different seeds produced identical interaction structure")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Name: "n", Nodes: 1, Interactions: 10, SpanTicks: 100},
+		{Name: "i", Nodes: 10, Interactions: 0, SpanTicks: 100},
+		{Name: "s", Nodes: 10, Interactions: 100, SpanTicks: 50},
+		{Name: "z", Nodes: 10, Interactions: 10, SpanTicks: 100, ZipfS: 0.5},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q accepted", cfg.Name)
+		}
+	}
+}
+
+func TestGenerateUnknownModel(t *testing.T) {
+	cfg := smallConfig(Model(99))
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestActivityIsHeavyTailed(t *testing.T) {
+	// The most active sender in an email network must dominate the
+	// median sender by a wide margin — that skew is what makes influence
+	// maximization non-trivial.
+	l, err := Generate(smallConfig(ModelEmail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, l.NumNodes)
+	for _, e := range l.Interactions {
+		counts[e.Src]++
+	}
+	max := 0
+	nonzero := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonzero++
+		}
+	}
+	mean := float64(l.Len()) / float64(nonzero)
+	if float64(max) < 4*mean {
+		t.Errorf("max sender activity %d not heavy-tailed vs mean %.1f", max, mean)
+	}
+}
+
+func TestCascadeHasTemporalDepth(t *testing.T) {
+	// Cascades must contain time-respecting chains of length ≥ 2:
+	// some interaction's source was a destination of an earlier one.
+	l, err := Generate(smallConfig(ModelCascade))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenAsDst := make([]bool, l.NumNodes)
+	chained := 0
+	for _, e := range l.Interactions {
+		if seenAsDst[e.Src] {
+			chained++
+		}
+		seenAsDst[e.Dst] = true
+	}
+	if chained < l.Len()/20 {
+		t.Errorf("only %d/%d interactions continue a chain", chained, l.Len())
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if ModelEmail.String() != "email" || ModelCascade.String() != "cascade" {
+		t.Fatal("Model.String broken")
+	}
+	if Model(42).String() == "" {
+		t.Fatal("unknown model has empty String")
+	}
+}
+
+func TestRegistryAndDataset(t *testing.T) {
+	cfgs := Registry(20)
+	if len(cfgs) != 6 {
+		t.Fatalf("Registry has %d configs, want 6", len(cfgs))
+	}
+	names := Names()
+	for i, cfg := range cfgs {
+		if cfg.Name != names[i] {
+			t.Errorf("config %d name %q, want %q", i, cfg.Name, names[i])
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	// Scaled sizes track Table 2 ratios: Enron at scale 20 ≈ 4365 nodes.
+	enron, err := Dataset("enron", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enron.Nodes < 4000 || enron.Nodes > 4700 {
+		t.Errorf("enron/20 nodes = %d, want ≈4365", enron.Nodes)
+	}
+	if enron.SpanTicks != 8767*TicksPerDay {
+		t.Errorf("enron span = %d ticks, want 8767 days", enron.SpanTicks)
+	}
+	// US-2016 carries the extra 10× reduction.
+	us, err := Dataset("us2016", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us.Nodes > enron.Nodes*6 {
+		t.Errorf("us2016/20 nodes = %d not extra-scaled (enron %d)", us.Nodes, enron.Nodes)
+	}
+	if _, err := Dataset("nosuch", 20); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRegistryDatasetsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generation of all registry datasets is slow")
+	}
+	// Use an aggressive scale so the test stays fast while still running
+	// every model end to end with its registry parameters.
+	for _, cfg := range Registry(400) {
+		l, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if l.Len() != cfg.Interactions || !l.HasDistinctTimes() {
+			t.Fatalf("%s: bad output (%d interactions)", cfg.Name, l.Len())
+		}
+	}
+}
+
+// TestRegistryShapesMatchFamilies validates the structural claims of
+// DESIGN.md §3: email networks repeat edges heavily (reply traffic),
+// social networks re-use a backbone, cascades barely repeat; all have a
+// dominant hub far above the median.
+func TestRegistryShapesMatchFamilies(t *testing.T) {
+	wantRepetition := map[string]struct{ min, max float64 }{
+		"enron":    {1.5, 100}, // email: heavy repetition
+		"lkml":     {1.5, 100}, //
+		"facebook": {1.5, 100}, // social: backbone re-use
+		"slashdot": {1.2, 100}, //
+		"higgs":    {1.0, 2.0}, // cascade: barely repeats
+		"us2016":   {1.0, 2.0}, //
+	}
+	for _, cfg := range Registry(100) {
+		l, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		s := graph.ComputeStats(l)
+		w := wantRepetition[cfg.Name]
+		if s.RepetitionRatio < w.min || s.RepetitionRatio > w.max {
+			t.Errorf("%s: repetition ratio %.2f outside [%g,%g]", cfg.Name, s.RepetitionRatio, w.min, w.max)
+		}
+		if s.MaxOutActivity < 4*s.MedianOutActivity {
+			t.Errorf("%s: activity not heavy-tailed (max %d, median %d)", cfg.Name, s.MaxOutActivity, s.MedianOutActivity)
+		}
+	}
+}
+
+func TestFixedSeedStable(t *testing.T) {
+	if fixedSeed("enron") != fixedSeed("enron") {
+		t.Fatal("fixedSeed not stable")
+	}
+	if fixedSeed("enron") == fixedSeed("lkml") {
+		t.Fatal("fixedSeed collides on dataset names")
+	}
+}
+
+func TestZipfDrawRange(t *testing.T) {
+	z := newZipf(50, 1.5)
+	rng := newTestRand()
+	seen0 := false
+	for i := 0; i < 5000; i++ {
+		v := z.draw(rng)
+		if v < 0 || v >= 50 {
+			t.Fatalf("zipf draw %d out of range", v)
+		}
+		if v == 0 {
+			seen0 = true
+		}
+	}
+	if !seen0 {
+		t.Fatal("most popular rank never drawn in 5000 samples")
+	}
+}
+
+// TestZipfSkew: rank 0 must be drawn far more often than rank 25.
+func TestZipfSkew(t *testing.T) {
+	z := newZipf(50, 1.5)
+	rng := newTestRand()
+	counts := make([]int, 50)
+	for i := 0; i < 20000; i++ {
+		counts[z.draw(rng)]++
+	}
+	if counts[0] < 4*counts[25] {
+		t.Errorf("zipf not skewed: rank0=%d rank25=%d", counts[0], counts[25])
+	}
+}
+
+func TestFinalizeEdgeCases(t *testing.T) {
+	// A single event: scale factor degenerates but must not divide by
+	// zero; the log still carries exactly one interaction.
+	cfg := Config{Name: "one", Model: ModelUniform, Nodes: 4, Interactions: 1, SpanTicks: 100, Seed: 1}
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("got %d interactions", l.Len())
+	}
+}
+
+func TestGenerateTinySpan(t *testing.T) {
+	// SpanTicks exactly equal to Interactions: every tick carries one
+	// interaction after de-tying.
+	cfg := Config{Name: "tight", Model: ModelUniform, Nodes: 8, Interactions: 64, SpanTicks: 64, Seed: 2}
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.HasDistinctTimes() {
+		t.Fatal("ties survived a tight span")
+	}
+}
+
+func TestEmailModelHasReplyStructure(t *testing.T) {
+	cfg := smallConfig(ModelEmail)
+	cfg.ReplyProb = 0.6
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count interactions that reverse a recent interaction (a reply):
+	// (u,v) closely following (v,u).
+	type pair struct{ a, b graph.NodeID }
+	lastAt := map[pair]graph.Time{}
+	replies := 0
+	for _, e := range l.Interactions {
+		if at, ok := lastAt[pair{e.Dst, e.Src}]; ok && e.At-at < graph.Time(cfg.SpanTicks/50) {
+			replies++
+		}
+		lastAt[pair{e.Src, e.Dst}] = e.At
+	}
+	if replies < l.Len()/20 {
+		t.Errorf("only %d/%d reply-like interactions at ReplyProb=0.6", replies, l.Len())
+	}
+}
+
+func TestGraphTypeIntegration(t *testing.T) {
+	// The generated logs feed straight into the static projections.
+	l, err := Generate(smallConfig(ModelSocial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.StaticFrom(l)
+	if s.NumEdges() == 0 {
+		t.Fatal("static projection empty")
+	}
+	ws := graph.WeightedFrom(l)
+	if ws.NumEdges() == 0 {
+		t.Fatal("weighted projection empty")
+	}
+}

@@ -1,0 +1,8 @@
+package gen
+
+import "math/rand/v2"
+
+// newTestRand returns a fixed-seed RNG for white-box tests.
+func newTestRand() *rand.Rand {
+	return rand.New(rand.NewPCG(7, 0x9e0))
+}

@@ -1,0 +1,221 @@
+package gen
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"ipin/internal/graph"
+)
+
+// event is a raw generated interaction before timestamps are normalized
+// onto the configured span.
+type event struct {
+	src, dst graph.NodeID
+	at       float64 // raw time, arbitrary scale
+}
+
+// finalize sorts events by raw time, rescales onto [0, SpanTicks) and
+// builds the log. Detie (called by Generate) separates collisions created
+// by the integer flooring.
+func finalize(cfg Config, events []event) *graph.Log {
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	lo := events[0].at
+	hi := events[len(events)-1].at
+	scale := float64(cfg.SpanTicks-1) / (hi - lo)
+	if hi == lo {
+		scale = 0
+	}
+	l := graph.New(cfg.Nodes)
+	for _, e := range events {
+		l.Add(e.src, e.dst, graph.Time((e.at-lo)*scale))
+	}
+	return l
+}
+
+// genEmail models mail traffic: Zipf-active senders pick recipients mostly
+// within their community; each mail triggers a reply with probability
+// ReplyProb after a short exponential pause. Reply chains are what give
+// email networks their long information channels.
+func genEmail(cfg Config, rng *rand.Rand) *graph.Log {
+	communities := cfg.Communities
+	if communities < 1 {
+		communities = 1 + cfg.Nodes/400
+	}
+	comm := make([]int, cfg.Nodes)
+	for i := range comm {
+		comm[i] = rng.IntN(communities)
+	}
+	members := make([][]graph.NodeID, communities)
+	for i, c := range comm {
+		members[c] = append(members[c], graph.NodeID(i))
+	}
+	activity := newZipf(cfg.Nodes, cfg.ZipfS)
+	burst := float64(cfg.BurstTicks)
+	if burst <= 0 {
+		burst = float64(cfg.SpanTicks) / 2000
+	}
+
+	events := make([]event, 0, cfg.Interactions)
+	clock := 0.0
+	meanGap := float64(cfg.SpanTicks) / float64(cfg.Interactions)
+	for len(events) < cfg.Interactions {
+		clock += rng.ExpFloat64() * meanGap
+		src := graph.NodeID(activity.draw(rng))
+		var dst graph.NodeID
+		if own := members[comm[src]]; len(own) > 1 && rng.Float64() < 0.8 {
+			dst = own[rng.IntN(len(own))]
+		} else {
+			dst = graph.NodeID(activity.draw(rng))
+		}
+		if dst == src {
+			dst = graph.NodeID((int(src) + 1 + rng.IntN(cfg.Nodes-1)) % cfg.Nodes)
+		}
+		events = append(events, event{src: src, dst: dst, at: clock})
+		// Reply chain: each hop continues with probability ReplyProb.
+		from, to := dst, src
+		t := clock
+		for len(events) < cfg.Interactions && rng.Float64() < cfg.ReplyProb {
+			t += rng.ExpFloat64() * burst
+			events = append(events, event{src: from, dst: to, at: t})
+			// Occasionally the reply is forwarded onwards instead of
+			// bouncing back, extending the temporal path.
+			if rng.Float64() < 0.3 {
+				next := own3rd(members[comm[from]], from, to, rng, cfg.Nodes)
+				from, to = to, next
+			} else {
+				from, to = to, from
+			}
+		}
+	}
+	return finalize(cfg, events[:cfg.Interactions])
+}
+
+// own3rd picks a community member different from a and b when possible.
+func own3rd(member []graph.NodeID, a, b graph.NodeID, rng *rand.Rand, n int) graph.NodeID {
+	for try := 0; try < 4; try++ {
+		var c graph.NodeID
+		if len(member) > 0 {
+			c = member[rng.IntN(len(member))]
+		} else {
+			c = graph.NodeID(rng.IntN(n))
+		}
+		if c != a && c != b {
+			return c
+		}
+	}
+	return graph.NodeID((int(a) + 1) % n)
+}
+
+// genSocial models wall-post/comment traffic: a preferential-attachment
+// backbone is grown first, then interactions re-use backbone edges with
+// heavy-tailed repetition and uniform-ish timing.
+func genSocial(cfg Config, rng *rand.Rand) *graph.Log {
+	// Grow the backbone: each node attaches to ~3 earlier endpoints chosen
+	// preferentially (by sampling from the running endpoint multiset).
+	var endpoints []graph.NodeID
+	type edge struct{ u, v graph.NodeID }
+	var backbone []edge
+	attach := 3
+	for v := 1; v < cfg.Nodes; v++ {
+		for a := 0; a < attach; a++ {
+			var u graph.NodeID
+			if len(endpoints) > 0 && rng.Float64() < 0.8 {
+				u = endpoints[rng.IntN(len(endpoints))]
+			} else {
+				u = graph.NodeID(rng.IntN(v))
+			}
+			if u == graph.NodeID(v) {
+				continue
+			}
+			backbone = append(backbone, edge{u: graph.NodeID(v), v: u})
+			endpoints = append(endpoints, graph.NodeID(v), u)
+		}
+	}
+	// Re-use backbone edges with Zipf repetition; half the traffic flows
+	// against the attachment direction so influence can travel both ways.
+	edgePick := newZipf(len(backbone), cfg.ZipfS)
+	events := make([]event, 0, cfg.Interactions)
+	for len(events) < cfg.Interactions {
+		e := backbone[edgePick.draw(rng)]
+		at := rng.Float64() * float64(cfg.SpanTicks)
+		if rng.Float64() < 0.5 {
+			events = append(events, event{src: e.u, dst: e.v, at: at})
+		} else {
+			events = append(events, event{src: e.v, dst: e.u, at: at})
+		}
+	}
+	return finalize(cfg, events)
+}
+
+// genCascade models retweet bursts: Zipf-popular roots start cascades at
+// random times; each participant recruits a geometric number of children
+// within a short burst window, producing the deep time-respecting trees
+// of the Higgs/US-2016 datasets.
+func genCascade(cfg Config, rng *rand.Rand) *graph.Log {
+	popularity := newZipf(cfg.Nodes, cfg.ZipfS)
+	branch := cfg.BranchMean
+	if branch <= 0 {
+		branch = 1.2
+	}
+	burst := float64(cfg.BurstTicks)
+	if burst <= 0 {
+		burst = float64(cfg.SpanTicks) / 500
+	}
+	events := make([]event, 0, cfg.Interactions)
+	type frontier struct {
+		node graph.NodeID
+		at   float64
+	}
+	for len(events) < cfg.Interactions {
+		root := graph.NodeID(popularity.draw(rng))
+		start := rng.Float64() * float64(cfg.SpanTicks)
+		queue := []frontier{{node: root, at: start}}
+		// Cap each cascade so a single tree cannot swallow the budget.
+		capLeft := 1 + rng.IntN(256)
+		for len(queue) > 0 && len(events) < cfg.Interactions && capLeft > 0 {
+			f := queue[0]
+			queue = queue[1:]
+			// Geometric offspring with mean `branch`.
+			kids := 0
+			p := 1 / (1 + branch)
+			for rng.Float64() > p {
+				kids++
+			}
+			for c := 0; c < kids && len(events) < cfg.Interactions && capLeft > 0; c++ {
+				// Retweeters are mostly fresh accounts: real cascade
+				// datasets (Higgs, US-2016) repeat an edge barely ever,
+				// so children draw uniformly with only a small popular
+				// component.
+				var child graph.NodeID
+				if rng.Float64() < 0.15 {
+					child = graph.NodeID(popularity.draw(rng))
+				} else {
+					child = graph.NodeID(rng.IntN(cfg.Nodes))
+				}
+				if child == f.node {
+					continue
+				}
+				at := f.at + rng.ExpFloat64()*burst
+				events = append(events, event{src: f.node, dst: child, at: at})
+				queue = append(queue, frontier{node: child, at: at})
+				capLeft--
+			}
+		}
+	}
+	return finalize(cfg, events)
+}
+
+// genUniform is the structureless control: uniform random endpoints and
+// uniform random times.
+func genUniform(cfg Config, rng *rand.Rand) *graph.Log {
+	events := make([]event, 0, cfg.Interactions)
+	for len(events) < cfg.Interactions {
+		src := graph.NodeID(rng.IntN(cfg.Nodes))
+		dst := graph.NodeID(rng.IntN(cfg.Nodes))
+		if src == dst {
+			continue
+		}
+		events = append(events, event{src: src, dst: dst, at: rng.Float64() * float64(cfg.SpanTicks)})
+	}
+	return finalize(cfg, events)
+}

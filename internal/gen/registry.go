@@ -1,0 +1,103 @@
+package gen
+
+import "fmt"
+
+// TicksPerDay converts the paper's "Days" column into ticks (seconds).
+const TicksPerDay = 86400
+
+// table2 holds the characteristics of the paper's Table 2 at full scale:
+// nodes and interactions in thousands, span in days, and the structural
+// model that family of dataset follows.
+var table2 = []struct {
+	name         string
+	model        Model
+	nodesK       float64
+	interactionK float64
+	days         int64
+	zipfS        float64
+	replyProb    float64
+	branchMean   float64
+	extraScale   int // additional down-scaling (US-2016 is 50× the rest)
+}{
+	{name: "enron", model: ModelEmail, nodesK: 87.3, interactionK: 1148.1, days: 8767, zipfS: 1.3, replyProb: 0.45},
+	{name: "lkml", model: ModelEmail, nodesK: 27.4, interactionK: 1048.6, days: 2923, zipfS: 1.25, replyProb: 0.55},
+	{name: "facebook", model: ModelSocial, nodesK: 46.9, interactionK: 877.0, days: 1592, zipfS: 1.4},
+	{name: "higgs", model: ModelCascade, nodesK: 304.7, interactionK: 526.2, days: 7, zipfS: 1.6, branchMean: 1.3},
+	{name: "slashdot", model: ModelSocial, nodesK: 51.1, interactionK: 140.8, days: 978, zipfS: 1.5},
+	{name: "us2016", model: ModelCascade, nodesK: 4468, interactionK: 44638, days: 16, zipfS: 1.7, branchMean: 1.4, extraScale: 10},
+}
+
+// Dataset returns the generator config for one of the six Table 2 datasets
+// at the given down-scaling factor (scale 1 = the paper's full size;
+// scale 20 is the default laptop-friendly size used by cmd/experiments).
+// US-2016 carries an extra 10× reduction because it is 50× larger than
+// the other datasets. The seed is fixed so datasets are identical across
+// runs.
+func Dataset(name string, scale int) (Config, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	for _, d := range table2 {
+		if d.name != name {
+			continue
+		}
+		s := scale
+		if d.extraScale > 0 {
+			s *= d.extraScale
+		}
+		nodes := int(d.nodesK * 1000 / float64(s))
+		interactions := int(d.interactionK * 1000 / float64(s))
+		if nodes < 16 {
+			nodes = 16
+		}
+		if interactions < nodes {
+			interactions = nodes
+		}
+		return Config{
+			Name:         d.name,
+			Model:        d.model,
+			Nodes:        nodes,
+			Interactions: interactions,
+			SpanTicks:    d.days * TicksPerDay,
+			Seed:         fixedSeed(d.name),
+			ZipfS:        d.zipfS,
+			ReplyProb:    d.replyProb,
+			BranchMean:   d.branchMean,
+		}, nil
+	}
+	return Config{}, fmt.Errorf("gen: unknown dataset %q (want one of %v)", name, Names())
+}
+
+// Names lists the Table 2 dataset names in paper order.
+func Names() []string {
+	out := make([]string, len(table2))
+	for i, d := range table2 {
+		out[i] = d.name
+	}
+	return out
+}
+
+// Registry returns all six Table 2 configs at the given scale.
+func Registry(scale int) []Config {
+	out := make([]Config, 0, len(table2))
+	for _, d := range table2 {
+		cfg, err := Dataset(d.name, scale)
+		if err != nil {
+			// Unreachable: Dataset only fails on unknown names.
+			panic(err)
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// fixedSeed derives a stable per-dataset seed from the name, so that the
+// same dataset is generated in every run and every process.
+func fixedSeed(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

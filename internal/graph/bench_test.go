@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchLog(n, m int) *Log {
+	rng := rand.New(rand.NewSource(10))
+	l := New(n)
+	for i := 0; i < m; i++ {
+		l.Add(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), Time(rng.Intn(10*m)))
+	}
+	return l
+}
+
+func BenchmarkSort(b *testing.B) {
+	src := benchLog(5000, 100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := src.Clone()
+		l.Sort()
+	}
+}
+
+func BenchmarkStaticFrom(b *testing.B) {
+	l := benchLog(5000, 100000)
+	l.Sort()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = StaticFrom(l)
+	}
+}
+
+func BenchmarkWeightedFrom(b *testing.B) {
+	l := benchLog(5000, 100000)
+	l.Sort()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = WeightedFrom(l)
+	}
+}
+
+func BenchmarkReadWriteRoundTrip(b *testing.B) {
+	l := benchLog(1000, 20000)
+	l.Sort()
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, l, nil); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadLog(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

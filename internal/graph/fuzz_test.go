@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLog: arbitrary text either fails cleanly or yields a log whose
+// invariants hold and which round-trips through WriteLog.
+func FuzzReadLog(f *testing.F) {
+	f.Add("a b 1\nb c 2\n")
+	f.Add("# comment\n\nx y 100\n")
+	f.Add("a b\n")
+	f.Add("a b notanumber\n")
+	f.Add("self self 5\n")
+	f.Add("a b -9223372036854775808\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, table, err := ReadLog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if !l.Sorted() {
+			t.Fatal("parsed log not sorted")
+		}
+		if err := l.Validate(false); err != nil {
+			t.Fatalf("parsed log invalid: %v", err)
+		}
+		if table.Len() != l.NumNodes {
+			t.Fatalf("table has %d names for %d nodes", table.Len(), l.NumNodes)
+		}
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, l, table); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		l2, _, err := ReadLog(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if l2.Len() != l.Len() {
+			t.Fatalf("round trip lost interactions: %d vs %d", l2.Len(), l.Len())
+		}
+	})
+}
+
+// FuzzReadCSVLog mirrors FuzzReadLog for the CSV variant.
+func FuzzReadCSVLog(f *testing.F) {
+	f.Add("a,b,1\nb,c,2\n")
+	f.Add("a,b\n")
+	f.Add(",,,\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, _, err := ReadCSVLog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if !l.Sorted() {
+			t.Fatal("parsed log not sorted")
+		}
+		if err := l.Validate(false); err != nil {
+			t.Fatalf("parsed log invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+// Package graph provides the interaction-network substrate used by every
+// other package in this repository.
+//
+// An interaction network (paper §2) is a set of nodes V together with a set
+// E of directed, timestamped interactions (u, v, t). The package offers:
+//
+//   - Interaction and Log: the core value types, with sorting and validation.
+//   - NodeTable: interning of external string identifiers to dense NodeIDs.
+//   - Static and WeightedStatic: the flattened projections that the paper's
+//     static-graph competitors (SKIM, PageRank, HighDegree, ConTinEst)
+//     consume.
+//   - Text IO in a simple "src dst time" format plus CSV.
+//
+// Timestamps are opaque int64 ticks. The paper assumes every interaction has
+// a distinct timestamp; Log.Detie enforces that property when input data
+// violates it.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID is a dense internal node identifier. External string names are
+// mapped to NodeIDs by a NodeTable. IDs are dense: a network with n nodes
+// uses IDs 0..n-1, which lets algorithm state live in flat slices.
+type NodeID int32
+
+// Time is an interaction timestamp in opaque ticks. Real datasets use Unix
+// seconds; synthetic generators use abstract ticks. All algorithms only
+// compare and subtract timestamps, so the unit never matters.
+type Time int64
+
+// Interaction is a single directed, timestamped interaction (u, v, t):
+// node Src interacted with node Dst at time At (paper §2). An interaction
+// could denote, for instance, the sending of one email.
+type Interaction struct {
+	Src NodeID
+	Dst NodeID
+	At  Time
+}
+
+// Log is an ordered list of interactions. The canonical order — required by
+// every algorithm in this repository — is ascending by timestamp. Use Sort
+// to establish it and Sorted to verify it.
+type Log struct {
+	// Interactions in ascending time order once Sort has been called.
+	Interactions []Interaction
+	// NumNodes is the number of distinct nodes; valid NodeIDs are
+	// 0..NumNodes-1. It may exceed the number of nodes that actually appear
+	// in Interactions (isolated nodes are permitted).
+	NumNodes int
+}
+
+// New returns an empty log over n nodes.
+func New(n int) *Log {
+	return &Log{NumNodes: n}
+}
+
+// Add appends an interaction. It does not keep the log sorted; call Sort
+// once after the final Add. Add panics if either endpoint is out of range,
+// because an out-of-range ID is always a programming error, not input error
+// (loaders validate input and return errors instead).
+func (l *Log) Add(src, dst NodeID, at Time) {
+	if int(src) < 0 || int(src) >= l.NumNodes || int(dst) < 0 || int(dst) >= l.NumNodes {
+		panic(fmt.Sprintf("graph: interaction (%d,%d,%d) out of range for %d nodes", src, dst, at, l.NumNodes))
+	}
+	l.Interactions = append(l.Interactions, Interaction{Src: src, Dst: dst, At: at})
+}
+
+// Len returns the number of interactions m = |E|.
+func (l *Log) Len() int { return len(l.Interactions) }
+
+// Sort orders the interactions ascending by time. Ties are broken by
+// (src, dst) so sorting is deterministic; Detie can then separate ties.
+func (l *Log) Sort() {
+	sort.Slice(l.Interactions, func(i, j int) bool {
+		a, b := l.Interactions[i], l.Interactions[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+}
+
+// Sorted reports whether the log is in ascending time order.
+func (l *Log) Sorted() bool {
+	for i := 1; i < len(l.Interactions); i++ {
+		if l.Interactions[i].At < l.Interactions[i-1].At {
+			return false
+		}
+	}
+	return true
+}
+
+// HasDistinctTimes reports whether all timestamps are pairwise distinct,
+// the assumption the paper makes about its input (§2). The log must be
+// sorted.
+func (l *Log) HasDistinctTimes() bool {
+	for i := 1; i < len(l.Interactions); i++ {
+		if l.Interactions[i].At == l.Interactions[i-1].At {
+			return false
+		}
+	}
+	return true
+}
+
+// Detie rewrites timestamps so they are strictly increasing while
+// preserving order, by bumping each tied timestamp one tick past its
+// predecessor. The log must be sorted first. Detie reports how many
+// timestamps were adjusted.
+//
+// The adjustment dilates time by at most the number of ties, which is
+// negligible against the spans (days to years) of realistic datasets.
+func (l *Log) Detie() int {
+	bumped := 0
+	for i := 1; i < len(l.Interactions); i++ {
+		if l.Interactions[i].At <= l.Interactions[i-1].At {
+			l.Interactions[i].At = l.Interactions[i-1].At + 1
+			bumped++
+		}
+	}
+	return bumped
+}
+
+// Span returns the first timestamp, the last timestamp, and the total time
+// span (last − first + 1) of the sorted log. A nil or empty log spans zero.
+func (l *Log) Span() (first, last Time, span int64) {
+	if l == nil || len(l.Interactions) == 0 {
+		return 0, 0, 0
+	}
+	first = l.Interactions[0].At
+	last = l.Interactions[len(l.Interactions)-1].At
+	return first, last, int64(last-first) + 1
+}
+
+// WindowFromPercent converts a window length expressed as a percentage of
+// the log's total time span — the convention of the paper's evaluation
+// (§6.1) — into absolute ticks. The result is always at least 1 so that a
+// single interaction forms an admissible channel.
+func (l *Log) WindowFromPercent(pct float64) int64 {
+	_, _, span := l.Span()
+	w := int64(float64(span) * pct / 100.0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Validate checks structural invariants: endpoints in range, sorted order,
+// and (if strict) distinct timestamps and no self-loops. It returns the
+// first violation found.
+func (l *Log) Validate(strict bool) error {
+	var prev Time
+	for i, e := range l.Interactions {
+		if int(e.Src) < 0 || int(e.Src) >= l.NumNodes || int(e.Dst) < 0 || int(e.Dst) >= l.NumNodes {
+			return fmt.Errorf("graph: interaction %d (%d,%d,%d) out of range for %d nodes", i, e.Src, e.Dst, e.At, l.NumNodes)
+		}
+		if i > 0 && e.At < prev {
+			return fmt.Errorf("graph: interaction %d at time %d breaks ascending order (previous %d)", i, e.At, prev)
+		}
+		if strict {
+			if i > 0 && e.At == prev {
+				return fmt.Errorf("graph: interaction %d duplicates timestamp %d", i, e.At)
+			}
+			if e.Src == e.Dst {
+				return fmt.Errorf("graph: interaction %d is a self-loop on node %d", i, e.Src)
+			}
+		}
+		prev = e.At
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the log.
+func (l *Log) Clone() *Log {
+	c := &Log{NumNodes: l.NumNodes}
+	c.Interactions = append([]Interaction(nil), l.Interactions...)
+	return c
+}
+
+// Reversed returns the interactions in descending time order as a fresh
+// slice, the scan order required by the one-pass IRS algorithms (the paper
+// processes Table 1b, the reverse-ordered interaction list).
+func (l *Log) Reversed() []Interaction {
+	r := make([]Interaction, len(l.Interactions))
+	for i, e := range l.Interactions {
+		r[len(l.Interactions)-1-i] = e
+	}
+	return r
+}
+
+// TimeSlice returns a new log over the same node set containing exactly
+// the interactions with from ≤ t ≤ to — e.g. one month of an email
+// archive. The log must be sorted; the result shares no storage with l.
+func (l *Log) TimeSlice(from, to Time) *Log {
+	lo := sort.Search(len(l.Interactions), func(i int) bool { return l.Interactions[i].At >= from })
+	hi := sort.Search(len(l.Interactions), func(i int) bool { return l.Interactions[i].At > to })
+	out := &Log{NumNodes: l.NumNodes}
+	if lo < hi {
+		out.Interactions = append([]Interaction(nil), l.Interactions[lo:hi]...)
+	}
+	return out
+}

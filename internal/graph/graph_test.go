@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fig1a builds the toy interaction network of the paper's Figure 1a:
+// nodes a..f (0..5) and edges (a,d,1),(e,f,2),(d,e,3),(e,b,4),(a,b,5),
+// (b,e,6),(e,c,7),(b,c,8).
+func fig1a() *Log {
+	l := New(6)
+	const a, b, c, d, e, f = 0, 1, 2, 3, 4, 5
+	l.Add(a, d, 1)
+	l.Add(e, f, 2)
+	l.Add(d, e, 3)
+	l.Add(e, b, 4)
+	l.Add(a, b, 5)
+	l.Add(b, e, 6)
+	l.Add(e, c, 7)
+	l.Add(b, c, 8)
+	return l
+}
+
+func TestLogSortAndValidate(t *testing.T) {
+	l := New(3)
+	l.Add(0, 1, 30)
+	l.Add(1, 2, 10)
+	l.Add(2, 0, 20)
+	if l.Sorted() {
+		t.Fatal("log unexpectedly sorted before Sort")
+	}
+	l.Sort()
+	if !l.Sorted() {
+		t.Fatal("log not sorted after Sort")
+	}
+	if err := l.Validate(true); err != nil {
+		t.Fatalf("Validate(strict): %v", err)
+	}
+	want := []Time{10, 20, 30}
+	for i, e := range l.Interactions {
+		if e.At != want[i] {
+			t.Errorf("interaction %d at %d, want %d", i, e.At, want[i])
+		}
+	}
+}
+
+func TestLogAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	New(2).Add(0, 2, 1)
+}
+
+func TestHasDistinctTimesAndDetie(t *testing.T) {
+	l := New(3)
+	l.Add(0, 1, 5)
+	l.Add(1, 2, 5)
+	l.Add(2, 0, 5)
+	l.Add(0, 2, 9)
+	l.Sort()
+	if l.HasDistinctTimes() {
+		t.Fatal("expected duplicate timestamps")
+	}
+	if got := l.Detie(); got != 2 {
+		t.Fatalf("Detie adjusted %d, want 2", got)
+	}
+	if !l.HasDistinctTimes() {
+		t.Fatal("timestamps still tied after Detie")
+	}
+	if !l.Sorted() {
+		t.Fatal("Detie broke sort order")
+	}
+	if err := l.Validate(true); err != nil {
+		t.Fatalf("Validate after Detie: %v", err)
+	}
+}
+
+func TestSpanAndWindowFromPercent(t *testing.T) {
+	l := fig1a()
+	l.Sort()
+	first, last, span := l.Span()
+	if first != 1 || last != 8 || span != 8 {
+		t.Fatalf("Span = (%d,%d,%d), want (1,8,8)", first, last, span)
+	}
+	if w := l.WindowFromPercent(50); w != 4 {
+		t.Errorf("WindowFromPercent(50) = %d, want 4", w)
+	}
+	if w := l.WindowFromPercent(100); w != 8 {
+		t.Errorf("WindowFromPercent(100) = %d, want 8", w)
+	}
+	// Tiny percentages still yield a usable window of at least 1.
+	if w := l.WindowFromPercent(0.001); w != 1 {
+		t.Errorf("WindowFromPercent(0.001) = %d, want 1", w)
+	}
+}
+
+func TestSpanEmpty(t *testing.T) {
+	var l *Log
+	if _, _, span := l.Span(); span != 0 {
+		t.Fatalf("nil log span = %d, want 0", span)
+	}
+	if _, _, span := New(3).Span(); span != 0 {
+		t.Fatalf("empty log span = %d, want 0", span)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	l := &Log{NumNodes: 2, Interactions: []Interaction{{Src: 0, Dst: 5, At: 1}}}
+	if err := l.Validate(false); err == nil {
+		t.Error("out-of-range endpoint not caught")
+	}
+	l = &Log{NumNodes: 2, Interactions: []Interaction{{Src: 0, Dst: 1, At: 5}, {Src: 1, Dst: 0, At: 4}}}
+	if err := l.Validate(false); err == nil {
+		t.Error("descending timestamps not caught")
+	}
+	l = &Log{NumNodes: 2, Interactions: []Interaction{{Src: 1, Dst: 1, At: 4}}}
+	if err := l.Validate(true); err == nil {
+		t.Error("self-loop not caught in strict mode")
+	}
+	if err := l.Validate(false); err != nil {
+		t.Errorf("self-loop rejected in non-strict mode: %v", err)
+	}
+}
+
+func TestReversed(t *testing.T) {
+	l := fig1a()
+	l.Sort()
+	r := l.Reversed()
+	if len(r) != l.Len() {
+		t.Fatalf("Reversed length %d, want %d", len(r), l.Len())
+	}
+	for i := range r {
+		if r[i] != l.Interactions[l.Len()-1-i] {
+			t.Fatalf("Reversed[%d] = %+v mismatch", i, r[i])
+		}
+	}
+	// The source log is untouched.
+	if !l.Sorted() {
+		t.Fatal("Reversed mutated the log")
+	}
+}
+
+func TestClone(t *testing.T) {
+	l := fig1a()
+	c := l.Clone()
+	c.Interactions[0].At = 999
+	if l.Interactions[0].At == 999 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestTimeSlice(t *testing.T) {
+	l := fig1a()
+	l.Sort()
+	mid := l.TimeSlice(3, 6)
+	if mid.Len() != 4 {
+		t.Fatalf("slice [3,6] has %d interactions, want 4", mid.Len())
+	}
+	for _, e := range mid.Interactions {
+		if e.At < 3 || e.At > 6 {
+			t.Fatalf("interaction at %d outside slice", e.At)
+		}
+	}
+	if mid.NumNodes != l.NumNodes {
+		t.Fatal("slice changed node universe")
+	}
+	// Empty and full slices.
+	if l.TimeSlice(100, 200).Len() != 0 {
+		t.Fatal("out-of-range slice not empty")
+	}
+	if l.TimeSlice(1, 8).Len() != l.Len() {
+		t.Fatal("full slice lost interactions")
+	}
+	// No storage sharing.
+	mid.Interactions[0].At = 999
+	if !l.Sorted() {
+		t.Fatal("slice mutated the source log")
+	}
+}
+
+func TestNodeTable(t *testing.T) {
+	tab := NewNodeTable()
+	a := tab.Intern("alice")
+	b := tab.Intern("bob")
+	if a == b {
+		t.Fatal("distinct names share an ID")
+	}
+	if got := tab.Intern("alice"); got != a {
+		t.Fatalf("re-intern alice = %d, want %d", got, a)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if tab.Name(a) != "alice" || tab.Name(b) != "bob" {
+		t.Fatal("Name round-trip failed")
+	}
+	if _, ok := tab.Lookup("carol"); ok {
+		t.Fatal("Lookup invented carol")
+	}
+	if id, ok := tab.Lookup("bob"); !ok || id != b {
+		t.Fatal("Lookup lost bob")
+	}
+}
+
+func TestNodeTableNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name on unknown ID did not panic")
+		}
+	}()
+	NewNodeTable().Name(0)
+}
+
+// TestSortIsDeterministicUnderTies checks the documented tie-break order.
+func TestSortIsDeterministicUnderTies(t *testing.T) {
+	mk := func(perm []int) *Log {
+		base := []Interaction{
+			{Src: 2, Dst: 0, At: 7},
+			{Src: 0, Dst: 1, At: 7},
+			{Src: 0, Dst: 2, At: 7},
+			{Src: 1, Dst: 2, At: 3},
+		}
+		l := New(3)
+		for _, i := range perm {
+			l.Interactions = append(l.Interactions, base[i])
+		}
+		l.Sort()
+		return l
+	}
+	want := mk([]int{0, 1, 2, 3})
+	for _, perm := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		got := mk(perm)
+		for i := range want.Interactions {
+			if got.Interactions[i] != want.Interactions[i] {
+				t.Fatalf("perm %v: interaction %d = %+v, want %+v", perm, i, got.Interactions[i], want.Interactions[i])
+			}
+		}
+	}
+}
+
+// Property: Detie never reorders interactions and always yields strictly
+// increasing timestamps.
+func TestDetieProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		l := New(4)
+		for i, r := range raw {
+			l.Add(NodeID(i%4), NodeID((i+1)%4), Time(r%16))
+		}
+		l.Sort()
+		before := make([]Interaction, len(l.Interactions))
+		copy(before, l.Interactions)
+		l.Detie()
+		if !l.HasDistinctTimes() || !l.Sorted() {
+			return false
+		}
+		// Endpoints preserved in order.
+		for i := range before {
+			if before[i].Src != l.Interactions[i].Src || before[i].Dst != l.Interactions[i].Dst {
+				return false
+			}
+			if l.Interactions[i].At < before[i].At {
+				return false // Detie only moves time forwards
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

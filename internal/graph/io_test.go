@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadLogBasic(t *testing.T) {
+	in := `
+# comment line
+alice bob 30
+bob carol 10
+
+carol alice 20
+`
+	l, tab, err := ReadLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumNodes != 3 || l.Len() != 3 {
+		t.Fatalf("got %d nodes / %d interactions, want 3/3", l.NumNodes, l.Len())
+	}
+	if !l.Sorted() {
+		t.Fatal("ReadLog did not sort")
+	}
+	// First interaction is the earliest: bob→carol at 10.
+	first := l.Interactions[0]
+	if tab.Name(first.Src) != "bob" || tab.Name(first.Dst) != "carol" || first.At != 10 {
+		t.Fatalf("first interaction = %s→%s@%d", tab.Name(first.Src), tab.Name(first.Dst), first.At)
+	}
+}
+
+func TestReadLogErrors(t *testing.T) {
+	if _, _, err := ReadLog(strings.NewReader("a b\n")); err == nil {
+		t.Error("missing field not caught")
+	}
+	if _, _, err := ReadLog(strings.NewReader("a b xyz\n")); err == nil {
+		t.Error("bad timestamp not caught")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	l := New(4)
+	l.Add(0, 1, 100)
+	l.Add(1, 2, 200)
+	l.Add(2, 3, 300)
+	l.Add(3, 0, 400)
+	l.Sort()
+
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, l, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() || got.NumNodes != l.NumNodes {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d", got.Len(), got.NumNodes, l.Len(), l.NumNodes)
+	}
+	for i := range l.Interactions {
+		if got.Interactions[i].At != l.Interactions[i].At {
+			t.Fatalf("interaction %d time %d, want %d", i, got.Interactions[i].At, l.Interactions[i].At)
+		}
+	}
+}
+
+func TestWriteLogWithTable(t *testing.T) {
+	tab := NewNodeTable()
+	a, b := tab.Intern("a@x.org"), tab.Intern("b@x.org")
+	l := New(2)
+	l.Add(a, b, 7)
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, l, tab); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "a@x.org b@x.org 7\n"; got != want {
+		t.Fatalf("wrote %q, want %q", got, want)
+	}
+}
+
+func TestReadCSVLog(t *testing.T) {
+	in := "u1,u2,500\nu2,u3,100\n# trailer\n"
+	l, tab, err := ReadCSVLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 || tab.Len() != 3 {
+		t.Fatalf("got %d interactions / %d nodes", l.Len(), tab.Len())
+	}
+	if l.Interactions[0].At != 100 {
+		t.Fatalf("first time %d, want 100", l.Interactions[0].At)
+	}
+	if _, _, err := ReadCSVLog(strings.NewReader("a,b\n")); err == nil {
+		t.Error("short CSV line not caught")
+	}
+	if _, _, err := ReadCSVLog(strings.NewReader("a,b,zzz\n")); err == nil {
+		t.Error("bad CSV timestamp not caught")
+	}
+}

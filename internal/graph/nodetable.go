@@ -1,0 +1,51 @@
+package graph
+
+import "fmt"
+
+// NodeTable interns external string node identifiers (email addresses, user
+// names, …) into dense NodeIDs and remembers the reverse mapping. The zero
+// value is not usable; construct with NewNodeTable.
+type NodeTable struct {
+	ids   map[string]NodeID
+	names []string
+}
+
+// NewNodeTable returns an empty table.
+func NewNodeTable() *NodeTable {
+	return &NodeTable{ids: make(map[string]NodeID)}
+}
+
+// Intern returns the NodeID for name, allocating the next dense ID on first
+// sight.
+func (t *NodeTable) Intern(name string) NodeID {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := NodeID(len(t.names))
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	return id
+}
+
+// Lookup returns the NodeID for name without allocating; ok is false if the
+// name has never been interned.
+func (t *NodeTable) Lookup(name string) (id NodeID, ok bool) {
+	id, ok = t.ids[name]
+	return id, ok
+}
+
+// Name returns the external name of id. It panics on an ID the table never
+// issued, which is always a programming error.
+func (t *NodeTable) Name(id NodeID) string {
+	if int(id) < 0 || int(id) >= len(t.names) {
+		panic(fmt.Sprintf("graph: NodeTable has no id %d", id))
+	}
+	return t.names[id]
+}
+
+// Len returns the number of interned nodes.
+func (t *NodeTable) Len() int { return len(t.names) }
+
+// Names returns the external names indexed by NodeID. The returned slice
+// is shared with the table; callers must not modify it.
+func (t *NodeTable) Names() []string { return t.names }

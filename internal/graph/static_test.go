@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStaticFromDeduplicates(t *testing.T) {
+	l := New(4)
+	l.Add(0, 1, 1)
+	l.Add(0, 1, 5) // repeated interaction → one static edge
+	l.Add(0, 2, 3)
+	l.Add(1, 2, 4)
+	l.Add(2, 2, 6) // self-loop dropped
+	l.Sort()
+	s := StaticFrom(l)
+	if got := s.NumEdges(); got != 3 {
+		t.Fatalf("NumEdges = %d, want 3", got)
+	}
+	if want := []NodeID{1, 2}; !reflect.DeepEqual(s.Out[0], want) {
+		t.Errorf("Out[0] = %v, want %v", s.Out[0], want)
+	}
+	if s.OutDegree(0) != 2 || s.OutDegree(1) != 1 || s.OutDegree(2) != 0 || s.OutDegree(3) != 0 {
+		t.Errorf("degrees = %d,%d,%d,%d", s.OutDegree(0), s.OutDegree(1), s.OutDegree(2), s.OutDegree(3))
+	}
+}
+
+func TestStaticReversed(t *testing.T) {
+	l := New(3)
+	l.Add(0, 1, 1)
+	l.Add(0, 2, 2)
+	l.Add(1, 2, 3)
+	l.Sort()
+	r := StaticFrom(l).Reversed()
+	if want := []NodeID{0}; !reflect.DeepEqual(r.Out[1], want) {
+		t.Errorf("rev Out[1] = %v, want %v", r.Out[1], want)
+	}
+	if want := []NodeID{0, 1}; !reflect.DeepEqual(r.Out[2], want) {
+		t.Errorf("rev Out[2] = %v, want %v", r.Out[2], want)
+	}
+	if len(r.Out[0]) != 0 {
+		t.Errorf("rev Out[0] = %v, want empty", r.Out[0])
+	}
+	if r.NumEdges() != 3 {
+		t.Errorf("rev NumEdges = %d, want 3", r.NumEdges())
+	}
+}
+
+func TestWeightedFromUsesFirstSourceTime(t *testing.T) {
+	// Paper §6 ConTinEst transform: u's infection time is its first
+	// appearance as a source; edge weight is t − u_i; duplicates keep the
+	// minimum.
+	l := New(3)
+	l.Add(0, 1, 10) // node 0 first source at 10 → weight 0
+	l.Add(0, 2, 25) // weight 15
+	l.Add(0, 1, 40) // weight 30, loses to the earlier weight 0
+	l.Add(1, 2, 50) // node 1 first source at 50 → weight 0
+	l.Sort()
+	ws := WeightedFrom(l)
+	if ws.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", ws.NumEdges())
+	}
+	get := func(u, v NodeID) float64 {
+		for _, e := range ws.Out[u] {
+			if e.Dst == v {
+				return e.Weight
+			}
+		}
+		t.Fatalf("edge (%d,%d) missing", u, v)
+		return 0
+	}
+	if w := get(0, 1); w != 0 {
+		t.Errorf("weight(0,1) = %g, want 0", w)
+	}
+	if w := get(0, 2); w != 15 {
+		t.Errorf("weight(0,2) = %g, want 15", w)
+	}
+	if w := get(1, 2); w != 0 {
+		t.Errorf("weight(1,2) = %g, want 0", w)
+	}
+}
+
+func TestWeightedFromDropsSelfLoops(t *testing.T) {
+	l := New(2)
+	l.Add(0, 0, 1)
+	l.Add(0, 1, 2)
+	l.Sort()
+	ws := WeightedFrom(l)
+	if ws.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", ws.NumEdges())
+	}
+	// The self-loop still fixed node 0's first-source time at t=1, so the
+	// (0,1) edge weight is 2−1=1.
+	if w := ws.Out[0][0].Weight; w != 1 {
+		t.Errorf("weight(0,1) = %g, want 1", w)
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import "sort"
+
+// Stats summarizes the structural shape of an interaction network — the
+// quantities the synthetic generators are tuned to reproduce and the
+// numbers gennet reports so a generated dataset can be eyeballed against
+// its real counterpart.
+type Stats struct {
+	Nodes        int
+	Interactions int
+	// ActiveSources and ActiveSinks count nodes appearing at least once
+	// as a source / destination.
+	ActiveSources int
+	ActiveSinks   int
+	// StaticEdges is the number of distinct directed (src, dst) pairs.
+	StaticEdges int
+	// MaxOutActivity is the largest number of interactions sent by one
+	// node; MedianOutActivity the median over active sources.
+	MaxOutActivity    int
+	MedianOutActivity int
+	// MaxOutDegree is the largest number of distinct out-neighbours.
+	MaxOutDegree int
+	// RepetitionRatio is interactions per distinct edge (≥ 1); email and
+	// social networks repeat edges heavily, cascades barely.
+	RepetitionRatio float64
+	// SpanTicks is last − first + 1.
+	SpanTicks int64
+}
+
+// ComputeStats scans the log once (plus a static projection).
+func ComputeStats(l *Log) Stats {
+	s := Stats{Nodes: l.NumNodes, Interactions: l.Len()}
+	_, _, s.SpanTicks = l.Span()
+	outActivity := make([]int, l.NumNodes)
+	isSink := make([]bool, l.NumNodes)
+	for _, e := range l.Interactions {
+		outActivity[e.Src]++
+		isSink[e.Dst] = true
+	}
+	var active []int
+	for _, c := range outActivity {
+		if c > 0 {
+			s.ActiveSources++
+			active = append(active, c)
+			if c > s.MaxOutActivity {
+				s.MaxOutActivity = c
+			}
+		}
+	}
+	for _, b := range isSink {
+		if b {
+			s.ActiveSinks++
+		}
+	}
+	if len(active) > 0 {
+		sort.Ints(active)
+		s.MedianOutActivity = active[len(active)/2]
+	}
+	st := StaticFrom(l)
+	s.StaticEdges = st.NumEdges()
+	for u := 0; u < st.NumNodes; u++ {
+		if d := st.OutDegree(NodeID(u)); d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+	}
+	if s.StaticEdges > 0 {
+		s.RepetitionRatio = float64(s.Interactions) / float64(s.StaticEdges)
+	}
+	return s
+}

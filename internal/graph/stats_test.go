@@ -1,0 +1,47 @@
+package graph
+
+import "testing"
+
+func TestComputeStats(t *testing.T) {
+	l := New(5)
+	l.Add(0, 1, 10)
+	l.Add(0, 1, 20) // repeated edge
+	l.Add(0, 2, 30)
+	l.Add(1, 2, 40)
+	l.Sort()
+	s := ComputeStats(l)
+	if s.Nodes != 5 || s.Interactions != 4 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.ActiveSources != 2 {
+		t.Errorf("ActiveSources = %d, want 2", s.ActiveSources)
+	}
+	if s.ActiveSinks != 2 {
+		t.Errorf("ActiveSinks = %d, want 2", s.ActiveSinks)
+	}
+	if s.StaticEdges != 3 {
+		t.Errorf("StaticEdges = %d, want 3", s.StaticEdges)
+	}
+	if s.MaxOutActivity != 3 {
+		t.Errorf("MaxOutActivity = %d, want 3", s.MaxOutActivity)
+	}
+	if s.MedianOutActivity != 3 { // activities sorted: [1,3] → median idx 1
+		t.Errorf("MedianOutActivity = %d, want 3", s.MedianOutActivity)
+	}
+	if s.MaxOutDegree != 2 {
+		t.Errorf("MaxOutDegree = %d, want 2", s.MaxOutDegree)
+	}
+	if s.RepetitionRatio != 4.0/3 {
+		t.Errorf("RepetitionRatio = %g", s.RepetitionRatio)
+	}
+	if s.SpanTicks != 31 {
+		t.Errorf("SpanTicks = %d, want 31", s.SpanTicks)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(New(3))
+	if s.Interactions != 0 || s.RepetitionRatio != 0 || s.SpanTicks != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}

@@ -1,0 +1,37 @@
+package hll_test
+
+import (
+	"fmt"
+
+	"ipin/internal/hll"
+)
+
+// Counting a million distinct items in 512 bytes.
+func ExampleSketch() {
+	s := hll.MustNew(9) // β = 2^9 = 512 cells
+	for i := 0; i < 1_000_000; i++ {
+		s.Add(uint64(i))
+	}
+	est := s.Estimate()
+	fmt.Println(est > 900_000 && est < 1_100_000)
+	fmt.Println(s.MemoryBytes())
+	// Output:
+	// true
+	// 512
+}
+
+// Sketches over the same precision union by cell-wise maximum.
+func ExampleSketch_Merge() {
+	a, b := hll.MustNew(9), hll.MustNew(9)
+	for i := 0; i < 1000; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i + 500)) // overlap: 500..999
+	}
+	if err := a.Merge(b); err != nil {
+		panic(err)
+	}
+	est := a.Estimate()
+	fmt.Println(est > 1350 && est < 1650) // ≈1500 distinct
+	// Output:
+	// true
+}

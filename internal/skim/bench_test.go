@@ -1,0 +1,28 @@
+package skim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+var benchStatic = func() *graph.Static {
+	rng := rand.New(rand.NewSource(4))
+	l := graph.New(2000)
+	for i := 0; i < 20000; i++ {
+		l.Add(graph.NodeID(rng.Intn(2000)), graph.NodeID(rng.Intn(2000)), graph.Time(i+1))
+	}
+	l.Sort()
+	return graph.StaticFrom(l)
+}()
+
+func BenchmarkTopK10(b *testing.B) {
+	cfg := Config{K: 32, Instances: 32, P: 0.5, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopK(benchStatic, 10, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package skim
+
+import "math/rand/v2"
+
+// newTestRNG returns a fixed-seed RNG for white-box tests.
+func newTestRNG() *rand.Rand {
+	return rand.New(rand.NewPCG(99, 0x5e1d))
+}

@@ -1,0 +1,134 @@
+package skim
+
+import (
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// White-box tests of the SKIM state machinery.
+
+func newTestState(s *graph.Static, cfg Config) *state {
+	rng := newTestRNG()
+	g := sampleInstances(s, cfg, rng)
+	return newState(g, cfg, rng)
+}
+
+func TestPairCodec(t *testing.T) {
+	s := threeStars()
+	cfg := Config{K: 4, Instances: 8, P: 1, Seed: 1}
+	st := newTestState(s, cfg)
+	for node := 0; node < 5; node++ {
+		for inst := 0; inst < cfg.Instances; inst++ {
+			p := pairID(node*cfg.Instances + inst)
+			if st.pairNode(p) != graph.NodeID(node) || st.pairInstance(p) != inst {
+				t.Fatalf("pair codec broken for (%d,%d)", node, inst)
+			}
+		}
+	}
+}
+
+func TestRankOrderIsPermutation(t *testing.T) {
+	s := threeStars()
+	st := newTestState(s, Config{K: 4, Instances: 4, P: 1, Seed: 1})
+	seen := make([]bool, s.NumNodes*4)
+	for _, p := range st.order {
+		if seen[p] {
+			t.Fatalf("pair %d listed twice", p)
+		}
+		seen[p] = true
+	}
+	for i, b := range seen {
+		if !b {
+			t.Fatalf("pair %d missing from order", i)
+		}
+	}
+}
+
+func TestEvictRemovesFromSketches(t *testing.T) {
+	s := threeStars()
+	st := newTestState(s, Config{K: 8, Instances: 4, P: 1, Seed: 1})
+	// Drive the rank scan until the first seed would be selected.
+	if _, ok := st.nextByRankScan(); !ok {
+		t.Fatal("rank scan found no full sketch")
+	}
+	// Pick any pair held by some sketch and evict it.
+	var victim pairID = -1
+	var holder graph.NodeID
+	for p, nodes := range st.containing {
+		if len(nodes) > 0 {
+			victim, holder = p, nodes[0]
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no pair in any sketch")
+	}
+	before := st.liveSize[holder]
+	st.covered[victim] = true
+	st.evict(victim)
+	if st.liveSize[holder] != before-1 {
+		t.Fatalf("liveSize %d, want %d", st.liveSize[holder], before-1)
+	}
+	for _, q := range st.sketches[holder] {
+		if q == victim {
+			t.Fatal("victim still in sketch")
+		}
+	}
+	if _, ok := st.containing[victim]; ok {
+		t.Fatal("containing index not cleaned")
+	}
+	// Re-evicting is a no-op.
+	st.evict(victim)
+}
+
+func TestSelectSeedCoversReachablePairs(t *testing.T) {
+	s := threeStars()
+	cfg := Config{K: 4, Instances: 4, P: 1, Seed: 1}
+	st := newTestState(s, cfg)
+	st.selectSeed(0) // the big star's centre
+	// With P=1, pairs (0,i) and (v,i) for v = 1..15 are covered in every
+	// instance.
+	for inst := 0; inst < cfg.Instances; inst++ {
+		for node := 0; node <= 15; node++ {
+			p := pairID(node*cfg.Instances + inst)
+			if !st.covered[p] {
+				t.Fatalf("pair (%d,%d) not covered by seed 0", node, inst)
+			}
+		}
+		// Unreachable nodes stay uncovered.
+		p := pairID(20*cfg.Instances + inst)
+		if st.covered[p] {
+			t.Fatalf("pair (20,%d) wrongly covered", inst)
+		}
+	}
+	if !st.chosen[0] || st.liveSize[0] != 0 {
+		t.Fatal("seed not marked chosen")
+	}
+}
+
+func TestLargestLiveSketchAndFallbacks(t *testing.T) {
+	s := threeStars()
+	st := newTestState(s, Config{K: 64, Instances: 2, P: 1, Seed: 1})
+	// With K=64 no sketch ever fills (52 nodes × 2 instances = 104 pairs,
+	// but per-node reach is at most 32 pairs), so the scan exhausts.
+	if _, ok := st.nextByRankScan(); ok {
+		t.Fatal("scan unexpectedly found a full sketch")
+	}
+	// The largest live sketch belongs to the big star's centre.
+	best, ok := st.largestLiveSketch()
+	if !ok || best != 0 {
+		t.Fatalf("largestLiveSketch = %d,%v, want 0,true", best, ok)
+	}
+	// After choosing everything, anyUnchosen drains deterministically.
+	for i := 0; i < s.NumNodes; i++ {
+		u, ok := st.anyUnchosen()
+		if !ok {
+			t.Fatalf("anyUnchosen exhausted at %d", i)
+		}
+		st.chosen[u] = true
+	}
+	if _, ok := st.anyUnchosen(); ok {
+		t.Fatal("anyUnchosen returned after all chosen")
+	}
+}

@@ -1,0 +1,355 @@
+// Package skim reimplements SKIM — Sketch-based Influence Maximization of
+// Cohen, Delling, Pajor and Werneck (CIKM 2014) — the strongest static-
+// graph competitor in the paper's evaluation (§6).
+//
+// SKIM works on the flattened static projection of the interaction network
+// under the Independent Cascade model. It materializes ℓ live-edge
+// instances (every edge survives independently with probability p), so a
+// node's influence is (1/ℓ)·|{(v,i) : v reachable from u in instance i}|.
+// Bottom-k rank sketches of those reachability sets are built by reverse
+// searches from (node, instance) pairs in ascending rank order, pruned at
+// nodes whose sketch is already full; the first node whose sketch reaches
+// k entries is (with high probability) the node of maximum residual
+// influence and is selected as the next seed. Selection triggers exact
+// coverage: forward searches from the seed mark every reached pair
+// covered, covered entries are evicted from all sketches through an
+// inverted index, and the ascending-rank pair processing resumes for the
+// residual problem. If the rank stream is exhausted before enough seeds
+// are found, remaining seeds are chosen greedily by live sketch size.
+//
+// This is the algorithm the paper ran via the authors' binary; here it is
+// rebuilt from scratch on the standard library so the whole comparison is
+// self-contained.
+package skim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"ipin/internal/graph"
+)
+
+// Config parameterizes SKIM.
+type Config struct {
+	// K is the bottom-k sketch size; Cohen et al. default to 64.
+	K int
+	// Instances is ℓ, the number of live-edge instances (max 64 so edge
+	// membership packs into one uint64 mask per edge).
+	Instances int
+	// P is the Independent Cascade edge survival probability.
+	P float64
+	// Seed seeds the deterministic RNG.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the parameters of Cohen et al.'s evaluation.
+func DefaultConfig() Config {
+	return Config{K: 64, Instances: 64, P: 0.5, Seed: 1}
+}
+
+// instanceGraph holds the ℓ sampled instances in CSR form, with one
+// bitmask per edge recording the instances the edge survives in.
+type instanceGraph struct {
+	n         int
+	instances int
+	fwdStart  []int32
+	fwdTo     []graph.NodeID
+	fwdMask   []uint64
+	revStart  []int32
+	revTo     []graph.NodeID
+	revMask   []uint64
+}
+
+func sampleInstances(s *graph.Static, cfg Config, rng *rand.Rand) *instanceGraph {
+	n := s.NumNodes
+	g := &instanceGraph{n: n, instances: cfg.Instances}
+	m := s.NumEdges()
+	g.fwdStart = make([]int32, n+1)
+	g.fwdTo = make([]graph.NodeID, 0, m)
+	g.fwdMask = make([]uint64, 0, m)
+	revDeg := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		g.fwdStart[u] = int32(len(g.fwdTo))
+		for _, v := range s.Out[u] {
+			var mask uint64
+			for i := 0; i < cfg.Instances; i++ {
+				if cfg.P >= 1.0 || rng.Float64() < cfg.P {
+					mask |= 1 << uint(i)
+				}
+			}
+			g.fwdTo = append(g.fwdTo, v)
+			g.fwdMask = append(g.fwdMask, mask)
+			revDeg[v]++
+		}
+	}
+	g.fwdStart[n] = int32(len(g.fwdTo))
+	// Build the reverse CSR.
+	g.revStart = make([]int32, n+1)
+	var acc int32
+	for v := 0; v <= n; v++ {
+		g.revStart[v] = acc
+		if v < n {
+			acc += revDeg[v]
+		}
+	}
+	g.revTo = make([]graph.NodeID, len(g.fwdTo))
+	g.revMask = make([]uint64, len(g.fwdTo))
+	fill := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for ei := g.fwdStart[u]; ei < g.fwdStart[u+1]; ei++ {
+			v := g.fwdTo[ei]
+			pos := g.revStart[v] + fill[v]
+			g.revTo[pos] = graph.NodeID(u)
+			g.revMask[pos] = g.fwdMask[ei]
+			fill[v]++
+		}
+	}
+	return g
+}
+
+// TopK selects k seed nodes from the static projection s. It returns the
+// seeds in selection order.
+func TopK(s *graph.Static, k int, cfg Config) ([]graph.NodeID, error) {
+	if cfg.K < 2 {
+		return nil, fmt.Errorf("skim: sketch size K must be at least 2, got %d", cfg.K)
+	}
+	if cfg.Instances < 1 || cfg.Instances > 64 {
+		return nil, fmt.Errorf("skim: instances must be in [1,64], got %d", cfg.Instances)
+	}
+	if cfg.P <= 0 || cfg.P > 1 {
+		return nil, fmt.Errorf("skim: probability must be in (0,1], got %g", cfg.P)
+	}
+	n := s.NumNodes
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5e1d))
+	g := sampleInstances(s, cfg, rng)
+	st := newState(g, cfg, rng)
+	return st.run(k), nil
+}
+
+// pairID packs (node, instance) as node*instances + instance.
+type pairID int32
+
+type state struct {
+	g   *instanceGraph
+	cfg Config
+
+	// order is every (node, instance) pair sorted by ascending rank; pos
+	// is the resume point of the global rank scan.
+	order []pairID
+	pos   int
+
+	covered []bool // by pairID
+	chosen  []bool // by node
+
+	// sketches[u] holds live (not yet covered) pair ids in ascending rank
+	// order; liveSize[u] counts them (entries are evicted eagerly).
+	sketches [][]pairID
+	liveSize []int
+
+	// containing[p] lists the nodes whose sketch currently holds pair p.
+	containing map[pairID][]graph.NodeID
+
+	// visited epoch marking for searches.
+	mark    []int32
+	curMark int32
+
+	queue []graph.NodeID
+}
+
+func newState(g *instanceGraph, cfg Config, rng *rand.Rand) *state {
+	total := g.n * g.instances
+	st := &state{
+		g:          g,
+		cfg:        cfg,
+		order:      make([]pairID, total),
+		covered:    make([]bool, total),
+		chosen:     make([]bool, g.n),
+		sketches:   make([][]pairID, g.n),
+		liveSize:   make([]int, g.n),
+		containing: make(map[pairID][]graph.NodeID),
+		mark:       make([]int32, g.n),
+	}
+	ranks := make([]float64, total)
+	for i := range st.order {
+		st.order[i] = pairID(i)
+		ranks[i] = rng.Float64()
+	}
+	sort.Slice(st.order, func(a, b int) bool { return ranks[st.order[a]] < ranks[st.order[b]] })
+	return st
+}
+
+func (st *state) pairNode(p pairID) graph.NodeID { return graph.NodeID(int(p) / st.g.instances) }
+func (st *state) pairInstance(p pairID) int      { return int(p) % st.g.instances }
+
+// run drives selection until k seeds are chosen.
+func (st *state) run(k int) []graph.NodeID {
+	selected := make([]graph.NodeID, 0, k)
+	for len(selected) < k {
+		seed, ok := st.nextByRankScan()
+		if !ok {
+			// Rank stream exhausted: fall back to greedy residual
+			// selection by live sketch size.
+			seed, ok = st.largestLiveSketch()
+			if !ok {
+				// Coverage complete; fill deterministically by degree of
+				// residual reach being zero — any unchosen node will do.
+				seed, ok = st.anyUnchosen()
+				if !ok {
+					break
+				}
+			}
+		}
+		st.selectSeed(seed)
+		selected = append(selected, seed)
+	}
+	return selected
+}
+
+// nextByRankScan advances the global ascending-rank scan until some node's
+// sketch reaches K entries, and returns that node.
+func (st *state) nextByRankScan() (graph.NodeID, bool) {
+	for st.pos < len(st.order) {
+		p := st.order[st.pos]
+		st.pos++
+		if st.covered[p] {
+			continue
+		}
+		if full, ok := st.reverseSearch(p); ok {
+			return full, true
+		}
+	}
+	return 0, false
+}
+
+// reverseSearch runs the pruned reverse reachability search from pair p,
+// appending p to the sketch of every reached node with spare capacity. It
+// returns the first node whose sketch filled to K, if any.
+func (st *state) reverseSearch(p pairID) (graph.NodeID, bool) {
+	src := st.pairNode(p)
+	inst := uint(st.pairInstance(p))
+	bit := uint64(1) << inst
+	st.curMark++
+	st.queue = st.queue[:0]
+	st.queue = append(st.queue, src)
+	st.mark[src] = st.curMark
+	var filled graph.NodeID = -1
+	for qi := 0; qi < len(st.queue); qi++ {
+		u := st.queue[qi]
+		if !st.chosen[u] && st.liveSize[u] < st.cfg.K {
+			st.sketches[u] = append(st.sketches[u], p)
+			st.liveSize[u]++
+			st.containing[p] = append(st.containing[p], u)
+			if filled < 0 && st.liveSize[u] == st.cfg.K {
+				filled = u
+			}
+		} else if !st.chosen[u] {
+			// Saturated: prune — do not expand through u.
+			continue
+		}
+		for ei := st.g.revStart[u]; ei < st.g.revStart[u+1]; ei++ {
+			if st.g.revMask[ei]&bit == 0 {
+				continue
+			}
+			w := st.g.revTo[ei]
+			if st.mark[w] != st.curMark {
+				st.mark[w] = st.curMark
+				st.queue = append(st.queue, w)
+			}
+		}
+	}
+	if filled >= 0 {
+		return filled, true
+	}
+	return 0, false
+}
+
+// selectSeed covers everything the seed reaches and evicts the covered
+// pairs from all sketches.
+func (st *state) selectSeed(seed graph.NodeID) {
+	st.chosen[seed] = true
+	st.sketches[seed] = nil
+	st.liveSize[seed] = 0
+	for inst := 0; inst < st.g.instances; inst++ {
+		st.forwardCover(seed, inst)
+	}
+}
+
+// forwardCover marks every pair (v, inst) with v forward-reachable from
+// seed in instance inst as covered, and evicts those pairs from sketches.
+func (st *state) forwardCover(seed graph.NodeID, inst int) {
+	bit := uint64(1) << uint(inst)
+	st.curMark++
+	st.queue = st.queue[:0]
+	st.queue = append(st.queue, seed)
+	st.mark[seed] = st.curMark
+	for qi := 0; qi < len(st.queue); qi++ {
+		u := st.queue[qi]
+		p := pairID(int(u)*st.g.instances + inst)
+		if !st.covered[p] {
+			st.covered[p] = true
+			st.evict(p)
+		}
+		for ei := st.g.fwdStart[u]; ei < st.g.fwdStart[u+1]; ei++ {
+			if st.g.fwdMask[ei]&bit == 0 {
+				continue
+			}
+			v := st.g.fwdTo[ei]
+			if st.mark[v] != st.curMark {
+				st.mark[v] = st.curMark
+				st.queue = append(st.queue, v)
+			}
+		}
+	}
+}
+
+// evict removes the newly covered pair p from every sketch containing it.
+func (st *state) evict(p pairID) {
+	nodes := st.containing[p]
+	if nodes == nil {
+		return
+	}
+	delete(st.containing, p)
+	for _, u := range nodes {
+		if st.chosen[u] {
+			continue
+		}
+		sk := st.sketches[u]
+		for i, q := range sk {
+			if q == p {
+				st.sketches[u] = append(sk[:i], sk[i+1:]...)
+				st.liveSize[u]--
+				break
+			}
+		}
+	}
+}
+
+// largestLiveSketch returns the unchosen node with the largest live sketch.
+func (st *state) largestLiveSketch() (graph.NodeID, bool) {
+	best := graph.NodeID(-1)
+	bestSize := 0
+	for u := 0; u < st.g.n; u++ {
+		if !st.chosen[u] && st.liveSize[u] > bestSize {
+			bestSize = st.liveSize[u]
+			best = graph.NodeID(u)
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// anyUnchosen returns the smallest-ID unchosen node.
+func (st *state) anyUnchosen() (graph.NodeID, bool) {
+	for u := 0; u < st.g.n; u++ {
+		if !st.chosen[u] {
+			return graph.NodeID(u), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,186 @@
+package skim
+
+import (
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// threeStars builds a static graph with clearly separated star sizes:
+// 0 → 1..15 (reach 16), 20 → 21..28 (reach 9), 40 → 41..43 (reach 4),
+// plus one isolated edge 50 → 51 (reach 2).
+func threeStars() *graph.Static {
+	l := graph.New(52)
+	t := graph.Time(1)
+	for v := 1; v <= 15; v++ {
+		l.Add(0, graph.NodeID(v), t)
+		t++
+	}
+	for v := 21; v <= 28; v++ {
+		l.Add(20, graph.NodeID(v), t)
+		t++
+	}
+	for v := 41; v <= 43; v++ {
+		l.Add(40, graph.NodeID(v), t)
+		t++
+	}
+	l.Add(50, 51, t)
+	l.Sort()
+	return graph.StaticFrom(l)
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := threeStars()
+	if _, err := TopK(s, 1, Config{K: 1, Instances: 4, P: 0.5}); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := TopK(s, 1, Config{K: 8, Instances: 0, P: 0.5}); err == nil {
+		t.Error("0 instances accepted")
+	}
+	if _, err := TopK(s, 1, Config{K: 8, Instances: 65, P: 0.5}); err == nil {
+		t.Error("65 instances accepted")
+	}
+	if _, err := TopK(s, 1, Config{K: 8, Instances: 4, P: 0}); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := TopK(s, 1, Config{K: 8, Instances: 4, P: 1.5}); err == nil {
+		t.Error("P>1 accepted")
+	}
+}
+
+func TestTopKFindsStarCenters(t *testing.T) {
+	// With P=1 reachability is deterministic: per instance node 0 covers
+	// 16 pairs, node 20 covers 9, node 40 covers 4, node 50 covers 2,
+	// everything else at most 2. The selection is sketch-based so the
+	// ordering is only probabilistic, but at these margins and K=16 it is
+	// reliable.
+	seeds, err := TopK(threeStars(), 3, Config{K: 16, Instances: 32, P: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.NodeID{0, 20, 40}
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	for i := range want {
+		if seeds[i] != want[i] {
+			t.Fatalf("seeds = %v, want %v", seeds, want)
+		}
+	}
+}
+
+func TestTopKChainP1(t *testing.T) {
+	// 0→1→2→3→4: node 0 reaches everything; it must be selected first.
+	l := graph.New(5)
+	for v := 0; v < 4; v++ {
+		l.Add(graph.NodeID(v), graph.NodeID(v+1), graph.Time(v+1))
+	}
+	l.Sort()
+	seeds, err := TopK(graph.StaticFrom(l), 1, Config{K: 3, Instances: 8, P: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("first seed = %d, want 0", seeds[0])
+	}
+}
+
+func TestTopKDeterministicForSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Instances = 16
+	cfg.K = 8
+	a, err := TopK(threeStars(), 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TopK(threeStars(), 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestTopKReturnsDistinctSeeds(t *testing.T) {
+	cfg := Config{K: 4, Instances: 8, P: 0.5, Seed: 7}
+	seeds, err := TopK(threeStars(), 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 10 {
+		t.Fatalf("got %d seeds, want 10", len(seeds))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, u := range seeds {
+		if seen[u] {
+			t.Fatalf("duplicate seed %d in %v", u, seeds)
+		}
+		seen[u] = true
+	}
+}
+
+func TestTopKClampsToNodeCount(t *testing.T) {
+	l := graph.New(3)
+	l.Add(0, 1, 1)
+	l.Add(1, 2, 2)
+	l.Sort()
+	seeds, err := TopK(graph.StaticFrom(l), 99, Config{K: 4, Instances: 4, P: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds, want 3", len(seeds))
+	}
+}
+
+func TestTopKSparseProbabilityStillFillsSeeds(t *testing.T) {
+	// With a tiny edge probability most instances are empty: no sketch
+	// ever fills, so selection exercises the largest-live-sketch and
+	// any-unchosen fallbacks. It must still return k distinct seeds.
+	seeds, err := TopK(threeStars(), 6, Config{K: 16, Instances: 16, P: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 6 {
+		t.Fatalf("got %d seeds, want 6", len(seeds))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, u := range seeds {
+		if seen[u] {
+			t.Fatalf("duplicate seed in %v", seeds)
+		}
+		seen[u] = true
+	}
+}
+
+func TestTopKSingleInstance(t *testing.T) {
+	seeds, err := TopK(threeStars(), 2, Config{K: 4, Instances: 1, P: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	if seeds[0] != 0 {
+		t.Fatalf("first seed = %d, want star centre 0", seeds[0])
+	}
+}
+
+func TestSampleInstancesP1KeepsAllEdges(t *testing.T) {
+	s := threeStars()
+	cfg := Config{K: 4, Instances: 8, P: 1, Seed: 1}
+	g := sampleInstances(s, cfg, newTestRNG())
+	fullMask := uint64(1)<<uint(cfg.Instances) - 1
+	for _, m := range g.fwdMask {
+		if m != fullMask {
+			t.Fatalf("edge mask %b with P=1, want %b", m, fullMask)
+		}
+	}
+	// Reverse CSR carries the same edge count.
+	if len(g.revTo) != len(g.fwdTo) {
+		t.Fatalf("reverse CSR has %d edges, forward %d", len(g.revTo), len(g.fwdTo))
+	}
+}

@@ -1,0 +1,90 @@
+// Package stats provides the small numeric helpers the experiment harness
+// and tests share: means, relative errors, percentiles, and set overlap.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation, or 0 for fewer than
+// two values.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// RelErr returns |estimate − truth| / truth, or 0 when both are zero, or
+// |estimate| when only truth is zero (so a spurious estimate still counts
+// as error mass rather than dividing by zero).
+func RelErr(estimate, truth float64) float64 {
+	if truth == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Abs(estimate)
+	}
+	return math.Abs(estimate-truth) / truth
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank on
+// a copy of xs, or 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}
+
+// Overlap returns the number of elements the two slices share, treating
+// each as a set. It is how Table 5 counts common seeds between windows.
+func Overlap[T comparable](a, b []T) int {
+	set := make(map[T]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	n := 0
+	seen := make(map[T]struct{}, len(b))
+	for _, x := range b {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		if _, ok := set[x]; ok {
+			n++
+		}
+	}
+	return n
+}

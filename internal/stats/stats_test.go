@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{5}); got != 0 {
+		t.Errorf("Stddev single = %g", got)
+	}
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Stddev = %g, want 2", got)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %g, want 0.1", got)
+	}
+	if got := RelErr(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %g, want 0.1", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0,0) = %g", got)
+	}
+	if got := RelErr(3, 0); got != 3 {
+		t.Errorf("RelErr(3,0) = %g, want 3", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %g", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %g", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap([]int{1, 2, 3}, []int{2, 3, 4}); got != 2 {
+		t.Errorf("Overlap = %d, want 2", got)
+	}
+	if got := Overlap([]int{}, []int{1}); got != 0 {
+		t.Errorf("Overlap empty = %d", got)
+	}
+	// Duplicates in either argument count once.
+	if got := Overlap([]int{1, 1, 2}, []int{1, 1, 1}); got != 1 {
+		t.Errorf("Overlap dup = %d, want 1", got)
+	}
+	if got := Overlap([]string{"a", "b"}, []string{"b", "c"}); got != 1 {
+		t.Errorf("Overlap strings = %d, want 1", got)
+	}
+}

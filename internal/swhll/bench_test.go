@@ -1,0 +1,27 @@
+package swhll
+
+import "testing"
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := MustNew(9, 100000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.Add(uint64(i%65536), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if i%8192 == 0 {
+			c.Prune()
+		}
+	}
+}
+
+func BenchmarkCounterEstimate(b *testing.B) {
+	c := MustNew(9, 100000)
+	for i := 0; i < 200000; i++ {
+		_ = c.Add(uint64(i), int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Estimate()
+	}
+}

@@ -1,0 +1,26 @@
+package swhll_test
+
+import (
+	"fmt"
+
+	"ipin/internal/swhll"
+)
+
+// A live counter over the trailing 60-tick window of a forward stream.
+func ExampleCounter() {
+	c := swhll.MustNew(10, 60)
+	// One new item per tick for 200 ticks.
+	for t := int64(1); t <= 200; t++ {
+		if err := c.Add(uint64(t), t); err != nil {
+			panic(err)
+		}
+	}
+	// Only the last 60 ticks are in the window.
+	est := c.Estimate()
+	fmt.Println(est > 45 && est < 75)
+	// Long after the stream went quiet, the window is empty.
+	fmt.Println(c.EstimateAt(1000))
+	// Output:
+	// true
+	// 0
+}

@@ -1,0 +1,128 @@
+package swhll
+
+import (
+	"fmt"
+
+	"ipin/internal/graph"
+	"ipin/internal/hll"
+)
+
+// Profiles maintains sliding-window neighborhood profiles over a forward
+// interaction stream: for every node, an approximate count of the
+// DISTINCT nodes it interacted with (as a source) during the trailing ω
+// ticks. This is the end-to-end application of the paper's reference
+// [15], and the live-monitoring counterpart of the offline IRS pipeline:
+// feed interactions as they happen, read off the current out-neighborhood
+// sizes at any moment.
+type Profiles struct {
+	precision int
+	window    int64
+	counters  []*Counter // lazily allocated per node
+	last      int64
+	seen      bool
+	// sinceProne counts observations since the last amortized prune.
+	sincePrune int
+}
+
+// NewProfiles returns a profile maintainer for n nodes with the given
+// sketch precision and window length in ticks.
+func NewProfiles(n, precision int, window int64) (*Profiles, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("swhll: negative node count %d", n)
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("swhll: window must be >= 1, got %d", window)
+	}
+	if precision < hll.MinPrecision || precision > hll.MaxPrecision {
+		return nil, fmt.Errorf("swhll: precision %d outside [%d,%d]", precision, hll.MinPrecision, hll.MaxPrecision)
+	}
+	return &Profiles{precision: precision, window: window, counters: make([]*Counter, n)}, nil
+}
+
+// Observe records interaction (src, dst, t). Timestamps must be
+// non-decreasing across calls.
+func (p *Profiles) Observe(src, dst graph.NodeID, t graph.Time) error {
+	if p.seen && int64(t) < p.last {
+		return fmt.Errorf("swhll: time regressed from %d to %d", p.last, t)
+	}
+	p.last = int64(t)
+	p.seen = true
+	c := p.counters[src]
+	if c == nil {
+		c = MustNew(p.precision, p.window)
+		p.counters[src] = c
+	}
+	if err := c.AddHash(hll.Hash64(uint64(dst)), int64(t)); err != nil {
+		return err
+	}
+	// Amortized cleanup: every ~4096 observations, drop entries that have
+	// aged out of every counter's window.
+	p.sincePrune++
+	if p.sincePrune >= 4096 {
+		p.sincePrune = 0
+		for _, c := range p.counters {
+			if c != nil {
+				c.Prune()
+			}
+		}
+	}
+	return nil
+}
+
+// Profile returns the estimated number of distinct out-neighbours of u
+// within the window ending at the latest observation.
+func (p *Profiles) Profile(u graph.NodeID) float64 {
+	c := p.counters[u]
+	if c == nil || !p.seen {
+		return 0
+	}
+	return c.EstimateAt(p.last)
+}
+
+// Top returns the k nodes with the largest current profiles, descending,
+// ties broken by smaller NodeID.
+func (p *Profiles) Top(k int) []graph.NodeID {
+	type scored struct {
+		node  graph.NodeID
+		score float64
+	}
+	var all []scored
+	for u, c := range p.counters {
+		if c == nil {
+			continue
+		}
+		if s := c.EstimateAt(p.last); s > 0 {
+			all = append(all, scored{node: graph.NodeID(u), score: s})
+		}
+	}
+	// Insertion-sort into the top-k prefix; k is small in practice.
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].score > all[best].score ||
+				(all[j].score == all[best].score && all[j].node < all[best].node) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	out := make([]graph.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].node
+	}
+	return out
+}
+
+// MemoryBytes returns the total payload size of all counters.
+func (p *Profiles) MemoryBytes() int {
+	n := 0
+	for _, c := range p.counters {
+		if c != nil {
+			n += c.MemoryBytes()
+		}
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+// Package swhll implements a sliding-window HyperLogLog: approximate
+// distinct counting over the most recent ω ticks of a FORWARD stream.
+//
+// This is the structure of Kumar, Calders, Gionis and Tatti, "Maintaining
+// sliding-window neighborhood profiles in interaction networks" (ECML
+// PKDD 2015) — the paper's reference [15], which its versioned sketch "is
+// based on the same notion as". Where internal/vhll serves the
+// reverse-chronological IRS scan (queries anchored at ever-earlier
+// times), this package serves live forward streams: items arrive in
+// non-decreasing time order and queries ask "how many distinct items in
+// the last ω ticks?".
+//
+// The two directions are mirror images: a forward stream with
+// non-decreasing timestamps t is a reverse stream with non-increasing
+// keys −t, and a trailing window [now−ω+1, now] maps to the leading
+// window [−now, −now+ω−1]. The implementation therefore delegates to the
+// versioned sketch with negated timestamps, inheriting its
+// dominance-staircase invariant, its O(log ω) expected cell size, and its
+// property-tested window queries — one mechanism, both scan directions.
+package swhll
+
+import (
+	"fmt"
+
+	"ipin/internal/hll"
+	"ipin/internal/vhll"
+)
+
+// Counter approximately counts distinct items within a trailing time
+// window of a forward stream. The zero value is unusable; construct with
+// New.
+type Counter struct {
+	inner  *vhll.Sketch
+	window int64
+	last   int64
+	seen   bool
+}
+
+// New returns a counter with 2^precision cells and the given window
+// length in ticks.
+func New(precision int, window int64) (*Counter, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("swhll: window must be >= 1, got %d", window)
+	}
+	inner, err := vhll.New(precision)
+	if err != nil {
+		return nil, fmt.Errorf("swhll: %v", err)
+	}
+	return &Counter{inner: inner, window: window}, nil
+}
+
+// MustNew is New for statically known parameters; it panics on error.
+func MustNew(precision int, window int64) *Counter {
+	c, err := New(precision, window)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Window returns the window length in ticks.
+func (c *Counter) Window() int64 { return c.window }
+
+// Add records an item observation at time t. Timestamps must be
+// non-decreasing; Add returns an error on time regression, the condition
+// under which the mirrored dominance rule would silently discard
+// information.
+func (c *Counter) Add(item uint64, t int64) error {
+	return c.AddHash(hll.Hash64(item), t)
+}
+
+// AddHash is Add for a pre-hashed item.
+func (c *Counter) AddHash(hash uint64, t int64) error {
+	if c.seen && t < c.last {
+		return fmt.Errorf("swhll: time regressed from %d to %d", c.last, t)
+	}
+	c.last = t
+	c.seen = true
+	c.inner.AddHash(hash, -t)
+	return nil
+}
+
+// Estimate approximates the number of distinct items observed in
+// (now−window, now], evaluated at the time of the latest Add.
+func (c *Counter) Estimate() float64 {
+	if !c.seen {
+		return 0
+	}
+	return c.EstimateAt(c.last)
+}
+
+// EstimateAt approximates the number of distinct items observed in
+// (now−window, now] for a caller-chosen now. now must not precede the
+// latest Add — the mirrored sketch discards exactly the entries that can
+// no longer matter for such queries.
+func (c *Counter) EstimateAt(now int64) float64 {
+	// Trailing window [now−window+1, now] in stream time is the leading
+	// window [−now, −now+window−1] in mirrored time.
+	return c.inner.EstimateWindow(-now, c.window)
+}
+
+// Prune discards entries that can no longer influence any admissible
+// query (older than window before the latest Add). It is the periodic
+// cleanup step of the sliding-window sketch; estimates are unchanged.
+func (c *Counter) Prune() {
+	if c.seen {
+		c.inner.Prune(-c.last, c.window)
+	}
+}
+
+// Merge folds other into c: the result answers queries as if both
+// streams had been observed. Both counters must share precision and
+// window length.
+func (c *Counter) Merge(other *Counter) error {
+	if other.window != c.window {
+		return fmt.Errorf("swhll: window mismatch %d vs %d", other.window, c.window)
+	}
+	if err := c.inner.Merge(other.inner); err != nil {
+		return fmt.Errorf("swhll: %v", err)
+	}
+	if other.seen && (!c.seen || other.last > c.last) {
+		c.last = other.last
+	}
+	c.seen = c.seen || other.seen
+	return nil
+}
+
+// MemoryBytes returns the payload size of the counter.
+func (c *Counter) MemoryBytes() int { return c.inner.MemoryBytes() }
+
+// EntryCount returns the number of stored (rank, timestamp) pairs.
+func (c *Counter) EntryCount() int { return c.inner.EntryCount() }

@@ -1,0 +1,30 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+var benchLog = func() *graph.Log {
+	rng := rand.New(rand.NewSource(8))
+	l := graph.New(200)
+	for i := 0; i < 2000; i++ {
+		l.Add(graph.NodeID(rng.Intn(200)), graph.NodeID(rng.Intn(200)), graph.Time(i+1))
+	}
+	l.Sort()
+	return l
+}()
+
+func BenchmarkReachSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ReachSet(benchLog, graph.NodeID(i%200), 500)
+	}
+}
+
+func BenchmarkFindChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = FindChannel(benchLog, graph.NodeID(i%200), graph.NodeID((i+100)%200), 500)
+	}
+}

@@ -1,0 +1,28 @@
+package temporal_test
+
+import (
+	"fmt"
+
+	"ipin/internal/graph"
+	"ipin/internal/temporal"
+)
+
+// Exhibiting the information channel that lets node 0 influence node 3.
+func ExampleFindChannel() {
+	l := graph.New(4)
+	l.Add(0, 1, 10)
+	l.Add(1, 2, 20)
+	l.Add(2, 3, 25)
+	l.Sort()
+
+	ch := temporal.FindChannel(l, 0, 3, 16)
+	for _, e := range ch {
+		fmt.Printf("%d→%d @ %d\n", e.Src, e.Dst, e.At)
+	}
+	fmt.Println("duration:", ch.Duration())
+	// Output:
+	// 0→1 @ 10
+	// 1→2 @ 20
+	// 2→3 @ 25
+	// duration: 16
+}

@@ -1,0 +1,105 @@
+package temporal
+
+import (
+	"ipin/internal/graph"
+)
+
+// Channel is one concrete information channel: the sequence of
+// interactions, time-ascending, leading from its first edge's source to
+// its last edge's destination.
+type Channel []graph.Interaction
+
+// Duration returns t_k − t_1 + 1 (paper Definition 1); zero for an empty
+// channel.
+func (c Channel) Duration() int64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return int64(c[len(c)-1].At-c[0].At) + 1
+}
+
+// End returns the channel's end time t_k.
+func (c Channel) End() graph.Time {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1].At
+}
+
+// FindChannel reconstructs an information channel u→v of duration ≤ omega
+// whose end time equals λ(u,v) — the earliest-ending admissible channel,
+// the witness behind the summaries' entries. It returns nil when no
+// admissible channel exists. This answers the diagnostic question "WHY
+// does u influence v": the IRS algorithms only certify reachability, the
+// brute force can exhibit the path.
+func FindChannel(l *graph.Log, u, v graph.NodeID, omega int64) Channel {
+	if omega <= 0 || u == v {
+		return nil
+	}
+	edges := l.Interactions
+	arrival := make([]graph.Time, l.NumNodes)
+	via := make([]int, l.NumNodes) // index of the edge that reached the node
+	reached := make([]bool, l.NumNodes)
+	var touched []graph.NodeID
+
+	var best Channel
+	var bestEnd graph.Time
+	for i, start := range edges {
+		if start.Src != u || start.Src == start.Dst {
+			continue
+		}
+		if best != nil && start.At >= bestEnd {
+			// Channels starting here end strictly later than the best
+			// found; with edges ascending no further start can improve.
+			break
+		}
+		deadline := start.At + graph.Time(omega) - 1
+		reached[start.Dst] = true
+		arrival[start.Dst] = start.At
+		via[start.Dst] = i
+		touched = append(touched[:0], start.Dst)
+		for j := i + 1; j < len(edges); j++ {
+			e := edges[j]
+			if e.At > deadline {
+				break
+			}
+			if e.Src == e.Dst {
+				continue
+			}
+			if reached[e.Src] && e.At > arrival[e.Src] && !reached[e.Dst] {
+				reached[e.Dst] = true
+				arrival[e.Dst] = e.At
+				via[e.Dst] = j
+				touched = append(touched, e.Dst)
+				if e.Dst == v {
+					break
+				}
+			}
+		}
+		if reached[v] && (best == nil || arrival[v] < bestEnd) {
+			// Walk the via chain backwards to materialize the path. Every
+			// reached node's chain terminates at the start edge (index i),
+			// whose destination was the scan's first reached node.
+			var rev Channel
+			cur := v
+			for {
+				idx := via[cur]
+				rev = append(rev, edges[idx])
+				if idx == i {
+					break
+				}
+				cur = edges[idx].Src
+			}
+			// Reverse into time order.
+			for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+				rev[a], rev[b] = rev[b], rev[a]
+			}
+			best = rev
+			bestEnd = arrival[v]
+		}
+		for _, w := range touched {
+			reached[w] = false
+		}
+	}
+	return best
+}

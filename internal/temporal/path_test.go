@@ -1,0 +1,123 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// checkChannel verifies that ch is a well-formed information channel
+// u→v of duration ≤ omega using only edges of l.
+func checkChannel(t *testing.T, l *graph.Log, ch Channel, u, v graph.NodeID, omega int64) {
+	t.Helper()
+	if len(ch) == 0 {
+		t.Fatal("empty channel")
+	}
+	if ch[0].Src != u {
+		t.Fatalf("channel starts at %d, want %d", ch[0].Src, u)
+	}
+	if ch[len(ch)-1].Dst != v {
+		t.Fatalf("channel ends at %d, want %d", ch[len(ch)-1].Dst, v)
+	}
+	if ch.Duration() > omega {
+		t.Fatalf("duration %d exceeds ω=%d", ch.Duration(), omega)
+	}
+	present := map[graph.Interaction]bool{}
+	for _, e := range l.Interactions {
+		present[e] = true
+	}
+	for i, e := range ch {
+		if !present[e] {
+			t.Fatalf("edge %v not in the log", e)
+		}
+		if i > 0 {
+			if ch[i-1].Dst != e.Src {
+				t.Fatalf("edge %d does not continue the path", i)
+			}
+			if e.At <= ch[i-1].At {
+				t.Fatalf("edge %d breaks time order", i)
+			}
+		}
+	}
+}
+
+func TestFindChannelFig1a(t *testing.T) {
+	l := fig1a()
+	// λ(a,e) = 3 with ω=3: the witness is a→d@1, d→e@3.
+	ch := FindChannel(l, a, e, 3)
+	checkChannel(t, l, ch, a, e, 3)
+	if ch.End() != 3 {
+		t.Fatalf("channel ends at %d, want λ(a,e)=3", ch.End())
+	}
+	if len(ch) != 2 {
+		t.Fatalf("channel length %d, want 2", len(ch))
+	}
+	// No channel a→f at any window (f's only in-edge is at time 2).
+	if ch := FindChannel(l, a, f, 8); ch != nil {
+		t.Fatalf("phantom channel a→f: %v", ch)
+	}
+	// Direct edge: λ(e,f) = 2.
+	ch = FindChannel(l, e, f, 1)
+	checkChannel(t, l, ch, e, f, 1)
+	if len(ch) != 1 {
+		t.Fatalf("direct channel length %d", len(ch))
+	}
+}
+
+func TestFindChannelDegenerate(t *testing.T) {
+	l := fig1a()
+	if ch := FindChannel(l, a, a, 5); ch != nil {
+		t.Error("self channel returned")
+	}
+	if ch := FindChannel(l, a, e, 0); ch != nil {
+		t.Error("ω=0 returned a channel")
+	}
+}
+
+// TestFindChannelMatchesReachSet: FindChannel must return a witness
+// exactly when ReachSet lists the target, with the same λ end time.
+func TestFindChannelMatchesReachSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + rng.Intn(10)
+		m := 15 + rng.Intn(60)
+		l := graph.New(n)
+		for i := 0; i < m; i++ {
+			l.Add(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), graph.Time(i+1))
+		}
+		l.Sort()
+		for _, omega := range []int64{2, 7, int64(m)} {
+			for u := 0; u < n; u++ {
+				rs := ReachSet(l, graph.NodeID(u), omega)
+				for v := 0; v < n; v++ {
+					if u == v {
+						continue
+					}
+					ch := FindChannel(l, graph.NodeID(u), graph.NodeID(v), omega)
+					lambda, ok := rs[graph.NodeID(v)]
+					if !ok {
+						if ch != nil {
+							t.Fatalf("trial %d ω=%d: channel %d→%d exists but ReachSet says no", trial, omega, u, v)
+						}
+						continue
+					}
+					if ch == nil {
+						t.Fatalf("trial %d ω=%d: no witness for %d→%d (λ=%d)", trial, omega, u, v, lambda)
+					}
+					checkChannel(t, l, ch, graph.NodeID(u), graph.NodeID(v), omega)
+					if ch.End() != lambda {
+						t.Fatalf("trial %d ω=%d: witness ends at %d, λ=%d", trial, omega, ch.End(), lambda)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChannelAccessorsEmpty(t *testing.T) {
+	var ch Channel
+	if ch.Duration() != 0 || ch.End() != 0 {
+		t.Fatal("empty channel accessors")
+	}
+}

@@ -1,0 +1,88 @@
+// Package temporal computes exact temporal reachability by brute force.
+//
+// It exists as the independent ground truth against which the one-pass IRS
+// algorithms of internal/core are tested: it enumerates information
+// channels (paper Definition 1) directly from their definition — paths of
+// strictly time-increasing interactions whose total duration t_k − t_1 + 1
+// is at most ω — without any of the reverse-scan machinery under test.
+//
+// Complexity is O(deg(u) · m) per source node, so it is only suitable for
+// the small and medium graphs used in tests; that is its purpose.
+package temporal
+
+import (
+	"ipin/internal/graph"
+)
+
+// ReachSet computes the exact IRS summary of node u: for every node v with
+// an information channel u→v of duration ≤ omega, the earliest end time
+// λ(u, v) over all such channels (paper Definition 4). The log must be
+// sorted ascending by time.
+func ReachSet(l *graph.Log, u graph.NodeID, omega int64) map[graph.NodeID]graph.Time {
+	out := make(map[graph.NodeID]graph.Time)
+	edges := l.Interactions
+	arrival := make([]graph.Time, l.NumNodes)
+	reached := make([]bool, l.NumNodes)
+	var touched []graph.NodeID
+
+	for i, start := range edges {
+		if start.Src != u || start.Src == start.Dst {
+			continue
+		}
+		// Channels beginning with this interaction may end no later than
+		// start.At + omega − 1 (duration = end − start + 1 ≤ ω).
+		deadline := start.At + graph.Time(omega) - 1
+		if graph.Time(omega) <= 0 {
+			continue
+		}
+		// Earliest-arrival scan: edges are ascending in time, so the first
+		// time a node is assigned an arrival it is the earliest one for
+		// channels starting at this interaction.
+		reached[start.Dst] = true
+		arrival[start.Dst] = start.At
+		touched = append(touched[:0], start.Dst)
+		for j := i + 1; j < len(edges); j++ {
+			e := edges[j]
+			if e.At > deadline {
+				break
+			}
+			if e.Src == e.Dst {
+				continue
+			}
+			if reached[e.Src] && e.At > arrival[e.Src] && !reached[e.Dst] {
+				reached[e.Dst] = true
+				arrival[e.Dst] = e.At
+				touched = append(touched, e.Dst)
+			}
+		}
+		for _, v := range touched {
+			// A node does not count as influencing itself, even through a
+			// temporal cycle — the paper's worked Example 2 drops the
+			// self-entry (e,6) that the cycle e→b→e would produce.
+			if v != u {
+				if old, ok := out[v]; !ok || arrival[v] < old {
+					out[v] = arrival[v]
+				}
+			}
+			reached[v] = false
+		}
+	}
+	return out
+}
+
+// ReachSets computes the exact IRS summary for every node. It is the full
+// ground truth for the exact algorithm's output.
+func ReachSets(l *graph.Log, omega int64) []map[graph.NodeID]graph.Time {
+	out := make([]map[graph.NodeID]graph.Time, l.NumNodes)
+	for u := 0; u < l.NumNodes; u++ {
+		out[u] = ReachSet(l, graph.NodeID(u), omega)
+	}
+	return out
+}
+
+// ChannelExists reports whether at least one information channel of
+// duration ≤ omega leads from u to v.
+func ChannelExists(l *graph.Log, u, v graph.NodeID, omega int64) bool {
+	_, ok := ReachSet(l, u, omega)[v]
+	return ok
+}

@@ -1,0 +1,181 @@
+package temporal
+
+import (
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// Node labels of the paper's figures.
+const (
+	a graph.NodeID = iota
+	b
+	c
+	d
+	e
+	f
+)
+
+// fig1a is the interaction network of the paper's Figure 1a.
+func fig1a() *graph.Log {
+	l := graph.New(6)
+	l.Add(a, d, 1)
+	l.Add(e, f, 2)
+	l.Add(d, e, 3)
+	l.Add(e, b, 4)
+	l.Add(a, b, 5)
+	l.Add(b, e, 6)
+	l.Add(e, c, 7)
+	l.Add(b, c, 8)
+	l.Sort()
+	return l
+}
+
+// fig2 reconstructs the interaction network of the paper's Figure 2 from
+// the worked values the text states for it:
+//
+//	ϕ3(a) = {(b,1),(d,2),(c,4)}      σ3(a) = {b,c,d}   σ5(a) = {b,c,d,f}
+//	ϕ3(c) = {(f,5),(e,3)}            λ(c,f) = 5
+//	exactly two channels c→f: duration 1 ending at 8, duration 3 ending 5
+//
+// The unique 7-edge assignment over labels {1,2,3,4,5,6,8} satisfying all
+// of these is: (a,b,1),(a,d,2),(c,e,3),(d,c,4),(e,f,5),(d,f,6),(c,f,8).
+func fig2() *graph.Log {
+	l := graph.New(6)
+	l.Add(a, b, 1)
+	l.Add(a, d, 2)
+	l.Add(c, e, 3)
+	l.Add(d, c, 4)
+	l.Add(e, f, 5)
+	l.Add(d, f, 6)
+	l.Add(c, f, 8)
+	l.Sort()
+	return l
+}
+
+func TestFig1aBasicChannels(t *testing.T) {
+	l := fig1a()
+	// The paper: "there is an information channel from a to e, but not
+	// from a to f" (with unbounded window).
+	span := int64(8)
+	if !ChannelExists(l, a, e, span) {
+		t.Error("no channel a→e found")
+	}
+	if ChannelExists(l, a, f, span) {
+		t.Error("phantom channel a→f (the only edge into f is at time 2)")
+	}
+}
+
+func TestFig1aReachSetsOmega3(t *testing.T) {
+	l := fig1a()
+	got := ReachSets(l, 3)
+	want := []map[graph.NodeID]graph.Time{
+		a: {b: 5, c: 7, e: 3, d: 1},
+		b: {c: 7, e: 6},
+		c: {},
+		d: {e: 3, b: 4},
+		e: {c: 7, b: 4, f: 2},
+		f: {},
+	}
+	for u := range want {
+		if len(got[u]) != len(want[u]) {
+			t.Errorf("node %d: got %v, want %v", u, got[u], want[u])
+			continue
+		}
+		for v, tm := range want[u] {
+			if got[u][v] != tm {
+				t.Errorf("node %d: λ(%d) = %d, want %d", u, v, got[u][v], tm)
+			}
+		}
+	}
+}
+
+func TestFig2PaperValues(t *testing.T) {
+	l := fig2()
+	phiA := ReachSet(l, a, 3)
+	wantA := map[graph.NodeID]graph.Time{b: 1, d: 2, c: 4}
+	if len(phiA) != len(wantA) {
+		t.Fatalf("ϕ3(a) = %v, want %v", phiA, wantA)
+	}
+	for v, tm := range wantA {
+		if phiA[v] != tm {
+			t.Errorf("λ(a,%d) = %d, want %d", v, phiA[v], tm)
+		}
+	}
+	// σ5(a) additionally reaches f (a→b@1, b→c@4, c→f@5: duration 5).
+	phiA5 := ReachSet(l, a, 5)
+	if _, ok := phiA5[f]; !ok {
+		t.Errorf("σ5(a) = %v, missing f", phiA5)
+	}
+	if _, ok := phiA5[e]; ok {
+		t.Errorf("σ5(a) contains e; the only paths to e need duration > 5")
+	}
+	// λ(c,f): two channels c→f exist — the direct edge at 5 (duration 1)
+	// and none shorter; the earliest end is 5.
+	phiC := ReachSet(l, c, 3)
+	if phiC[f] != 5 {
+		t.Errorf("λ(c,f) = %d, want 5", phiC[f])
+	}
+	if phiC[e] != 3 {
+		t.Errorf("λ(c,e) = %d, want 3", phiC[e])
+	}
+}
+
+func TestWindowOneIsDirectNeighbours(t *testing.T) {
+	// ω=1: only single interactions qualify (duration of one edge is 1).
+	l := fig1a()
+	got := ReachSet(l, e, 1)
+	want := map[graph.NodeID]graph.Time{f: 2, b: 4, c: 7}
+	if len(got) != len(want) {
+		t.Fatalf("σ1(e) = %v, want %v", got, want)
+	}
+	for v, tm := range want {
+		if got[v] != tm {
+			t.Errorf("λ(e,%d) = %d, want %d", v, got[v], tm)
+		}
+	}
+}
+
+func TestStrictTimeIncrease(t *testing.T) {
+	// Equal timestamps do not chain: t must strictly increase.
+	l := graph.New(3)
+	l.Add(0, 1, 5)
+	l.Add(1, 2, 5)
+	l.Sort()
+	if ChannelExists(l, 0, 2, 100) {
+		t.Error("channel chained through equal timestamps")
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	l := graph.New(2)
+	l.Add(0, 0, 1)
+	l.Add(0, 1, 2)
+	l.Sort()
+	got := ReachSet(l, 0, 10)
+	if len(got) != 1 || got[1] != 2 {
+		t.Fatalf("σ(0) = %v, want {1:2}", got)
+	}
+}
+
+func TestCycleDoesNotReachSelf(t *testing.T) {
+	// a→b@1, b→a@2: the temporal cycle exists, but a node never counts as
+	// influencing itself — the paper's worked Example 2 drops the
+	// self-entry a cycle would produce.
+	l := graph.New(2)
+	l.Add(0, 1, 1)
+	l.Add(1, 0, 2)
+	l.Sort()
+	got := ReachSet(l, 0, 10)
+	if _, ok := got[0]; ok {
+		t.Errorf("σ(a) = %v contains a itself", got)
+	}
+	if got[1] != 1 {
+		t.Errorf("λ(a,b) = %d, want 1", got[1])
+	}
+	// The cycle still forwards influence: b reaches a.
+	gotB := ReachSet(l, 1, 10)
+	if gotB[0] != 2 {
+		t.Errorf("λ(b,a) = %d, want 2", gotB[0])
+	}
+}

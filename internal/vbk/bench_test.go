@@ -1,0 +1,41 @@
+package vbk
+
+import (
+	"testing"
+
+	"ipin/internal/hll"
+)
+
+func BenchmarkAddReverseStream(b *testing.B) {
+	s := MustNew(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AddHash(hll.Hash64(uint64(i%65536)), int64(1<<40-i))
+	}
+}
+
+func BenchmarkEstimateWindow(b *testing.B) {
+	s := MustNew(64)
+	for i := 0; i < 50000; i++ {
+		s.AddHash(hll.Hash64(uint64(i)), int64(1<<30-i))
+	}
+	anchor := int64(1<<30 - 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.EstimateWindow(anchor, 25000)
+	}
+}
+
+func BenchmarkMergeWindow(b *testing.B) {
+	src := MustNew(64)
+	for i := 0; i < 5000; i++ {
+		src.AddHash(hll.Hash64(uint64(i)), int64(1<<20-i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := MustNew(64)
+		if err := dst.MergeWindow(src, 1<<20-5000, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package vbk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary format: 4-byte magic "VBK1", uvarint k, uvarint pair count, then
+// pairs as (zigzag-varint timestamp delta, uvarint hash) in time order.
+var vbkMagic = [4]byte{'V', 'B', 'K', '1'}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(vbkMagic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(s.k))
+	buf.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], uint64(len(s.pairs)))
+	buf.Write(tmp[:n])
+	prev := int64(0)
+	for _, p := range s.pairs {
+		n = binary.PutVarint(tmp[:], p.at-prev)
+		buf.Write(tmp[:n])
+		n = binary.PutUvarint(tmp[:], p.hash)
+		buf.Write(tmp[:n])
+		prev = p.at
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Decoded sketches
+// are verified against the bottom-k staircase invariant.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 5 || !bytes.Equal(data[:4], vbkMagic[:]) {
+		return fmt.Errorf("vbk: bad magic")
+	}
+	r := bytes.NewReader(data[4:])
+	k64, err := binary.ReadUvarint(r)
+	if err != nil || k64 < 3 || k64 > 1<<20 {
+		return fmt.Errorf("vbk: bad k")
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("vbk: pair count: %v", err)
+	}
+	if count > uint64(r.Len()) {
+		return fmt.Errorf("vbk: pair count %d exceeds remaining input", count)
+	}
+	pairs := make([]pair, count)
+	prev := int64(0)
+	for i := range pairs {
+		delta, err := binary.ReadVarint(r)
+		if err != nil {
+			return fmt.Errorf("vbk: pair %d time: %v", i, err)
+		}
+		hash, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("vbk: pair %d hash: %v", i, err)
+		}
+		prev += delta
+		pairs[i] = pair{at: prev, hash: hash}
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("vbk: %d trailing bytes", r.Len())
+	}
+	decoded := &Sketch{k: int(k64), pairs: pairs}
+	if err := decoded.CheckInvariant(); err != nil {
+		return fmt.Errorf("vbk: corrupt payload: %v", err)
+	}
+	*s = *decoded
+	return nil
+}

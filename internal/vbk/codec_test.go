@@ -1,0 +1,93 @@
+package vbk
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/hll"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := MustNew(16)
+	cur := int64(1 << 30)
+	for i := 0; i < 500; i++ {
+		cur -= int64(1 + rng.Intn(3))
+		s.AddHash(hll.Hash64(uint64(rng.Intn(200))), cur)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != s.K() || got.PairCount() != s.PairCount() {
+		t.Fatalf("shape changed: k %d/%d pairs %d/%d", got.K(), s.K(), got.PairCount(), s.PairCount())
+	}
+	if got.Estimate() != s.Estimate() {
+		t.Fatal("estimate changed across round trip")
+	}
+	if got.EstimateWindow(cur, 500) != s.EstimateWindow(cur, 500) {
+		t.Fatal("windowed estimate changed")
+	}
+}
+
+func TestCodecRoundTripEmpty(t *testing.T) {
+	s := MustNew(8)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.PairCount() != 0 || got.K() != 8 {
+		t.Fatalf("empty round trip: %d pairs, k=%d", got.PairCount(), got.K())
+	}
+}
+
+func TestCodecRejectsBadInput(t *testing.T) {
+	var s Sketch
+	if err := s.UnmarshalBinary(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if err := s.UnmarshalBinary([]byte("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := s.UnmarshalBinary([]byte{'V', 'B', 'K', '1', 1}); err == nil {
+		t.Error("k below minimum accepted")
+	}
+	good, err := func() ([]byte, error) {
+		src := MustNew(4)
+		src.AddHash(hll.Hash64(1), 10)
+		src.AddHash(hll.Hash64(2), 5)
+		return src.MarshalBinary()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("truncation accepted")
+	}
+	if err := s.UnmarshalBinary(append(good, 7)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestCodecRejectsDuplicateHashes(t *testing.T) {
+	// Hand-craft a payload with two identical hashes — the invariant
+	// check must refuse it.
+	payload := []byte{'V', 'B', 'K', '1',
+		3,    // k
+		2,    // two pairs
+		2, 9, // (t=1, hash 9)
+		2, 9, // (t=2, hash 9) duplicate
+	}
+	var s Sketch
+	if err := s.UnmarshalBinary(payload); err == nil {
+		t.Fatal("duplicate hashes accepted")
+	}
+}

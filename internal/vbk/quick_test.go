@@ -1,0 +1,49 @@
+package vbk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipin/internal/hll"
+)
+
+// Property: the bottom-k staircase invariant survives arbitrary
+// reverse-ordered insertion sequences, at several k.
+func TestQuickInvariantUnderInsertion(t *testing.T) {
+	f := func(items []uint16, kSeed uint8) bool {
+		k := 3 + int(kSeed%10)
+		s := MustNew(k)
+		cur := int64(1 << 30)
+		for _, it := range items {
+			cur--
+			s.AddHash(hll.Hash64(uint64(it)), cur)
+		}
+		return s.CheckInvariant() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: below k the sketch counts exactly.
+func TestQuickExactBelowK(t *testing.T) {
+	f := func(items []uint16) bool {
+		distinct := map[uint16]bool{}
+		for _, it := range items {
+			distinct[it] = true
+		}
+		if len(distinct) >= 64 {
+			return true
+		}
+		s := MustNew(64)
+		cur := int64(1 << 30)
+		for _, it := range items {
+			cur--
+			s.Add(uint64(it), cur)
+		}
+		return s.Estimate() == float64(len(distinct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+package vbk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ipin/internal/hll"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("k=2 accepted")
+	}
+	s, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 8 {
+		t.Fatalf("K = %d", s.K())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestSmallCardinalityIsExact(t *testing.T) {
+	s := MustNew(16)
+	cur := int64(1000)
+	for i := 0; i < 10; i++ {
+		cur--
+		s.Add(uint64(i), cur)
+	}
+	if got := s.Estimate(); got != 10 {
+		t.Fatalf("estimate %.2f for 10 items below k, want exact 10", got)
+	}
+	// Duplicates do not change the count.
+	s.Add(3, cur-1)
+	if got := s.Estimate(); got != 10 {
+		t.Fatalf("estimate %.2f after duplicate", got)
+	}
+}
+
+func TestLargeCardinalityAccuracy(t *testing.T) {
+	s := MustNew(128)
+	cur := int64(1 << 40)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		cur--
+		s.Add(uint64(i), cur)
+	}
+	est := s.Estimate()
+	// Relative error ~1/sqrt(k-2) ≈ 8.9%; allow 5 sigma.
+	if rel := math.Abs(est-n) / n; rel > 0.45 {
+		t.Fatalf("estimate %.0f for %d items (rel %.3f)", est, n, rel)
+	}
+}
+
+func TestWindowQueries(t *testing.T) {
+	s := MustNew(32)
+	// Items at times 1000, 999, ..., 801 (reverse ingestion).
+	for i := 0; i < 200; i++ {
+		s.Add(uint64(i), int64(1000-i))
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// Window covering the 20 earliest-ingested... the pairs in
+	// [801, 820] are the last 20 ingested: exact below k.
+	if got := s.EstimateWindow(801, 20); got != 20 {
+		t.Fatalf("small-window estimate %.2f, want exact 20", got)
+	}
+	if got := s.EstimateWindow(1, 10); got != 0 {
+		t.Fatalf("empty-window estimate %.2f", got)
+	}
+	full := s.EstimateWindow(801, 200)
+	if rel := math.Abs(full-200) / 200; rel > 0.6 {
+		t.Fatalf("full-window estimate %.1f for 200 items", full)
+	}
+}
+
+// naiveBK retains everything and answers window bottom-k queries exactly.
+type naiveBK struct {
+	k     int
+	pairs map[uint64]int64 // hash → earliest time
+}
+
+func (n *naiveBK) add(h uint64, t int64) {
+	if old, ok := n.pairs[h]; !ok || t < old {
+		n.pairs[h] = t
+	}
+}
+
+func (n *naiveBK) estimateWindow(t, omega int64) float64 {
+	hi := t + omega - 1
+	var hs []uint64
+	for h, at := range n.pairs {
+		if at >= t && at <= hi {
+			hs = append(hs, h)
+		}
+	}
+	if len(hs) < n.k {
+		return float64(len(hs))
+	}
+	sort.Slice(hs, func(a, b int) bool { return hs[a] < hs[b] })
+	return float64(n.k-1) / hashToUnit(hs[n.k-1])
+}
+
+// TestMatchesNaiveReference: the staircase pruning must be lossless —
+// exact agreement with the keep-everything reference on admissible
+// window queries over random reverse streams.
+func TestMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		k := 3 + rng.Intn(12)
+		s := MustNew(k)
+		naive := &naiveBK{k: k, pairs: map[uint64]int64{}}
+		cur := int64(1 << 30)
+		for i := 0; i < 250; i++ {
+			cur -= int64(1 + rng.Intn(4))
+			h := hll.Hash64(uint64(rng.Intn(120)))
+			s.AddHash(h, cur)
+			naive.add(h, cur)
+		}
+		if err := s.CheckInvariant(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for q := 0; q < 40; q++ {
+			anchor := cur - int64(rng.Intn(5))
+			omega := int64(1 + rng.Intn(1200))
+			got := s.EstimateWindow(anchor, omega)
+			want := naive.estimateWindow(anchor, omega)
+			if got != want {
+				t.Fatalf("trial %d (t=%d ω=%d): got %.6f want %.6f", trial, anchor, omega, got, want)
+			}
+		}
+	}
+}
+
+// TestNaiveHashDedupKeepsEarliest: a repeated item must count once with
+// its earliest (most-window-covering) time.
+func TestDuplicateHashKeepsEarliest(t *testing.T) {
+	s := MustNew(4)
+	s.AddHash(hll.Hash64(42), 100)
+	s.AddHash(hll.Hash64(42), 50) // earlier re-observation replaces
+	if s.PairCount() != 1 {
+		t.Fatalf("pair count %d, want 1", s.PairCount())
+	}
+	if got := s.EstimateWindow(50, 10); got != 1 {
+		t.Fatalf("estimate %.1f at earliest time", got)
+	}
+	// A later-time duplicate of an existing pair is ignored outright.
+	s.AddHash(hll.Hash64(42), 80)
+	if s.PairCount() != 1 {
+		t.Fatalf("pair count %d after redundant insert", s.PairCount())
+	}
+}
+
+func TestMergeMatchesInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 15; trial++ {
+		a, b, both := MustNew(8), MustNew(8), MustNew(8)
+		cur := int64(1 << 20)
+		for i := 0; i < 150; i++ {
+			cur -= int64(1 + rng.Intn(3))
+			h := hll.Hash64(uint64(rng.Intn(80)))
+			if rng.Intn(2) == 0 {
+				a.AddHash(h, cur)
+			} else {
+				b.AddHash(h, cur)
+			}
+			both.AddHash(h, cur)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckInvariant(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for q := 0; q < 15; q++ {
+			omega := int64(1 + rng.Intn(3000))
+			if got, want := a.EstimateWindow(cur, omega), both.EstimateWindow(cur, omega); got != want {
+				t.Fatalf("trial %d ω=%d: merged %.6f != interleaved %.6f", trial, omega, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeWindowFilters(t *testing.T) {
+	a, b := MustNew(4), MustNew(4)
+	b.AddHash(hll.Hash64(1), 100)
+	b.AddHash(hll.Hash64(2), 104)
+	b.AddHash(hll.Hash64(3), 110)
+	if err := a.MergeWindow(b, 100, 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.PairCount() != 2 {
+		t.Fatalf("pair count %d, want 2 (110 filtered)", a.PairCount())
+	}
+}
+
+func TestMergeKMismatch(t *testing.T) {
+	if err := MustNew(4).Merge(MustNew(5)); err == nil {
+		t.Error("k mismatch accepted by Merge")
+	}
+	if err := MustNew(4).MergeWindow(MustNew(5), 0, 1); err == nil {
+		t.Error("k mismatch accepted by MergeWindow")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := MustNew(4)
+	a.AddHash(hll.Hash64(1), 10)
+	c := a.Clone()
+	c.AddHash(hll.Hash64(2), 5)
+	if a.PairCount() != 1 || c.PairCount() != 2 {
+		t.Fatalf("clone sharing state: %d vs %d", a.PairCount(), c.PairCount())
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	s := MustNew(4)
+	s.AddHash(hll.Hash64(1), 10)
+	s.AddHash(hll.Hash64(2), 9)
+	if s.MemoryBytes() != 2*PairBytes {
+		t.Fatalf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+func TestSelectKth(t *testing.T) {
+	hs := []uint64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	for k := 1; k <= len(hs); k++ {
+		cp := append([]uint64(nil), hs...)
+		if got := selectKth(cp, k); got != uint64(k) {
+			t.Fatalf("selectKth(%d) = %d", k, got)
+		}
+	}
+}
+
+// TestStaircaseStaysSmall: the retained pair count grows like k·ln(n),
+// not n.
+func TestStaircaseStaysSmall(t *testing.T) {
+	s := MustNew(16)
+	cur := int64(1 << 40)
+	for i := 0; i < 30000; i++ {
+		cur--
+		s.Add(uint64(i), cur)
+	}
+	// k·ln(n) ≈ 16 · 10.3 ≈ 165; allow generous slack.
+	if n := s.PairCount(); n > 600 {
+		t.Fatalf("retained %d pairs for 30k inserts", n)
+	}
+}

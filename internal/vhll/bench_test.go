@@ -1,0 +1,53 @@
+package vhll
+
+import (
+	"testing"
+
+	"ipin/internal/hll"
+)
+
+func BenchmarkAddReverseStream(b *testing.B) {
+	s := MustNew(9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Reverse-chronological arrival, 64k distinct items.
+		s.AddHash(hll.Hash64(uint64(i%65536)), int64(1<<40-i))
+	}
+}
+
+func BenchmarkMergeWindow(b *testing.B) {
+	src := MustNew(9)
+	for i := 0; i < 4096; i++ {
+		src.AddHash(hll.Hash64(uint64(i)), int64(1000000-i))
+	}
+	dst := MustNew(9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.MergeWindow(src, 900000, 80000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateWindow(b *testing.B) {
+	s := MustNew(9)
+	for i := 0; i < 100000; i++ {
+		s.AddHash(hll.Hash64(uint64(i)), int64(1000000-i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.EstimateWindow(900000, 50000)
+	}
+}
+
+func BenchmarkCollapse(b *testing.B) {
+	s := MustNew(9)
+	for i := 0; i < 100000; i++ {
+		s.AddHash(hll.Hash64(uint64(i)), int64(1000000-i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Collapse()
+	}
+}

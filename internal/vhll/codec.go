@@ -1,0 +1,91 @@
+package vhll
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"ipin/internal/hll"
+)
+
+// Binary format: 4-byte magic "VHL1", 1-byte precision, then per cell a
+// uvarint entry count followed by the entries as (zigzag-varint timestamp
+// delta, rank byte) pairs. Timestamps within a cell ascend, so deltas
+// against the previous entry compress well.
+var vhllMagic = [4]byte{'V', 'H', 'L', '1'}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(vhllMagic[:])
+	buf.WriteByte(s.precision)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, list := range s.cells {
+		n := binary.PutUvarint(tmp[:], uint64(len(list)))
+		buf.Write(tmp[:n])
+		prev := int64(0)
+		for _, e := range list {
+			n = binary.PutVarint(tmp[:], e.At-prev)
+			buf.Write(tmp[:n])
+			buf.WriteByte(e.Rank)
+			prev = e.At
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The decoded
+// sketch is verified against the staircase invariant, so corrupted or
+// adversarial input is rejected rather than silently accepted.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < 5 || !bytes.Equal(data[:4], vhllMagic[:]) {
+		return fmt.Errorf("vhll: bad magic")
+	}
+	p := int(data[4])
+	if p < hll.MinPrecision || p > hll.MaxPrecision {
+		return fmt.Errorf("vhll: bad precision %d", p)
+	}
+	r := bytes.NewReader(data[5:])
+	cells := make([][]Entry, 1<<p)
+	for i := range cells {
+		count, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("vhll: cell %d count: %v", i, err)
+		}
+		if count > uint64(r.Len()) {
+			return fmt.Errorf("vhll: cell %d count %d exceeds remaining input", i, count)
+		}
+		if count == 0 {
+			continue
+		}
+		list := make([]Entry, count)
+		prev := int64(0)
+		for j := range list {
+			delta, err := binary.ReadVarint(r)
+			if err != nil {
+				return fmt.Errorf("vhll: cell %d entry %d time: %v", i, j, err)
+			}
+			rank, err := r.ReadByte()
+			if err != nil {
+				return fmt.Errorf("vhll: cell %d entry %d rank: %v", i, j, err)
+			}
+			prev += delta
+			list[j] = Entry{At: prev, Rank: rank}
+		}
+		cells[i] = list
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("vhll: %d trailing bytes", r.Len())
+	}
+	decoded := &Sketch{precision: uint8(p), cells: cells}
+	for i := range cells {
+		if len(cells[i]) > 0 {
+			decoded.occupied = append(decoded.occupied, uint32(i))
+		}
+	}
+	if err := decoded.CheckInvariant(); err != nil {
+		return fmt.Errorf("vhll: corrupt payload: %v", err)
+	}
+	*s = *decoded
+	return nil
+}

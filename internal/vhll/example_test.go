@@ -1,0 +1,23 @@
+package vhll_test
+
+import (
+	"fmt"
+
+	"ipin/internal/vhll"
+)
+
+// The versioned sketch ingests a reverse-chronological stream and answers
+// distinct counts restricted to a window.
+func ExampleSketch_EstimateWindow() {
+	s := vhll.MustNew(10)
+	// 1000 distinct items at times 10000, 9999, ..., 9001 (newest first,
+	// as the IRS reverse scan produces them).
+	for i := 0; i < 1000; i++ {
+		s.Add(uint64(i), int64(10000-i))
+	}
+	// How many distinct items fall in the 500-tick window [9001, 9500]?
+	est := s.EstimateWindow(9001, 500)
+	fmt.Println(est > 400 && est < 600)
+	// Output:
+	// true
+}

@@ -1,0 +1,49 @@
+package vhll
+
+import (
+	"testing"
+
+	"ipin/internal/hll"
+)
+
+// FuzzUnmarshalBinary: arbitrary bytes either fail cleanly or decode to a
+// sketch whose invariants hold and which re-encodes losslessly.
+func FuzzUnmarshalBinary(f *testing.F) {
+	// Seed with a few valid encodings.
+	for _, n := range []int{0, 3, 50} {
+		s := MustNew(4)
+		cur := int64(1000)
+		for i := 0; i < n; i++ {
+			cur--
+			s.AddHash(hll.Hash64(uint64(i)), cur)
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("VHL1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sketch
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if err := s.CheckInvariant(); err != nil {
+			t.Fatalf("accepted payload violates invariant: %v", err)
+		}
+		// Lossless re-encode.
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var s2 Sketch
+		if err := s2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal: %v", err)
+		}
+		if s2.Estimate() != s.Estimate() {
+			t.Fatal("estimate changed across re-encode")
+		}
+	})
+}

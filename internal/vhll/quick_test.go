@@ -1,0 +1,90 @@
+package vhll
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipin/internal/hll"
+)
+
+// Property: the staircase invariant survives arbitrary reverse-ordered
+// insertion sequences.
+func TestQuickInvariantUnderInsertion(t *testing.T) {
+	f := func(items []uint16, gaps []uint8) bool {
+		s := MustNew(4)
+		cur := int64(1 << 30)
+		for i, it := range items {
+			if i < len(gaps) {
+				cur -= int64(gaps[i]%7) + 1
+			} else {
+				cur--
+			}
+			s.AddHash(hll.Hash64(uint64(it)), cur)
+		}
+		return s.CheckInvariant() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging preserves the invariant and dominates both operands
+// cell-wise — every cell's maximum rank after the merge is at least each
+// operand's. (The scalar estimate itself is NOT strictly monotone: the
+// estimator's switch between linear counting and the raw formula is
+// discontinuous, so the register-level property is the right one.)
+func TestQuickMergeInvariantAndDominance(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := MustNew(4), MustNew(4)
+		cur := int64(1 << 20)
+		for _, x := range xs {
+			cur--
+			a.AddHash(hll.Hash64(uint64(x)), cur)
+		}
+		for _, y := range ys {
+			cur--
+			b.AddHash(hll.Hash64(uint64(y)), cur)
+		}
+		ca, cb := a.Collapse(), b.Collapse()
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if a.CheckInvariant() != nil {
+			return false
+		}
+		merged := a.Collapse()
+		for cell := uint32(0); cell < uint32(a.NumCells()); cell++ {
+			if merged.Register(cell) < ca.Register(cell) || merged.Register(cell) < cb.Register(cell) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Prune never changes the estimate anchored at the current
+// (earliest) time with the pruning window.
+func TestQuickPrunePreservesAnchoredEstimate(t *testing.T) {
+	f := func(items []uint16, omegaSeed uint8) bool {
+		if len(items) == 0 {
+			return true
+		}
+		s := MustNew(4)
+		cur := int64(1 << 20)
+		for _, it := range items {
+			cur--
+			s.AddHash(hll.Hash64(uint64(it)), cur)
+		}
+		omega := int64(omegaSeed%50) + 1
+		before := s.EstimateWindow(cur, omega)
+		s.Prune(cur, omega)
+		after := s.EstimateWindow(cur, omega)
+		return before == after && s.CheckInvariant() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

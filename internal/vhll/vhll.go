@@ -1,0 +1,377 @@
+// Package vhll implements the versioned HyperLogLog sketch of the paper
+// (§3.2.2): a HyperLogLog in which every cell stores a small dominance-
+// pruned list of (rank, timestamp) pairs instead of a single rank, so that
+// the sketch can answer cardinality estimates restricted to a time window
+// and can be merged with window filtering.
+//
+// The sketch is designed for reverse-chronological ingestion: items arrive
+// with non-increasing timestamps (the IRS algorithms scan the interaction
+// log backwards), and queries ask for the number of distinct items whose
+// timestamp falls in [t, t+ω−1] where t is never later than the most recent
+// arrival. Under that regime a pair (r, t) is *dominated* by a pair
+// (r', t') with t' ≤ t and r' ≥ r: every admissible window containing t
+// also contains t', so (r, t) can never determine a cell's maximum.
+//
+// Each cell list is therefore kept sorted by ascending timestamp with
+// strictly ascending ranks — a monotonic staircase. Its expected length is
+// O(log ω) (paper Lemma 4), which is what makes the whole IRS sketch of a
+// node cost O(β·log²ω) expected space (Lemma 6).
+package vhll
+
+import (
+	"fmt"
+
+	"ipin/internal/hll"
+)
+
+// Entry is one (rank, timestamp) pair in a cell list.
+type Entry struct {
+	At   int64
+	Rank uint8
+}
+
+// EntryBytes is the payload size of one entry used for memory accounting:
+// an 8-byte timestamp plus a 1-byte rank. Go's in-memory representation
+// pads this to 16 bytes; the accounting deliberately counts payload so
+// Table 4 is implementation-neutral (see DESIGN.md).
+const EntryBytes = 9
+
+// Sketch is a versioned HyperLogLog. The zero value is unusable; construct
+// with New.
+type Sketch struct {
+	precision uint8
+	cells     [][]Entry
+	// occupied lists the indices of cells that have (or once had) entries,
+	// so merges and counts touch only populated cells. In the IRS scan
+	// most nodes populate a handful of the β cells, and the merge step
+	// runs once per interaction — skipping empty cells is the difference
+	// between O(β) and O(populated) per edge. A cell index may appear
+	// twice only if Prune emptied the cell and a later insert refilled
+	// it; iteration skips empty cells, so duplicates are harmless.
+	occupied []uint32
+}
+
+// New returns an empty sketch with 2^precision cells. Precision bounds are
+// those of package hll.
+func New(precision int) (*Sketch, error) {
+	if precision < hll.MinPrecision || precision > hll.MaxPrecision {
+		return nil, fmt.Errorf("vhll: precision %d outside [%d,%d]", precision, hll.MinPrecision, hll.MaxPrecision)
+	}
+	return &Sketch{precision: uint8(precision), cells: make([][]Entry, 1<<precision)}, nil
+}
+
+// MustNew is New for statically known precisions; it panics on error.
+func MustNew(precision int) *Sketch {
+	s, err := New(precision)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Precision returns k = log2(number of cells).
+func (s *Sketch) Precision() int { return int(s.precision) }
+
+// NumCells returns β.
+func (s *Sketch) NumCells() int { return len(s.cells) }
+
+// AddHash inserts a pre-hashed item observed at time t. This is the
+// ApproxAdd of the paper's Algorithm 3: the pair is ignored when
+// dominated, and evicts every pair it dominates.
+func (s *Sketch) AddHash(hash uint64, t int64) {
+	cell, rank := hll.Split(hash, int(s.precision))
+	s.insert(cell, Entry{At: t, Rank: rank})
+}
+
+// Add inserts an item identified by a 64-bit value at time t.
+func (s *Sketch) Add(item uint64, t int64) { s.AddHash(hll.Hash64(item), t) }
+
+// insert places e into cell, maintaining the staircase invariant:
+// ascending At, strictly ascending Rank, no dominated pairs.
+func (s *Sketch) insert(cell uint32, e Entry) {
+	list := s.cells[cell]
+	if len(list) == 0 {
+		s.occupied = append(s.occupied, cell)
+	}
+	// idx = number of entries with At <= e.At (insertion point).
+	idx := upperBound(list, e.At)
+	// Dominated by an earlier-or-equal-time entry with rank >= ours?
+	if idx > 0 && list[idx-1].Rank >= e.Rank {
+		return
+	}
+	// Evict an equal-time predecessor with a smaller rank (same version,
+	// larger rank wins).
+	lo := idx
+	for lo > 0 && list[lo-1].At == e.At && list[lo-1].Rank < e.Rank {
+		lo--
+	}
+	// Evict the run of later-time entries we dominate (ranks ascend, so
+	// the dominated entries form a contiguous run starting at idx).
+	hi := idx
+	for hi < len(list) && list[hi].Rank <= e.Rank {
+		hi++
+	}
+	// Replace list[lo:hi] with e.
+	if lo == hi {
+		list = append(list, Entry{})
+		copy(list[lo+1:], list[lo:])
+		list[lo] = e
+	} else {
+		list[lo] = e
+		list = append(list[:lo+1], list[hi:]...)
+	}
+	s.cells[cell] = list
+}
+
+// upperBound returns the number of entries with At <= t.
+func upperBound(list []Entry, t int64) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].At <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// maxRankInWindow returns the largest rank among entries of list whose
+// timestamp lies in [lo, hi], or 0 if none does. Because ranks ascend with
+// time, that is the rank of the last entry with At <= hi, provided it is
+// not before lo.
+func maxRankInWindow(list []Entry, lo, hi int64) uint8 {
+	idx := upperBound(list, hi)
+	if idx == 0 {
+		return 0
+	}
+	if e := list[idx-1]; e.At >= lo {
+		return e.Rank
+	}
+	return 0
+}
+
+// EstimateWindow approximates the number of distinct items whose timestamp
+// lies in [t, t+omega−1].
+func (s *Sketch) EstimateWindow(t, omega int64) float64 {
+	registers := make([]uint8, len(s.cells))
+	hi := t + omega - 1
+	for _, i := range s.occupied {
+		if r := maxRankInWindow(s.cells[i], t, hi); r > registers[i] {
+			registers[i] = r
+		}
+	}
+	return hll.EstimateRegisters(registers)
+}
+
+// Estimate approximates the number of distinct items ever inserted,
+// ignoring timestamps (every version participates).
+func (s *Sketch) Estimate() float64 {
+	registers := make([]uint8, len(s.cells))
+	for _, i := range s.occupied {
+		if n := len(s.cells[i]); n > 0 && s.cells[i][n-1].Rank > registers[i] {
+			registers[i] = s.cells[i][n-1].Rank
+		}
+	}
+	return hll.EstimateRegisters(registers)
+}
+
+// Collapse flattens the sketch into a plain HyperLogLog holding, per cell,
+// the maximum rank over all versions. The result supports O(β) unions,
+// which is how the influence oracle combines per-node summaries (§4.1).
+func (s *Sketch) Collapse() *hll.Sketch {
+	out := hll.MustNew(int(s.precision))
+	for _, i := range s.occupied {
+		if n := len(s.cells[i]); n > 0 {
+			out.SetRegister(i, s.cells[i][n-1].Rank)
+		}
+	}
+	return out
+}
+
+// EstimateBefore approximates the number of distinct items whose
+// timestamp is at most deadline. Prefix queries are lossless under the
+// dominance rule: a dropped pair's dominator has an earlier timestamp, so
+// it is inside every prefix the dropped pair was. In the IRS summaries,
+// where an item's timestamp is λ(u,v), this estimates how many nodes u
+// reaches BY the deadline.
+func (s *Sketch) EstimateBefore(deadline int64) float64 {
+	registers := make([]uint8, len(s.cells))
+	for _, i := range s.occupied {
+		list := s.cells[i]
+		if idx := upperBound(list, deadline); idx > 0 && list[idx-1].Rank > registers[i] {
+			registers[i] = list[idx-1].Rank
+		}
+	}
+	return hll.EstimateRegisters(registers)
+}
+
+// CollapseBefore flattens the sketch restricted to timestamps at most
+// deadline, for O(β) unions of deadline-bounded summaries.
+func (s *Sketch) CollapseBefore(deadline int64) *hll.Sketch {
+	out := hll.MustNew(int(s.precision))
+	for _, i := range s.occupied {
+		list := s.cells[i]
+		if idx := upperBound(list, deadline); idx > 0 {
+			out.SetRegister(i, list[idx-1].Rank)
+		}
+	}
+	return out
+}
+
+// CollapseWindow flattens the sketch restricted to timestamps in
+// [t, t+omega−1].
+func (s *Sketch) CollapseWindow(t, omega int64) *hll.Sketch {
+	out := hll.MustNew(int(s.precision))
+	hi := t + omega - 1
+	for _, i := range s.occupied {
+		if r := maxRankInWindow(s.cells[i], t, hi); r > 0 {
+			out.SetRegister(i, r)
+		}
+	}
+	return out
+}
+
+// MergeWindow folds other into s, keeping only entries whose timestamp tx
+// satisfies tx − t < omega. This is the ApproxMerge of Algorithm 3: when
+// the IRS scan processes interaction (u, v, t), node u inherits from ϕ(v)
+// exactly the reachability entries still inside the window anchored at t.
+func (s *Sketch) MergeWindow(other *Sketch, t, omega int64) error {
+	if other.precision != s.precision {
+		return fmt.Errorf("vhll: cannot merge precision %d into %d", other.precision, s.precision)
+	}
+	if other.sparse() {
+		for _, i := range other.occupied {
+			for _, e := range other.cells[i] {
+				if e.At-t < omega {
+					s.insert(i, e)
+				}
+			}
+		}
+		return nil
+	}
+	for i, list := range other.cells {
+		for _, e := range list {
+			if e.At-t < omega {
+				s.insert(uint32(i), e)
+			}
+		}
+	}
+	return nil
+}
+
+// sparse reports whether visiting cells through the occupied index beats
+// a linear scan: indirection wins only while few cells are populated;
+// once most are, the sequential scan's locality wins.
+func (s *Sketch) sparse() bool { return len(s.occupied)*4 < len(s.cells) }
+
+// Merge folds every entry of other into s (no window filter), the general
+// sketch union of paper Example 4.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other.precision != s.precision {
+		return fmt.Errorf("vhll: cannot merge precision %d into %d", other.precision, s.precision)
+	}
+	if other.sparse() {
+		for _, i := range other.occupied {
+			for _, e := range other.cells[i] {
+				s.insert(i, e)
+			}
+		}
+		return nil
+	}
+	for i, list := range other.cells {
+		for _, e := range list {
+			s.insert(uint32(i), e)
+		}
+	}
+	return nil
+}
+
+// Prune drops entries that can never again influence a window query
+// anchored at or before current: those with At − current + 1 > omega.
+// This is the "periodically entries are removed" step of §3.2.2, used by
+// sliding-window distinct counting. The IRS algorithms do NOT prune,
+// because their final per-node estimates span every entry ever retained.
+// Prune also rebuilds the occupied-cell index, so it is the only
+// operation after which a cell can leave it — keeping the index
+// duplicate-free for the counting paths.
+func (s *Sketch) Prune(current, omega int64) {
+	hi := current + omega - 1
+	kept := s.occupied[:0]
+	for _, i := range s.occupied {
+		list := s.cells[i]
+		idx := upperBound(list, hi)
+		if idx < len(list) {
+			s.cells[i] = list[:idx]
+		}
+		if len(s.cells[i]) > 0 {
+			kept = append(kept, i)
+		}
+	}
+	s.occupied = kept
+}
+
+// EntryCount returns the total number of stored (rank, timestamp) pairs.
+func (s *Sketch) EntryCount() int {
+	n := 0
+	for _, i := range s.occupied {
+		n += len(s.cells[i])
+	}
+	return n
+}
+
+// MemoryBytes returns the payload size of the sketch: EntryBytes per
+// stored pair. Empty cells cost nothing.
+func (s *Sketch) MemoryBytes() int { return s.EntryCount() * EntryBytes }
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{
+		precision: s.precision,
+		cells:     make([][]Entry, len(s.cells)),
+		occupied:  append([]uint32(nil), s.occupied...),
+	}
+	for i, list := range s.cells {
+		if len(list) > 0 {
+			c.cells[i] = append([]Entry(nil), list...)
+		}
+	}
+	return c
+}
+
+// Cell exposes a copy of one cell's list, for tests and diagnostics.
+func (s *Sketch) Cell(i int) []Entry {
+	return append([]Entry(nil), s.cells[i]...)
+}
+
+// CheckInvariant verifies the staircase property of every cell list —
+// ascending timestamps, strictly ascending ranks — and the consistency of
+// the occupied-cell index: every populated cell is listed exactly once.
+// It returns the first violation, or nil. Property tests call this after
+// random operation sequences.
+func (s *Sketch) CheckInvariant() error {
+	for i, list := range s.cells {
+		for j := 1; j < len(list); j++ {
+			if list[j].At < list[j-1].At {
+				return fmt.Errorf("vhll: cell %d: timestamps out of order at %d (%d < %d)", i, j, list[j].At, list[j-1].At)
+			}
+			if list[j].Rank <= list[j-1].Rank {
+				return fmt.Errorf("vhll: cell %d: ranks not strictly ascending at %d (%d <= %d)", i, j, list[j].Rank, list[j-1].Rank)
+			}
+		}
+	}
+	seen := make(map[uint32]bool, len(s.occupied))
+	for _, i := range s.occupied {
+		if seen[i] {
+			return fmt.Errorf("vhll: cell %d listed twice in occupied index", i)
+		}
+		seen[i] = true
+	}
+	for i, list := range s.cells {
+		if len(list) > 0 && !seen[uint32(i)] {
+			return fmt.Errorf("vhll: populated cell %d missing from occupied index", i)
+		}
+	}
+	return nil
+}

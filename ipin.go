@@ -1,0 +1,217 @@
+// Package ipin (Information Propagation in Interaction Networks) is the
+// public API of this repository: a Go implementation of
+//
+//	Rohit Kumar and Toon Calders. "Information Propagation in Interaction
+//	Networks." EDBT 2017.
+//
+// An interaction network is a stream of timestamped directed interactions
+// (u, v, t). An information channel is a path of interactions with
+// strictly increasing timestamps whose total duration is bounded by a
+// window ω; the influence reachability set σω(u) collects every node u can
+// reach through such a channel. This package computes σω for all nodes in
+// ONE pass over the interactions — exactly, or approximately in sublinear
+// memory with a versioned HyperLogLog sketch — and builds an influence
+// oracle and top-k influencer selection on the result.
+//
+// # Quick start
+//
+//	net := ipin.NewNetwork(3)
+//	net.Add(0, 1, 100)
+//	net.Add(1, 2, 250)
+//	net.Sort()
+//
+//	irs, _ := ipin.ComputeApprox(net, net.WindowFromPercent(10), ipin.DefaultPrecision)
+//	oracle := ipin.NewApproxOracle(irs)
+//	seeds := ipin.TopKApprox(irs, 10)
+//	spread := oracle.Spread(seeds)
+//
+// The subpackages under internal/ carry the substrates (sketches, cascade
+// simulator, baselines, generators, experiment harness); this package
+// re-exports the surface a downstream user needs. See README.md for the
+// architecture and DESIGN.md for the paper-to-code map.
+package ipin
+
+import (
+	"io"
+
+	"ipin/internal/cascade"
+	"ipin/internal/core"
+	"ipin/internal/gen"
+	"ipin/internal/graph"
+	"ipin/internal/hll"
+	"ipin/internal/swhll"
+	"ipin/internal/temporal"
+	"ipin/internal/vhll"
+)
+
+// Core value types of the interaction-network model (paper §2).
+type (
+	// NodeID is a dense node identifier in [0, NumNodes).
+	NodeID = graph.NodeID
+	// Time is an interaction timestamp in opaque ticks.
+	Time = graph.Time
+	// Interaction is one directed, timestamped interaction (u, v, t).
+	Interaction = graph.Interaction
+	// Network is an interaction network: nodes plus a time-ordered
+	// interaction log.
+	Network = graph.Log
+	// NodeTable interns external string node names to NodeIDs.
+	NodeTable = graph.NodeTable
+)
+
+// NewNetwork returns an empty interaction network over n nodes.
+func NewNetwork(n int) *Network { return graph.New(n) }
+
+// NewNodeTable returns an empty node-name interning table.
+func NewNodeTable() *NodeTable { return graph.NewNodeTable() }
+
+// ReadNetwork parses the whitespace text format ("src dst time" per
+// line); node names are interned into the returned table. The log comes
+// back sorted by time.
+func ReadNetwork(r io.Reader) (*Network, *NodeTable, error) { return graph.ReadLog(r) }
+
+// WriteNetwork writes the network in the text format; a nil table writes
+// numeric NodeIDs.
+func WriteNetwork(w io.Writer, n *Network, table *NodeTable) error {
+	return graph.WriteLog(w, n, table)
+}
+
+// IRS computation (paper Algorithms 2 and 3).
+type (
+	// ExactIRS holds exact per-node IRS summaries.
+	ExactIRS = core.ExactSummaries
+	// ApproxIRS holds sketched per-node IRS summaries.
+	ApproxIRS = core.ApproxSummaries
+	// Oracle answers influence queries over either representation.
+	Oracle = core.Oracle
+	// HLL is a plain HyperLogLog sketch (the collapsed per-node summary).
+	HLL = hll.Sketch
+	// VHLL is the versioned HyperLogLog sketch of paper §3.2.2.
+	VHLL = vhll.Sketch
+)
+
+// DefaultPrecision is the sketch precision (β = 512) the paper settles on.
+const DefaultPrecision = core.DefaultPrecision
+
+// ComputeExact runs the exact one-pass IRS algorithm with window omega
+// (in ticks) over a sorted network.
+func ComputeExact(n *Network, omega int64) *ExactIRS { return core.ComputeExact(n, omega) }
+
+// ComputeApprox runs the sketch-based one-pass IRS algorithm.
+func ComputeApprox(n *Network, omega int64, precision int) (*ApproxIRS, error) {
+	return core.ComputeApprox(n, omega, precision)
+}
+
+// ReadExactIRS loads exact summaries previously saved with
+// (*ExactIRS).WriteTo.
+func ReadExactIRS(r io.Reader) (*ExactIRS, error) { return core.ReadExactSummaries(r) }
+
+// ReadApproxIRS loads sketched summaries previously saved with
+// (*ApproxIRS).WriteTo.
+func ReadApproxIRS(r io.Reader) (*ApproxIRS, error) { return core.ReadApproxSummaries(r) }
+
+// NewExactOracle wraps exact summaries as an influence oracle.
+func NewExactOracle(s *ExactIRS) Oracle { return core.ExactOracle{S: s} }
+
+// NewApproxOracle finalizes sketched summaries into an influence oracle
+// whose query cost is O(|seeds|·β), independent of the network size.
+func NewApproxOracle(s *ApproxIRS) Oracle { return core.NewApproxOracle(s) }
+
+// SpreadBy returns the exact number of distinct nodes the seed set can
+// have influenced BY the deadline: the union of {v : λ(u,v) ≤ deadline}
+// over the seeds.
+func SpreadBy(s *ExactIRS, seeds []NodeID, deadline Time) int { return s.SpreadBy(seeds, deadline) }
+
+// SpreadByEstimate is the sketched counterpart of SpreadBy.
+func SpreadByEstimate(s *ApproxIRS, seeds []NodeID, deadline Time) float64 {
+	return s.SpreadByEstimate(seeds, deadline)
+}
+
+// TopKExact selects k seed nodes from exact summaries with the paper's
+// greedy Algorithm 4.
+func TopKExact(s *ExactIRS, k int) []NodeID { return core.TopKExact(s, k) }
+
+// TopKApprox selects k seed nodes from sketched summaries with the
+// paper's greedy Algorithm 4.
+func TopKApprox(s *ApproxIRS, k int) []NodeID { return core.TopKApproxSeeds(s, k) }
+
+// TopKExactCELF is TopKExact with CELF lazy evaluation — the same seeds
+// at lower cost on large candidate sets.
+func TopKExactCELF(s *ExactIRS, k int) []NodeID { return core.TopKExactCELF(s, k) }
+
+// TopKApproxCELF is TopKApprox with CELF lazy evaluation.
+func TopKApproxCELF(s *ApproxIRS, k int) []NodeID { return core.TopKApproxCELF(s, k) }
+
+// Cascade simulation (paper Algorithm 1).
+type (
+	// CascadeConfig parameterizes the Time-Constrained Information
+	// Cascade model.
+	CascadeConfig = cascade.Config
+)
+
+// Simulate runs one TCIC trial and returns the number of infected nodes.
+func Simulate(n *Network, seeds []NodeID, cfg CascadeConfig) int {
+	return cascade.Simulate(n, seeds, cfg)
+}
+
+// AverageSpread repeats Simulate over independent trials (in parallel)
+// and returns the mean spread.
+func AverageSpread(n *Network, seeds []NodeID, cfg CascadeConfig, trials, parallelism int) float64 {
+	return cascade.AverageSpread(n, seeds, cfg, trials, parallelism)
+}
+
+// Synthetic data generation (the Table 2 stand-ins).
+type (
+	// GenConfig parameterizes a synthetic interaction network.
+	GenConfig = gen.Config
+	// GenModel selects the structural family of a generated network.
+	GenModel = gen.Model
+)
+
+// The generator models.
+const (
+	GenEmail   = gen.ModelEmail
+	GenSocial  = gen.ModelSocial
+	GenCascade = gen.ModelCascade
+	GenUniform = gen.ModelUniform
+)
+
+// Generate produces a synthetic interaction network.
+func Generate(cfg GenConfig) (*Network, error) { return gen.Generate(cfg) }
+
+// GenDataset returns the generator config of one of the paper's Table 2
+// datasets ("enron", "lkml", "facebook", "higgs", "slashdot", "us2016")
+// at the given down-scaling factor.
+func GenDataset(name string, scale int) (GenConfig, error) { return gen.Dataset(name, scale) }
+
+// Diagnostics and live monitoring.
+type (
+	// Channel is one concrete information channel — the sequence of
+	// interactions witnessing that its source influences its final
+	// destination.
+	Channel = temporal.Channel
+	// NetworkStats summarizes the structural shape of a network.
+	NetworkStats = graph.Stats
+	// SlidingProfiles maintains approximate distinct-contact counts per
+	// node over the trailing ω ticks of a LIVE forward stream — the
+	// sliding-window neighborhood profiles of the paper's reference [15].
+	SlidingProfiles = swhll.Profiles
+)
+
+// FindChannel reconstructs the earliest-ending information channel u→v of
+// duration ≤ omega, the witness behind an IRS entry; nil when none
+// exists. Brute force — use it for diagnostics on specific pairs, not in
+// bulk.
+func FindChannel(n *Network, u, v NodeID, omega int64) Channel {
+	return temporal.FindChannel(n, u, v, omega)
+}
+
+// ComputeStats summarizes a network's structural shape.
+func ComputeStats(n *Network) NetworkStats { return graph.ComputeStats(n) }
+
+// NewSlidingProfiles returns a live profile maintainer over n nodes with
+// the given sketch precision and window length in ticks. Feed it
+// interactions in time order with Observe; read Profile/Top at any time.
+func NewSlidingProfiles(n, precision int, window int64) (*SlidingProfiles, error) {
+	return swhll.NewProfiles(n, precision, window)
+}

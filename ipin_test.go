@@ -1,0 +1,132 @@
+package ipin_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ipin"
+)
+
+// buildFig1a constructs the paper's Figure 1a network through the public
+// API.
+func buildFig1a() *ipin.Network {
+	net := ipin.NewNetwork(6)
+	const a, b, c, d, e, f = 0, 1, 2, 3, 4, 5
+	net.Add(a, d, 1)
+	net.Add(e, f, 2)
+	net.Add(d, e, 3)
+	net.Add(e, b, 4)
+	net.Add(a, b, 5)
+	net.Add(b, e, 6)
+	net.Add(e, c, 7)
+	net.Add(b, c, 8)
+	net.Sort()
+	return net
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	net := buildFig1a()
+	exact := ipin.ComputeExact(net, 3)
+	if exact.IRSSize(0) != 4 {
+		t.Fatalf("|σ(a)| = %d, want 4", exact.IRSSize(0))
+	}
+	approx, err := ipin.ComputeApprox(net, 3, ipin.DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oe := ipin.NewExactOracle(exact)
+	oa := ipin.NewApproxOracle(approx)
+	if oe.Spread([]ipin.NodeID{0, 4}) != 5 {
+		t.Fatalf("exact spread = %.0f, want 5", oe.Spread([]ipin.NodeID{0, 4}))
+	}
+	if got := oa.Spread([]ipin.NodeID{0, 4}); got < 4 || got > 7 {
+		t.Fatalf("approx spread = %.2f", got)
+	}
+	seeds := ipin.TopKExact(exact, 2)
+	if seeds[0] != 0 {
+		t.Fatalf("top seed = %d, want a(0)", seeds[0])
+	}
+	if got := ipin.TopKExactCELF(exact, 2); oe.Spread(got) != oe.Spread(seeds) {
+		t.Fatal("CELF and greedy disagree on coverage")
+	}
+	if got := ipin.TopKApprox(approx, 2); len(got) != 2 {
+		t.Fatalf("approx seeds = %v", got)
+	}
+	if got := ipin.TopKApproxCELF(approx, 2); len(got) != 2 {
+		t.Fatalf("approx CELF seeds = %v", got)
+	}
+	spread := ipin.AverageSpread(net, seeds, ipin.CascadeConfig{Omega: 3, P: 1, Seed: 1}, 4, 2)
+	if spread <= 0 {
+		t.Fatalf("cascade spread = %.2f", spread)
+	}
+	if one := ipin.Simulate(net, seeds, ipin.CascadeConfig{Omega: 3, P: 1, Seed: 1}); one <= 0 {
+		t.Fatalf("simulate = %d", one)
+	}
+}
+
+func TestNetworkIORoundTrip(t *testing.T) {
+	in := "alice bob 10\nbob carol 20\n"
+	net, table, err := ipin.ReadNetwork(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes != 3 || net.Len() != 2 {
+		t.Fatalf("parsed %d nodes / %d interactions", net.NumNodes, net.Len())
+	}
+	var buf bytes.Buffer
+	if err := ipin.WriteNetwork(&buf, net, table); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != in {
+		t.Fatalf("round trip %q != %q", buf.String(), in)
+	}
+}
+
+func TestGenerateThroughFacade(t *testing.T) {
+	cfg, err := ipin.GenDataset("slashdot", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := ipin.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Len() == 0 {
+		t.Fatal("empty generated network")
+	}
+	custom := ipin.GenConfig{
+		Name: "custom", Model: ipin.GenUniform,
+		Nodes: 50, Interactions: 200, SpanTicks: 10000, Seed: 3,
+	}
+	net2, err := ipin.Generate(custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2.Len() != 200 {
+		t.Fatalf("custom generation produced %d interactions", net2.Len())
+	}
+	if _, err := ipin.GenDataset("nosuch", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// ExampleComputeExact demonstrates the core flow on a three-node chain.
+func ExampleComputeExact() {
+	net := ipin.NewNetwork(3)
+	net.Add(0, 1, 100)
+	net.Add(1, 2, 250)
+	net.Sort()
+
+	// With ω = 200 the chain 0→1→2 (duration 151) is a valid channel.
+	irs := ipin.ComputeExact(net, 200)
+	fmt.Println(irs.IRSSize(0), irs.IRSSize(1), irs.IRSSize(2))
+
+	// With ω = 100 it is not: node 0 only reaches node 1.
+	short := ipin.ComputeExact(net, 100)
+	fmt.Println(short.IRSSize(0), short.IRSSize(1), short.IRSSize(2))
+	// Output:
+	// 2 1 0
+	// 1 1 0
+}

@@ -1,0 +1,130 @@
+package ipin_test
+
+// End-to-end pipeline test over the checked-in fixture: parse a real
+// edge-list file, compute both IRS variants, rank influencers, answer
+// oracle and deadline queries, reconstruct a witness channel, persist the
+// sketches and reload them — the full life of the library in one test.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"ipin"
+)
+
+func loadMini(t *testing.T) (*ipin.Network, *ipin.NodeTable) {
+	t.Helper()
+	f, err := os.Open("testdata/mini.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	net, table, err := ipin.ReadNetwork(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, table
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	net, table := loadMini(t)
+	if net.Len() != 20 {
+		t.Fatalf("fixture has %d interactions, want 20", net.Len())
+	}
+	if err := net.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	omega := net.WindowFromPercent(100) // every channel admissible
+
+	// Exact pipeline.
+	exact := ipin.ComputeExact(net, omega)
+	hub1, ok := table.Lookup("hub1")
+	if !ok {
+		t.Fatal("hub1 missing from table")
+	}
+	hub2, _ := table.Lookup("hub2")
+	leafG, _ := table.Lookup("leafG")
+
+	// hub1 relays through chain1..chain4 to leafG.
+	if _, ok := exact.Lambda(hub1, leafG); !ok {
+		t.Error("hub1 does not reach leafG through the relay")
+	}
+	// The top influencer must be hub1: it reaches its direct leaves plus
+	// the whole relay.
+	seeds := ipin.TopKExact(exact, 2)
+	if seeds[0] != hub1 {
+		t.Errorf("top influencer = %s, want hub1", table.Name(seeds[0]))
+	}
+	if seeds[1] != hub2 {
+		t.Errorf("second influencer = %s, want hub2", table.Name(seeds[1]))
+	}
+
+	// Witness channel hub1 → leafG: four hops, strictly increasing times.
+	ch := ipin.FindChannel(net, hub1, leafG, omega)
+	if len(ch) != 5 {
+		t.Fatalf("witness channel has %d hops, want 5 (hub1→chain1→chain2→chain3→chain4→leafG): %v", len(ch), ch)
+	}
+
+	// Deadline semantics: by t=40 hub1 has reached chain1, leafA, leafB,
+	// chain2 only.
+	if got := ipin.SpreadBy(exact, []ipin.NodeID{hub1}, 40); got != 4 {
+		t.Errorf("SpreadBy(hub1, 40) = %d, want 4", got)
+	}
+
+	// Approximate pipeline agrees on this scale (sets below the
+	// linear-counting threshold are near-exact).
+	approx, err := ipin.ComputeApprox(net, omega, ipin.DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oe, oa := ipin.NewExactOracle(exact), ipin.NewApproxOracle(approx)
+	for _, u := range []ipin.NodeID{hub1, hub2, leafG} {
+		ex, ap := oe.InfluenceSize(u), oa.InfluenceSize(u)
+		if ap < ex-0.5 || ap > ex+1.5 {
+			t.Errorf("%s: approx influence %.2f vs exact %.0f", table.Name(u), ap, ex)
+		}
+	}
+
+	// Cascade at p=1 from hub1 stays within σ_{ω+1} ∪ {hub1}.
+	spread := ipin.Simulate(net, []ipin.NodeID{hub1}, ipin.CascadeConfig{Omega: omega, P: 1, Seed: 1})
+	sPlus := ipin.ComputeExact(net, omega+1)
+	if spread-1 > sPlus.IRSSize(hub1) {
+		t.Errorf("cascade spread %d exceeds |σ_{ω+1}(hub1)|+1 = %d", spread, sPlus.IRSSize(hub1)+1)
+	}
+
+	// Persistence round trip preserves every oracle answer.
+	var buf bytes.Buffer
+	if _, err := approx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := ipin.ReadApproxIRS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := ipin.NewApproxOracle(reloaded)
+	if got, want := or.Spread(seeds), oa.Spread(seeds); got != want {
+		t.Errorf("reloaded oracle spread %.3f != %.3f", got, want)
+	}
+}
+
+func TestPipelineWindowSensitivity(t *testing.T) {
+	net, table := loadMini(t)
+	hub1, _ := table.Lookup("hub1")
+	leafG, _ := table.Lookup("leafG")
+
+	// The relay hub1→…→leafG spans times 10..110: duration 101. With a
+	// window of 100 ticks it must disappear; direct influence stays.
+	wide := ipin.ComputeExact(net, 101)
+	if _, ok := wide.Lambda(hub1, leafG); !ok {
+		t.Error("relay missing at ω=101")
+	}
+	narrow := ipin.ComputeExact(net, 100)
+	if _, ok := narrow.Lambda(hub1, leafG); ok {
+		t.Error("relay survived at ω=100")
+	}
+	leafA, _ := table.Lookup("leafA")
+	if _, ok := narrow.Lambda(hub1, leafA); !ok {
+		t.Error("direct influence lost at ω=100")
+	}
+}
