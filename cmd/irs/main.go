@@ -22,29 +22,48 @@ import (
 	"sort"
 	"strings"
 
+	"ipin/internal/cascade"
 	"ipin/internal/core"
 	"ipin/internal/graph"
+	"ipin/internal/obs"
+	"ipin/internal/swhll"
 	"ipin/internal/temporal"
+	"ipin/internal/vhll"
 )
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input interaction log (required)")
-		windowPct = flag.Float64("window", 10, "window length as %% of the time span")
-		omega     = flag.Int64("omega", 0, "window length in ticks (overrides -window)")
-		exact     = flag.Bool("exact", false, "use the exact algorithm instead of the sketch")
-		precision = flag.Int("precision", core.DefaultPrecision, "sketch precision (β = 2^precision)")
-		topk      = flag.Int("topk", 0, "select the top-k influencers")
-		celf      = flag.Bool("celf", false, "use CELF lazy greedy for -topk")
-		spread    = flag.String("spread", "", "comma-separated seed names: print their combined influence")
-		sizes     = flag.Bool("sizes", false, "print every node's influence size, largest first")
-		save      = flag.String("save", "", "write the computed summaries to this file")
-		load      = flag.String("load", "", "load summaries from this file instead of computing them")
-		channel   = flag.String("channel", "", "two comma-separated node names: print a witness information channel")
+		in         = flag.String("in", "", "input interaction log (required)")
+		windowPct  = flag.Float64("window", 10, "window length as %% of the time span")
+		omega      = flag.Int64("omega", 0, "window length in ticks (overrides -window)")
+		exact      = flag.Bool("exact", false, "use the exact algorithm instead of the sketch")
+		precision  = flag.Int("precision", core.DefaultPrecision, "sketch precision (β = 2^precision)")
+		topk       = flag.Int("topk", 0, "select the top-k influencers")
+		celf       = flag.Bool("celf", false, "use CELF lazy greedy for -topk")
+		spread     = flag.String("spread", "", "comma-separated seed names: print their combined influence")
+		sizes      = flag.Bool("sizes", false, "print every node's influence size, largest first")
+		save       = flag.String("save", "", "write the computed summaries to this file")
+		load       = flag.String("load", "", "load summaries from this file instead of computing them")
+		channel    = flag.String("channel", "", "two comma-separated node names: print a witness information channel")
+		progress   = flag.Bool("progress", false, "report phase progress periodically on stderr")
+		metricsOut = flag.String("metrics-out", "", "write final runtime metrics as JSON to this file")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
+	}
+	// Telemetry is opt-in: without these flags every instrumented event
+	// in the libraries below stays a free no-op.
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		core.InstallMetrics(reg)
+		vhll.InstallMetrics(reg)
+		swhll.InstallMetrics(reg)
+		cascade.InstallMetrics(reg)
+	}
+	if *progress {
+		core.SetProgressSink(obs.TextSink(os.Stderr, "irs: "))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -134,6 +153,23 @@ func main() {
 		}
 		fmt.Printf("combined spread: %.1f\n", oracle.Spread(seeds))
 	}
+	if *metricsOut != "" {
+		writeMetrics(*metricsOut, reg)
+	}
+}
+
+// writeMetrics dumps the final metric state as JSON, the shape the BENCH
+// trajectory files collect across runs.
+func writeMetrics(path string, reg *obs.Registry) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := reg.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "irs: wrote metrics to %s\n", path)
 }
 
 func printSizes(oracle core.Oracle, table *graph.NodeTable) {

@@ -3,6 +3,11 @@
 // preprocess the interaction log once, then answer spread queries in
 // O(|seeds|·β) regardless of network size.
 //
+// It is also the repository's reference observable deployment: every
+// route is wrapped in telemetry middleware, scan and sketch metrics from
+// preprocessing are exposed alongside, and the process shuts down
+// gracefully so the in-flight gauge drains to zero.
+//
 // Endpoints:
 //
 //	GET /influence?node=<id>           one node's estimated reach
@@ -11,6 +16,12 @@
 //	GET /channel?src=<id>&dst=<id>     a witness information channel
 //	GET /spreadby?seeds=...&deadline=t reach achievable BY a deadline
 //	GET /stats                         network and sketch statistics
+//	GET /metrics                       Prometheus text exposition
+//	GET /debug/vars                    expvar JSON (same registry)
+//	GET /debug/pprof/                  runtime profiles
+//
+// Errors come back as JSON ({"error": ..., "status": ...}) with proper
+// status codes: 400 for malformed parameters, 404 for unknown nodes.
 //
 // Run with:
 //
@@ -20,13 +31,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"ipin"
 )
@@ -40,6 +58,10 @@ func main() {
 	)
 	flag.Parse()
 
+	reg := ipin.NewMetricsRegistry()
+	ipin.InstallMetrics(reg)
+	reg.PublishExpvar("ipin")
+
 	cfg, err := ipin.GenDataset(*dataset, *scale)
 	if err != nil {
 		log.Fatal(err)
@@ -49,26 +71,40 @@ func main() {
 		log.Fatal(err)
 	}
 	omega := net.WindowFromPercent(*windowPct)
-	irs, err := ipin.ComputeApprox(net, omega, ipin.DefaultPrecision)
+	srv, err := buildServer(net, omega, ipin.DefaultPrecision, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &server{
-		net:    net,
-		irs:    irs,
-		oracle: ipin.NewApproxOracle(irs),
-		omega:  omega,
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/influence", srv.influence)
-	mux.HandleFunc("/spread", srv.spread)
-	mux.HandleFunc("/topk", srv.topk)
-	mux.HandleFunc("/channel", srv.channel)
-	mux.HandleFunc("/spreadby", srv.spreadBy)
-	mux.HandleFunc("/stats", srv.stats)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("oracle for %s (%d nodes, %d interactions, ω=%d) on %s",
 		*dataset, net.NumNodes, net.Len(), omega, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let running requests (and the
+	// in-flight gauge) finish, then exit.
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 }
 
 type server struct {
@@ -76,31 +112,71 @@ type server struct {
 	irs    *ipin.ApproxIRS
 	oracle ipin.Oracle
 	omega  int64
+	reg    *ipin.MetricsRegistry
+}
+
+// buildServer preprocesses the network (the expensive one-pass scan) and
+// returns a query server recording into reg.
+func buildServer(net *ipin.Network, omega int64, precision int, reg *ipin.MetricsRegistry) (*server, error) {
+	irs, err := ipin.ComputeApprox(net, omega, precision)
+	if err != nil {
+		return nil, err
+	}
+	return &server{
+		net:    net,
+		irs:    irs,
+		oracle: ipin.NewApproxOracle(irs),
+		omega:  omega,
+		reg:    reg,
+	}, nil
+}
+
+// routes is the closed set of application paths the middleware tracks as
+// individual metric series.
+var routes = []string{"/influence", "/spread", "/topk", "/channel", "/spreadby", "/stats", "/metrics"}
+
+// handler assembles the full route table: application endpoints wrapped
+// in telemetry middleware, plus the observability endpoints themselves.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/influence", s.influence)
+	mux.HandleFunc("/spread", s.spread)
+	mux.HandleFunc("/topk", s.topk)
+	mux.HandleFunc("/channel", s.channel)
+	mux.HandleFunc("/spreadby", s.spreadBy)
+	mux.HandleFunc("/stats", s.stats)
+	mux.Handle("/metrics", ipin.MetricsHandler(s.reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return ipin.InstrumentHTTP(s.reg, routes, mux)
+}
+
+// errCounter counts application-level request errors, by route.
+func (s *server) errCounter(route string) {
+	s.reg.Counter(
+		fmt.Sprintf(`oracle_request_errors_total{route=%q}`, route),
+		"Requests rejected by oracleserver handlers (bad parameters, unknown nodes).",
+	).Inc()
 }
 
 func (s *server) influence(w http.ResponseWriter, r *http.Request) {
 	id, err := s.parseNode(r.URL.Query().Get("node"))
 	if err != nil {
-		httpError(w, err)
+		s.error(w, r, err)
 		return
 	}
 	writeJSON(w, map[string]any{"node": id, "influence": s.oracle.InfluenceSize(id)})
 }
 
 func (s *server) spread(w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("seeds")
-	if raw == "" {
-		httpError(w, fmt.Errorf("missing seeds parameter"))
+	seeds, err := s.parseSeeds(r.URL.Query().Get("seeds"))
+	if err != nil {
+		s.error(w, r, err)
 		return
-	}
-	var seeds []ipin.NodeID
-	for _, part := range strings.Split(raw, ",") {
-		id, err := s.parseNode(strings.TrimSpace(part))
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		seeds = append(seeds, id)
 	}
 	writeJSON(w, map[string]any{"seeds": seeds, "spread": s.oracle.Spread(seeds)})
 }
@@ -108,7 +184,7 @@ func (s *server) spread(w http.ResponseWriter, r *http.Request) {
 func (s *server) topk(w http.ResponseWriter, r *http.Request) {
 	k, err := strconv.Atoi(r.URL.Query().Get("k"))
 	if err != nil || k < 1 || k > s.net.NumNodes {
-		httpError(w, fmt.Errorf("bad k parameter"))
+		s.error(w, r, badParam("bad k parameter"))
 		return
 	}
 	seeds := ipin.TopKApprox(s.irs, k)
@@ -118,23 +194,14 @@ func (s *server) topk(w http.ResponseWriter, r *http.Request) {
 // spreadBy estimates how many distinct nodes the seeds can have
 // influenced by the given deadline (channels ending at or before it).
 func (s *server) spreadBy(w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("seeds")
-	if raw == "" {
-		httpError(w, fmt.Errorf("missing seeds parameter"))
+	seeds, err := s.parseSeeds(r.URL.Query().Get("seeds"))
+	if err != nil {
+		s.error(w, r, err)
 		return
-	}
-	var seeds []ipin.NodeID
-	for _, part := range strings.Split(raw, ",") {
-		id, err := s.parseNode(strings.TrimSpace(part))
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		seeds = append(seeds, id)
 	}
 	deadline, err := strconv.ParseInt(r.URL.Query().Get("deadline"), 10, 64)
 	if err != nil {
-		httpError(w, fmt.Errorf("bad deadline parameter"))
+		s.error(w, r, badParam("bad deadline parameter"))
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -149,12 +216,12 @@ func (s *server) spreadBy(w http.ResponseWriter, r *http.Request) {
 func (s *server) channel(w http.ResponseWriter, r *http.Request) {
 	src, err := s.parseNode(r.URL.Query().Get("src"))
 	if err != nil {
-		httpError(w, err)
+		s.error(w, r, err)
 		return
 	}
 	dst, err := s.parseNode(r.URL.Query().Get("dst"))
 	if err != nil {
-		httpError(w, err)
+		s.error(w, r, err)
 		return
 	}
 	ch := ipin.FindChannel(s.net, src, dst, s.omega)
@@ -187,12 +254,47 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// requestError is an application error with the HTTP status it deserves.
+type requestError struct {
+	status int
+	msg    string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+func badParam(msg string) error { return &requestError{status: http.StatusBadRequest, msg: msg} }
+
+func unknownNode(raw string) error {
+	return &requestError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown node %q", raw)}
+}
+
+// parseNode resolves a node-id parameter: 400 when malformed, 404 when
+// well-formed but outside the network.
 func (s *server) parseNode(raw string) (ipin.NodeID, error) {
 	id, err := strconv.Atoi(raw)
-	if err != nil || id < 0 || id >= s.net.NumNodes {
-		return 0, fmt.Errorf("bad node id %q", raw)
+	if err != nil {
+		return 0, badParam(fmt.Sprintf("bad node id %q", raw))
+	}
+	if id < 0 || id >= s.net.NumNodes {
+		return 0, unknownNode(raw)
 	}
 	return ipin.NodeID(id), nil
+}
+
+// parseSeeds resolves a comma-separated seeds parameter.
+func (s *server) parseSeeds(raw string) ([]ipin.NodeID, error) {
+	if raw == "" {
+		return nil, badParam("missing seeds parameter")
+	}
+	var seeds []ipin.NodeID
+	for _, part := range strings.Split(raw, ",") {
+		id, err := s.parseNode(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, id)
+	}
+	return seeds, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -202,6 +304,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, err error) {
-	http.Error(w, err.Error(), http.StatusBadRequest)
+// error writes a JSON error body with the status carried by err (400 for
+// plain errors) and bumps the application error counter for the route.
+func (s *server) error(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusBadRequest
+	var re *requestError
+	if errors.As(err, &re) {
+		status = re.status
+	}
+	s.errCounter(r.URL.Path)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "status": status})
 }

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ipin"
+)
+
+// testServer builds the full handler over a tiny hand-made network: a
+// chain 0→1→2→3 inside the window plus one interaction outside it.
+func testServer(t *testing.T) (*server, *ipin.MetricsRegistry) {
+	t.Helper()
+	net := ipin.NewNetwork(5)
+	net.Add(0, 1, 100)
+	net.Add(1, 2, 200)
+	net.Add(2, 3, 300)
+	net.Add(3, 4, 9000)
+	net.Sort()
+
+	reg := ipin.NewMetricsRegistry()
+	ipin.InstallMetrics(reg)
+	t.Cleanup(func() { ipin.InstallMetrics(nil) })
+	srv, err := buildServer(net, 500, ipin.DefaultPrecision, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, reg
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestObservableServer(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// A few spread queries, then scrape /metrics: the route counter and
+	// latency histogram buckets must be non-zero, and the preprocessing
+	// scan metrics must have been recorded.
+	for i := 0; i < 3; i++ {
+		code, body := get(t, ts, "/spread?seeds=0,1")
+		if code != http.StatusOK || !strings.Contains(body, `"spread"`) {
+			t.Fatalf("spread: %d %s", code, body)
+		}
+	}
+	code, metrics := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`http_requests_total{route="/spread",code="200"} 3`,
+		`http_request_duration_seconds_bucket{route="/spread",le="+Inf"} 3`,
+		`http_request_duration_seconds_count{route="/spread"} 3`,
+		`ipin_scan_edges_total{algo="approx"} 4`,
+		`# TYPE http_in_flight_requests gauge`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if !strings.Contains(metrics, "ipin_vhll_inserts_total") {
+		t.Fatalf("no sketch metrics in exposition:\n%s", metrics)
+	}
+
+	// pprof must be mounted on the custom mux.
+	if code, _ := get(t, ts, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	srv, reg := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/influence?node=banana", http.StatusBadRequest},
+		{"/influence?node=9999", http.StatusNotFound},
+		{"/spread", http.StatusBadRequest},
+		{"/spread?seeds=0,zzz", http.StatusBadRequest},
+		{"/topk?k=0", http.StatusBadRequest},
+		{"/spreadby?seeds=0&deadline=x", http.StatusBadRequest},
+		{"/channel?src=0&dst=9999", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		code, body := get(t, ts, c.path)
+		if code != c.code {
+			t.Errorf("%s: status %d, want %d (%s)", c.path, code, c.code, body)
+		}
+		var e struct {
+			Error  string `json:"error"`
+			Status int    `json:"status"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" || e.Status != c.code {
+			t.Errorf("%s: not a JSON error body: %q (%v)", c.path, body, err)
+		}
+	}
+
+	// Every rejected request lands in the application error counter and
+	// the middleware's HTTP error counter.
+	snap := reg.Snapshot()
+	errs := int64(0)
+	for name, v := range snap {
+		if strings.HasPrefix(name, "oracle_request_errors_total") {
+			errs += v.(int64)
+		}
+	}
+	if errs != int64(len(cases)) {
+		t.Fatalf("application errors = %d, want %d", errs, len(cases))
+	}
+	if got := snap[`http_errors_total{route="/influence"}`]; got != int64(2) {
+		t.Fatalf("http errors on /influence = %v, want 2", got)
+	}
+}
+
+func TestSuccessPaths(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/influence?node=0",
+		"/topk?k=2",
+		"/spreadby?seeds=0&deadline=400",
+		"/channel?src=0&dst=3",
+		"/stats",
+	} {
+		code, body := get(t, ts, path)
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d (%s)", path, code, body)
+		}
+		if !json.Valid([]byte(body)) {
+			t.Errorf("%s: invalid JSON %q", path, body)
+		}
+	}
+}

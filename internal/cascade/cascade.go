@@ -81,6 +81,7 @@ func Simulate(l *graph.Log, seeds []graph.NodeID, cfg Config) int {
 		return cfg.P
 	}
 	count := 0
+	transmissions := 0
 	for _, e := range l.Interactions {
 		if isSeed[e.Src] && !active[e.Src] {
 			// "We start by infecting the seed nodes at their first
@@ -103,6 +104,7 @@ func Simulate(l *graph.Log, seeds []graph.NodeID, cfg Config) int {
 		if p < 1.0 && rng.Float64() >= p {
 			continue
 		}
+		transmissions++
 		if !active[e.Dst] {
 			active[e.Dst] = true
 			act[e.Dst] = act[e.Src]
@@ -113,6 +115,12 @@ func Simulate(l *graph.Log, seeds []graph.NodeID, cfg Config) int {
 			act[e.Dst] = act[e.Src]
 		}
 	}
+	// One flush per trial keeps the parallel trial loop free of per-edge
+	// atomics; the instruments are themselves atomic across goroutines.
+	mx := m()
+	mx.trials.Inc()
+	mx.activations.Add(int64(count))
+	mx.transmissions.Add(int64(transmissions))
 	return count
 }
 

@@ -1,0 +1,44 @@
+package cascade
+
+import (
+	"sync/atomic"
+
+	"ipin/internal/obs"
+)
+
+// metrics are the package's telemetry instruments; nil fields (the
+// default) make every record site a no-op. Simulate runs on many
+// goroutines under RunTrials, so the instruments' atomic hot path is the
+// only synchronization needed.
+type metrics struct {
+	trials        *obs.Counter
+	activations   *obs.Counter
+	transmissions *obs.Counter
+}
+
+var (
+	installed atomic.Pointer[metrics]
+	noop      = new(metrics)
+)
+
+// m returns the active metrics set, never nil.
+func m() *metrics {
+	if p := installed.Load(); p != nil {
+		return p
+	}
+	return noop
+}
+
+// InstallMetrics registers this package's instruments in reg and starts
+// recording into them; nil uninstalls.
+func InstallMetrics(reg *obs.Registry) {
+	if reg == nil {
+		installed.Store(nil)
+		return
+	}
+	installed.Store(&metrics{
+		trials:        reg.Counter("ipin_cascade_trials_total", "TCIC simulation runs."),
+		activations:   reg.Counter("ipin_cascade_activations_total", "Nodes activated across all TCIC simulation runs."),
+		transmissions: reg.Counter("ipin_cascade_transmissions_total", "Successful infection transmissions along interactions."),
+	})
+}

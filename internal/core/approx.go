@@ -5,6 +5,7 @@ import (
 
 	"ipin/internal/graph"
 	"ipin/internal/hll"
+	"ipin/internal/obs"
 	"ipin/internal/vhll"
 )
 
@@ -49,9 +50,14 @@ func ComputeApprox(l *graph.Log, omega int64, precision int) (*ApproxSummaries, 
 	for i := range hashes {
 		hashes[i] = hll.Hash64(uint64(i))
 	}
+	mx := m()
+	span := obs.NewSpan(sink(), "scan/approx")
 	edges := l.Interactions
+	total := int64(len(edges))
+	var summaries int64
 	for i := len(edges) - 1; i >= 0; i-- {
 		e := edges[i]
+		mx.approxEdges.Inc()
 		if e.Src == e.Dst {
 			continue
 		}
@@ -59,13 +65,24 @@ func ComputeApprox(l *graph.Log, omega int64, precision int) (*ApproxSummaries, 
 		if sk == nil {
 			sk = vhll.MustNew(precision)
 			s.Sketches[e.Src] = sk
+			summaries++
+			mx.approxSummaries.Inc()
 		}
 		sk.AddHash(hashes[e.Dst], int64(e.At))
 		if skV := s.Sketches[e.Dst]; skV != nil {
+			mx.approxMerges.Inc()
 			// Same-precision merge cannot fail.
 			_ = sk.MergeWindow(skV, int64(e.At), omega)
 		}
+		if done := total - int64(i); done&progressMask == 0 && span.Due() {
+			// Entry and byte counts walk every sketch; they run only at
+			// the rate-limited progress checkpoints.
+			span.Progressf("%s/%s edges, %s summaries, %s",
+				obs.Count(done), obs.Count(total), obs.Count(summaries), obs.Bytes(int64(s.MemoryBytes())))
+		}
 	}
+	span.Endf("%s edges, %s summaries, %s entries, %s",
+		obs.Count(total), obs.Count(summaries), obs.Count(int64(s.EntryCount())), obs.Bytes(int64(s.MemoryBytes())))
 	return s, nil
 }
 

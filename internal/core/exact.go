@@ -2,6 +2,7 @@ package core
 
 import (
 	"ipin/internal/graph"
+	"ipin/internal/obs"
 )
 
 // ExactSummaries holds the output of the exact one-pass algorithm: for
@@ -25,10 +26,15 @@ type ExactSummaries struct {
 // without copying. Self-loops are skipped: they create no channel to a
 // new node. Time is O(n·m) worst case and space O(n²) (paper Lemma 3).
 func ComputeExact(l *graph.Log, omega int64) *ExactSummaries {
+	mx := m()
+	span := obs.NewSpan(sink(), "scan/exact")
 	s := &ExactSummaries{Omega: omega, Phi: make([]map[graph.NodeID]graph.Time, l.NumNodes)}
 	edges := l.Interactions
+	total := int64(len(edges))
+	var summaries, entries int64
 	for i := len(edges) - 1; i >= 0; i-- {
 		e := edges[i]
+		mx.exactEdges.Inc()
 		if e.Src == e.Dst {
 			continue
 		}
@@ -36,9 +42,17 @@ func ComputeExact(l *graph.Log, omega int64) *ExactSummaries {
 		if phiU == nil {
 			phiU = make(map[graph.NodeID]graph.Time)
 			s.Phi[e.Src] = phiU
+			summaries++
+			mx.exactSummaries.Inc()
 		}
-		add(phiU, e.Dst, e.At)
+		added := int64(0)
+		if add(phiU, e.Dst, e.At) {
+			added++
+		}
 		if phiV := s.Phi[e.Dst]; phiV != nil {
+			mx.exactMerges.Inc()
+			mx.exactMergeEntries.Add(int64(len(phiV)))
+			skipped := int64(0)
 			for x, tx := range phiV {
 				// x == e.Src would record u as influencing itself through
 				// a temporal cycle; the paper's worked Example 2 excludes
@@ -47,20 +61,36 @@ func ComputeExact(l *graph.Log, omega int64) *ExactSummaries {
 				// when the input violates the distinct-timestamps
 				// assumption; on distinct stamps it is always true here.
 				if x != e.Src && tx > e.At && int64(tx-e.At) < omega {
-					add(phiU, x, tx)
+					if add(phiU, x, tx) {
+						added++
+					}
+				} else {
+					skipped++
 				}
 			}
+			mx.exactWindowSkips.Add(skipped)
+		}
+		entries += added
+		mx.exactEntriesAdded.Add(added)
+		if done := total - int64(i); done&progressMask == 0 && span.Due() {
+			span.Progressf("%s/%s edges, %s summaries, %s entries, %s",
+				obs.Count(done), obs.Count(total), obs.Count(summaries),
+				obs.Count(entries), obs.Bytes(entries*entryBytesExact))
 		}
 	}
+	span.Endf("%s edges, %s summaries, %s entries, %s",
+		obs.Count(total), obs.Count(summaries), obs.Count(entries), obs.Bytes(entries*entryBytesExact))
 	return s
 }
 
 // add is the Add of Algorithm 2: insert (v,t) keeping the minimum end time
-// when v is already present.
-func add(phi map[graph.NodeID]graph.Time, v graph.NodeID, t graph.Time) {
-	if old, ok := phi[v]; !ok || t < old {
+// when v is already present. It reports whether v was newly inserted.
+func add(phi map[graph.NodeID]graph.Time, v graph.NodeID, t graph.Time) bool {
+	old, ok := phi[v]
+	if !ok || t < old {
 		phi[v] = t
 	}
+	return !ok
 }
 
 // NumNodes returns n.

@@ -6,6 +6,7 @@ import (
 
 	"ipin/internal/graph"
 	"ipin/internal/hll"
+	"ipin/internal/obs"
 )
 
 // This file implements influence maximization on top of the IRS state:
@@ -106,6 +107,9 @@ func (c *approxCoverage) add(u graph.NodeID) {
 // remaining candidate adds coverage, the seed set is completed with the
 // largest-size unselected nodes so callers always receive k seeds.
 func greedyTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
+	mx := m()
+	span := obs.NewSpan(sink(), "select/greedy")
+	gainEvals := int64(0)
 	order := make([]graph.NodeID, n)
 	for i := range order {
 		order[i] = graph.NodeID(i)
@@ -127,6 +131,8 @@ func greedyTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
 			if bestGain >= size[u] {
 				break
 			}
+			gainEvals++
+			mx.greedyGainEvals.Inc()
 			if g := cov.gain(u); g > bestGain {
 				bestGain = g
 				best = u
@@ -147,7 +153,12 @@ func greedyTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
 		chosen[best] = true
 		cov.add(best)
 		selected = append(selected, best)
+		mx.greedySeeds.Inc()
+		if span.Due() {
+			span.Progressf("%d/%d seeds, %s gain evaluations", len(selected), k, obs.Count(gainEvals))
+		}
 	}
+	span.Endf("%d seeds, %s gain evaluations", len(selected), obs.Count(gainEvals))
 	return selected
 }
 
@@ -214,6 +225,9 @@ func (h *celfHeap) Pop() interface{} {
 // that stays on top is the true maximizer. Returns the same seed quality
 // as Algorithm 4 with far fewer gain evaluations on large candidate sets.
 func celfTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
+	mx := m()
+	span := obs.NewSpan(sink(), "select/celf")
+	gainEvals := int64(0)
 	h := make(celfHeap, 0, n)
 	for u := 0; u < n; u++ {
 		if size[u] > 0 {
@@ -230,8 +244,14 @@ func celfTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
 		if it.round == len(selected) {
 			cov.add(it.node)
 			selected = append(selected, it.node)
+			mx.celfSeeds.Inc()
+			if span.Due() {
+				span.Progressf("%d/%d seeds, %s gain evaluations", len(selected), k, obs.Count(gainEvals))
+			}
 			continue
 		}
+		gainEvals++
+		mx.celfGainEvals.Inc()
 		it.gain = cov.gain(it.node)
 		it.round = len(selected)
 		heap.Push(&h, it)
@@ -255,9 +275,11 @@ func celfTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
 			}
 			if !chosen[u] {
 				selected = append(selected, u)
+				mx.celfSeeds.Inc()
 			}
 		}
 	}
+	span.Endf("%d seeds, %s gain evaluations", len(selected), obs.Count(gainEvals))
 	return selected
 }
 

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"ipin/internal/obs"
+)
+
+// metrics are the package's telemetry instruments, covering the reverse
+// scans (paper Algorithms 2 and 3) and the greedy/CELF selection loops
+// (Algorithm 4). All fields are nil until InstallMetrics runs, so every
+// record site is a no-op by default — the disabled hot path costs one
+// atomic pointer load per function plus a nil check per event.
+type metrics struct {
+	exactEdges        *obs.Counter
+	exactSummaries    *obs.Counter
+	exactMerges       *obs.Counter
+	exactMergeEntries *obs.Counter
+	exactEntriesAdded *obs.Counter
+	exactWindowSkips  *obs.Counter
+
+	approxEdges     *obs.Counter
+	approxSummaries *obs.Counter
+	approxMerges    *obs.Counter
+
+	greedyGainEvals *obs.Counter
+	greedySeeds     *obs.Counter
+	celfGainEvals   *obs.Counter
+	celfSeeds       *obs.Counter
+}
+
+var (
+	installed atomic.Pointer[metrics]
+	noop      = new(metrics)
+)
+
+// m returns the active metrics set, never nil.
+func m() *metrics {
+	if p := installed.Load(); p != nil {
+		return p
+	}
+	return noop
+}
+
+// InstallMetrics registers this package's instruments in reg and starts
+// recording into them; nil uninstalls. The sketch-level costs of the
+// approximate scan (register updates, dominance prunes, merge entries)
+// live in package vhll — install its metrics alongside.
+func InstallMetrics(reg *obs.Registry) {
+	if reg == nil {
+		installed.Store(nil)
+		return
+	}
+	installed.Store(&metrics{
+		exactEdges:        reg.Counter(`ipin_scan_edges_total{algo="exact"}`, "Interactions examined by the reverse IRS scans."),
+		exactSummaries:    reg.Counter(`ipin_scan_summaries_created_total{algo="exact"}`, "Per-node summaries created by the scans."),
+		exactMerges:       reg.Counter(`ipin_scan_merges_total{algo="exact"}`, "Summary merge operations performed by the scans."),
+		exactMergeEntries: reg.Counter(`ipin_scan_merge_entries_total{algo="exact"}`, "Summary entries examined during exact merges."),
+		exactEntriesAdded: reg.Counter(`ipin_scan_entries_added_total{algo="exact"}`, "New (node, time) entries stored in exact summaries."),
+		exactWindowSkips:  reg.Counter(`ipin_scan_window_skips_total{algo="exact"}`, "Merge entries dropped by the window / self-loop filters."),
+
+		approxEdges:     reg.Counter(`ipin_scan_edges_total{algo="approx"}`, "Interactions examined by the reverse IRS scans."),
+		approxSummaries: reg.Counter(`ipin_scan_summaries_created_total{algo="approx"}`, "Per-node summaries created by the scans."),
+		approxMerges:    reg.Counter(`ipin_scan_merges_total{algo="approx"}`, "Summary merge operations performed by the scans."),
+
+		greedyGainEvals: reg.Counter(`ipin_select_gain_evaluations_total{strategy="greedy"}`, "Marginal-gain oracle calls made by seed selection."),
+		greedySeeds:     reg.Counter(`ipin_select_seeds_total{strategy="greedy"}`, "Seeds selected."),
+		celfGainEvals:   reg.Counter(`ipin_select_gain_evaluations_total{strategy="celf"}`, "Marginal-gain oracle calls made by seed selection."),
+		celfSeeds:       reg.Counter(`ipin_select_seeds_total{strategy="celf"}`, "Seeds selected."),
+	})
+}
+
+// sinkBox wraps a Sink so it can live in an atomic pointer.
+type sinkBox struct{ sink obs.Sink }
+
+var progressSink atomic.Pointer[sinkBox]
+
+// SetProgressSink installs a sink receiving phase progress events from
+// the scans and selection loops ("scan/exact", "scan/approx",
+// "select/greedy", "select/celf"); nil uninstalls. With no sink the
+// phases emit nothing and pay nothing beyond a gated counter check.
+func SetProgressSink(s obs.Sink) {
+	if s == nil {
+		progressSink.Store(nil)
+		return
+	}
+	progressSink.Store(&sinkBox{sink: s})
+}
+
+// sink returns the installed progress sink, or nil.
+func sink() obs.Sink {
+	if b := progressSink.Load(); b != nil {
+		return b.sink
+	}
+	return nil
+}
+
+// progressMask gates progress checks in scan loops: the span's rate
+// limiter is consulted only once per this many edges, keeping the
+// per-edge cost to one mask-and-branch.
+const progressMask = 1<<16 - 1

@@ -1,0 +1,28 @@
+package core
+
+import "testing"
+
+// BenchmarkDisabledScanEvent measures the per-event cost the scan hot
+// path pays when no collector is installed: one atomic metrics-pointer
+// load plus a nil-counter increment — the sequence ComputeExact and
+// ComputeApprox run per edge. The acceptance bar is < 5 ns/op.
+func BenchmarkDisabledScanEvent(b *testing.B) {
+	InstallMetrics(nil)
+	for i := 0; i < b.N; i++ {
+		mx := m()
+		mx.exactEdges.Inc()
+	}
+}
+
+// BenchmarkDisabledScanEventAmortized is the realistic shape: the
+// metrics pointer is loaded once per scan, and only nil-counter calls
+// remain on the per-edge path.
+func BenchmarkDisabledScanEventAmortized(b *testing.B) {
+	InstallMetrics(nil)
+	mx := m()
+	for i := 0; i < b.N; i++ {
+		mx.exactEdges.Inc()
+		mx.exactMerges.Inc()
+		mx.exactMergeEntries.Add(int64(i))
+	}
+}

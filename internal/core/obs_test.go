@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"ipin/internal/graph"
+	"ipin/internal/obs"
+	"ipin/internal/vhll"
+)
+
+// obsLog builds a small chain-plus-fanout log for instrumentation tests.
+func obsLog() *graph.Log {
+	l := graph.New(5)
+	l.Add(0, 1, 10)
+	l.Add(1, 2, 20)
+	l.Add(2, 3, 30)
+	l.Add(3, 4, 40)
+	l.Add(0, 0, 45) // self-loop: scanned but never merged
+	l.Add(1, 4, 50)
+	l.Sort()
+	return l
+}
+
+func TestScanMetricsExact(t *testing.T) {
+	reg := obs.NewRegistry()
+	InstallMetrics(reg)
+	t.Cleanup(func() { InstallMetrics(nil) })
+
+	s := ComputeExact(obsLog(), 100)
+	snap := reg.Snapshot()
+	if got := snap[`ipin_scan_edges_total{algo="exact"}`]; got != int64(6) {
+		t.Fatalf("edges = %v, want 6", got)
+	}
+	added, ok := snap[`ipin_scan_entries_added_total{algo="exact"}`].(int64)
+	if !ok || int(added) != s.EntryCount() {
+		t.Fatalf("entries added = %v, want %d", added, s.EntryCount())
+	}
+	if got := snap[`ipin_scan_summaries_created_total{algo="exact"}`]; got != int64(4) {
+		t.Fatalf("summaries = %v, want 4", got)
+	}
+}
+
+func TestScanMetricsApprox(t *testing.T) {
+	reg := obs.NewRegistry()
+	InstallMetrics(reg)
+	vhll.InstallMetrics(reg)
+	t.Cleanup(func() {
+		InstallMetrics(nil)
+		vhll.InstallMetrics(nil)
+	})
+
+	if _, err := ComputeApprox(obsLog(), 100, DefaultPrecision); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap[`ipin_scan_edges_total{algo="approx"}`]; got != int64(6) {
+		t.Fatalf("edges = %v, want 6", got)
+	}
+	if got, _ := snap[`ipin_vhll_inserts_total`].(int64); got == 0 {
+		t.Fatal("no vhll inserts recorded")
+	}
+}
+
+func TestSelectionMetricsAndProgress(t *testing.T) {
+	reg := obs.NewRegistry()
+	InstallMetrics(reg)
+	var events []obs.Event
+	SetProgressSink(func(e obs.Event) { events = append(events, e) })
+	t.Cleanup(func() {
+		InstallMetrics(nil)
+		SetProgressSink(nil)
+	})
+
+	s := ComputeExact(obsLog(), 100)
+	if got := TopKExact(s, 2); len(got) != 2 {
+		t.Fatalf("topk = %v", got)
+	}
+	if got := TopKExactCELF(s, 2); len(got) != 2 {
+		t.Fatalf("celf topk = %v", got)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap[`ipin_select_seeds_total{strategy="greedy"}`]; got != int64(2) {
+		t.Fatalf("greedy seeds = %v, want 2", got)
+	}
+	if got := snap[`ipin_select_seeds_total{strategy="celf"}`]; got != int64(2) {
+		t.Fatalf("celf seeds = %v, want 2", got)
+	}
+	if got, _ := snap[`ipin_select_gain_evaluations_total{strategy="celf"}`].(int64); got == 0 {
+		t.Fatal("no celf gain evaluations recorded")
+	}
+
+	// Each phase must have emitted exactly one Done event: scan/exact,
+	// select/greedy, select/celf.
+	phases := map[string]int{}
+	for _, e := range events {
+		if e.Done {
+			phases[e.Phase]++
+		}
+	}
+	for _, phase := range []string{"scan/exact", "select/greedy", "select/celf"} {
+		if phases[phase] != 1 {
+			t.Fatalf("phase %q done events = %d, want 1 (events: %+v)", phase, phases[phase], events)
+		}
+	}
+}
+
+// TestMetricsUninstalled pins that scans run clean with no collector —
+// the default state every other test in this package exercises.
+func TestMetricsUninstalled(t *testing.T) {
+	InstallMetrics(nil)
+	SetProgressSink(nil)
+	s := ComputeExact(obsLog(), 100)
+	if s.EntryCount() == 0 {
+		t.Fatal("scan produced nothing")
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// splitName separates a full metric name into its base name and the
+// inline label block (without braces): "a_total{route=\"/x\"}" →
+// ("a_total", `route="/x"`).
+func splitName(full string) (base, labels string) {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i], strings.TrimSuffix(full[i+1:], "}")
+	}
+	return full, ""
+}
+
+// joinLabels renders a label block from pre-rendered pairs plus an
+// optional extra pair (used for the histogram "le" label).
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+// formatFloat renders a float the way Prometheus text format expects.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4). Metrics sharing a base name
+// are grouped under a single HELP/TYPE header; groups appear sorted by
+// base name, series sorted by full name, so output is deterministic.
+// No-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type series struct {
+		full string
+		m    any
+	}
+	groups := make(map[string][]series)
+	var bases []string
+	r.each(func(name string, m any) {
+		base, _ := splitName(name)
+		if _, ok := groups[base]; !ok {
+			bases = append(bases, base)
+		}
+		groups[base] = append(groups[base], series{full: name, m: m})
+	})
+	sort.Strings(bases)
+
+	var b strings.Builder
+	for _, base := range bases {
+		g := groups[base]
+		sort.Slice(g, func(i, j int) bool { return g[i].full < g[j].full })
+		typ, help := "untyped", ""
+		switch m := g[0].m.(type) {
+		case *Counter:
+			typ, help = "counter", m.help
+		case *Gauge:
+			typ, help = "gauge", m.help
+		case *Histogram:
+			typ, help = "histogram", m.help
+		}
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", base, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+		for _, s := range g {
+			_, labels := splitName(s.full)
+			switch m := s.m.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), m.Value())
+			case *Histogram:
+				snap := m.Snapshot()
+				for i, bound := range snap.Bounds {
+					le := `le="` + formatFloat(bound) + `"`
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, le), snap.Counts[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), snap.Counts[len(snap.Counts)-1])
+				fmt.Fprintf(&b, "%s_sum%s %s\n", base, joinLabels(labels, ""), formatFloat(snap.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", base, joinLabels(labels, ""), snap.Count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it at /metrics. A nil registry serves an empty
+// (valid) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Snapshot returns a point-in-time copy of every metric keyed by full
+// name: int64 for counters and gauges, HistogramSnapshot for histograms.
+// Empty on a nil registry.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	r.each(func(name string, m any) {
+		switch m := m.(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *Histogram:
+			out[name] = m.Snapshot()
+		}
+	})
+	return out
+}
+
+// jsonHistogram is the JSON shape of a histogram snapshot.
+type jsonHistogram struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // le → cumulative count
+}
+
+// jsonValue renders the snapshot into plain JSON-encodable values.
+func (r *Registry) jsonValue() map[string]any {
+	out := make(map[string]any)
+	for name, v := range r.Snapshot() {
+		switch v := v.(type) {
+		case int64:
+			out[name] = v
+		case HistogramSnapshot:
+			h := jsonHistogram{Count: v.Count, Sum: v.Sum, Buckets: make(map[string]int64, len(v.Counts))}
+			for i, bound := range v.Bounds {
+				h.Buckets[formatFloat(bound)] = v.Counts[i]
+			}
+			h.Buckets["+Inf"] = v.Counts[len(v.Counts)-1]
+			out[name] = h
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the full metric state as one indented JSON object
+// keyed by metric name — the shape `irs -metrics-out` dumps for BENCH
+// trajectories. Writes "{}" on a nil registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.jsonValue())
+}
+
+// PublishExpvar publishes the registry under the given expvar name, so
+// the standard /debug/vars endpoint includes a live JSON view of every
+// metric. expvar forbids duplicate names (it panics), so call this once
+// per process per name. No-op on a nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.jsonValue() }))
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// HTTP metric names produced by Middleware. Per-route series carry a
+// route label (and, for requests, the status code class).
+const (
+	MetricHTTPRequests  = "http_requests_total"
+	MetricHTTPErrors    = "http_errors_total"
+	MetricHTTPInFlight  = "http_in_flight_requests"
+	MetricHTTPDurations = "http_request_duration_seconds"
+)
+
+// Middleware wraps next with per-route HTTP telemetry:
+//
+//	http_requests_total{route,code}        requests by route and status
+//	http_errors_total{route}               responses with status >= 400
+//	http_in_flight_requests                gauge of running requests
+//	http_request_duration_seconds{route}   latency histogram by route
+//
+// routes is the closed set of URL paths worth individual series; any
+// other path (scrapes of bogus URLs, crawlers) is folded into
+// route="other" so the metric namespace stays bounded. With a nil
+// registry, Middleware returns next unchanged.
+func Middleware(reg *Registry, routes []string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	known := make(map[string]bool, len(routes))
+	for _, r := range routes {
+		known[r] = true
+	}
+	inFlight := reg.Gauge(MetricHTTPInFlight, "Number of HTTP requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := r.URL.Path
+		if !known[route] {
+			route = "other"
+		}
+		inFlight.Inc()
+		defer inFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start).Seconds()
+		reg.Counter(
+			fmt.Sprintf(`%s{route=%q,code="%d"}`, MetricHTTPRequests, route, rec.code),
+			"HTTP requests served, by route and status code.",
+		).Inc()
+		if rec.code >= 400 {
+			reg.Counter(
+				fmt.Sprintf(`%s{route=%q}`, MetricHTTPErrors, route),
+				"HTTP responses with a 4xx or 5xx status, by route.",
+			).Inc()
+		}
+		reg.Histogram(
+			fmt.Sprintf(`%s{route=%q}`, MetricHTTPDurations, route),
+			"HTTP request latency in seconds, by route.",
+			nil,
+		).Observe(elapsed)
+	})
+}
+
+// statusRecorder captures the status code written by the handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer when it supports streaming, so
+// wrapping does not break handlers (pprof's, for one) that flush.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/fail" {
+			http.Error(w, "nope", http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	h := Middleware(reg, []string{"/spread", "/fail"}, next)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	get("/spread")
+	get("/spread")
+	get("/fail")
+	get("/bogus/route")
+
+	snap := reg.Snapshot()
+	if got := snap[`http_requests_total{route="/spread",code="200"}`]; got != int64(2) {
+		t.Fatalf("spread requests = %v, want 2", got)
+	}
+	if got := snap[`http_requests_total{route="/fail",code="400"}`]; got != int64(1) {
+		t.Fatalf("fail requests = %v, want 1", got)
+	}
+	if got := snap[`http_errors_total{route="/fail"}`]; got != int64(1) {
+		t.Fatalf("errors = %v, want 1", got)
+	}
+	// Unknown paths fold into route="other" so series stay bounded.
+	if got := snap[`http_requests_total{route="other",code="200"}`]; got != int64(1) {
+		t.Fatalf("other requests = %v, want 1", got)
+	}
+	if got := snap[MetricHTTPInFlight]; got != int64(0) {
+		t.Fatalf("in-flight after drain = %v, want 0", got)
+	}
+	hs, ok := snap[`http_request_duration_seconds{route="/spread"}`].(HistogramSnapshot)
+	if !ok || hs.Count != 2 {
+		t.Fatalf("latency histogram = %+v", snap[`http_request_duration_seconds{route="/spread"}`])
+	}
+}
+
+func TestMiddlewareInFlight(t *testing.T) {
+	reg := NewRegistry()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	})
+	srv := httptest.NewServer(Middleware(reg, []string{"/slow"}, next))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.Get(srv.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	<-entered
+	if got := reg.Gauge(MetricHTTPInFlight, "").Value(); got != 1 {
+		t.Fatalf("in-flight during request = %d, want 1", got)
+	}
+	close(release)
+	<-done
+	if got := reg.Gauge(MetricHTTPInFlight, "").Value(); got != 0 {
+		t.Fatalf("in-flight after request = %d, want 0", got)
+	}
+}
+
+func TestMiddlewareNilRegistry(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) })
+	h := Middleware(nil, nil, next)
+	// With no registry the handler must come back unwrapped.
+	if _, ok := h.(http.HandlerFunc); !ok {
+		t.Fatalf("nil registry wrapped the handler: %T", h)
+	}
+	req := httptest.NewRequest("GET", "/x", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Body.String() != "ok" {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestHandlerExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "help").Add(3)
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "a_total 3") {
+		t.Fatalf("exposition body:\n%s", rec.Body.String())
+	}
+	// A nil registry must still serve a valid (empty) exposition.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry: code %d body %q", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("inflight", "in flight")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0 after balanced inc/dec", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("h", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Cumulative: le=1 → {0.5, 1}, le=2 → +{1.5}, le=4 → +{3}, +Inf → +{100}.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 0.5+1+1.5+3+100 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "latency", []float64{0.001, 0.01, 0.1})
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w%4) * 0.004)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Counts[len(s.Counts)-1] != workers*per {
+		t.Fatalf("+Inf bucket = %d, want %d", s.Counts[len(s.Counts)-1], workers*per)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x")
+	b := reg.Counter("x_total", "different help ignored")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type clash did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "now a gauge")
+}
+
+// TestNoop pins the package's core contract: every instrument, span, and
+// registry accessor is safe and free on its nil receiver.
+func TestNoop(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Inc()
+	g.Dec()
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatal("nil histogram has observations")
+	}
+
+	var reg *Registry
+	if reg.Counter("a", "") != nil || reg.Gauge("b", "") != nil || reg.Histogram("c", "", nil) != nil {
+		t.Fatal("nil registry returned a live instrument")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition: %q, %v", sb.String(), err)
+	}
+	sb.Reset()
+	if err := reg.WriteJSON(&sb); err != nil || strings.TrimSpace(sb.String()) != "{}" {
+		t.Fatalf("nil registry JSON: %q, %v", sb.String(), err)
+	}
+	reg.PublishExpvar("never-registered")
+
+	span := NewSpan(nil, "phase")
+	if span != nil {
+		t.Fatal("nil sink produced a live span")
+	}
+	span.SetInterval(time.Second)
+	if span.Due() {
+		t.Fatal("nil span is due")
+	}
+	span.Progressf("x %d", 1)
+	span.Endf("y")
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`requests_total{route="/b"}`, "Requests by route.").Add(2)
+	reg.Counter(`requests_total{route="/a"}`, "Requests by route.").Add(1)
+	reg.Gauge("in_flight", "In-flight requests.").Set(3)
+	reg.Histogram("latency_seconds", "Latency.", []float64{0.1, 0.5}).Observe(0.2)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP in_flight In-flight requests.
+# TYPE in_flight gauge
+in_flight 3
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 0
+latency_seconds_bucket{le="0.5"} 1
+latency_seconds_bucket{le="+Inf"} 1
+latency_seconds_sum 0.2
+latency_seconds_count 1
+# HELP requests_total Requests by route.
+# TYPE requests_total counter
+requests_total{route="/a"} 1
+requests_total{route="/b"} 2
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("edges_total", "").Add(42)
+	reg.Histogram("lat", "", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"edges_total": 42`, `"count": 1`, `"+Inf": 1`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanEvents(t *testing.T) {
+	var events []Event
+	span := NewSpan(func(e Event) { events = append(events, e) }, "scan")
+	span.SetInterval(0) // every Progressf is due
+	if !span.Due() {
+		t.Fatal("zero-interval span not due")
+	}
+	span.Progressf("%d/%d edges", 1, 2)
+	span.Endf("%d edges", 2)
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Phase != "scan" || events[0].Message != "1/2 edges" || events[0].Done {
+		t.Fatalf("progress event = %+v", events[0])
+	}
+	if !events[1].Done || events[1].Message != "2 edges" {
+		t.Fatalf("end event = %+v", events[1])
+	}
+	if events[1].Elapsed < 0 {
+		t.Fatalf("negative elapsed: %v", events[1].Elapsed)
+	}
+}
+
+func TestSpanRateLimit(t *testing.T) {
+	n := 0
+	span := NewSpan(func(Event) { n++ }, "scan")
+	span.SetInterval(time.Hour)
+	if span.Due() {
+		t.Fatal("due immediately after start")
+	}
+}
+
+func TestTextSink(t *testing.T) {
+	var sb strings.Builder
+	sink := TextSink(&sb, "irs: ")
+	sink(Event{Phase: "scan/exact", Message: "10 edges", Elapsed: 1500 * time.Millisecond})
+	sink(Event{Phase: "scan/exact", Message: "20 edges", Elapsed: 3 * time.Second, Done: true})
+	out := sb.String()
+	if !strings.Contains(out, "irs: scan/exact: … 10 edges (1.5s)") {
+		t.Fatalf("progress line:\n%s", out)
+	}
+	if !strings.Contains(out, "irs: scan/exact: done: 20 edges (3.0s)") {
+		t.Fatalf("done line:\n%s", out)
+	}
+}
+
+func TestCountAndBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{7, "7"}, {1234, "1.2k"}, {4_800_000, "4.8M"}, {2_500_000_000, "2.5G"},
+	}
+	for _, c := range cases {
+		if got := Count(c.n); got != c.want {
+			t.Errorf("Count(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+	if got := Bytes(44040192); got != "42.0 MB" {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := Bytes(512); got != "512 B" {
+		t.Errorf("Bytes = %q", got)
+	}
+}

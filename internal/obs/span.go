@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured progress report from a Span: a phase name, a
+// free-form message ("1.2M/4.8M edges, 310k summaries"), the time since
+// the span started, and whether the phase is finished.
+type Event struct {
+	Phase   string
+	Message string
+	Elapsed time.Duration
+	Done    bool
+}
+
+// Sink consumes progress events. Sinks must be safe for use from the
+// goroutine running the instrumented phase; the provided TextSink is
+// additionally safe for concurrent spans.
+type Sink func(Event)
+
+// Span times one phase of work and reports progress to a sink. A nil
+// *Span (from a nil sink) is a no-op, so instrumented code can create
+// and drive spans unconditionally. Spans are not safe for concurrent
+// use; each goroutine should own its own.
+type Span struct {
+	phase string
+	sink  Sink
+	start time.Time
+	every time.Duration
+	last  time.Time
+}
+
+// defaultInterval rate-limits progress events so hot loops can call
+// Due() freely without flooding the sink.
+const defaultInterval = 500 * time.Millisecond
+
+// NewSpan starts a phase timer reporting to sink. A nil sink returns a
+// nil span, on which every method is a no-op.
+func NewSpan(sink Sink, phase string) *Span {
+	if sink == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Span{phase: phase, sink: sink, start: now, every: defaultInterval, last: now}
+}
+
+// SetInterval overrides the minimum delay between progress events.
+func (s *Span) SetInterval(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.every = d
+}
+
+// Due reports whether enough time has passed since the last event that a
+// progress report is worth emitting. Hot loops gate the (comparatively
+// expensive) message formatting on Due():
+//
+//	if i&0xffff == 0 && span.Due() {
+//		span.Progressf("%d/%d edges", done, total)
+//	}
+//
+// Always false on a nil span.
+func (s *Span) Due() bool {
+	return s != nil && time.Since(s.last) >= s.every
+}
+
+// Progressf emits an intermediate progress event. No-op on a nil span.
+func (s *Span) Progressf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.last = time.Now()
+	s.sink(Event{Phase: s.phase, Message: fmt.Sprintf(format, args...), Elapsed: s.last.Sub(s.start)})
+}
+
+// Endf emits the final event of the phase with Done set. No-op on a nil
+// span.
+func (s *Span) Endf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.sink(Event{Phase: s.phase, Message: fmt.Sprintf(format, args...), Elapsed: time.Since(s.start), Done: true})
+}
+
+// TextSink returns a sink that renders events as single prefixed lines:
+//
+//	irs: scan/approx: … 1.2M/4.8M edges (1.4s)
+//	irs: scan/approx: done: 4.8M edges (5.2s)
+//
+// The sink serializes writes, so concurrent spans interleave cleanly.
+func TextSink(w io.Writer, prefix string) Sink {
+	var mu sync.Mutex
+	return func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		state := "…"
+		if e.Done {
+			state = "done:"
+		}
+		fmt.Fprintf(w, "%s%s: %s %s (%.1fs)\n", prefix, e.Phase, state, e.Message, e.Elapsed.Seconds())
+	}
+}
+
+// Count renders n compactly for progress messages: 1234 → "1.2k",
+// 4800000 → "4.8M". Exact below 1000.
+func Count(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Bytes renders a byte count compactly: 44040192 → "42.0 MB".
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

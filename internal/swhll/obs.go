@@ -1,0 +1,45 @@
+package swhll
+
+import (
+	"sync/atomic"
+
+	"ipin/internal/obs"
+)
+
+// metrics are the package's telemetry instruments; nil fields (the
+// default) make every record site a no-op. Register-level costs of the
+// sliding counter surface through the ipin_vhll_* metrics of the inner
+// sketch — this package adds only the stream-facing events.
+type metrics struct {
+	adds        *obs.Counter
+	regressions *obs.Counter
+	prunes      *obs.Counter
+}
+
+var (
+	installed atomic.Pointer[metrics]
+	noop      = new(metrics)
+)
+
+// m returns the active metrics set, never nil.
+func m() *metrics {
+	if p := installed.Load(); p != nil {
+		return p
+	}
+	return noop
+}
+
+// InstallMetrics registers this package's instruments in reg and starts
+// recording into them; nil uninstalls. Install vhll's metrics alongside
+// to see the inner register updates and dominance prunes.
+func InstallMetrics(reg *obs.Registry) {
+	if reg == nil {
+		installed.Store(nil)
+		return
+	}
+	installed.Store(&metrics{
+		adds:        reg.Counter("ipin_swhll_adds_total", "Item observations recorded by sliding-window counters."),
+		regressions: reg.Counter("ipin_swhll_time_regressions_total", "Observations rejected because their timestamp regressed."),
+		prunes:      reg.Counter("ipin_swhll_prunes_total", "Prune passes over sliding-window counters."),
+	})
+}

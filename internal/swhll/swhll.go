@@ -72,8 +72,10 @@ func (c *Counter) Add(item uint64, t int64) error {
 // AddHash is Add for a pre-hashed item.
 func (c *Counter) AddHash(hash uint64, t int64) error {
 	if c.seen && t < c.last {
+		m().regressions.Inc()
 		return fmt.Errorf("swhll: time regressed from %d to %d", c.last, t)
 	}
+	m().adds.Inc()
 	c.last = t
 	c.seen = true
 	c.inner.AddHash(hash, -t)
@@ -104,6 +106,7 @@ func (c *Counter) EstimateAt(now int64) float64 {
 // cleanup step of the sliding-window sketch; estimates are unchanged.
 func (c *Counter) Prune() {
 	if c.seen {
+		m().prunes.Inc()
 		c.inner.Prune(-c.last, c.window)
 	}
 }

@@ -1,0 +1,54 @@
+package vhll
+
+import (
+	"sync/atomic"
+
+	"ipin/internal/obs"
+)
+
+// metrics are the package's telemetry instruments. All fields are nil
+// until InstallMetrics runs, and every obs method is a no-op on nil, so
+// the uninstrumented hot path costs one atomic pointer load plus nil
+// checks (see the disabled-path benchmarks in internal/obs).
+type metrics struct {
+	inserts       *obs.Counter
+	dominated     *obs.Counter
+	evicted       *obs.Counter
+	merges        *obs.Counter
+	mergeEntries  *obs.Counter
+	prunes        *obs.Counter
+	prunedEntries *obs.Counter
+}
+
+var (
+	installed atomic.Pointer[metrics]
+	noop      = new(metrics) // all-nil instruments: every record is a no-op
+)
+
+// m returns the active metrics set, never nil.
+func m() *metrics {
+	if p := installed.Load(); p != nil {
+		return p
+	}
+	return noop
+}
+
+// InstallMetrics registers this package's instruments in reg and starts
+// recording into them. Passing nil uninstalls, reverting every record
+// site to a no-op. Install before starting work that should be observed;
+// swapping collectors mid-scan is safe but splits counts between them.
+func InstallMetrics(reg *obs.Registry) {
+	if reg == nil {
+		installed.Store(nil)
+		return
+	}
+	installed.Store(&metrics{
+		inserts:       reg.Counter("ipin_vhll_inserts_total", "Register update attempts on versioned HLL cells (ApproxAdd and merge inserts)."),
+		dominated:     reg.Counter("ipin_vhll_dominated_total", "Register updates rejected because an existing (rank, time) pair dominated them."),
+		evicted:       reg.Counter("ipin_vhll_evicted_total", "Stored (rank, time) pairs evicted by a dominating insert."),
+		merges:        reg.Counter("ipin_vhll_merges_total", "Sketch merge operations (windowed and plain)."),
+		mergeEntries:  reg.Counter("ipin_vhll_merge_entries_total", "Entries examined by sketch merges — the merge cost of paper Algorithm 3."),
+		prunes:        reg.Counter("ipin_vhll_prunes_total", "Prune passes over sketches."),
+		prunedEntries: reg.Counter("ipin_vhll_pruned_entries_total", "Entries dropped by prune passes."),
+	})
+}

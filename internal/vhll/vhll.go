@@ -89,6 +89,8 @@ func (s *Sketch) Add(item uint64, t int64) { s.AddHash(hll.Hash64(item), t) }
 // insert places e into cell, maintaining the staircase invariant:
 // ascending At, strictly ascending Rank, no dominated pairs.
 func (s *Sketch) insert(cell uint32, e Entry) {
+	mx := m()
+	mx.inserts.Inc()
 	list := s.cells[cell]
 	if len(list) == 0 {
 		s.occupied = append(s.occupied, cell)
@@ -97,6 +99,7 @@ func (s *Sketch) insert(cell uint32, e Entry) {
 	idx := upperBound(list, e.At)
 	// Dominated by an earlier-or-equal-time entry with rank >= ours?
 	if idx > 0 && list[idx-1].Rank >= e.Rank {
+		mx.dominated.Inc()
 		return
 	}
 	// Evict an equal-time predecessor with a smaller rank (same version,
@@ -117,6 +120,7 @@ func (s *Sketch) insert(cell uint32, e Entry) {
 		copy(list[lo+1:], list[lo:])
 		list[lo] = e
 	} else {
+		mx.evicted.Add(int64(hi - lo))
 		list[lo] = e
 		list = append(list[:lo+1], list[hi:]...)
 	}
@@ -241,23 +245,30 @@ func (s *Sketch) MergeWindow(other *Sketch, t, omega int64) error {
 	if other.precision != s.precision {
 		return fmt.Errorf("vhll: cannot merge precision %d into %d", other.precision, s.precision)
 	}
+	mx := m()
+	mx.merges.Inc()
+	examined := int64(0)
 	if other.sparse() {
 		for _, i := range other.occupied {
+			examined += int64(len(other.cells[i]))
 			for _, e := range other.cells[i] {
 				if e.At-t < omega {
 					s.insert(i, e)
 				}
 			}
 		}
+		mx.mergeEntries.Add(examined)
 		return nil
 	}
 	for i, list := range other.cells {
+		examined += int64(len(list))
 		for _, e := range list {
 			if e.At-t < omega {
 				s.insert(uint32(i), e)
 			}
 		}
 	}
+	mx.mergeEntries.Add(examined)
 	return nil
 }
 
@@ -272,19 +283,26 @@ func (s *Sketch) Merge(other *Sketch) error {
 	if other.precision != s.precision {
 		return fmt.Errorf("vhll: cannot merge precision %d into %d", other.precision, s.precision)
 	}
+	mx := m()
+	mx.merges.Inc()
+	examined := int64(0)
 	if other.sparse() {
 		for _, i := range other.occupied {
+			examined += int64(len(other.cells[i]))
 			for _, e := range other.cells[i] {
 				s.insert(i, e)
 			}
 		}
+		mx.mergeEntries.Add(examined)
 		return nil
 	}
 	for i, list := range other.cells {
+		examined += int64(len(list))
 		for _, e := range list {
 			s.insert(uint32(i), e)
 		}
 	}
+	mx.mergeEntries.Add(examined)
 	return nil
 }
 
@@ -297,12 +315,16 @@ func (s *Sketch) Merge(other *Sketch) error {
 // operation after which a cell can leave it — keeping the index
 // duplicate-free for the counting paths.
 func (s *Sketch) Prune(current, omega int64) {
+	mx := m()
+	mx.prunes.Inc()
+	dropped := int64(0)
 	hi := current + omega - 1
 	kept := s.occupied[:0]
 	for _, i := range s.occupied {
 		list := s.cells[i]
 		idx := upperBound(list, hi)
 		if idx < len(list) {
+			dropped += int64(len(list) - idx)
 			s.cells[i] = list[:idx]
 		}
 		if len(s.cells[i]) > 0 {
@@ -310,6 +332,7 @@ func (s *Sketch) Prune(current, omega int64) {
 		}
 	}
 	s.occupied = kept
+	mx.prunedEntries.Add(dropped)
 }
 
 // EntryCount returns the total number of stored (rank, timestamp) pairs.

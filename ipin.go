@@ -33,12 +33,14 @@ package ipin
 
 import (
 	"io"
+	"net/http"
 
 	"ipin/internal/cascade"
 	"ipin/internal/core"
 	"ipin/internal/gen"
 	"ipin/internal/graph"
 	"ipin/internal/hll"
+	"ipin/internal/obs"
 	"ipin/internal/swhll"
 	"ipin/internal/temporal"
 	"ipin/internal/vhll"
@@ -214,4 +216,54 @@ func ComputeStats(n *Network) NetworkStats { return graph.ComputeStats(n) }
 // interactions in time order with Observe; read Profile/Top at any time.
 func NewSlidingProfiles(n, precision int, window int64) (*SlidingProfiles, error) {
 	return swhll.NewProfiles(n, precision, window)
+}
+
+// Observability (internal/obs). Telemetry is off by default: every
+// instrument is a nil-safe no-op until InstallMetrics runs, so library
+// users who never opt in pay only a nil check per instrumented event.
+type (
+	// MetricsRegistry is a concurrency-safe namespace of counters,
+	// gauges, and latency histograms, with Prometheus text-format
+	// (WritePrometheus), JSON (WriteJSON), and expvar (PublishExpvar)
+	// exposition.
+	MetricsRegistry = obs.Registry
+	// ProgressEvent is one structured phase progress report.
+	ProgressEvent = obs.Event
+	// ProgressSink consumes progress events.
+	ProgressSink = obs.Sink
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// InstallMetrics points every instrumented package (scan, sketches,
+// cascade, selection) at reg. Passing nil uninstalls, restoring the
+// free no-op path. Install once at startup, before the work to observe.
+func InstallMetrics(reg *MetricsRegistry) {
+	core.InstallMetrics(reg)
+	vhll.InstallMetrics(reg)
+	swhll.InstallMetrics(reg)
+	cascade.InstallMetrics(reg)
+}
+
+// SetProgressSink installs a sink receiving phase progress events from
+// the IRS scans and seed-selection loops; nil uninstalls. TextProgress
+// is a ready-made line-per-event sink.
+func SetProgressSink(sink ProgressSink) { core.SetProgressSink(sink) }
+
+// TextProgress returns a sink rendering events as single prefixed lines
+// on w, safe for concurrent phases.
+func TextProgress(w io.Writer, prefix string) ProgressSink { return obs.TextSink(w, prefix) }
+
+// MetricsHandler serves reg in the Prometheus text exposition format —
+// mount it at /metrics.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg) }
+
+// InstrumentHTTP wraps next with per-route request counters, an
+// in-flight gauge, an error counter, and latency histograms recorded in
+// reg. routes is the closed set of URL paths tracked individually;
+// other paths fold into route="other". With a nil registry it returns
+// next unchanged.
+func InstrumentHTTP(reg *MetricsRegistry, routes []string, next http.Handler) http.Handler {
+	return obs.Middleware(reg, routes, next)
 }
