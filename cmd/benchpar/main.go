@@ -1,0 +1,211 @@
+// Command benchpar measures the time-sliced parallel IRS pipeline against
+// the sequential one on a generated interaction log and writes the
+// results as JSON (BENCH_parallel.json at the repo root, by convention).
+//
+// The report records the host's CPU count and GOMAXPROCS alongside every
+// timing: the parallel path can only beat the sequential one when the
+// hardware actually has spare cores, and the JSON is meant to be read
+// with that column in view. Every parallel phase is also checked against
+// the sequential output (byte-identical summaries), so the run doubles as
+// an end-to-end identity check at scale.
+//
+// Usage:
+//
+//	benchpar -edges 1000000 -workers 4 -out BENCH_parallel.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ipin/internal/core"
+	"ipin/internal/gen"
+	"ipin/internal/graph"
+)
+
+type phase struct {
+	Name       string  `json:"name"`
+	Sequential float64 `json:"sequential_seconds"`
+	Parallel   float64 `json:"parallel_seconds"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical_output"`
+}
+
+type report struct {
+	Edges      int     `json:"edges"`
+	Nodes      int     `json:"nodes"`
+	OmegaTicks int64   `json:"omega_ticks"`
+	Workers    int     `json:"workers"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Note       string  `json:"note"`
+	Phases     []phase `json:"phases"`
+}
+
+func main() {
+	var (
+		edges   = flag.Int("edges", 1_000_000, "interactions in the generated log")
+		nodes   = flag.Int("nodes", 50_000, "nodes in the generated log")
+		workers = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
+		window  = flag.Float64("window", 1, "window as % of the time span")
+		out     = flag.String("out", "BENCH_parallel.json", "output JSON path")
+	)
+	flag.Parse()
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+
+	l, err := gen.Generate(gen.Config{
+		Name:         "benchpar",
+		Model:        gen.ModelUniform,
+		Nodes:        *nodes,
+		Interactions: *edges,
+		SpanTicks:    int64(*edges) * 4,
+		Seed:         1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	omega := l.WindowFromPercent(*window)
+	fmt.Fprintf(os.Stderr, "benchpar: %d nodes, %d interactions, ω=%d, workers=%d (NumCPU=%d)\n",
+		l.NumNodes, l.Len(), omega, w, runtime.NumCPU())
+
+	rep := report{
+		Edges:      l.Len(),
+		Nodes:      l.NumNodes,
+		OmegaTicks: omega,
+		Workers:    w,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "speedup is bounded by min(workers, num_cpu); on a single-CPU host " +
+			"the parallel path degenerates to sequential plus coordination overhead",
+	}
+
+	// Exact scan.
+	t0 := time.Now()
+	seqExact := core.ComputeExact(l, omega)
+	seqExactD := time.Since(t0)
+	t0 = time.Now()
+	parExact := core.ComputeExactParallel(l, omega, w)
+	parExactD := time.Since(t0)
+	rep.Phases = append(rep.Phases, mkPhase("scan/exact", seqExactD, parExactD,
+		sameBytes(seqExact, parExact)))
+
+	// Approx scan.
+	t0 = time.Now()
+	seqApprox, err := core.ComputeApprox(l, omega, core.DefaultPrecision)
+	if err != nil {
+		fatal(err)
+	}
+	seqApproxD := time.Since(t0)
+	t0 = time.Now()
+	parApprox, err := core.ComputeApproxParallel(l, omega, core.DefaultPrecision, w)
+	if err != nil {
+		fatal(err)
+	}
+	parApproxD := time.Since(t0)
+	rep.Phases = append(rep.Phases, mkPhase("scan/approx", seqApproxD, parApproxD,
+		sameBytes(seqApprox, parApprox)))
+
+	// Oracle collapse.
+	core.SetParallelism(1)
+	t0 = time.Now()
+	seqOracle := core.NewApproxOracle(seqApprox)
+	seqCollapseD := time.Since(t0)
+	core.SetParallelism(w)
+	t0 = time.Now()
+	parOracle := core.NewApproxOracle(parApprox)
+	parCollapseD := time.Since(t0)
+
+	// Spread over every node (the tree-merge union path).
+	seeds := make([]graph.NodeID, l.NumNodes)
+	for i := range seeds {
+		seeds[i] = graph.NodeID(i)
+	}
+	core.SetParallelism(1)
+	t0 = time.Now()
+	seqSpread := seqOracle.Spread(seeds)
+	seqSpreadD := time.Since(t0)
+	core.SetParallelism(w)
+	t0 = time.Now()
+	parSpread := parOracle.Spread(seeds)
+	parSpreadD := time.Since(t0)
+	rep.Phases = append(rep.Phases, mkPhase("oracle/collapse", seqCollapseD, parCollapseD, true))
+	rep.Phases = append(rep.Phases, mkPhase("oracle/spread-all", seqSpreadD, parSpreadD,
+		seqSpread == parSpread))
+
+	// Seed selection (the parallel first-round gain evaluation).
+	const k = 16
+	core.SetParallelism(1)
+	t0 = time.Now()
+	seqSeeds := core.TopKApproxSeeds(seqApprox, k)
+	seqSelectD := time.Since(t0)
+	core.SetParallelism(w)
+	t0 = time.Now()
+	parSeeds := core.TopKApproxSeeds(parApprox, k)
+	parSelectD := time.Since(t0)
+	core.SetParallelism(0)
+	same := len(seqSeeds) == len(parSeeds)
+	for i := range seqSeeds {
+		if !same || seqSeeds[i] != parSeeds[i] {
+			same = false
+			break
+		}
+	}
+	rep.Phases = append(rep.Phases, mkPhase("select/topk-approx", seqSelectD, parSelectD, same))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	broken := false
+	for _, p := range rep.Phases {
+		fmt.Fprintf(os.Stderr, "benchpar: %-20s seq %.2fs par %.2fs speedup %.2fx identical=%v\n",
+			p.Name, p.Sequential, p.Parallel, p.Speedup, p.Identical)
+		broken = broken || !p.Identical
+	}
+	fmt.Fprintf(os.Stderr, "benchpar: wrote %s\n", *out)
+	if broken {
+		fatal(fmt.Errorf("parallel output diverged from sequential (see identical_output above)"))
+	}
+}
+
+func mkPhase(name string, seq, par time.Duration, identical bool) phase {
+	return phase{
+		Name:       name,
+		Sequential: seq.Seconds(),
+		Parallel:   par.Seconds(),
+		Speedup:    seq.Seconds() / par.Seconds(),
+		Identical:  identical,
+	}
+}
+
+// sameBytes compares two summary sets by their canonical encodings.
+func sameBytes(a, b io.WriterTo) bool {
+	var ba, bb bytes.Buffer
+	if _, err := a.WriteTo(&ba); err != nil {
+		fatal(err)
+	}
+	if _, err := b.WriteTo(&bb); err != nil {
+		fatal(err)
+	}
+	return bytes.Equal(ba.Bytes(), bb.Bytes())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchpar: %v\n", err)
+	os.Exit(1)
+}

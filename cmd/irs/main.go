@@ -33,25 +33,27 @@ import (
 
 func main() {
 	var (
-		in         = flag.String("in", "", "input interaction log (required)")
-		windowPct  = flag.Float64("window", 10, "window length as %% of the time span")
-		omega      = flag.Int64("omega", 0, "window length in ticks (overrides -window)")
-		exact      = flag.Bool("exact", false, "use the exact algorithm instead of the sketch")
-		precision  = flag.Int("precision", core.DefaultPrecision, "sketch precision (β = 2^precision)")
-		topk       = flag.Int("topk", 0, "select the top-k influencers")
-		celf       = flag.Bool("celf", false, "use CELF lazy greedy for -topk")
-		spread     = flag.String("spread", "", "comma-separated seed names: print their combined influence")
-		sizes      = flag.Bool("sizes", false, "print every node's influence size, largest first")
-		save       = flag.String("save", "", "write the computed summaries to this file")
-		load       = flag.String("load", "", "load summaries from this file instead of computing them")
-		channel    = flag.String("channel", "", "two comma-separated node names: print a witness information channel")
-		progress   = flag.Bool("progress", false, "report phase progress periodically on stderr")
-		metricsOut = flag.String("metrics-out", "", "write final runtime metrics as JSON to this file")
+		in          = flag.String("in", "", "input interaction log (required)")
+		windowPct   = flag.Float64("window", 10, "window length as %% of the time span")
+		omega       = flag.Int64("omega", 0, "window length in ticks (overrides -window)")
+		exact       = flag.Bool("exact", false, "use the exact algorithm instead of the sketch")
+		precision   = flag.Int("precision", core.DefaultPrecision, "sketch precision (β = 2^precision)")
+		topk        = flag.Int("topk", 0, "select the top-k influencers")
+		celf        = flag.Bool("celf", false, "use CELF lazy greedy for -topk")
+		spread      = flag.String("spread", "", "comma-separated seed names: print their combined influence")
+		sizes       = flag.Bool("sizes", false, "print every node's influence size, largest first")
+		save        = flag.String("save", "", "write the computed summaries to this file")
+		load        = flag.String("load", "", "load summaries from this file instead of computing them")
+		channel     = flag.String("channel", "", "two comma-separated node names: print a witness information channel")
+		progress    = flag.Bool("progress", false, "report phase progress periodically on stderr")
+		metricsOut  = flag.String("metrics-out", "", "write final runtime metrics as JSON to this file")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for the scan, collapse, and selection phases (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}
+	core.SetParallelism(*parallelism)
 	// Telemetry is opt-in: without these flags every instrumented event
 	// in the libraries below stays a free no-op.
 	var reg *obs.Registry
@@ -94,7 +96,7 @@ func main() {
 			s = loadSummaries(*load, true).(*core.ExactSummaries)
 			fmt.Printf("loaded exact summaries from %s (ω = %d)\n", *load, s.Omega)
 		} else {
-			s = core.ComputeExact(l, w)
+			s = core.ComputeExactParallel(l, w, *parallelism)
 		}
 		if *save != "" {
 			saveSummaries(*save, s)
@@ -114,7 +116,7 @@ func main() {
 			fmt.Printf("loaded sketches from %s (ω = %d, β = %d)\n", *load, s.Omega, 1<<s.Precision)
 		} else {
 			var err error
-			s, err = core.ComputeApprox(l, w, *precision)
+			s, err = core.ComputeApproxParallel(l, w, *precision, *parallelism)
 			if err != nil {
 				fatal(err)
 			}

@@ -51,12 +51,14 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		dataset   = flag.String("dataset", "slashdot", "Table 2 dataset to serve")
-		scale     = flag.Int("scale", 100, "dataset down-scaling factor")
-		windowPct = flag.Float64("window", 10, "window as % of the time span")
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataset     = flag.String("dataset", "slashdot", "Table 2 dataset to serve")
+		scale       = flag.Int("scale", 100, "dataset down-scaling factor")
+		windowPct   = flag.Float64("window", 10, "window as % of the time span")
+		parallelism = flag.Int("parallelism", 0, "workers for the startup scan and collapse (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	ipin.SetParallelism(*parallelism)
 
 	reg := ipin.NewMetricsRegistry()
 	ipin.InstallMetrics(reg)
@@ -118,7 +120,8 @@ type server struct {
 // buildServer preprocesses the network (the expensive one-pass scan) and
 // returns a query server recording into reg.
 func buildServer(net *ipin.Network, omega int64, precision int, reg *ipin.MetricsRegistry) (*server, error) {
-	irs, err := ipin.ComputeApprox(net, omega, precision)
+	// Parallel over time blocks; identical sketches to the sequential scan.
+	irs, err := ipin.ComputeApproxParallel(net, omega, precision, 0)
 	if err != nil {
 		return nil, err
 	}

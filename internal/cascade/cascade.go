@@ -39,8 +39,9 @@ type Config struct {
 	PerNodeP map[graph.NodeID]float64
 	// RandomPerNode draws every node's transmission probability uniformly
 	// from [0, P) instead of using P directly — the paper's "random
-	// probabilities" variant. The draw is a pure function of Seed and the
-	// node ID, so trials stay reproducible. PerNodeP entries still win.
+	// probabilities" variant. The draw is a pure function of ProbSeed
+	// (falling back to Seed) and the node ID, so trials stay reproducible.
+	// PerNodeP entries still win.
 	RandomPerNode bool
 	// LiteralSeedRefresh follows the paper's Algorithm 1 pseudocode to
 	// the letter: a seed's activation time is reset at EVERY interaction
@@ -51,6 +52,41 @@ type Config struct {
 	LiteralSeedRefresh bool
 	// Seed seeds the deterministic RNG.
 	Seed uint64
+	// ProbSeed, when nonzero, seeds the RandomPerNode probability draw
+	// independently of Seed. The model's "random probabilities" are a
+	// property of the NETWORK, not of an individual trial, so repeated
+	// trials must flip fresh coins against the same per-node
+	// probabilities. RunTrials pins ProbSeed to the base Seed before
+	// deriving per-trial Seeds; zero means "follow Seed".
+	ProbSeed uint64
+}
+
+// probSeed returns the seed of the RandomPerNode probability draw.
+func (cfg Config) probSeed() uint64 {
+	if cfg.ProbSeed != 0 {
+		return cfg.ProbSeed
+	}
+	return cfg.Seed
+}
+
+// probTable draws the per-node transmission probabilities once, or
+// returns nil when prob lookups need no RNG. One small RNG per node at
+// simulation start replaces the per-interaction construction that used to
+// dominate RandomPerNode runs (and the table is what keeps Simulate's
+// allocations O(n) instead of O(m); TestSimulateAllocsScaleWithNodes
+// pins that).
+func (cfg Config) probTable(n int) []float64 {
+	if !cfg.RandomPerNode {
+		return nil
+	}
+	probs := make([]float64, n)
+	base := cfg.probSeed()
+	for u := range probs {
+		// The (seed, node) PCG stream reproduces the historical draw
+		// bit-for-bit; results for a fixed seed are unchanged.
+		probs[u] = rand.New(rand.NewPCG(base, uint64(u)|1<<32)).Float64() * cfg.P
+	}
+	return probs
 }
 
 // Simulate runs one TCIC trial over the sorted log and returns the number
@@ -58,6 +94,13 @@ type Config struct {
 // Seed nodes that never appear as an interaction source never activate and
 // contribute nothing, again matching the model.
 func Simulate(l *graph.Log, seeds []graph.NodeID, cfg Config) int {
+	return simulate(l, seeds, cfg, cfg.probTable(l.NumNodes))
+}
+
+// simulate is Simulate with the probability table supplied by the caller,
+// so RunTrials can draw it once from the base configuration and share it
+// across every trial.
+func simulate(l *graph.Log, seeds []graph.NodeID, cfg Config, probs []float64) int {
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1c1c))
 	active := make([]bool, l.NumNodes)
 	// activateTime; only meaningful where active is true.
@@ -72,11 +115,8 @@ func Simulate(l *graph.Log, seeds []graph.NodeID, cfg Config) int {
 				return p
 			}
 		}
-		if cfg.RandomPerNode {
-			// A per-node uniform draw in [0, P), stable across trials of
-			// the same seed.
-			h := rand.New(rand.NewPCG(cfg.Seed, uint64(u)|1<<32)).Float64()
-			return h * cfg.P
+		if probs != nil {
+			return probs[u]
 		}
 		return cfg.P
 	}
@@ -137,11 +177,17 @@ type SpreadStats struct {
 // cfg.Seed, cfg.Seed+1, …) and returns spread statistics. Trials fan out
 // over parallelism goroutines; parallelism ≤ 0 selects GOMAXPROCS. The
 // result is independent of the parallelism level because every trial's
-// RNG seed is fixed by its index.
+// RNG seed is fixed by its index. The RandomPerNode probability draw is
+// pinned to the base configuration's probSeed, NOT the per-trial seed:
+// trials vary only the cascade coin flips, never the network's
+// transmission probabilities.
 func RunTrials(l *graph.Log, seeds []graph.NodeID, cfg Config, trials, parallelism int) SpreadStats {
 	if trials <= 0 {
 		return SpreadStats{}
 	}
+	// Drawn once from the base configuration: per-trial Seeds must never
+	// resample the network's transmission probabilities.
+	probs := cfg.probTable(l.NumNodes)
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -158,7 +204,7 @@ func RunTrials(l *graph.Log, seeds []graph.NodeID, cfg Config, trials, paralleli
 			for i := range next {
 				c := cfg
 				c.Seed = cfg.Seed + uint64(i)
-				results[i] = Simulate(l, seeds, c)
+				results[i] = simulate(l, seeds, c, probs)
 			}
 		}()
 	}

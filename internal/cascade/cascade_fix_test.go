@@ -1,0 +1,116 @@
+package cascade
+
+import (
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// star returns a log where node 0 sources one interaction to each of
+// 1..n-1 at ascending times, all inside one window.
+func star(n int) *graph.Log {
+	l := graph.New(n)
+	for i := 1; i < n; i++ {
+		l.Add(0, graph.NodeID(i), graph.Time(i))
+	}
+	l.Sort()
+	return l
+}
+
+// TestRandomPerNodeStableAcrossTrials is the regression test for the
+// per-trial probability resampling bug: RunTrials derives a fresh
+// cfg.Seed per trial, and the RandomPerNode draw used to key off it, so
+// every trial simulated a DIFFERENT network. On a star with P=1 the
+// spread is 1 + Binomial(200, p₀) with p₀ node 0's drawn probability:
+// with p₀ fixed across trials the standard deviation is at most
+// √(200·¼) ≈ 7, while resampling p₀ ~ U[0,1) each trial pushes it to
+// ≈ 200·√(1/12) ≈ 58. The threshold between them fails on the old
+// behaviour for any RNG stream.
+func TestRandomPerNodeStableAcrossTrials(t *testing.T) {
+	l := star(201)
+	cfg := Config{Omega: 1 << 30, P: 1, Seed: 5, RandomPerNode: true}
+	st := RunTrials(l, []graph.NodeID{0}, cfg, 60, 4)
+	if st.Stddev > 25 {
+		t.Fatalf("stddev %.1f: per-node probabilities are being resampled across trials", st.Stddev)
+	}
+	// The spreads must still vary: the coin flips, unlike the
+	// probabilities, are per-trial. (Guards against accidentally freezing
+	// the whole RNG.) A degenerate p₀ near 0 or 1 could legitimately
+	// produce zero variance, but seed 5 draws an interior probability.
+	if st.Min == st.Max {
+		t.Fatalf("all %d trials spread identically (%d); trial RNGs are not independent", st.Trials, st.Min)
+	}
+}
+
+// TestProbTableIgnoresTrialSeed pins the draw's seed split: the table is
+// a function of ProbSeed (falling back to Seed) and never of a derived
+// trial Seed.
+func TestProbTableIgnoresTrialSeed(t *testing.T) {
+	base := Config{P: 0.8, Seed: 7, RandomPerNode: true}
+	trial := base
+	trial.Seed = base.Seed + 13
+	trial.ProbSeed = base.probSeed()
+	a, b := base.probTable(50), trial.probTable(50)
+	for u := range a {
+		if a[u] != b[u] {
+			t.Fatalf("node %d: base %v, trial %v — trial seed leaked into the draw", u, a[u], b[u])
+		}
+	}
+	other := base
+	other.ProbSeed = 99
+	c := other.probTable(50)
+	diff := false
+	for u := range a {
+		if a[u] != c[u] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("distinct ProbSeed produced identical tables")
+	}
+	if got := base.probTable(0); len(got) != 0 {
+		t.Fatalf("probTable on zero nodes: %v", got)
+	}
+	plain := Config{P: 0.8, Seed: 7}
+	if plain.probTable(50) != nil {
+		t.Fatal("probTable without RandomPerNode should be nil")
+	}
+}
+
+// TestSimulateAllocsScaleWithNodes pins the probability-table fix: the
+// RandomPerNode draw used to construct a fresh RNG per interaction, so
+// Simulate's allocations grew with the log size. With the table drawn
+// once they are a function of the node count only.
+func TestSimulateAllocsScaleWithNodes(t *testing.T) {
+	cfg := Config{Omega: 1 << 30, P: 0.5, Seed: 3, RandomPerNode: true}
+	seeds := []graph.NodeID{0}
+	small := star(64)
+	big := graph.New(64)
+	for i := 0; i < 4000; i++ {
+		big.Add(0, graph.NodeID(1+i%63), graph.Time(i+1))
+	}
+	big.Sort()
+	allocSmall := testing.AllocsPerRun(10, func() { Simulate(small, seeds, cfg) })
+	allocBig := testing.AllocsPerRun(10, func() { Simulate(big, seeds, cfg) })
+	// Same node count ⇒ same allocation budget, log size notwithstanding.
+	// The old per-interaction RNG put ~2 allocations on every one of the
+	// ~4000 transmission attempts.
+	if allocBig > allocSmall+32 {
+		t.Fatalf("allocations grew with the log: %d edges → %.0f allocs, 63 edges → %.0f",
+			big.Len(), allocBig, allocSmall)
+	}
+}
+
+// BenchmarkSimulateRandomPerNode tracks the per-trial cost of the
+// RandomPerNode variant; allocs/op is the number to watch (O(n), not
+// O(m)).
+func BenchmarkSimulateRandomPerNode(b *testing.B) {
+	l := star(256)
+	cfg := Config{Omega: 1 << 30, P: 0.7, Seed: 11, RandomPerNode: true}
+	seeds := []graph.NodeID{0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simulate(l, seeds, cfg)
+	}
+}

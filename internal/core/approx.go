@@ -33,12 +33,16 @@ type ApproxSummaries struct {
 //
 // Expected time is O(m·β·log²ω) and expected space O(n·β·log²ω) (paper
 // Lemmas 5 and 6). The log must be sorted ascending with distinct
-// timestamps (the paper's assumption; Detie tied inputs first — unlike
-// the exact variant, the sketch cannot tell a same-timestamp entry apart
-// and would let it chain).
+// timestamps, the paper's standing assumption — run Log.Detie on tied
+// input first. Unlike the exact variant, which filters on strictly
+// increasing times, the sketch cannot tell a same-timestamp entry apart
+// from a later one and would let it chain into a channel.
+//
+// ComputeApproxParallel produces identical sketches from a time-sliced
+// concurrent scan; see parallel.go for the decomposition.
 func ComputeApprox(l *graph.Log, omega int64, precision int) (*ApproxSummaries, error) {
 	if precision < hll.MinPrecision || precision > hll.MaxPrecision {
-		return nil, fmt.Errorf("core: precision %d outside [%d,%d]", precision, hll.MinPrecision, hll.MaxPrecision)
+		return nil, errPrecision(precision)
 	}
 	s := &ApproxSummaries{
 		Omega:     omega,
@@ -84,6 +88,12 @@ func ComputeApprox(l *graph.Log, omega int64, precision int) (*ApproxSummaries, 
 	span.Endf("%s edges, %s summaries, %s entries, %s",
 		obs.Count(total), obs.Count(summaries), obs.Count(int64(s.EntryCount())), obs.Bytes(int64(s.MemoryBytes())))
 	return s, nil
+}
+
+// errPrecision is the shared out-of-range precision error of the approx
+// constructors.
+func errPrecision(precision int) error {
+	return fmt.Errorf("core: precision %d outside [%d,%d]", precision, hll.MinPrecision, hll.MaxPrecision)
 }
 
 // NumNodes returns n.

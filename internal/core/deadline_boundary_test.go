@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipin/internal/graph"
+	"ipin/internal/hll"
+)
+
+// dagLog builds a log whose interactions all point from lower to higher
+// node ids, so no temporal path ever returns to its origin: the sketches
+// then hold no phantom self-cycle entries and can be compared register-
+// for-register against references built from the exact summaries.
+func dagLog(rng *rand.Rand, n, m int) *graph.Log {
+	l := graph.New(n)
+	for i := 0; i < m; i++ {
+		src := graph.NodeID(rng.Intn(n - 1))
+		dst := src + 1 + graph.NodeID(rng.Intn(n-int(src)-1))
+		l.Add(src, dst, graph.Time(i+1))
+	}
+	l.Sort()
+	return l
+}
+
+// TestDeadlineBoundaryParity pins the inclusive boundary convention of
+// the deadline queries on BOTH representations: SpreadBy keeps λ ≤
+// deadline, and CollapseBefore keeps sketch timestamps ≤ deadline. The
+// deadlines probed are the λ values themselves (every one the end time of
+// some admissible channel) and λ−1, so a node whose λ equals the deadline
+// exactly must flip from excluded to included at that very tick in both
+// representations. On an acyclic log the collapsed registers must equal a
+// reference HyperLogLog fed exactly {v : λ(u,v) ≤ deadline} — any
+// off-by-one between the two filters shows up as a register mismatch.
+func TestDeadlineBoundaryParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	l := dagLog(rng, 40, 400)
+	const omega = 120
+	es := ComputeExact(l, omega)
+	as, err := ComputeApprox(l, omega, DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for u := 0; u < l.NumNodes; u++ {
+		phi := es.Phi[graph.NodeID(u)]
+		sk := as.Sketches[u]
+		if phi == nil || sk == nil {
+			continue
+		}
+		deadlines := make(map[graph.Time]struct{})
+		for _, lambda := range phi {
+			deadlines[lambda] = struct{}{}
+			if lambda > 0 {
+				deadlines[lambda-1] = struct{}{}
+			}
+		}
+		for d := range deadlines {
+			ref := hll.MustNew(as.Precision)
+			want := 0
+			for v, lambda := range phi {
+				if lambda <= d {
+					ref.AddHash(hll.Hash64(uint64(v)))
+					want++
+				}
+			}
+			if got := es.InfluenceSizeBy(graph.NodeID(u), d); got != want {
+				t.Fatalf("node %d deadline %d: InfluenceSizeBy = %d, want %d", u, d, got, want)
+			}
+			collapsed := sk.CollapseBefore(int64(d))
+			for c := 0; c < ref.NumCells(); c++ {
+				if collapsed.Register(uint32(c)) != ref.Register(uint32(c)) {
+					t.Fatalf("node %d deadline %d cell %d: collapsed register %d, reference %d — boundary conventions diverge",
+						u, d, c, collapsed.Register(uint32(c)), ref.Register(uint32(c)))
+				}
+			}
+			checked++
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d (node, deadline) pairs exercised; generator too sparse", checked)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"ipin/internal/graph"
 	"ipin/internal/hll"
 	"ipin/internal/obs"
+	"ipin/internal/par"
 )
 
 // This file implements influence maximization on top of the IRS state:
@@ -19,6 +20,10 @@ import (
 // The maximization problem is NP-hard (paper Lemma 7) but the objective
 // |⋃ σω(u)| is monotone and submodular (Lemma 8), so greedy achieves the
 // usual (1−1/e) approximation.
+
+// celfBatchPerWorker sizes the speculative gain-prefetch batches in
+// celfTopK.
+const celfBatchPerWorker = 8
 
 // coverage tracks the running union ⋃_{u∈selected} σω(u) and answers
 // marginal-gain queries against it.
@@ -70,11 +75,13 @@ func newApproxCoverage(s *ApproxSummaries) *approxCoverage {
 		precision: s.Precision,
 		union:     hll.MustNew(s.Precision),
 	}
-	for u, sk := range s.Sketches {
-		if sk != nil {
+	// Collapsing walks every staircase entry of every sketch; each node is
+	// independent, so fan the flatten out across the worker pool.
+	par.ForEach(Parallelism(), len(s.Sketches), func(u int) {
+		if sk := s.Sketches[u]; sk != nil {
 			c.collapsed[u] = sk.Collapse()
 		}
-	}
+	})
 	return c
 }
 
@@ -106,15 +113,49 @@ func (c *approxCoverage) add(u graph.NodeID) {
 // because a marginal gain never exceeds the full set size. When no
 // remaining candidate adds coverage, the seed set is completed with the
 // largest-size unselected nodes so callers always receive k seeds.
-func greedyTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
+//
+// The early exit is sound only while size[u] upper-bounds every marginal
+// gain of u. That holds exactly for exact summaries (submodularity), but
+// an estimated coverage can report a first-round gain above its own size
+// estimate and the exit would then skip the true best candidate. Callers
+// with such a coverage pass noisy=true: every candidate's first-round
+// gain is evaluated once (in parallel), size[] is lifted to the observed
+// gains and re-sorted, making the bound consistent with the coverage's
+// own estimator. Later rounds can still, in principle, see an estimated
+// marginal gain above the lifted size — submodularity only bounds the
+// true gains — but that residue is second-order noise on an estimator
+// whose relative error is already ≈1/√β; the selection tolerance is
+// pinned by TestGreedyNoisyCoverageClampsEarlyExit.
+//
+// The pre-pass is also where the parallelism lives: the first round is
+// the only one that evaluates a gain per candidate (later rounds are
+// pruned hard by the early exit), its evaluations are independent reads
+// against an empty union, and each lands in its own clamped[] slot, so
+// the result is bit-identical at every worker count.
+func greedyTopK(n, k int, size []float64, cov coverage, noisy bool) []graph.NodeID {
 	mx := m()
 	span := obs.NewSpan(sink(), "select/greedy")
 	gainEvals := int64(0)
+	workers := Parallelism()
 	order := make([]graph.NodeID, n)
 	for i := range order {
 		order[i] = graph.NodeID(i)
 	}
 	sort.SliceStable(order, func(i, j int) bool { return size[order[i]] > size[order[j]] })
+
+	if noisy && n > 0 {
+		clamped := make([]float64, n)
+		copy(clamped, size)
+		par.ForEach(workers, n, func(u int) {
+			if g := cov.gain(graph.NodeID(u)); g > clamped[u] {
+				clamped[u] = g
+			}
+		})
+		gainEvals += int64(n)
+		mx.greedyGainEvals.Add(int64(n))
+		size = clamped
+		sort.SliceStable(order, func(i, j int) bool { return size[order[i]] > size[order[j]] })
+	}
 
 	if k > n {
 		k = n
@@ -169,7 +210,7 @@ func TopKExact(s *ExactSummaries, k int) []graph.NodeID {
 	for u := range size {
 		size[u] = float64(s.IRSSize(graph.NodeID(u)))
 	}
-	return greedyTopK(n, k, size, newExactCoverage(s))
+	return greedyTopK(n, k, size, newExactCoverage(s), false)
 }
 
 // TopKApprox selects k seeds from sketch summaries with Algorithm 4.
@@ -178,18 +219,18 @@ func TopKApprox(s *ApproxSummaries) func(k int) []graph.NodeID {
 	cov := newApproxCoverage(s)
 	n := s.NumNodes()
 	size := make([]float64, n)
-	for u := range size {
+	par.ForEach(Parallelism(), n, func(u int) {
 		if cov.collapsed[u] != nil {
 			size[u] = cov.collapsed[u].Estimate()
 		}
-	}
+	})
 	return func(k int) []graph.NodeID {
 		fresh := &approxCoverage{
 			collapsed: cov.collapsed,
 			precision: cov.precision,
 			union:     hll.MustNew(cov.precision),
 		}
-		return greedyTopK(n, k, size, fresh)
+		return greedyTopK(n, k, size, fresh, true)
 	}
 }
 
@@ -202,13 +243,30 @@ func TopKApproxSeeds(s *ApproxSummaries, k int) []graph.NodeID {
 type celfItem struct {
 	node  graph.NodeID
 	gain  float64
-	round int // selection round in which gain was computed
+	size  float64 // individual influence size, the gain's initial value
+	round int     // selection round in which gain was computed
 }
 
 type celfHeap []celfItem
 
-func (h celfHeap) Len() int            { return len(h) }
-func (h celfHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h celfHeap) Len() int { return len(h) }
+
+// Less imposes a total order — gain desc, then individual size desc, then
+// node id asc — so the heap top is deterministic under ties. This is the
+// same tie rule as greedyTopK's size-sorted first-max scan, which keeps
+// the two strategies selecting identical seeds, and it makes the batched
+// parallel re-evaluation below order-insensitive: re-evaluating more
+// stale entries than the sequential pop order would have cannot change
+// which entry ends up on top.
+func (h celfHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	if h[i].size != h[j].size {
+		return h[i].size > h[j].size
+	}
+	return h[i].node < h[j].node
+}
 func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfItem)) }
 func (h *celfHeap) Pop() interface{} {
@@ -224,14 +282,27 @@ func (h *celfHeap) Pop() interface{} {
 // Submodularity guarantees gains only shrink, so a re-evaluated top entry
 // that stays on top is the true maximizer. Returns the same seed quality
 // as Algorithm 4 with far fewer gain evaluations on large candidate sets.
+// When more than one worker is configured, re-evaluations are prefetched:
+// the top stale entries are popped together, their gains computed
+// concurrently, and the entries pushed back UNCHANGED with the values
+// kept in a per-round cache. The coverage is frozen between selections,
+// so a cached value is exactly what an inline evaluation would return,
+// and because the heap entries themselves are only updated when the
+// sequential pop order demands it, the refresh history — and therefore
+// every selection — is identical at any worker count, even for noisy
+// estimators whose re-evaluated gains can grow. The cache is dropped at
+// each selection, when the coverage advances.
 func celfTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
 	mx := m()
 	span := obs.NewSpan(sink(), "select/celf")
 	gainEvals := int64(0)
+	workers := Parallelism()
+	batch := make([]celfItem, 0, workers*celfBatchPerWorker)
+	var prefetched map[graph.NodeID]float64
 	h := make(celfHeap, 0, n)
 	for u := 0; u < n; u++ {
 		if size[u] > 0 {
-			h = append(h, celfItem{node: graph.NodeID(u), gain: size[u], round: -1})
+			h = append(h, celfItem{node: graph.NodeID(u), gain: size[u], size: size[u], round: -1})
 		}
 	}
 	heap.Init(&h)
@@ -244,15 +315,43 @@ func celfTopK(n, k int, size []float64, cov coverage) []graph.NodeID {
 		if it.round == len(selected) {
 			cov.add(it.node)
 			selected = append(selected, it.node)
+			prefetched = nil // coverage advanced; cached gains are stale
 			mx.celfSeeds.Inc()
 			if span.Due() {
 				span.Progressf("%d/%d seeds, %s gain evaluations", len(selected), k, obs.Count(gainEvals))
 			}
 			continue
 		}
-		gainEvals++
-		mx.celfGainEvals.Inc()
-		it.gain = cov.gain(it.node)
+		g, ok := prefetched[it.node]
+		if !ok && workers > 1 {
+			// Prefetch this entry and the next stale tops concurrently;
+			// push the extras back untouched.
+			batch = append(batch[:0], it)
+			for len(batch) < cap(batch) && h.Len() > 0 && h[0].round != len(selected) {
+				batch = append(batch, heap.Pop(&h).(celfItem))
+			}
+			gains := par.Map(workers, len(batch), func(i int) float64 {
+				return cov.gain(batch[i].node)
+			})
+			gainEvals += int64(len(batch))
+			mx.celfGainEvals.Add(int64(len(batch)))
+			if prefetched == nil {
+				prefetched = make(map[graph.NodeID]float64, cap(batch))
+			}
+			for i, b := range batch {
+				prefetched[b.node] = gains[i]
+			}
+			for _, b := range batch[1:] {
+				heap.Push(&h, b)
+			}
+			g, ok = gains[0], true
+		}
+		if !ok {
+			gainEvals++
+			mx.celfGainEvals.Inc()
+			g = cov.gain(it.node)
+		}
+		it.gain = g
 		it.round = len(selected)
 		heap.Push(&h, it)
 	}
@@ -298,10 +397,10 @@ func TopKApproxCELF(s *ApproxSummaries, k int) []graph.NodeID {
 	cov := newApproxCoverage(s)
 	n := s.NumNodes()
 	size := make([]float64, n)
-	for u := range size {
+	par.ForEach(Parallelism(), n, func(u int) {
 		if cov.collapsed[u] != nil {
 			size[u] = cov.collapsed[u].Estimate()
 		}
-	}
+	})
 	return celfTopK(n, k, size, cov)
 }

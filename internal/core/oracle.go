@@ -3,6 +3,7 @@ package core
 import (
 	"ipin/internal/graph"
 	"ipin/internal/hll"
+	"ipin/internal/par"
 )
 
 // Oracle answers influence queries over precomputed IRS state: the size
@@ -39,14 +40,16 @@ type ApproxOracle struct {
 	collapsed []*hll.Sketch // nil where σω(u) is empty
 }
 
-// NewApproxOracle finalizes the sketches of s into an oracle.
+// NewApproxOracle finalizes the sketches of s into an oracle. The
+// per-node collapses are independent and run across the worker pool
+// configured with SetParallelism.
 func NewApproxOracle(s *ApproxSummaries) *ApproxOracle {
 	o := &ApproxOracle{precision: s.Precision, collapsed: make([]*hll.Sketch, s.NumNodes())}
-	for u, sk := range s.Sketches {
-		if sk != nil {
+	par.ForEach(Parallelism(), len(s.Sketches), func(u int) {
+		if sk := s.Sketches[u]; sk != nil {
 			o.collapsed[u] = sk.Collapse()
 		}
-	}
+	})
 	return o
 }
 
@@ -61,8 +64,31 @@ func (o *ApproxOracle) InfluenceSize(u graph.NodeID) float64 {
 	return o.collapsed[u].Estimate()
 }
 
-// Spread implements Oracle.
+// Spread implements Oracle. Large seed sets union in a tree: contiguous
+// seed ranges merge into partial unions concurrently, then the partials
+// fold together. HyperLogLog union is a cell-wise maximum — associative
+// and commutative — so the regrouping returns exactly the sequential
+// union's registers.
 func (o *ApproxOracle) Spread(seeds []graph.NodeID) float64 {
+	workers := Parallelism()
+	if workers > 1 && len(seeds) >= spreadParallelMinSeeds {
+		blocks := par.Blocks(len(seeds), workers)
+		partials := par.Map(workers, len(blocks), func(b int) *hll.Sketch {
+			union := hll.MustNew(o.precision)
+			for _, u := range seeds[blocks[b].Lo:blocks[b].Hi] {
+				if sk := o.collapsed[u]; sk != nil {
+					// Same-precision merge cannot fail.
+					_ = union.Merge(sk)
+				}
+			}
+			return union
+		})
+		union := partials[0]
+		for _, p := range partials[1:] {
+			_ = union.Merge(p)
+		}
+		return union.Estimate()
+	}
 	union := hll.MustNew(o.precision)
 	for _, u := range seeds {
 		if sk := o.collapsed[u]; sk != nil {

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// bigRandomLog builds a log large enough to cross minParallelEdges, with
+// timestamps 1..m so block boundaries fall mid-stream. tieWidth > 1
+// collapses that many consecutive interactions onto one timestamp to
+// exercise tied times at block edges.
+func bigRandomLog(rng *rand.Rand, n, m, tieWidth int) *graph.Log {
+	l := graph.New(n)
+	for i := 0; i < m; i++ {
+		src := graph.NodeID(rng.Intn(n))
+		dst := graph.NodeID(rng.Intn(n))
+		at := i + 1
+		if tieWidth > 1 {
+			at = i/tieWidth + 1
+		}
+		l.Add(src, dst, graph.Time(at))
+	}
+	l.Sort()
+	return l
+}
+
+func exactBytes(t *testing.T, s *ExactSummaries) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func approxBytes(t *testing.T, s *ApproxSummaries) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestComputeExactParallelMatchesSequential pins the time-sliced scan to
+// the sequential one: not just equivalent summaries, byte-identical
+// canonical encodings, across worker counts and window widths that force
+// heavy cross-block stitching.
+func TestComputeExactParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		n, m, tie int
+		omega     int64
+		workers   int
+	}{
+		{n: 150, m: minParallelEdges, tie: 1, omega: 40, workers: 2},
+		{n: 150, m: minParallelEdges, tie: 1, omega: 40, workers: 5},
+		{n: 60, m: minParallelEdges, tie: 1, omega: 200, workers: 3},
+		{n: 150, m: minParallelEdges, tie: 4, omega: 25, workers: 4},
+	} {
+		l := bigRandomLog(rng, tc.n, tc.m, tc.tie)
+		if !sliceable(l, tc.omega, tc.workers) {
+			t.Fatalf("config %+v does not take the parallel path", tc)
+		}
+		want := ComputeExact(l, tc.omega)
+		got := ComputeExactParallel(l, tc.omega, tc.workers)
+		if !reflect.DeepEqual(want.Phi, got.Phi) {
+			t.Fatalf("config %+v: parallel Phi differs from sequential", tc)
+		}
+		if !bytes.Equal(exactBytes(t, want), exactBytes(t, got)) {
+			t.Fatalf("config %+v: encodings differ", tc)
+		}
+	}
+}
+
+// TestComputeApproxParallelMatchesSequential pins the sketch contents —
+// every (rank, timestamp) staircase, via the canonical encoding — of the
+// time-sliced scan to the sequential one.
+func TestComputeApproxParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		n, m, tie int
+		omega     int64
+		workers   int
+	}{
+		{n: 150, m: minParallelEdges, tie: 1, omega: 40, workers: 2},
+		{n: 60, m: minParallelEdges, tie: 1, omega: 150, workers: 4},
+		{n: 150, m: minParallelEdges, tie: 3, omega: 30, workers: 3},
+	} {
+		l := bigRandomLog(rng, tc.n, tc.m, tc.tie)
+		if !sliceable(l, tc.omega, tc.workers) {
+			t.Fatalf("config %+v does not take the parallel path", tc)
+		}
+		want, err := ComputeApprox(l, tc.omega, DefaultPrecision)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ComputeApproxParallel(l, tc.omega, DefaultPrecision, tc.workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(approxBytes(t, want), approxBytes(t, got)) {
+			t.Fatalf("config %+v: sketch encodings differ", tc)
+		}
+	}
+}
+
+// TestParallelFallback checks the small-log and wide-window guards: both
+// parallel entry points must quietly produce the sequential result.
+func TestParallelFallback(t *testing.T) {
+	l := fig1a()
+	want := ComputeExact(l, 5)
+	got := ComputeExactParallel(l, 5, 8)
+	if !reflect.DeepEqual(want.Phi, got.Phi) {
+		t.Fatal("fallback exact result differs")
+	}
+	wantA, err := ComputeApprox(l, 5, DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := ComputeApproxParallel(l, 5, DefaultPrecision, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(approxBytes(t, wantA), approxBytes(t, gotA)) {
+		t.Fatal("fallback approx result differs")
+	}
+	if _, err := ComputeApproxParallel(graph.New(2), 5, 1, 8); err == nil {
+		t.Fatal("bad precision accepted")
+	}
+}
+
+func TestSliceable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	small := bigRandomLog(rng, 20, 100, 1)
+	if sliceable(small, 10, 4) {
+		t.Fatal("tiny log reported sliceable")
+	}
+	big := bigRandomLog(rng, 100, minParallelEdges, 1)
+	if !sliceable(big, 10, 4) {
+		t.Fatal("large log with narrow window not sliceable")
+	}
+	// ω covering most of the span defeats the decomposition.
+	_, _, span := big.Span()
+	if sliceable(big, span, 4) {
+		t.Fatal("window spanning the log reported sliceable")
+	}
+	if sliceable(big, 10, 1) {
+		t.Fatal("single block reported sliceable")
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	SetParallelism(-1)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("Parallelism() = %d after reset", got)
+	}
+}

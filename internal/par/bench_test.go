@@ -1,0 +1,46 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkForEachOverhead measures pure pool overhead on trivially cheap
+// tasks — the worst case for the atomic work counter.
+func BenchmarkForEachOverhead(b *testing.B) {
+	var sink atomic.Int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForEach(4, 256, func(j int) { sink.Add(int64(j)) })
+	}
+}
+
+// BenchmarkForEachInline is the workers=1 fast path: no goroutines, no
+// atomics beyond the metrics nil-checks.
+func BenchmarkForEachInline(b *testing.B) {
+	var sink int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForEach(1, 256, func(j int) { sink += int64(j) })
+	}
+	_ = sink
+}
+
+// BenchmarkMapScaling runs a CPU-bound task at several worker counts; on
+// multi-core hardware throughput should rise with the worker count.
+func BenchmarkMapScaling(b *testing.B) {
+	work := func(i int) int {
+		h := uint64(i)
+		for k := 0; k < 2000; k++ {
+			h = h*6364136223846793005 + 1442695040888963407
+		}
+		return int(h)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = Map(workers, 512, work)
+			}
+		})
+	}
+}

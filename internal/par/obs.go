@@ -1,0 +1,45 @@
+package par
+
+import (
+	"sync/atomic"
+
+	"ipin/internal/obs"
+)
+
+// metrics are the pool's telemetry instruments. All fields are nil until
+// InstallMetrics runs, so every record site is a free no-op by default —
+// the same opt-in contract as the other instrumented packages.
+type metrics struct {
+	calls   *obs.Counter
+	tasks   *obs.Counter
+	workers *obs.Counter
+	panics  *obs.Counter
+}
+
+var (
+	installed atomic.Pointer[metrics]
+	noop      = new(metrics)
+)
+
+// m returns the active metrics set, never nil.
+func m() *metrics {
+	if p := installed.Load(); p != nil {
+		return p
+	}
+	return noop
+}
+
+// InstallMetrics registers the pool's instruments in reg and starts
+// recording into them; nil uninstalls.
+func InstallMetrics(reg *obs.Registry) {
+	if reg == nil {
+		installed.Store(nil)
+		return
+	}
+	installed.Store(&metrics{
+		calls:   reg.Counter(`ipin_par_calls_total`, "Parallel ForEach/Map invocations."),
+		tasks:   reg.Counter(`ipin_par_tasks_total`, "Tasks dispatched through the worker pool."),
+		workers: reg.Counter(`ipin_par_workers_started_total`, "Worker goroutines launched by the pool."),
+		panics:  reg.Counter(`ipin_par_panics_total`, "Panics recovered on worker goroutines and rethrown."),
+	})
+}

@@ -1,0 +1,160 @@
+// Package par is the repository's parallel execution layer: a bounded
+// worker pool with panic propagation and deterministic result ordering.
+//
+// Every parallel path in this repository — the time-sliced IRS scans, the
+// sketch collapse loops, the greedy gain evaluations, the oracle
+// tree-merges — funnels through ForEach or Map, so concurrency policy
+// (worker counts, panic handling, instrumentation) lives in exactly one
+// place. Results are deterministic by construction: workers write only to
+// the slot of the index they drew, so the output of Map is independent of
+// scheduling, and callers that need sequenced side effects order them
+// after the barrier.
+//
+// The pool is intentionally not a long-lived object: Go goroutines are
+// cheap enough that each call spins up its workers and tears them down at
+// the barrier, which keeps the API free of lifecycle management and makes
+// every call self-contained under the race detector.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism level: values ≤ 0 select
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// capturedPanic wraps a panic recovered on a worker goroutine so it can
+// be rethrown on the caller's goroutine without losing the original
+// value or its origin.
+type capturedPanic struct {
+	value any
+	stack []byte
+}
+
+func (p *capturedPanic) String() string {
+	return fmt.Sprintf("par: worker panic: %v\n\nworker stack:\n%s", p.value, p.stack)
+}
+
+// ForEach runs fn(i) for every i in [0, n), using up to workers
+// goroutines, and returns once all calls have finished. Work is handed
+// out through an atomic counter, so uneven task costs balance across
+// workers. A panic in fn is captured (first one wins), the remaining
+// work is cancelled, and the panic is rethrown on the caller's goroutine
+// with the worker stack attached — a parallel loop fails exactly as
+// loudly as a sequential one.
+//
+// workers ≤ 1 (or n ≤ 1) runs inline on the calling goroutine with no
+// synchronization, so sequential callers pay nothing for routing through
+// the pool.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		mx := m()
+		mx.calls.Inc()
+		mx.tasks.Add(int64(n))
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	mx := m()
+	mx.calls.Inc()
+	mx.tasks.Add(int64(n))
+	mx.workers.Add(int64(workers))
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		panicMu sync.Mutex
+		caught  *capturedPanic
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mx.panics.Inc()
+					buf := make([]byte, 64<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					panicMu.Lock()
+					if caught == nil {
+						caught = &capturedPanic{value: r, stack: buf}
+					}
+					panicMu.Unlock()
+					failed.Store(true)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if caught != nil {
+		panic(caught.String())
+	}
+}
+
+// Map runs fn over [0, n) with up to workers goroutines and collects the
+// results in index order. Scheduling never affects the output: result i
+// is always fn(i).
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Blocks splits [0, n) into at most k contiguous near-equal ranges in
+// ascending order. It returns fewer than k ranges when n < k; every
+// returned range is non-empty, and their concatenation is exactly
+// [0, n). The time-sliced IRS scans use it to partition the sorted
+// interaction log into per-worker time blocks.
+func Blocks(n, k int) []Range {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]Range, 0, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for b := 0; b < k; b++ {
+		size := base
+		if b < rem {
+			size++
+		}
+		out = append(out, Range{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package par
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ipin/internal/obs"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			hits := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	want := make([]int, 500)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got := Map(workers, len(want), func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "boom at 42") {
+			t.Fatalf("panic value %v does not carry the original payload", r)
+		}
+		if !strings.Contains(msg, "worker stack") {
+			t.Fatalf("panic value %v does not carry the worker stack", r)
+		}
+	}()
+	ForEach(4, 1000, func(i int) {
+		if i == 42 {
+			panic("boom at 42")
+		}
+	})
+}
+
+func TestForEachPanicInlinePath(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inline panic was swallowed")
+		}
+	}()
+	ForEach(1, 3, func(i int) { panic("inline") })
+}
+
+func TestForEachPanicCancelsRemainingWork(t *testing.T) {
+	var ran atomic.Int64
+	func() {
+		defer func() { _ = recover() }()
+		ForEach(2, 1_000_000, func(i int) {
+			ran.Add(1)
+			panic("first task dies")
+		})
+	}()
+	// Cancellation is advisory (tasks already drawn finish), but the vast
+	// majority of the million tasks must never start.
+	if got := ran.Load(); got > 10_000 {
+		t.Fatalf("%d tasks ran after a poisoning panic", got)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestBlocksPartition(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100, 7}, {3, 1}, {10, 100},
+	} {
+		blocks := Blocks(tc.n, tc.k)
+		if tc.n == 0 {
+			if blocks != nil {
+				t.Fatalf("Blocks(0,%d) = %v", tc.k, blocks)
+			}
+			continue
+		}
+		if len(blocks) > tc.k {
+			t.Fatalf("Blocks(%d,%d) returned %d ranges", tc.n, tc.k, len(blocks))
+		}
+		lo := 0
+		for _, b := range blocks {
+			if b.Lo != lo {
+				t.Fatalf("Blocks(%d,%d): gap before %+v", tc.n, tc.k, b)
+			}
+			if b.Len() <= 0 {
+				t.Fatalf("Blocks(%d,%d): empty range %+v", tc.n, tc.k, b)
+			}
+			lo = b.Hi
+		}
+		if lo != tc.n {
+			t.Fatalf("Blocks(%d,%d) covers [0,%d)", tc.n, tc.k, lo)
+		}
+		// Near-equal: sizes differ by at most one.
+		min, max := blocks[0].Len(), blocks[0].Len()
+		for _, b := range blocks {
+			if b.Len() < min {
+				min = b.Len()
+			}
+			if b.Len() > max {
+				max = b.Len()
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("Blocks(%d,%d): uneven sizes %d..%d", tc.n, tc.k, min, max)
+		}
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	InstallMetrics(reg)
+	defer InstallMetrics(nil)
+	ForEach(4, 100, func(int) {})
+	if got := reg.Counter(`ipin_par_calls_total`, "").Value(); got < 1 {
+		t.Fatal("calls counter not incremented")
+	}
+	if got := reg.Counter(`ipin_par_tasks_total`, "").Value(); got < 100 {
+		t.Fatalf("tasks counter = %d", got)
+	}
+}

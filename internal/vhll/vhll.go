@@ -250,22 +250,26 @@ func (s *Sketch) MergeWindow(other *Sketch, t, omega int64) error {
 	examined := int64(0)
 	if other.sparse() {
 		for _, i := range other.occupied {
-			examined += int64(len(other.cells[i]))
 			for _, e := range other.cells[i] {
-				if e.At-t < omega {
-					s.insert(i, e)
+				examined++
+				// Cell entries ascend in At; once one falls outside the
+				// window every later one does too.
+				if e.At-t >= omega {
+					break
 				}
+				s.insert(i, e)
 			}
 		}
 		mx.mergeEntries.Add(examined)
 		return nil
 	}
 	for i, list := range other.cells {
-		examined += int64(len(list))
 		for _, e := range list {
-			if e.At-t < omega {
-				s.insert(uint32(i), e)
+			examined++
+			if e.At-t >= omega {
+				break
 			}
+			s.insert(uint32(i), e)
 		}
 	}
 	mx.mergeEntries.Add(examined)
@@ -289,21 +293,68 @@ func (s *Sketch) Merge(other *Sketch) error {
 	if other.sparse() {
 		for _, i := range other.occupied {
 			examined += int64(len(other.cells[i]))
-			for _, e := range other.cells[i] {
-				s.insert(i, e)
-			}
+			s.mergeCell(i, other.cells[i])
 		}
 		mx.mergeEntries.Add(examined)
 		return nil
 	}
 	for i, list := range other.cells {
 		examined += int64(len(list))
-		for _, e := range list {
-			s.insert(uint32(i), e)
-		}
+		s.mergeCell(uint32(i), list)
 	}
 	mx.mergeEntries.Add(examined)
 	return nil
+}
+
+// mergeCell folds one source cell list into cell i. Both lists are
+// staircases (ascending At, strictly ascending Rank), so the union is a
+// single linear sweep in time order keeping entries whose rank exceeds
+// everything emitted so far — O(m+n), against the O(m·n) worst case of
+// rebuilding insert by insert. An empty destination cell just adopts a
+// copy. The parallel scan's stitch fold leans on this: it re-merges
+// whole block-local sketches once per block boundary.
+func (s *Sketch) mergeCell(i uint32, other []Entry) {
+	if len(other) == 0 {
+		return
+	}
+	list := s.cells[i]
+	if len(list) == 0 {
+		s.cells[i] = append([]Entry(nil), other...)
+		s.occupied = append(s.occupied, i)
+		return
+	}
+	merged := make([]Entry, 0, len(list)+len(other))
+	last := -1 // rank of the last emitted entry; ranks fit in uint8
+	a, b := 0, 0
+	for a < len(list) || b < len(other) {
+		var e Entry
+		switch {
+		case b == len(other):
+			e = list[a]
+			a++
+		case a == len(list):
+			e = other[b]
+			b++
+		case list[a].At < other[b].At:
+			e = list[a]
+			a++
+		case other[b].At < list[a].At:
+			e = other[b]
+			b++
+		default: // same version: the larger rank wins
+			e = list[a]
+			if other[b].Rank > e.Rank {
+				e = other[b]
+			}
+			a++
+			b++
+		}
+		if int(e.Rank) > last {
+			merged = append(merged, e)
+			last = int(e.Rank)
+		}
+	}
+	s.cells[i] = merged
 }
 
 // Prune drops entries that can never again influence a window query

@@ -104,6 +104,26 @@ func ComputeApprox(n *Network, omega int64, precision int) (*ApproxIRS, error) {
 	return core.ComputeApprox(n, omega, precision)
 }
 
+// ComputeExactParallel is ComputeExact over time-sliced blocks scanned by
+// up to workers goroutines (≤ 0 selects GOMAXPROCS). The output is
+// byte-identical to the sequential scan; small networks fall back to it
+// outright.
+func ComputeExactParallel(n *Network, omega int64, workers int) *ExactIRS {
+	return core.ComputeExactParallel(n, omega, workers)
+}
+
+// ComputeApproxParallel is the sketch-based counterpart of
+// ComputeExactParallel; the resulting sketches are identical to
+// ComputeApprox's.
+func ComputeApproxParallel(n *Network, omega int64, precision, workers int) (*ApproxIRS, error) {
+	return core.ComputeApproxParallel(n, omega, precision, workers)
+}
+
+// SetParallelism fixes the worker count used by the library's internal
+// parallel phases — oracle collapse, first-round seed-selection gains,
+// large spread unions. Zero (the default) means GOMAXPROCS.
+func SetParallelism(workers int) { core.SetParallelism(workers) }
+
 // ReadExactIRS loads exact summaries previously saved with
 // (*ExactIRS).WriteTo.
 func ReadExactIRS(r io.Reader) (*ExactIRS, error) { return core.ReadExactSummaries(r) }
