@@ -109,6 +109,72 @@ func TestCLIGennetAndIRS(t *testing.T) {
 	}
 }
 
+// TestCLICodecRoundTrip pins the IRX1 snapshot codec end to end through
+// the CLI: computing with -save and re-running with -load must print
+// identical query answers, for both summary kinds, including the
+// degenerate encodings — a sink node whose sketch payload has length 0
+// and a single-node log whose summaries are all empty.
+func TestCLICodecRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds are slow")
+	}
+	bins := buildCommands(t)
+	irs := filepath.Join(bins, "irs")
+
+	// queryLines keeps only the answer lines, dropping the compute/load
+	// banter that legitimately differs between the two runs.
+	queryLines := func(out string) string {
+		var keep []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "spread(") || strings.Contains(line, "influencers") ||
+				strings.HasPrefix(line, "  ") || strings.HasPrefix(line, "combined spread") {
+				keep = append(keep, line)
+			}
+		}
+		if len(keep) == 0 {
+			t.Fatalf("no query answers in output:\n%s", out)
+		}
+		return strings.Join(keep, "\n")
+	}
+
+	cases := []struct {
+		name    string
+		content string
+		seeds   string
+	}{
+		{"chain", "a b 100\nb c 200\nc d 5000\n", "a,b"},
+		// b receives but never sends: its saved sketch has length 0.
+		{"sink-empty-sketch", "a b 100\n", "b"},
+		// One node, one self-interaction: every summary is empty.
+		{"single-node", "a a 100\n", "a"},
+	}
+	for _, mode := range []string{"approx", "exact"} {
+		for _, c := range cases {
+			t.Run(mode+"/"+c.name, func(t *testing.T) {
+				dir := t.TempDir()
+				netFile := filepath.Join(dir, "net.txt")
+				if err := os.WriteFile(netFile, []byte(c.content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				sumFile := filepath.Join(dir, "irs.bin")
+				args := []string{"-in", netFile, "-omega", "1000", "-topk", "1", "-spread", c.seeds}
+				if mode == "exact" {
+					args = append(args, "-exact")
+				}
+				first := run(t, irs, append(args, "-save", sumFile)...)
+				if fi, err := os.Stat(sumFile); err != nil || fi.Size() == 0 {
+					t.Fatalf("no summary file written: %v", err)
+				}
+				second := run(t, irs, append(args, "-load", sumFile)...)
+				if queryLines(first) != queryLines(second) {
+					t.Fatalf("answers changed across save/load:\n--- computed ---\n%s\n--- loaded ---\n%s",
+						queryLines(first), queryLines(second))
+				}
+			})
+		}
+	}
+}
+
 func TestCLIExperimentsSubset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI builds are slow")

@@ -1,0 +1,140 @@
+// Command docscheck keeps the README honest: it extracts every ```go
+// fenced code block from a markdown file and compiles them all against
+// the current tree, so documented snippets cannot silently rot as the
+// API moves. CI runs it in the docs job.
+//
+// Two block shapes are supported:
+//
+//   - full programs — the block starts with "package ..."; it is compiled
+//     verbatim as its own package;
+//   - fragments — everything else is wrapped in a package with a fixed
+//     import preamble (fmt, log, net/http, os, ipin) and compiled inside a
+//     `func _()` body, so fragments must use the variables they declare,
+//     exactly like real code.
+//
+// The blocks are compiled in a throwaway module that replaces the ipin
+// module with the working tree, so docscheck needs no network and always
+// checks against the code it sits next to.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck [-doc README.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// fragmentPreamble wraps a non-package README fragment. The blank
+// assignments keep the fixed import set legal even when a fragment uses
+// only part of it.
+const fragmentPreamble = `package snippet
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"ipin"
+)
+
+var (
+	_ = fmt.Sprint
+	_ = log.Fatal
+	_ = http.ListenAndServe
+	_ = os.Stdout
+	_ ipin.NodeID
+)
+
+func _() {
+`
+
+func main() {
+	doc := flag.String("doc", "README.md", "markdown file whose ```go blocks to compile")
+	flag.Parse()
+
+	data, err := os.ReadFile(*doc)
+	if err != nil {
+		fatal(err)
+	}
+	blocks := extractGoBlocks(string(data))
+	if len(blocks) == 0 {
+		fatal(fmt.Errorf("no ```go blocks in %s — nothing to check is a check failure", *doc))
+	}
+
+	repoDir, err := filepath.Abs(filepath.Dir(*doc))
+	if err != nil {
+		fatal(err)
+	}
+	tmp, err := os.MkdirTemp("", "docscheck")
+	if err != nil {
+		fatal(err)
+	}
+	gomod := fmt.Sprintf("module docscheck\n\ngo 1.22\n\nrequire ipin v0.0.0\n\nreplace ipin => %s\n", repoDir)
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte(gomod), 0o644); err != nil {
+		fatal(err)
+	}
+	for i, b := range blocks {
+		dir := filepath.Join(tmp, fmt.Sprintf("block%02d", i))
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		src := b.text
+		if !strings.HasPrefix(strings.TrimSpace(src), "package ") {
+			src = fragmentPreamble + src + "}\n"
+		}
+		if err := os.WriteFile(filepath.Join(dir, "block.go"), []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = tmp
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: compilation failed (sources kept in %s):\n%s", tmp, out)
+		for i, b := range blocks {
+			fmt.Fprintf(os.Stderr, "docscheck: block%02d starts at %s:%d\n", i, *doc, b.line)
+		}
+		os.Exit(1)
+	}
+	os.RemoveAll(tmp)
+	fmt.Printf("docscheck: %d go block(s) in %s compile\n", len(blocks), *doc)
+}
+
+type block struct {
+	line int // 1-based line of the opening fence, for error reports
+	text string
+}
+
+// extractGoBlocks returns the contents of every ```go fenced block.
+func extractGoBlocks(doc string) []block {
+	var (
+		blocks []block
+		cur    []string
+		start  int
+		in     bool
+	)
+	for i, line := range strings.Split(doc, "\n") {
+		switch {
+		case !in && strings.TrimSpace(line) == "```go":
+			in, start, cur = true, i+1, nil
+		case in && strings.TrimSpace(line) == "```":
+			in = false
+			blocks = append(blocks, block{line: start, text: strings.Join(cur, "\n") + "\n"})
+		case in:
+			cur = append(cur, line)
+		}
+	}
+	return blocks
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+	os.Exit(1)
+}

@@ -3,29 +3,47 @@
 // preprocess the interaction log once, then answer spread queries in
 // O(|seeds|·β) regardless of network size.
 //
-// It is also the repository's reference observable deployment: every
-// route is wrapped in telemetry middleware, scan and sketch metrics from
-// preprocessing are exposed alongside, and the process shuts down
-// gracefully so the in-flight gauge drains to zero.
+// It is the repository's reference deployment of the serving layer
+// (internal/serve, via the ipin facade): queries flow through admission
+// control (bounded concurrency, bounded wait queue, per-request
+// deadlines, 429/503 load shedding), a bounded LRU result cache with
+// single-flight deduplication, and a sharded summary store that reloads
+// snapshots atomically under live traffic. Every route is wrapped in
+// telemetry middleware and the process shuts down gracefully so the
+// in-flight gauge drains to zero.
+//
+// The server runs from one of two sources:
+//
+//   - generated mode (default): synthesize a Table 2 dataset, run the
+//     one-pass sketch scan at startup, and serve the result;
+//   - snapshot mode (-snapshot irs.bin): serve a precomputed IRX1
+//     summary file written by cmd/irs -save. SIGHUP or POST
+//     /admin/reload re-reads the file and swaps it in without dropping
+//     queries — the path to zero-downtime summary refreshes.
 //
 // Endpoints:
 //
-//	GET /influence?node=<id>           one node's estimated reach
-//	GET /spread?seeds=<id>,<id>,...    combined estimated reach
-//	GET /topk?k=<n>                    greedy top-k seed selection
-//	GET /channel?src=<id>&dst=<id>     a witness information channel
-//	GET /spreadby?seeds=...&deadline=t reach achievable BY a deadline
-//	GET /stats                         network and sketch statistics
-//	GET /metrics                       Prometheus text exposition
-//	GET /debug/vars                    expvar JSON (same registry)
-//	GET /debug/pprof/                  runtime profiles
+//	GET  /influence?node=<id>           one node's estimated reach
+//	GET  /spread?seeds=<id>,<id>,...    combined estimated reach
+//	GET  /topk?k=<n>                    greedy top-k seed selection
+//	GET  /spreadby?seeds=...&deadline=t reach achievable BY a deadline
+//	GET  /channel?src=<id>&dst=<id>     a witness information channel
+//	GET  /stats                         snapshot statistics
+//	POST /admin/reload                  re-read -snapshot and swap it in
+//	GET  /metrics                       Prometheus text exposition
+//	GET  /debug/vars                    expvar JSON (same registry)
+//	GET  /debug/pprof/                  runtime profiles
 //
 // Errors come back as JSON ({"error": ..., "status": ...}) with proper
-// status codes: 400 for malformed parameters, 404 for unknown nodes.
+// status codes: 400 for malformed parameters, 404 for unknown nodes, 429
+// and 503 (with Retry-After) under load shedding. /channel needs the raw
+// interaction log, which a summary snapshot does not carry, so in
+// snapshot mode it answers 501.
 //
 // Run with:
 //
 //	go run ./examples/oracleserver [-addr :8080] [-dataset slashdot]
+//	go run ./examples/oracleserver -snapshot irs.bin
 //
 // and query with e.g. curl 'localhost:8080/spread?seeds=1,2,3'.
 package main
@@ -33,16 +51,15 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
@@ -52,10 +69,16 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		dataset     = flag.String("dataset", "slashdot", "Table 2 dataset to serve")
+		dataset     = flag.String("dataset", "slashdot", "Table 2 dataset to serve (generated mode)")
 		scale       = flag.Int("scale", 100, "dataset down-scaling factor")
 		windowPct   = flag.Float64("window", 10, "window as % of the time span")
 		parallelism = flag.Int("parallelism", 0, "workers for the startup scan and collapse (0 = GOMAXPROCS)")
+		snapshot    = flag.String("snapshot", "", "serve this IRX1 summary file (cmd/irs -save) instead of generating a dataset; reloadable via SIGHUP or POST /admin/reload")
+		shards      = flag.Int("shards", 0, "summary-table shards (0 = library default)")
+		cacheSize   = flag.Int("cache-size", 4096, "result-cache entries; 0 disables caching")
+		maxInflight = flag.Int("max-inflight", 0, "queries computing concurrently (0 = library default, negative disables admission control)")
+		queueDepth  = flag.Int("queue-depth", 0, "bounded wait queue for admission (0 = 2×max-inflight)")
+		timeout     = flag.Duration("request-timeout", 0, "per-request deadline covering queue wait and computation (0 = library default)")
 	)
 	flag.Parse()
 	ipin.SetParallelism(*parallelism)
@@ -64,35 +87,70 @@ func main() {
 	ipin.InstallMetrics(reg)
 	reg.PublishExpvar("ipin")
 
-	cfg, err := ipin.GenDataset(*dataset, *scale)
-	if err != nil {
-		log.Fatal(err)
-	}
-	net, err := ipin.Generate(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	omega := net.WindowFromPercent(*windowPct)
-	srv, err := buildServer(net, omega, ipin.DefaultPrecision, reg)
-	if err != nil {
-		log.Fatal(err)
+	srv := ipin.NewQueryServer(ipin.ServeConfig{
+		Shards:         *shards,
+		CacheSize:      *cacheSize,
+		MaxInflight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *timeout,
+		SnapshotPath:   *snapshot,
+		Registry:       reg,
+	})
+
+	var app *appState // nil in snapshot mode: no raw log, /channel answers 501
+	if *snapshot != "" {
+		if err := srv.Reload(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving snapshot %s (generation %d) on %s", *snapshot, srv.Generation(), *addr)
+	} else {
+		cfg, err := ipin.GenDataset(*dataset, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net, err := ipin.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		omega := net.WindowFromPercent(*windowPct)
+		// Parallel over time blocks; identical sketches to the sequential scan.
+		irs, err := ipin.ComputeApproxParallel(net, omega, ipin.DefaultPrecision, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.LoadApprox(irs)
+		app = &appState{net: net, omega: omega}
+		log.Printf("oracle for %s (%d nodes, %d interactions, ω=%d) on %s",
+			*dataset, net.NumNodes, net.Len(), omega, *addr)
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.handler(),
+		Handler:           buildHandler(srv, app, reg),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// SIGHUP = reload the snapshot file in place, the classic daemon
+	// convention; queries in flight keep answering on the old snapshot.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				log.Printf("reload: %v", err)
+				continue
+			}
+			log.Printf("reloaded %s (generation %d)", *snapshot, srv.Generation())
+		}
+	}()
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("oracle for %s (%d nodes, %d interactions, ω=%d) on %s",
-		*dataset, net.NumNodes, net.Len(), omega, *addr)
 
 	select {
 	case err := <-errc:
@@ -109,125 +167,51 @@ func main() {
 	}
 }
 
-type server struct {
-	net    *ipin.Network
-	irs    *ipin.ApproxIRS
-	oracle ipin.Oracle
-	omega  int64
-	reg    *ipin.MetricsRegistry
+// appState carries what only generated mode has: the raw interaction log
+// the /channel witness search walks.
+type appState struct {
+	net   *ipin.Network
+	omega int64
 }
 
-// buildServer preprocesses the network (the expensive one-pass scan) and
-// returns a query server recording into reg.
-func buildServer(net *ipin.Network, omega int64, precision int, reg *ipin.MetricsRegistry) (*server, error) {
-	// Parallel over time blocks; identical sketches to the sequential scan.
-	irs, err := ipin.ComputeApproxParallel(net, omega, precision, 0)
-	if err != nil {
-		return nil, err
-	}
-	return &server{
-		net:    net,
-		irs:    irs,
-		oracle: ipin.NewApproxOracle(irs),
-		omega:  omega,
-		reg:    reg,
-	}, nil
-}
-
-// routes is the closed set of application paths the middleware tracks as
-// individual metric series.
-var routes = []string{"/influence", "/spread", "/topk", "/channel", "/spreadby", "/stats", "/metrics"}
-
-// handler assembles the full route table: application endpoints wrapped
-// in telemetry middleware, plus the observability endpoints themselves.
-func (s *server) handler() http.Handler {
+// buildHandler assembles the full route table: the serving layer's query
+// routes, the /channel diagnostic, and the observability endpoints, all
+// behind telemetry middleware.
+func buildHandler(srv *ipin.QueryServer, app *appState, reg *ipin.MetricsRegistry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/influence", s.influence)
-	mux.HandleFunc("/spread", s.spread)
-	mux.HandleFunc("/topk", s.topk)
-	mux.HandleFunc("/channel", s.channel)
-	mux.HandleFunc("/spreadby", s.spreadBy)
-	mux.HandleFunc("/stats", s.stats)
-	mux.Handle("/metrics", ipin.MetricsHandler(s.reg))
+	srv.Register(mux)
+	mux.HandleFunc("/channel", app.channel)
+	mux.Handle("/metrics", ipin.MetricsHandler(reg))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return ipin.InstrumentHTTP(s.reg, routes, mux)
-}
-
-// errCounter counts application-level request errors, by route.
-func (s *server) errCounter(route string) {
-	s.reg.Counter(
-		fmt.Sprintf(`oracle_request_errors_total{route=%q}`, route),
-		"Requests rejected by oracleserver handlers (bad parameters, unknown nodes).",
-	).Inc()
-}
-
-func (s *server) influence(w http.ResponseWriter, r *http.Request) {
-	id, err := s.parseNode(r.URL.Query().Get("node"))
-	if err != nil {
-		s.error(w, r, err)
-		return
-	}
-	writeJSON(w, map[string]any{"node": id, "influence": s.oracle.InfluenceSize(id)})
-}
-
-func (s *server) spread(w http.ResponseWriter, r *http.Request) {
-	seeds, err := s.parseSeeds(r.URL.Query().Get("seeds"))
-	if err != nil {
-		s.error(w, r, err)
-		return
-	}
-	writeJSON(w, map[string]any{"seeds": seeds, "spread": s.oracle.Spread(seeds)})
-}
-
-func (s *server) topk(w http.ResponseWriter, r *http.Request) {
-	k, err := strconv.Atoi(r.URL.Query().Get("k"))
-	if err != nil || k < 1 || k > s.net.NumNodes {
-		s.error(w, r, badParam("bad k parameter"))
-		return
-	}
-	seeds := ipin.TopKApprox(s.irs, k)
-	writeJSON(w, map[string]any{"seeds": seeds, "spread": s.oracle.Spread(seeds)})
-}
-
-// spreadBy estimates how many distinct nodes the seeds can have
-// influenced by the given deadline (channels ending at or before it).
-func (s *server) spreadBy(w http.ResponseWriter, r *http.Request) {
-	seeds, err := s.parseSeeds(r.URL.Query().Get("seeds"))
-	if err != nil {
-		s.error(w, r, err)
-		return
-	}
-	deadline, err := strconv.ParseInt(r.URL.Query().Get("deadline"), 10, 64)
-	if err != nil {
-		s.error(w, r, badParam("bad deadline parameter"))
-		return
-	}
-	writeJSON(w, map[string]any{
-		"seeds":    seeds,
-		"deadline": deadline,
-		"spread":   ipin.SpreadByEstimate(s.irs, seeds, ipin.Time(deadline)),
-	})
+	routes := append(srv.Routes(), "/channel", "/metrics")
+	return ipin.InstrumentHTTP(reg, routes, mux)
 }
 
 // channel exhibits a witness information channel src→dst, answering WHY
-// the oracle counts dst in src's influence.
-func (s *server) channel(w http.ResponseWriter, r *http.Request) {
-	src, err := s.parseNode(r.URL.Query().Get("src"))
-	if err != nil {
-		s.error(w, r, err)
+// the oracle counts dst in src's influence. It needs the raw log, so
+// snapshot mode (app == nil) answers 501.
+func (app *appState) channel(w http.ResponseWriter, r *http.Request) {
+	if app == nil {
+		writeErrorJSON(w, http.StatusNotImplemented,
+			"channel reconstruction needs the interaction log; this server runs from a summary snapshot")
 		return
 	}
-	dst, err := s.parseNode(r.URL.Query().Get("dst"))
+	src, err := app.parseNode(r.URL.Query().Get("src"))
 	if err != nil {
-		s.error(w, r, err)
+		err.write(w)
 		return
 	}
-	ch := ipin.FindChannel(s.net, src, dst, s.omega)
+	dst, err := app.parseNode(r.URL.Query().Get("dst"))
+	if err != nil {
+		err.write(w)
+		return
+	}
+	ch := ipin.FindChannel(app.net, src, dst, app.omega)
 	if ch == nil {
 		writeJSON(w, map[string]any{"src": src, "dst": dst, "channel": nil})
 		return
@@ -247,57 +231,25 @@ func (s *server) channel(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{
-		"nodes":        s.net.NumNodes,
-		"interactions": s.net.Len(),
-		"omega":        s.omega,
-		"sketch_bytes": s.irs.MemoryBytes(),
-		"entries":      s.irs.EntryCount(),
-	})
-}
-
 // requestError is an application error with the HTTP status it deserves.
 type requestError struct {
 	status int
 	msg    string
 }
 
-func (e *requestError) Error() string { return e.msg }
-
-func badParam(msg string) error { return &requestError{status: http.StatusBadRequest, msg: msg} }
-
-func unknownNode(raw string) error {
-	return &requestError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown node %q", raw)}
-}
+func (e *requestError) write(w http.ResponseWriter) { writeErrorJSON(w, e.status, e.msg) }
 
 // parseNode resolves a node-id parameter: 400 when malformed, 404 when
 // well-formed but outside the network.
-func (s *server) parseNode(raw string) (ipin.NodeID, error) {
+func (app *appState) parseNode(raw string) (ipin.NodeID, *requestError) {
 	id, err := strconv.Atoi(raw)
 	if err != nil {
-		return 0, badParam(fmt.Sprintf("bad node id %q", raw))
+		return 0, &requestError{http.StatusBadRequest, fmt.Sprintf("bad node id %q", raw)}
 	}
-	if id < 0 || id >= s.net.NumNodes {
-		return 0, unknownNode(raw)
+	if id < 0 || id >= app.net.NumNodes {
+		return 0, &requestError{http.StatusNotFound, fmt.Sprintf("unknown node %q", raw)}
 	}
 	return ipin.NodeID(id), nil
-}
-
-// parseSeeds resolves a comma-separated seeds parameter.
-func (s *server) parseSeeds(raw string) ([]ipin.NodeID, error) {
-	if raw == "" {
-		return nil, badParam("missing seeds parameter")
-	}
-	var seeds []ipin.NodeID
-	for _, part := range strings.Split(raw, ",") {
-		id, err := s.parseNode(strings.TrimSpace(part))
-		if err != nil {
-			return nil, err
-		}
-		seeds = append(seeds, id)
-	}
-	return seeds, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -307,16 +259,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// error writes a JSON error body with the status carried by err (400 for
-// plain errors) and bumps the application error counter for the route.
-func (s *server) error(w http.ResponseWriter, r *http.Request, err error) {
-	status := http.StatusBadRequest
-	var re *requestError
-	if errors.As(err, &re) {
-		status = re.status
-	}
-	s.errCounter(r.URL.Path)
+func writeErrorJSON(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "status": status})
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg, "status": status})
 }

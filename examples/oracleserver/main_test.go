@@ -5,15 +5,17 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"ipin"
 )
 
-// testServer builds the full handler over a tiny hand-made network: a
-// chain 0→1→2→3 inside the window plus one interaction outside it.
-func testServer(t *testing.T) (*server, *ipin.MetricsRegistry) {
+// fixtureNetwork is a chain 0→1→2→3 inside the window plus one
+// interaction outside it.
+func fixtureNetwork(t *testing.T) *ipin.Network {
 	t.Helper()
 	net := ipin.NewNetwork(5)
 	net.Add(0, 1, 100)
@@ -21,15 +23,23 @@ func testServer(t *testing.T) (*server, *ipin.MetricsRegistry) {
 	net.Add(2, 3, 300)
 	net.Add(3, 4, 9000)
 	net.Sort()
+	return net
+}
 
+// testHandler builds the full generated-mode handler over the fixture.
+func testHandler(t *testing.T) (http.Handler, *ipin.MetricsRegistry) {
+	t.Helper()
+	net := fixtureNetwork(t)
 	reg := ipin.NewMetricsRegistry()
 	ipin.InstallMetrics(reg)
 	t.Cleanup(func() { ipin.InstallMetrics(nil) })
-	srv, err := buildServer(net, 500, ipin.DefaultPrecision, reg)
+	irs, err := ipin.ComputeApprox(net, 500, ipin.DefaultPrecision)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return srv, reg
+	srv := ipin.NewQueryServer(ipin.ServeConfig{CacheSize: 64, Registry: reg})
+	srv.LoadApprox(irs)
+	return buildHandler(srv, &appState{net: net, omega: 500}, reg), reg
 }
 
 func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
@@ -47,13 +57,14 @@ func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
 }
 
 func TestObservableServer(t *testing.T) {
-	srv, _ := testServer(t)
-	ts := httptest.NewServer(srv.handler())
+	h, _ := testHandler(t)
+	ts := httptest.NewServer(h)
 	defer ts.Close()
 
 	// A few spread queries, then scrape /metrics: the route counter and
-	// latency histogram buckets must be non-zero, and the preprocessing
-	// scan metrics must have been recorded.
+	// latency histogram buckets must be non-zero, the preprocessing scan
+	// metrics must have been recorded, and the serving layer's cache
+	// counters must show the repeats were hits.
 	for i := 0; i < 3; i++ {
 		code, body := get(t, ts, "/spread?seeds=0,1")
 		if code != http.StatusOK || !strings.Contains(body, `"spread"`) {
@@ -70,6 +81,9 @@ func TestObservableServer(t *testing.T) {
 		`http_request_duration_seconds_count{route="/spread"} 3`,
 		`ipin_scan_edges_total{algo="approx"} 4`,
 		`# TYPE http_in_flight_requests gauge`,
+		`serve_cache_hits_total 2`,
+		`serve_cache_misses_total 1`,
+		`serve_snapshot_generation 1`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
@@ -86,8 +100,8 @@ func TestObservableServer(t *testing.T) {
 }
 
 func TestErrorResponses(t *testing.T) {
-	srv, reg := testServer(t)
-	ts := httptest.NewServer(srv.handler())
+	h, reg := testHandler(t)
+	ts := httptest.NewServer(h)
 	defer ts.Close()
 
 	cases := []struct {
@@ -101,6 +115,7 @@ func TestErrorResponses(t *testing.T) {
 		{"/topk?k=0", http.StatusBadRequest},
 		{"/spreadby?seeds=0&deadline=x", http.StatusBadRequest},
 		{"/channel?src=0&dst=9999", http.StatusNotFound},
+		{"/admin/reload", http.StatusMethodNotAllowed}, // GET
 	}
 	for _, c := range cases {
 		code, body := get(t, ts, c.path)
@@ -116,26 +131,16 @@ func TestErrorResponses(t *testing.T) {
 		}
 	}
 
-	// Every rejected request lands in the application error counter and
-	// the middleware's HTTP error counter.
+	// Every rejected request lands in the middleware's HTTP error counter.
 	snap := reg.Snapshot()
-	errs := int64(0)
-	for name, v := range snap {
-		if strings.HasPrefix(name, "oracle_request_errors_total") {
-			errs += v.(int64)
-		}
-	}
-	if errs != int64(len(cases)) {
-		t.Fatalf("application errors = %d, want %d", errs, len(cases))
-	}
 	if got := snap[`http_errors_total{route="/influence"}`]; got != int64(2) {
 		t.Fatalf("http errors on /influence = %v, want 2", got)
 	}
 }
 
 func TestSuccessPaths(t *testing.T) {
-	srv, _ := testServer(t)
-	ts := httptest.NewServer(srv.handler())
+	h, _ := testHandler(t)
+	ts := httptest.NewServer(h)
 	defer ts.Close()
 
 	for _, path := range []string{
@@ -152,5 +157,72 @@ func TestSuccessPaths(t *testing.T) {
 		if !json.Valid([]byte(body)) {
 			t.Errorf("%s: invalid JSON %q", path, body)
 		}
+	}
+}
+
+// TestSnapshotMode drives the -snapshot deployment shape end to end:
+// serve a saved IRX1 file, verify /channel degrades to 501, rewrite the
+// file, and swap it in with POST /admin/reload.
+func TestSnapshotMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "irs.bin")
+	irs, err := ipin.ComputeApprox(fixtureNetwork(t), 500, ipin.DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSnapshot := func(s *ipin.ApproxIRS) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WriteTo(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSnapshot(irs)
+
+	reg := ipin.NewMetricsRegistry()
+	srv := ipin.NewQueryServer(ipin.ServeConfig{CacheSize: 64, SnapshotPath: path, Registry: reg})
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(buildHandler(srv, nil, reg))
+	defer ts.Close()
+
+	if code, body := get(t, ts, "/spread?seeds=0"); code != http.StatusOK {
+		t.Fatalf("/spread from snapshot: %d %s", code, body)
+	}
+	if code, _ := get(t, ts, "/channel?src=0&dst=3"); code != http.StatusNotImplemented {
+		t.Fatalf("/channel in snapshot mode: status %d, want 501", code)
+	}
+
+	// Replace the file with a larger network and reload over HTTP.
+	net := ipin.NewNetwork(9)
+	net.Add(0, 1, 100)
+	net.Add(5, 6, 200)
+	net.Sort()
+	irs2, err := ipin.ComputeApprox(net, 500, ipin.DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSnapshot(irs2)
+
+	resp, err := http.Post(ts.URL+"/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/admin/reload: %d %s", resp.StatusCode, body)
+	}
+	if srv.Generation() != 2 {
+		t.Fatalf("generation after reload = %d, want 2", srv.Generation())
+	}
+	// Node 5 exists only in the new snapshot.
+	if code, body := get(t, ts, "/influence?node=5"); code != http.StatusOK {
+		t.Fatalf("/influence on reloaded snapshot: %d %s", code, body)
 	}
 }

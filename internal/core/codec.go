@@ -179,6 +179,31 @@ func ReadApproxSummaries(r io.Reader) (*ApproxSummaries, error) {
 	return s, nil
 }
 
+// ReadSummaries reads an IRX1 stream of either kind, dispatching on the
+// kind byte: exactly one of the returned summary sets is non-nil. It is
+// the loader behind snapshot files whose kind is not known up front
+// (internal/serve, oracleserver -snapshot).
+func ReadSummaries(r io.Reader) (*ExactSummaries, *ApproxSummaries, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(5)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: header: %v", err)
+	}
+	if string(head[:4]) != string(irsMagic[:]) {
+		return nil, nil, fmt.Errorf("core: bad magic")
+	}
+	switch head[4] {
+	case kindExact:
+		s, err := ReadExactSummaries(br)
+		return s, nil, err
+	case kindApprox:
+		s, err := ReadApproxSummaries(br)
+		return nil, s, err
+	default:
+		return nil, nil, fmt.Errorf("core: unknown summary kind %q", head[4])
+	}
+}
+
 func writeHeader(w io.Writer, kind byte, omega int64, numNodes int) error {
 	if _, err := w.Write(irsMagic[:]); err != nil {
 		return err

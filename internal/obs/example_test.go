@@ -1,0 +1,23 @@
+package obs_test
+
+import (
+	"os"
+
+	"ipin/internal/obs"
+)
+
+func ExampleRegistry_WritePrometheus() {
+	reg := obs.NewRegistry()
+	served := reg.Counter("example_requests_total", "Requests served.")
+	served.Add(3)
+	reg.Gauge("example_queue_depth", "Requests waiting.").Set(1)
+
+	_ = reg.WritePrometheus(os.Stdout)
+	// Output:
+	// # HELP example_queue_depth Requests waiting.
+	// # TYPE example_queue_depth gauge
+	// example_queue_depth 1
+	// # HELP example_requests_total Requests served.
+	// # TYPE example_requests_total counter
+	// example_requests_total 3
+}

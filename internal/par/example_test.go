@@ -1,0 +1,28 @@
+package par_test
+
+import (
+	"fmt"
+
+	"ipin/internal/par"
+)
+
+func ExampleMap() {
+	// Four items, two workers. Each worker writes only the slot of the
+	// index it drew, so the output order is deterministic regardless of
+	// scheduling.
+	squares := par.Map(2, 4, func(i int) int { return i * i })
+	fmt.Println(squares)
+	// Output: [0 1 4 9]
+}
+
+func ExampleBlocks() {
+	// Split ten items into three near-equal contiguous ranges, the unit
+	// the time-sliced scans hand to each worker.
+	for _, r := range par.Blocks(10, 3) {
+		fmt.Println(r.Lo, r.Hi)
+	}
+	// Output:
+	// 0 4
+	// 4 7
+	// 7 10
+}

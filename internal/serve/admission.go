@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Limiter errors, mapped to load-shedding statuses by Server.shed.
+var (
+	// errQueueFull sheds immediately with 429: admitting the request
+	// would grow the wait queue beyond its bound.
+	errQueueFull = errors.New("server overloaded: wait queue full")
+	// errDeadline sheds with 503: the request's deadline expired while
+	// it waited for an inflight slot.
+	errDeadline = errors.New("server overloaded: timed out waiting for capacity")
+)
+
+// limiter is the admission controller: at most maxInflight requests
+// compute concurrently, at most queueDepth more wait, everything beyond
+// that is shed immediately. Bounding the queue bounds worst-case latency:
+// an admitted request waits behind at most queueDepth predecessors, and
+// its own deadline caps even that.
+type limiter struct {
+	slots   chan struct{} // buffered to maxInflight; holding a token = computing
+	depth   int64
+	waiting atomic.Int64
+	mx      *metrics
+}
+
+func newLimiter(maxInflight, queueDepth int, mx *metrics) *limiter {
+	return &limiter{
+		slots: make(chan struct{}, maxInflight),
+		depth: int64(queueDepth),
+		mx:    mx,
+	}
+}
+
+// acquire obtains an inflight slot, queueing up to the depth bound while
+// ctx lasts. It returns errQueueFull or errDeadline when the request
+// should be shed instead.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	w := l.waiting.Add(1)
+	if w > l.depth {
+		l.mx.queueDepth.Set(l.waiting.Add(-1))
+		l.mx.shedQueueFull.Inc()
+		return errQueueFull
+	}
+	l.mx.queueDepth.Set(w)
+	defer func() {
+		l.mx.queueDepth.Set(l.waiting.Add(-1))
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		l.mx.shedDeadline.Inc()
+		return errDeadline
+	}
+}
+
+// release returns an acquired slot.
+func (l *limiter) release() { <-l.slots }

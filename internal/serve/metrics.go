@@ -1,0 +1,41 @@
+package serve
+
+import "ipin/internal/obs"
+
+// Serving metric names (per-route HTTP series come from obs.Middleware).
+const (
+	MetricCacheHits    = "serve_cache_hits_total"
+	MetricCacheMisses  = "serve_cache_misses_total"
+	MetricCacheShared  = "serve_cache_singleflight_shared_total"
+	MetricCacheEvicted = "serve_cache_evictions_total"
+	MetricCachePurges  = "serve_cache_purges_total"
+	MetricShed         = "serve_shed_total"
+	MetricQueueDepth   = "serve_queue_depth"
+	MetricReloads      = "serve_snapshot_reloads_total"
+	MetricGeneration   = "serve_snapshot_generation"
+)
+
+// metrics bundles the serving-layer instruments. Built over a nil
+// registry every field is a nil no-op instrument, preserving obs's
+// zero-cost-when-disabled contract.
+type metrics struct {
+	hits, misses, shared, evictions, purges *obs.Counter
+	shedQueueFull, shedDeadline             *obs.Counter
+	reloads                                 *obs.Counter
+	queueDepth, generation                  *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		hits:          reg.Counter(MetricCacheHits, "Result-cache hits (response served from stored bytes)."),
+		misses:        reg.Counter(MetricCacheMisses, "Result-cache misses (response computed)."),
+		shared:        reg.Counter(MetricCacheShared, "Requests that waited on an identical in-flight computation."),
+		evictions:     reg.Counter(MetricCacheEvicted, "Result-cache entries evicted by the LRU bound."),
+		purges:        reg.Counter(MetricCachePurges, "Result-cache purges (one per snapshot reload)."),
+		shedQueueFull: reg.Counter(MetricShed+`{reason="queue_full"}`, "Requests shed with 429 because the wait queue was full."),
+		shedDeadline:  reg.Counter(MetricShed+`{reason="deadline"}`, "Requests shed with 503 because their deadline expired in the queue."),
+		reloads:       reg.Counter(MetricReloads, "Snapshots installed (initial load included)."),
+		queueDepth:    reg.Gauge(MetricQueueDepth, "Requests currently waiting for an inflight slot."),
+		generation:    reg.Gauge(MetricGeneration, "Generation of the snapshot currently serving."),
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"ipin/internal/graph"
 	"ipin/internal/hll"
 	"ipin/internal/obs"
+	"ipin/internal/serve"
 	"ipin/internal/swhll"
 	"ipin/internal/temporal"
 	"ipin/internal/vhll"
@@ -237,6 +238,29 @@ func ComputeStats(n *Network) NetworkStats { return graph.ComputeStats(n) }
 func NewSlidingProfiles(n, precision int, window int64) (*SlidingProfiles, error) {
 	return swhll.NewProfiles(n, precision, window)
 }
+
+// Serving (internal/serve): the production-shaped query layer between
+// computed IRS summaries and HTTP.
+type (
+	// QueryServer answers oracle queries over HTTP with a sharded
+	// snapshot store (live-reloadable via Reload or POST /admin/reload),
+	// a bounded LRU result cache with single-flight deduplication, and
+	// admission control that sheds overload with 429/503. Responses are
+	// byte-identical with caching and sharding on or off.
+	QueryServer = serve.Server
+	// ServeConfig parameterizes a QueryServer; its zero value is usable.
+	ServeConfig = serve.Config
+)
+
+// NewQueryServer returns a query server with no snapshot loaded; every
+// query route answers 503 until LoadExact, LoadApprox, or Reload
+// installs one. Mount it with (*QueryServer).Handler, or Register its
+// routes on an existing mux:
+//
+//	srv := ipin.NewQueryServer(ipin.ServeConfig{CacheSize: 4096})
+//	srv.LoadApprox(irs)
+//	http.ListenAndServe(":8080", srv.Handler())
+func NewQueryServer(cfg ServeConfig) *QueryServer { return serve.New(cfg) }
 
 // Observability (internal/obs). Telemetry is off by default: every
 // instrument is a nil-safe no-op until InstallMetrics runs, so library
