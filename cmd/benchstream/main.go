@@ -1,0 +1,374 @@
+// Command benchstream measures the live ingestion subsystem
+// (internal/stream) end to end and writes the results as JSON
+// (BENCH_stream.json at the repo root, by convention). It reports the
+// three numbers that size a deployment:
+//
+//   - sustained intake: edges/second through Push → reorder → WAL →
+//     sealed chunks while interval checkpoints run concurrently;
+//   - checkpoint latency: fold + snapshot write per checkpoint
+//     (p50/p99), the cost of refreshing the served state;
+//   - freshness: how stale a just-ingested edge is before a published
+//     checkpoint makes it queryable (p50/p99), the product of the
+//     checkpoint cadence and checkpoint latency.
+//
+// Alongside the numbers it enforces the subsystem's correctness
+// contract and exits non-zero on any violation:
+//
+//   - the final checkpoint of an in-order run is byte-identical to the
+//     offline one-pass scan (core.ComputeApprox) over the same log;
+//   - a bounded out-of-order replay of the same edges (block shuffle,
+//     -skew positions) drops nothing and converges to the same bytes;
+//   - re-opening the state directory replays the WAL into a recovery
+//     checkpoint with, again, the same bytes.
+//
+// The report records the host's CPU count and GOMAXPROCS, the same
+// convention as BENCH_serve.json: intake is single-writer by design,
+// but the fold runs on internal/par workers, so checkpoint latency
+// scales with real cores.
+//
+// Usage:
+//
+//	benchstream -edges 500000 -out BENCH_stream.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ipin/internal/core"
+	"ipin/internal/gen"
+	"ipin/internal/graph"
+	"ipin/internal/obs"
+	"ipin/internal/stream"
+)
+
+type report struct {
+	Edges           int     `json:"edges"`
+	Nodes           int     `json:"nodes"`
+	OmegaTicks      int64   `json:"omega_ticks"`
+	Skew            int     `json:"skew_positions"`
+	CheckpointEvery string  `json:"checkpoint_every"`
+	NumCPU          int     `json:"num_cpu"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Note            string  `json:"note"`
+	SustainedEPS    float64 `json:"sustained_edges_per_sec"`
+	IngestSeconds   float64 `json:"ingest_wall_seconds"`
+	CloseSeconds    float64 `json:"close_wall_seconds"`
+	Checkpoints     int64   `json:"checkpoints"`
+	CheckpointP50Ms float64 `json:"checkpoint_p50_ms"`
+	CheckpointP99Ms float64 `json:"checkpoint_p99_ms"`
+	FreshnessP50Ms  float64 `json:"freshness_p50_ms"`
+	FreshnessP99Ms  float64 `json:"freshness_p99_ms"`
+	FreshnessN      int     `json:"freshness_samples"`
+	WALBytes        int64   `json:"wal_bytes"`
+	WALSegments     int64   `json:"wal_segments"`
+	IdentityInOrder bool    `json:"identity_in_order"`
+	IdentitySkewed  bool    `json:"identity_skewed"`
+	IdentityRecover bool    `json:"identity_recovered"`
+	SkewedDrops     int64   `json:"skewed_drops"`
+}
+
+// ckptMeta mirrors the checkpoint.meta.json sidecar the ingester writes
+// before publishing, so the Publish callback can attribute each publish
+// to the edge count and fold time it covers.
+type ckptMeta struct {
+	Edges       int64   `json:"edges"`
+	FoldSeconds float64 `json:"fold_seconds"`
+}
+
+func main() {
+	var (
+		edges    = flag.Int("edges", 500_000, "interactions in the generated log")
+		nodes    = flag.Int("nodes", 20_000, "nodes in the generated log")
+		window   = flag.Float64("window", 1, "window as % of the time span")
+		every    = flag.Duration("checkpoint-every", 250*time.Millisecond, "interval between automatic checkpoints during the sustained run")
+		sampleEv = flag.Int("sample-every", 512, "freshness sample cadence in edges")
+		skew     = flag.Int("skew", 64, "out-of-order displacement (positions) for the skewed replay")
+		out      = flag.String("out", "BENCH_stream.json", "output JSON path")
+	)
+	flag.Parse()
+
+	l, err := gen.Generate(gen.Config{
+		Name:         "benchstream",
+		Model:        gen.ModelUniform,
+		Nodes:        *nodes,
+		Interactions: *edges,
+		SpanTicks:    int64(*edges) * 4,
+		Seed:         1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// Strictly increasing timestamps: identity then holds edge-for-edge
+	// regardless of arrival order, because neither the reorder buffer's
+	// tie-breaking nor its de-tie bump ever fires.
+	sort.SliceStable(l.Interactions, func(i, j int) bool { return l.Interactions[i].At < l.Interactions[j].At })
+	for i := 1; i < len(l.Interactions); i++ {
+		if l.Interactions[i].At <= l.Interactions[i-1].At {
+			l.Interactions[i].At = l.Interactions[i-1].At + 1
+		}
+	}
+	omega := l.WindowFromPercent(*window)
+	fmt.Fprintf(os.Stderr, "benchstream: %d nodes, %d interactions, ω=%d (NumCPU=%d)\n",
+		l.NumNodes, l.Len(), omega, runtime.NumCPU())
+
+	offline, err := core.ComputeApprox(l, omega, core.DefaultPrecision)
+	if err != nil {
+		fatal(err)
+	}
+	var offlineBuf bytes.Buffer
+	if _, err := offline.WriteTo(&offlineBuf); err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Edges:           l.Len(),
+		Nodes:           l.NumNodes,
+		OmegaTicks:      omega,
+		Skew:            *skew,
+		CheckpointEvery: every.String(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Note: "in-order sustained run with interval checkpoints; freshness = push-to-publish age of sampled edges; identity gates compare the final, " +
+			"skewed-replay, and WAL-recovery checkpoints byte-for-byte against the offline one-pass scan",
+	}
+
+	work, err := os.MkdirTemp("", "benchstream-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(work)
+	dir1 := filepath.Join(work, "inorder")
+
+	// Phase 1: sustained in-order ingest. One producer pushes flat out
+	// while the timer checkpoints; every sample-every-th edge gets a
+	// timestamp so the Publish hook can measure push-to-publish age.
+	type sample struct {
+		index int64 // accepted-edge count at sample time (== emitted order, in-order run)
+		at    time.Time
+	}
+	var (
+		smu       sync.Mutex
+		samples   []sample
+		freshness []time.Duration
+		foldTimes []time.Duration
+	)
+	reg := obs.NewRegistry()
+	in, err := stream.New(stream.Config{
+		Dir:             dir1,
+		Omega:           omega,
+		NumNodes:        l.NumNodes,
+		CheckpointEvery: *every,
+		Registry:        reg,
+		Publish: func(*core.ApproxSummaries) {
+			// The sidecar is renamed into place before Publish runs, and
+			// the single compactor serializes publishes, so this read is
+			// exactly the checkpoint being published.
+			var meta ckptMeta
+			raw, err := os.ReadFile(filepath.Join(dir1, stream.CheckpointMetaName))
+			if err != nil || json.Unmarshal(raw, &meta) != nil {
+				return
+			}
+			now := time.Now()
+			smu.Lock()
+			defer smu.Unlock()
+			foldTimes = append(foldTimes, time.Duration(meta.FoldSeconds*float64(time.Second)))
+			for len(samples) > 0 && samples[0].index <= meta.Edges {
+				freshness = append(freshness, now.Sub(samples[0].at))
+				samples = samples[1:]
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	for i, e := range l.Interactions {
+		if err := in.Push(e); err != nil {
+			fatal(err)
+		}
+		if (i+1)%*sampleEv == 0 {
+			smu.Lock()
+			samples = append(samples, sample{index: int64(i + 1), at: time.Now()})
+			smu.Unlock()
+		}
+	}
+	ingestD := time.Since(start)
+	closeStart := time.Now()
+	if err := in.Close(context.Background()); err != nil {
+		fatal(err)
+	}
+	closeD := time.Since(closeStart)
+	st := in.Stats()
+	rep.SustainedEPS = float64(l.Len()) / ingestD.Seconds()
+	rep.IngestSeconds = ingestD.Seconds()
+	rep.CloseSeconds = closeD.Seconds()
+	rep.Checkpoints = st.Checkpoints
+	rep.CheckpointP50Ms = percentileMs(foldTimes, 50)
+	rep.CheckpointP99Ms = percentileMs(foldTimes, 99)
+	rep.FreshnessP50Ms = percentileMs(freshness, 50)
+	rep.FreshnessP99Ms = percentileMs(freshness, 99)
+	rep.FreshnessN = len(freshness)
+	snap := reg.Snapshot()
+	if v, ok := snap[stream.MetricWALBytes].(int64); ok {
+		rep.WALBytes = v
+	}
+	if v, ok := snap[stream.MetricWALSegments].(int64); ok {
+		rep.WALSegments = v
+	}
+	fmt.Fprintf(os.Stderr, "benchstream: sustained %.0f edges/s over %.2fs, %d checkpoints (p50 %.1fms p99 %.1fms), freshness p50 %.0fms p99 %.0fms (%d samples)\n",
+		rep.SustainedEPS, rep.IngestSeconds, rep.Checkpoints,
+		rep.CheckpointP50Ms, rep.CheckpointP99Ms, rep.FreshnessP50Ms, rep.FreshnessP99Ms, rep.FreshnessN)
+
+	// Phase 2: identity of the in-order run's final checkpoint.
+	rep.IdentityInOrder = checkpointMatches(dir1, offlineBuf.Bytes())
+	fmt.Fprintf(os.Stderr, "benchstream: in-order identity: %v\n", rep.IdentityInOrder)
+
+	// Phase 3: skewed replay. Block-shuffling within skew+1 positions
+	// bounds displacement, and the slack is set to the worst observed
+	// time lateness, so a correct reorder buffer drops nothing.
+	arrival := append([]graph.Interaction(nil), l.Interactions...)
+	shuffleBounded(arrival, *skew, 7)
+	var slack, maxSeen int64
+	maxSeen = -1 << 62
+	for _, e := range arrival {
+		if late := maxSeen - int64(e.At); late > slack {
+			slack = late
+		}
+		if int64(e.At) > maxSeen {
+			maxSeen = int64(e.At)
+		}
+	}
+	dir2 := filepath.Join(work, "skewed")
+	in2, err := stream.New(stream.Config{
+		Dir:             dir2,
+		Omega:           omega,
+		NumNodes:        l.NumNodes,
+		Slack:           slack,
+		CheckpointEvery: -1,
+		IdleFlush:       -1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range arrival {
+		if err := in2.Push(e); err != nil {
+			fatal(err)
+		}
+	}
+	if err := in2.Close(context.Background()); err != nil {
+		fatal(err)
+	}
+	rep.SkewedDrops = in2.Stats().ReorderDrops
+	rep.IdentitySkewed = checkpointMatches(dir2, offlineBuf.Bytes()) && rep.SkewedDrops == 0
+	fmt.Fprintf(os.Stderr, "benchstream: skewed identity (skew %d, slack %d ticks): %v (%d drops)\n",
+		*skew, slack, rep.IdentitySkewed, rep.SkewedDrops)
+
+	// Phase 4: recovery. Re-opening the in-order directory replays the
+	// WAL and publishes a recovery checkpoint before accepting intake.
+	var recovered bytes.Buffer
+	in3, err := stream.New(stream.Config{
+		Dir:             dir1,
+		Omega:           omega,
+		NumNodes:        l.NumNodes,
+		CheckpointEvery: -1,
+		Publish: func(s *core.ApproxSummaries) {
+			recovered.Reset()
+			if _, err := s.WriteTo(&recovered); err != nil {
+				fatal(err)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := in3.Close(context.Background()); err != nil {
+		fatal(err)
+	}
+	rep.IdentityRecover = bytes.Equal(recovered.Bytes(), offlineBuf.Bytes())
+	fmt.Fprintf(os.Stderr, "benchstream: recovery identity: %v\n", rep.IdentityRecover)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	fmt.Fprintf(os.Stderr, "benchstream: wrote %s\n", *out)
+
+	switch {
+	case !rep.IdentityInOrder:
+		fatal(fmt.Errorf("in-order checkpoint differs from the offline scan"))
+	case !rep.IdentitySkewed:
+		fatal(fmt.Errorf("skewed replay diverged (drops=%d)", rep.SkewedDrops))
+	case !rep.IdentityRecover:
+		fatal(fmt.Errorf("recovery checkpoint differs from the offline scan"))
+	case rep.Checkpoints < 1:
+		fatal(fmt.Errorf("sustained run published no checkpoints"))
+	}
+}
+
+// checkpointMatches reads dir's checkpoint snapshot and compares it
+// byte-for-byte with the offline encoding.
+func checkpointMatches(dir string, want []byte) bool {
+	got, err := os.ReadFile(filepath.Join(dir, stream.CheckpointName))
+	if err != nil {
+		fatal(err)
+	}
+	return bytes.Equal(got, want)
+}
+
+// shuffleBounded permutes within blocks of skew+1 positions, the same
+// bounded-displacement contract cmd/gennet -stream emits.
+func shuffleBounded(edges []graph.Interaction, skew int, seed int64) {
+	if skew <= 0 {
+		return
+	}
+	// Small deterministic LCG; benchmarks must not depend on rand's
+	// default source changing between releases.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for lo := 0; lo < len(edges); lo += skew + 1 {
+		hi := min(lo+skew+1, len(edges))
+		for i := hi - lo - 1; i > 0; i-- {
+			j := next(i + 1)
+			edges[lo+i], edges[lo+j] = edges[lo+j], edges[lo+i]
+		}
+	}
+}
+
+// percentileMs returns the p-th percentile in milliseconds
+// (nearest-rank on the sorted copy), 0 on an empty slice.
+func percentileMs(d []time.Duration, p int) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration{}, d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := len(s) * p / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx]) / float64(time.Millisecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchstream: %v\n", err)
+	os.Exit(1)
+}

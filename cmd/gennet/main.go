@@ -6,12 +6,27 @@
 //
 //	gennet -dataset enron -scale 20 -out enron.txt
 //	gennet -model cascade -nodes 10000 -interactions 100000 -span 604800 -out c.txt
+//
+// With -stream the network is emitted as a live feed instead of a file
+// dump: lines flow out in timestamp order at -eps edges per second
+// (0 = as fast as possible), optionally disordered by -skew, which
+// bounds how many positions an edge may arrive early or late — the
+// workload an Ingester's reordering buffer absorbs. The output is
+// deterministic for a fixed -seed, so two runs produce the same arrival
+// sequence:
+//
+//	gennet -dataset enron -scale 50 -stream -eps 10000 -skew 16 | nc host 7000
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
+	"sort"
+	"time"
 
 	"ipin/internal/gen"
 	"ipin/internal/graph"
@@ -30,6 +45,9 @@ func main() {
 		reply        = flag.Float64("reply", 0.4, "custom: reply probability (email model)")
 		branch       = flag.Float64("branch", 1.2, "custom: mean branching (cascade model)")
 		out          = flag.String("out", "", "output file (default stdout)")
+		stream       = flag.Bool("stream", false, "emit as a live feed in timestamp order (see -eps, -skew)")
+		eps          = flag.Float64("eps", 0, "stream: target edges per second (0 = unpaced)")
+		skew         = flag.Int("skew", 0, "stream: max out-of-order displacement in positions")
 	)
 	flag.Parse()
 
@@ -49,6 +67,14 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *stream {
+		if err := streamLog(w, l, *eps, *skew, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gennet: streamed %d interactions over %d nodes (%s, skew %d)\n",
+			l.Len(), l.NumNodes, cfg.Name, *skew)
+		return
 	}
 	if err := graph.WriteLog(w, l, nil); err != nil {
 		fatal(err)
@@ -87,6 +113,51 @@ func buildConfig(dataset string, scale int, model string, nodes, interactions in
 		ReplyProb:    reply,
 		BranchMean:   branch,
 	}, nil
+}
+
+// streamLog emits the log as a live feed: timestamp order, optionally
+// disordered by a bounded block shuffle, optionally paced to eps edges
+// per second. Determinism: the arrival sequence is a pure function of
+// the log and seed (pacing affects timing only), so a consumer can be
+// replay-tested against the same feed.
+func streamLog(w io.Writer, l *graph.Log, eps float64, skew int, seed uint64) error {
+	edges := append([]graph.Interaction(nil), l.Interactions...)
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].At < edges[j].At })
+	if skew > 0 {
+		// Permuting within blocks of skew+1 bounds every edge's
+		// displacement to at most skew positions — the contract an
+		// ingester's reorder slack is sized against.
+		rng := rand.New(rand.NewSource(int64(seed)))
+		for lo := 0; lo < len(edges); lo += skew + 1 {
+			hi := min(lo+skew+1, len(edges))
+			rng.Shuffle(hi-lo, func(i, j int) {
+				edges[lo+i], edges[lo+j] = edges[lo+j], edges[lo+i]
+			})
+		}
+	}
+	bw := bufio.NewWriter(w)
+	var interval time.Duration
+	if eps > 0 {
+		interval = time.Duration(float64(time.Second) / eps)
+	}
+	start := time.Now()
+	for i, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.Src, e.Dst, e.At); err != nil {
+			return err
+		}
+		if interval > 0 {
+			// Paced mode is a live feed: flush per line so consumers see
+			// edges as they are emitted, and sleep against the absolute
+			// schedule so pacing error does not accumulate.
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if d := time.Until(start.Add(time.Duration(i+1) * interval)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	return bw.Flush()
 }
 
 func fatal(err error) {

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"sort"
 	"testing"
 
 	"ipin/internal/gen"
+	"ipin/internal/graph"
+	"ipin/internal/stream"
 )
 
 func TestBuildConfigDataset(t *testing.T) {
@@ -51,5 +56,103 @@ func TestCustomConfigGenerates(t *testing.T) {
 	}
 	if l.Len() != 300 {
 		t.Fatalf("generated %d interactions", l.Len())
+	}
+}
+
+func TestStreamLogDeterministicAndBounded(t *testing.T) {
+	cfg, err := buildConfig("", 0, "email", 60, 800, 40000, 5, 1.5, 0.3, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const skew = 9
+	var a, b bytes.Buffer
+	if err := streamLog(&a, l, 0, skew, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := streamLog(&b, l, 0, skew, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different streams")
+	}
+	// A distinct seed must (overwhelmingly) shuffle differently.
+	var d bytes.Buffer
+	if err := streamLog(&d, l, 0, skew, 6); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), d.Bytes()) {
+		t.Fatal("different seeds produced identical shuffles")
+	}
+	// Every line parses, the multiset of edges is preserved, and no edge
+	// is displaced more than skew positions from its sorted slot.
+	sorted := append([]graph.Interaction(nil), l.Interactions...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	pos := make(map[graph.Interaction][]int, len(sorted))
+	for i, e := range sorted {
+		pos[e] = append(pos[e], i)
+	}
+	sc := bufio.NewScanner(&a)
+	i := 0
+	for sc.Scan() {
+		e, err := stream.ParseEdge(sc.Text())
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		slots := pos[e]
+		if len(slots) == 0 {
+			t.Fatalf("line %d: edge %+v not in the log", i, e)
+		}
+		// Any sorted slot of an identical edge within skew suffices.
+		ok := false
+		for _, s := range slots {
+			if s-i <= skew && i-s <= skew {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("line %d: edge %+v displaced beyond skew %d (slots %v)", i, e, skew, slots)
+		}
+		pos[e] = slots[1:]
+		i++
+	}
+	if i != len(sorted) {
+		t.Fatalf("streamed %d of %d edges", i, len(sorted))
+	}
+}
+
+func TestStreamLogUnskewedIsSorted(t *testing.T) {
+	cfg, err := buildConfig("", 0, "uniform", 30, 300, 9000, 2, 1.5, 0.3, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := streamLog(&out, l, 0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&out)
+	last := graph.Time(-1 << 62)
+	n := 0
+	for sc.Scan() {
+		e, err := stream.ParseEdge(sc.Text())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.At < last {
+			t.Fatalf("line %d: time %d regressed below %d", n, e.At, last)
+		}
+		last = e.At
+		n++
+	}
+	if n != l.Len() {
+		t.Fatalf("streamed %d of %d edges", n, l.Len())
 	}
 }

@@ -1,0 +1,245 @@
+// Livecascade wires the live ingestion subsystem to the influence
+// oracle: interaction edges stream in over HTTP while spread queries are
+// answered from the most recent checkpoint — the "influence dashboard
+// over a live feed" deployment the streaming layer exists for.
+//
+// The pipeline inside one process:
+//
+//	POST /ingest ──▶ Ingester (reorder → WAL → sealed chunks)
+//	                   │ interval / forced checkpoints
+//	                   ▼
+//	            fold → checkpoint.irx → Publish
+//	                   ▼
+//	            QueryServer (atomic generation swap)
+//	                   ▲
+//	GET /spread, /topk, /influence ... answered here
+//
+// Queries never block on ingestion: they read the last published
+// generation, and each checkpoint swaps in atomically underneath them.
+// An edge becomes queryable within one checkpoint interval of arriving
+// (or immediately after POST /admin/checkpoint), and the served state is
+// byte-identical to running the offline one-pass scan over the same
+// edges — the property the companion test enforces.
+//
+// By default the process feeds itself a generated information cascade at
+// -eps edges per second, so a single command gives a watchable demo:
+//
+//	go run ./examples/livecascade -eps 2000
+//	curl 'localhost:8080/spread?seeds=0,1,2'   # grows as the cascade streams in
+//	curl 'localhost:8080/stream/stats'
+//
+// Disable the self-feed with -eps 0 and pipe a feed in instead:
+//
+//	gennet -model cascade -stream -skew 16 | while read line; do
+//	  curl -s -XPOST --data "$line" localhost:8080/ingest >/dev/null; done
+//
+// Endpoints: the full query surface of examples/oracleserver (minus
+// /channel), plus
+//
+//	POST /ingest            "src dst time" lines, any number per body
+//	POST /admin/checkpoint  force a checkpoint + publish, synchronously
+//	GET  /stream/stats      ingestion counters and the served generation
+//	GET  /metrics           Prometheus text (stream_* and serve_* both)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"ipin"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		dir          = flag.String("dir", "", "ingester state directory (WAL + checkpoints); empty = a fresh temp dir")
+		nodes        = flag.Int("nodes", 5_000, "self-feed: nodes in the generated cascade")
+		interactions = flag.Int("interactions", 100_000, "self-feed: interactions in the generated cascade")
+		eps          = flag.Float64("eps", 2_000, "self-feed: edges per second (0 disables the self-feed)")
+		windowPct    = flag.Float64("window", 5, "influence window as % of the cascade's time span")
+		every        = flag.Duration("checkpoint-every", 2*time.Second, "interval between automatic checkpoints")
+		slack        = flag.Int64("slack", 0, "out-of-order tolerance in ticks for externally fed edges")
+	)
+	flag.Parse()
+
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "livecascade-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+
+	// The self-feed workload: a branching information cascade, the shape
+	// the paper's model is about. Generated up front so omega can be
+	// sized from the real span before the first edge flows.
+	net, err := ipin.Generate(ipin.GenConfig{
+		Name:         "livecascade",
+		Model:        ipin.GenCascade,
+		Nodes:        *nodes,
+		Interactions: *interactions,
+		SpanTicks:    int64(*interactions) * 2,
+		Seed:         1,
+		BranchMean:   1.2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.SliceStable(net.Interactions, func(i, j int) bool { return net.Interactions[i].At < net.Interactions[j].At })
+	omega := net.WindowFromPercent(*windowPct)
+
+	reg := ipin.NewMetricsRegistry()
+	ipin.InstallMetrics(reg)
+
+	app, err := newApp(appConfig{
+		dir: *dir, omega: omega, nodes: *nodes,
+		slack: *slack, every: *every, registry: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("live oracle on %s (ω=%d, checkpoint every %s, state in %s)", *addr, omega, *every, *dir)
+
+	if *eps > 0 {
+		go func() {
+			if err := app.selfFeed(net, *eps); err != nil {
+				log.Printf("self-feed: %v", err)
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           app.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Orderly shutdown: stop intake first so the final checkpoint covers
+	// everything accepted, then drain HTTP.
+	log.Print("shutting down")
+	closeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := app.close(closeCtx); err != nil {
+		log.Printf("ingester close: %v", err)
+	}
+	if err := httpSrv.Shutdown(closeCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}
+
+// appConfig is what the app needs beyond library defaults; the test
+// constructs it directly with tight intervals.
+type appConfig struct {
+	dir      string
+	omega    int64
+	nodes    int
+	slack    int64
+	every    time.Duration
+	registry *ipin.MetricsRegistry
+}
+
+// app owns the ingester→server pair and the routes that expose them.
+type app struct {
+	in  *ipin.Ingester
+	srv *ipin.QueryServer
+	reg *ipin.MetricsRegistry
+}
+
+func newApp(cfg appConfig) (*app, error) {
+	srv := ipin.NewQueryServer(ipin.ServeConfig{CacheSize: 1024, Registry: cfg.registry})
+	in, err := ipin.NewIngester(ipin.IngestConfig{
+		Dir:             cfg.dir,
+		Omega:           cfg.omega,
+		NumNodes:        cfg.nodes,
+		Slack:           cfg.slack,
+		CheckpointEvery: cfg.every,
+		Publish:         srv.LoadApprox,
+		Registry:        cfg.registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &app{in: in, srv: srv, reg: cfg.registry}, nil
+}
+
+// handler mounts the query surface next to the intake surface.
+func (a *app) handler() http.Handler {
+	mux := http.NewServeMux()
+	a.srv.Register(mux)
+	mux.Handle("/ingest", a.in.Handler())
+	mux.HandleFunc("/admin/checkpoint", a.forceCheckpoint)
+	mux.HandleFunc("/stream/stats", a.streamStats)
+	mux.Handle("/metrics", ipin.MetricsHandler(a.reg))
+	routes := append(a.srv.Routes(), "/ingest", "/stream/stats")
+	return ipin.InstrumentHTTP(a.reg, routes, mux)
+}
+
+// forceCheckpoint makes everything accepted so far queryable before the
+// response returns — the knob a load test or a test harness uses instead
+// of waiting out the interval.
+func (a *app) forceCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeErrorJSON(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if err := a.in.Checkpoint(r.Context()); err != nil {
+		writeErrorJSON(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"generation": a.srv.Generation(), "stats": a.in.Stats()})
+}
+
+func (a *app) streamStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"generation": a.srv.Generation(), "stats": a.in.Stats()})
+}
+
+// selfFeed replays the generated cascade into the ingester at eps edges
+// per second — in-process Push, the same path POST /ingest lands on.
+func (a *app) selfFeed(net *ipin.Network, eps float64) error {
+	interval := time.Duration(float64(time.Second) / eps)
+	start := time.Now()
+	for i, e := range net.Interactions {
+		if err := a.in.Push(e); err != nil {
+			return err
+		}
+		if d := time.Until(start.Add(time.Duration(i+1) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	log.Printf("self-feed: streamed %d edges", len(net.Interactions))
+	return nil
+}
+
+func (a *app) close(ctx context.Context) error { return a.in.Close(ctx) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("livecascade: encode: %v", err)
+	}
+}
+
+func writeErrorJSON(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg, "status": status})
+}

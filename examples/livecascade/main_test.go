@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ipin"
+)
+
+// fixtureEdges is a small cascade with strictly increasing timestamps,
+// so streamed state is comparable edge-for-edge with the offline scan.
+func fixtureEdges(t *testing.T, n int) []ipin.Interaction {
+	t.Helper()
+	net, err := ipin.Generate(ipin.GenConfig{
+		Name:         "livecascade-test",
+		Model:        ipin.GenCascade,
+		Nodes:        200,
+		Interactions: n,
+		SpanTicks:    int64(n) * 10,
+		Seed:         7,
+		BranchMean:   1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Sort()
+	edges := append([]ipin.Interaction(nil), net.Interactions...)
+	for i := 1; i < len(edges); i++ {
+		if edges[i].At <= edges[i-1].At {
+			edges[i].At = edges[i-1].At + 1
+		}
+	}
+	return edges
+}
+
+// offlineServer answers the same queries from an offline one-pass scan
+// over a prefix of the edges — the reference the live app must match.
+func offlineServer(t *testing.T, edges []ipin.Interaction, numNodes int, omega int64) *httptest.Server {
+	t.Helper()
+	net := ipin.NewNetwork(numNodes)
+	for _, e := range edges {
+		net.Add(e.Src, e.Dst, e.At)
+	}
+	irs, err := ipin.ComputeApprox(net, omega, ipin.DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ipin.NewQueryServer(ipin.ServeConfig{CacheSize: 0})
+	srv.LoadApprox(irs)
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newTestApp(t *testing.T, omega int64, every time.Duration) *app {
+	t.Helper()
+	reg := ipin.NewMetricsRegistry()
+	a, err := newApp(appConfig{
+		dir: t.TempDir(), omega: omega, nodes: 200,
+		every: every, registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = a.close(ctx)
+	})
+	return a
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+func lines(edges []ipin.Interaction) string {
+	var b bytes.Buffer
+	for _, e := range edges {
+		fmt.Fprintf(&b, "%d %d %d\n", e.Src, e.Dst, e.At)
+	}
+	return b.String()
+}
+
+// TestLiveMatchesOfflineByteForByte is the subsystem's acceptance gate:
+// stream a prefix over POST /ingest, force a checkpoint, and every query
+// body must be byte-identical to a server computed offline over that
+// same prefix; then stream the rest and match the full log.
+func TestLiveMatchesOfflineByteForByte(t *testing.T) {
+	edges := fixtureEdges(t, 600)
+	const omega = 500
+	a := newTestApp(t, omega, -1) // forced checkpoints only
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+
+	queries := []string{
+		"/spread?seeds=0,1,2",
+		"/spread?seeds=5,9",
+		"/influence?node=1",
+		"/topk?k=4",
+		fmt.Sprintf("/spreadby?seeds=0,1&deadline=%d", edges[len(edges)/2].At),
+	}
+	for _, cut := range []int{len(edges) / 2, len(edges)} {
+		prefix := edges[:cut]
+		already := 0
+		if cut > len(edges)/2 {
+			already = len(edges) / 2
+		}
+		if code, body := post(t, ts, "/ingest", lines(prefix[already:])); code != http.StatusOK {
+			t.Fatalf("ingest: %d %s", code, body)
+		}
+		if code, body := post(t, ts, "/admin/checkpoint", ""); code != http.StatusOK {
+			t.Fatalf("checkpoint: %d %s", code, body)
+		}
+		offline := offlineServer(t, prefix, 200, omega)
+		for _, q := range queries {
+			liveCode, live := get(t, ts, q)
+			offCode, off := get(t, offline, q)
+			if liveCode != http.StatusOK || offCode != http.StatusOK {
+				t.Fatalf("%s: live %d, offline %d", q, liveCode, offCode)
+			}
+			if live != off {
+				t.Fatalf("prefix %d, %s:\n live    %s offline %s", cut, q, live, off)
+			}
+		}
+	}
+}
+
+// TestEdgesQueryableWithinInterval: with interval checkpoints on, a
+// streamed edge must show up in query answers within one checkpoint
+// interval (plus fold time), with no forced checkpoint involved.
+func TestEdgesQueryableWithinInterval(t *testing.T) {
+	edges := fixtureEdges(t, 400)
+	const every = 50 * time.Millisecond
+	a := newTestApp(t, 500, every)
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+
+	if code, body := post(t, ts, "/ingest", lines(edges)); code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	// Within a small multiple of the interval a generation must publish
+	// and answer with a non-trivial spread.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*every)
+	defer cancel()
+	if err := a.srv.WaitGeneration(ctx, 1); err != nil {
+		t.Fatalf("no checkpoint published within %v: %v", 20*every, err)
+	}
+	code, body := get(t, ts, "/spread?seeds=0,1,2")
+	if code != http.StatusOK {
+		t.Fatalf("/spread: %d %s", code, body)
+	}
+	var resp struct {
+		Spread float64 `json:"spread"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil || resp.Spread < 3 {
+		t.Fatalf("/spread after live checkpoint = %q (err %v)", body, err)
+	}
+	if code, body := get(t, ts, "/stream/stats"); code != http.StatusOK || !strings.Contains(body, `"generation"`) {
+		t.Fatalf("/stream/stats: %d %s", code, body)
+	}
+}
+
+// TestIntakeSurvivesRestart: edges POSTed before a crash are served
+// after reconstruction from the WAL alone (no checkpoint forced before
+// the "crash").
+func TestIntakeSurvivesRestart(t *testing.T) {
+	edges := fixtureEdges(t, 300)
+	const omega = 500
+	dir := t.TempDir()
+	reg := ipin.NewMetricsRegistry()
+	a, err := newApp(appConfig{dir: dir, omega: omega, nodes: 200, every: -1, registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.handler())
+	if code, body := post(t, ts, "/ingest", lines(edges)); code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	// Orderly close persists the WAL; the new app instance replays it and
+	// publishes a recovery checkpoint before serving.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	b, err := newApp(appConfig{dir: dir, omega: omega, nodes: 200, every: -1, registry: ipin.NewMetricsRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.close(context.Background()) })
+	ts2 := httptest.NewServer(b.handler())
+	defer ts2.Close()
+
+	offline := offlineServer(t, edges, 200, omega)
+	for _, q := range []string{"/spread?seeds=0,1,2", "/topk?k=3"} {
+		liveCode, live := get(t, ts2, q)
+		offCode, off := get(t, offline, q)
+		if liveCode != http.StatusOK || offCode != http.StatusOK {
+			t.Fatalf("%s: live %d, offline %d", q, liveCode, offCode)
+		}
+		if live != off {
+			t.Fatalf("%s after restart:\n live    %s offline %s", q, live, off)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -75,16 +76,21 @@ func ReadExactSummaries(r io.Reader) (*ExactSummaries, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &ExactSummaries{Omega: omega, Phi: make([]map[graph.NodeID]graph.Time, numNodes)}
+	// Grow the table as payloads actually decode instead of trusting the
+	// header: every node costs at least one input byte, so a hostile
+	// numNodes cannot demand allocations the input never backs.
+	s := &ExactSummaries{Omega: omega, Phi: make([]map[graph.NodeID]graph.Time, 0, allocHint(numNodes))}
 	for u := 0; u < numNodes; u++ {
 		count, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %d entry count: %v", u, err)
 		}
 		if count == 0 {
+			s.Phi = append(s.Phi, nil)
 			continue
 		}
-		phi := make(map[graph.NodeID]graph.Time, count)
+		// Each entry takes >= 2 input bytes; a larger count cannot decode.
+		phi := make(map[graph.NodeID]graph.Time, allocHint(int(min(count, uint64(numNodes)))))
 		prevT := int64(0)
 		for j := uint64(0); j < count; j++ {
 			v, err := binary.ReadUvarint(br)
@@ -104,7 +110,7 @@ func ReadExactSummaries(r io.Reader) (*ExactSummaries, error) {
 		if uint64(len(phi)) != count {
 			return nil, fmt.Errorf("core: node %d has duplicate entries", u)
 		}
-		s.Phi[u] = phi
+		s.Phi = append(s.Phi, phi)
 	}
 	return s, nil
 }
@@ -145,22 +151,29 @@ func ReadApproxSummaries(r io.Reader) (*ApproxSummaries, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &ApproxSummaries{Omega: omega, Sketches: make([]*vhll.Sketch, numNodes)}
+	// Same lazy-growth discipline as the exact reader: neither the node
+	// table nor a sketch payload is allocated beyond what the input
+	// actually delivers.
+	s := &ApproxSummaries{Omega: omega, Sketches: make([]*vhll.Sketch, 0, allocHint(numNodes))}
 	for u := 0; u < numNodes; u++ {
 		size, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("core: sketch %d size: %v", u, err)
 		}
 		if size == 0 {
+			s.Sketches = append(s.Sketches, nil)
 			continue
 		}
 		if size > 1<<30 {
 			return nil, fmt.Errorf("core: sketch %d size %d implausible", u, size)
 		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(br, payload); err != nil {
+		// CopyN grows the buffer only as bytes arrive, so a huge declared
+		// size over a short input fails without the up-front allocation.
+		var pbuf bytes.Buffer
+		if _, err := io.CopyN(&pbuf, br, int64(size)); err != nil {
 			return nil, fmt.Errorf("core: sketch %d payload: %v", u, err)
 		}
+		payload := pbuf.Bytes()
 		sk := &vhll.Sketch{}
 		if err := sk.UnmarshalBinary(payload); err != nil {
 			return nil, fmt.Errorf("core: sketch %d: %v", u, err)
@@ -170,7 +183,7 @@ func ReadApproxSummaries(r io.Reader) (*ApproxSummaries, error) {
 		} else if sk.Precision() != s.Precision {
 			return nil, fmt.Errorf("core: sketch %d precision %d != %d", u, sk.Precision(), s.Precision)
 		}
-		s.Sketches[u] = sk
+		s.Sketches = append(s.Sketches, sk)
 	}
 	if s.Precision == 0 {
 		// Every sketch was empty; any valid precision serves.
@@ -244,6 +257,21 @@ func readHeader(r *bufio.Reader, wantKind byte) (omega int64, numNodes int, err 
 		return 0, 0, fmt.Errorf("core: node count %d implausible", nn)
 	}
 	return omega, int(nn), nil
+}
+
+// allocHint clamps a header-declared element count to a safe initial
+// allocation; the container grows past it only as input actually
+// decodes. 64Ki entries keeps the worst pre-input allocation around a
+// megabyte.
+func allocHint(n int) int {
+	const maxHint = 1 << 16
+	if n < 0 {
+		return 0
+	}
+	if n > maxHint {
+		return maxHint
+	}
+	return n
 }
 
 // countingWriter tracks bytes written for the io.WriterTo contract.

@@ -39,6 +39,61 @@ func FuzzReadExactSummaries(f *testing.F) {
 	})
 }
 
+// FuzzReadSummaries drives the kind-dispatching loader (the one serving
+// snapshots pass through) over arbitrary bytes.
+func FuzzReadSummaries(f *testing.F) {
+	var exact bytes.Buffer
+	if _, err := ComputeExact(fig1a(), 3).WriteTo(&exact); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(exact.Bytes())
+	approx, err := ComputeApprox(fig1a(), 3, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var abuf bytes.Buffer
+	if _, err := approx.WriteTo(&abuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(abuf.Bytes())
+	f.Add([]byte("IRX1Z"))
+	// Hostile headers: a huge declared node count over a tiny input must
+	// fail fast without allocating what the header promises.
+	f.Add([]byte{'I', 'R', 'X', '1', 'E', 6, 0xFF, 0xFF, 0xFF, 0xFF, 0x07})
+	f.Add([]byte{'I', 'R', 'X', '1', 'A', 6, 0xFF, 0xFF, 0xFF, 0xFF, 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, a, err := ReadSummaries(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if (e == nil) == (a == nil) {
+			t.Fatal("accepted input decoded to neither or both kinds")
+		}
+	})
+}
+
+// TestDecodeHostileHeaders pins the over-allocation fixes: headers
+// declaring huge element counts over tiny inputs must error without
+// ballooning memory (they used to pre-allocate the declared size).
+func TestDecodeHostileHeaders(t *testing.T) {
+	hostile := [][]byte{
+		// numNodes = 2^31-1 over an empty body.
+		{'I', 'R', 'X', '1', 'E', 6, 0xFF, 0xFF, 0xFF, 0xFF, 0x07},
+		{'I', 'R', 'X', '1', 'A', 6, 0xFF, 0xFF, 0xFF, 0xFF, 0x07},
+		// One node whose entry count / sketch size is absurd.
+		{'I', 'R', 'X', '1', 'E', 6, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+		{'I', 'R', 'X', '1', 'A', 6, 1, 0xFF, 0xFF, 0xFF, 0x1F},
+	}
+	for i, data := range hostile {
+		if _, err := ReadExactSummaries(bytes.NewReader(data)); err == nil && data[4] == 'E' {
+			t.Errorf("hostile %d accepted by exact reader", i)
+		}
+		if _, err := ReadApproxSummaries(bytes.NewReader(data)); err == nil && data[4] == 'A' {
+			t.Errorf("hostile %d accepted by approx reader", i)
+		}
+	}
+}
+
 // FuzzReadApproxSummaries mirrors the exact variant for sketches.
 func FuzzReadApproxSummaries(f *testing.F) {
 	approx, err := ComputeApprox(fig1a(), 3, 4)

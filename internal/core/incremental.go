@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"ipin/internal/graph"
+	"ipin/internal/hll"
+	"ipin/internal/obs"
+	"ipin/internal/par"
+	"ipin/internal/vhll"
+)
+
+// Incremental IRS construction over an interaction stream.
+//
+// The one-pass algorithms scan the log in REVERSE chronological order, so
+// a live stream — which grows at the late end — cannot extend a finished
+// scan directly: every new interaction would have to be processed before
+// everything already seen. What does survive appends is the block
+// decomposition of parallel.go: the log is kept partitioned into sealed,
+// contiguous time chunks, each chunk carries its block-local reverse-scan
+// sketches (computed once, when the chunk is sealed), and producing full
+// summaries is a fold over the chunks — the same boundary stitch the
+// parallel scan runs, against cached block-local state.
+//
+// Appending a chunk therefore costs one reverse scan of the NEW
+// interactions only; a fold costs the boundary walks (bounded by ω around
+// each chunk edge) plus per-node sketch merges, parallelized across the
+// library worker pool. The fold is identical — not merely equivalent — to
+// ComputeApprox over the concatenated chunks, by the same argument as the
+// parallel scan: a versioned-HLL cell is a pure function of the inserted
+// (rank, timestamp) pair set, independent of insertion order. The
+// property tests in incremental_test.go pin byte-identical IRX1 output
+// against the sequential scan on randomized logs and partitions.
+//
+// IncrementalApprox itself is not goroutine-safe: one owner appends.
+// View() snapshots the sealed-chunk state into a ChunkView whose Fold may
+// run on any goroutine, concurrently with further appends — sealed chunks
+// are immutable and the fold only clones out of them. This split is what
+// lets internal/stream keep ingesting while a background compactor folds
+// a checkpoint.
+type IncrementalApprox struct {
+	omega     int64
+	precision int
+	numNodes  int
+	edgeCount int
+	lastAt    graph.Time
+	hashes    []uint64
+	chunks    []approxChunk
+}
+
+// approxChunk is one sealed, immutable time slice of the stream: its
+// interactions in ascending time order plus the block-local sketches of a
+// reverse scan restricted to the slice. locals is indexed by NodeID and
+// sized to the node count at seal time; nodes introduced by later chunks
+// simply read as nil here.
+type approxChunk struct {
+	edges  []graph.Interaction
+	locals []*vhll.Sketch
+}
+
+func (c *approxChunk) local(u graph.NodeID) *vhll.Sketch {
+	if int(u) >= len(c.locals) {
+		return nil
+	}
+	return c.locals[int(u)]
+}
+
+// NewIncrementalApprox returns an empty incremental builder for window
+// omega and the given sketch precision, initially covering numNodes nodes
+// (AppendChunk grows the node range as the stream introduces new IDs).
+func NewIncrementalApprox(omega int64, precision, numNodes int) (*IncrementalApprox, error) {
+	if precision < hll.MinPrecision || precision > hll.MaxPrecision {
+		return nil, errPrecision(precision)
+	}
+	if omega < 1 {
+		return nil, fmt.Errorf("core: omega must be >= 1, got %d", omega)
+	}
+	if numNodes < 0 {
+		return nil, fmt.Errorf("core: negative node count %d", numNodes)
+	}
+	return &IncrementalApprox{omega: omega, precision: precision, numNodes: numNodes}, nil
+}
+
+// Omega returns the window the summaries are built with.
+func (inc *IncrementalApprox) Omega() int64 { return inc.omega }
+
+// Precision returns the sketch precision.
+func (inc *IncrementalApprox) Precision() int { return inc.precision }
+
+// NumNodes returns the current node range [0, n).
+func (inc *IncrementalApprox) NumNodes() int { return inc.numNodes }
+
+// EdgeCount returns the total number of sealed interactions.
+func (inc *IncrementalApprox) EdgeCount() int { return inc.edgeCount }
+
+// LastAt returns the timestamp of the latest sealed interaction (zero
+// before the first chunk; check EdgeCount to disambiguate).
+func (inc *IncrementalApprox) LastAt() graph.Time { return inc.lastAt }
+
+// NumChunks returns the number of sealed chunks.
+func (inc *IncrementalApprox) NumChunks() int { return len(inc.chunks) }
+
+// AppendChunk seals edges as the next time chunk and runs its block-local
+// reverse scan. The slice is retained; callers must not modify it
+// afterwards. Edges must be strictly ascending in time, strictly after
+// every previously sealed interaction, and reference nodes < numNodes;
+// numNodes may exceed the current range to introduce new nodes.
+func (inc *IncrementalApprox) AppendChunk(edges []graph.Interaction, numNodes int) error {
+	if len(edges) == 0 {
+		return fmt.Errorf("core: empty chunk")
+	}
+	if numNodes < inc.numNodes {
+		return fmt.Errorf("core: node range cannot shrink (%d -> %d)", inc.numNodes, numNodes)
+	}
+	prev := inc.lastAt
+	first := inc.edgeCount == 0
+	for i, e := range edges {
+		if int(e.Src) < 0 || int(e.Src) >= numNodes || int(e.Dst) < 0 || int(e.Dst) >= numNodes {
+			return fmt.Errorf("core: chunk edge %d (%d,%d,%d) out of range for %d nodes", i, e.Src, e.Dst, e.At, numNodes)
+		}
+		if !first && e.At <= prev {
+			return fmt.Errorf("core: chunk edge %d at time %d not after %d", i, e.At, prev)
+		}
+		prev, first = e.At, false
+	}
+	inc.numNodes = numNodes
+	for len(inc.hashes) < numNodes {
+		inc.hashes = append(inc.hashes, hll.Hash64(uint64(len(inc.hashes))))
+	}
+	span := obs.NewSpan(sink(), "scan/chunk")
+	locals := make([]*vhll.Sketch, numNodes)
+	scanApproxBlock(edges, locals, inc.hashes, inc.omega, inc.precision)
+	inc.chunks = append(inc.chunks, approxChunk{edges: edges, locals: locals})
+	inc.edgeCount += len(edges)
+	inc.lastAt = edges[len(edges)-1].At
+	span.Endf("%s edges sealed (chunk %d, %s total)",
+		obs.Count(int64(len(edges))), len(inc.chunks), obs.Count(int64(inc.edgeCount)))
+	return nil
+}
+
+// View snapshots the sealed state. The snapshot is immutable: its Fold
+// may run on another goroutine while the owner keeps appending chunks.
+func (inc *IncrementalApprox) View() ChunkView {
+	return ChunkView{
+		omega:     inc.omega,
+		precision: inc.precision,
+		numNodes:  inc.numNodes,
+		edgeCount: inc.edgeCount,
+		lastAt:    inc.lastAt,
+		chunks:    inc.chunks[:len(inc.chunks):len(inc.chunks)],
+	}
+}
+
+// ChunkView is an immutable snapshot of sealed chunks, the unit a
+// background compactor folds into a checkpoint.
+type ChunkView struct {
+	omega     int64
+	precision int
+	numNodes  int
+	edgeCount int
+	lastAt    graph.Time
+	chunks    []approxChunk
+}
+
+// NumNodes returns the node range of the snapshot.
+func (v ChunkView) NumNodes() int { return v.numNodes }
+
+// EdgeCount returns the number of interactions covered by the snapshot.
+func (v ChunkView) EdgeCount() int { return v.edgeCount }
+
+// LastAt returns the latest covered timestamp.
+func (v ChunkView) LastAt() graph.Time { return v.lastAt }
+
+// NumChunks returns the number of sealed chunks in the snapshot.
+func (v ChunkView) NumChunks() int { return len(v.chunks) }
+
+// EachEdge calls fn for every covered interaction in ascending time
+// order, the prefix a fold's output summarizes.
+func (v ChunkView) EachEdge(fn func(graph.Interaction)) {
+	for _, c := range v.chunks {
+		for _, e := range c.edges {
+			fn(e)
+		}
+	}
+}
+
+// Fold produces full summaries over every sealed chunk — byte-identical
+// to ComputeApprox over the concatenated interactions. It never mutates
+// chunk state: block-local sketches are cloned on adoption (that is the
+// one divergence from the parallel scan's stitch, which owns its locals),
+// so a view can be folded repeatedly and concurrently with appends. The
+// per-node merge fan-out runs on the library worker pool.
+func (v ChunkView) Fold() *ApproxSummaries {
+	workers := Parallelism()
+	s := &ApproxSummaries{
+		Omega:     v.omega,
+		Precision: v.precision,
+		Sketches:  make([]*vhll.Sketch, v.numNodes),
+	}
+	if len(v.chunks) == 0 {
+		return s
+	}
+	span := obs.NewSpan(sink(), "scan/fold")
+	// Adopt the latest chunk by clone: the stitch mutates suffix state in
+	// place, and the cached locals must survive for the next fold.
+	last := &v.chunks[len(v.chunks)-1]
+	par.ForEach(workers, v.numNodes, func(ui int) {
+		if sk := last.local(graph.NodeID(ui)); sk != nil {
+			s.Sketches[ui] = sk.Clone()
+		}
+	})
+	for b := len(v.chunks) - 2; b >= 0; b-- {
+		c := &v.chunks[b]
+		boundary := v.chunks[b+1].edges[0].At
+		// Boundary walk: propagate suffix entries back through this
+		// chunk's edges, exactly as the parallel scan's stitch does. The
+		// walk stops once the chunk boundary falls out of the window.
+		delta := make(map[graph.NodeID]*vhll.Sketch)
+		for i := len(c.edges) - 1; i >= 0; i-- {
+			e := c.edges[i]
+			if int64(boundary-e.At) >= v.omega {
+				break
+			}
+			if e.Src == e.Dst {
+				continue
+			}
+			skV, dV := s.Sketches[e.Dst], delta[e.Dst]
+			if skV == nil && dV == nil {
+				continue
+			}
+			dU := delta[e.Src]
+			if dU == nil {
+				dU = vhll.MustNew(v.precision)
+				delta[e.Src] = dU
+			}
+			// Same-precision merges cannot fail.
+			if skV != nil {
+				_ = dU.MergeWindow(skV, int64(e.At), v.omega)
+			}
+			if dV != nil {
+				_ = dU.MergeWindow(dV, int64(e.At), v.omega)
+			}
+		}
+		// Fold the chunk-local sketches and the propagated deltas into the
+		// suffix state. Deltas are fresh, so they may be adopted outright;
+		// locals are cached, so they fold in through the clone-safe merge.
+		par.ForEach(workers, v.numNodes, func(ui int) {
+			u := graph.NodeID(ui)
+			dst := vhll.MergeInto(s.Sketches[u], c.local(u))
+			if d := delta[u]; d != nil {
+				if dst == nil {
+					dst = d
+				} else {
+					_ = dst.Merge(d)
+				}
+			}
+			s.Sketches[u] = dst
+		})
+	}
+	span.Endf("%s edges, %d chunks, %s entries",
+		obs.Count(int64(v.edgeCount)), len(v.chunks), obs.Count(int64(s.EntryCount())))
+	return s
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// foldBytes encodes summaries to their canonical IRX1 bytes.
+func foldBytes(t *testing.T, s *ApproxSummaries) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// appendRandomChunks slices l into random contiguous chunks and appends
+// each; returns the builder.
+func appendRandomChunks(t *testing.T, rng *rand.Rand, l *graph.Log, omega int64, precision int) *IncrementalApprox {
+	t.Helper()
+	inc, err := NewIncrementalApprox(omega, precision, l.NumNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := l.Interactions
+	for lo := 0; lo < len(edges); {
+		hi := lo + 1 + rng.Intn(len(edges)-lo)
+		if err := inc.AppendChunk(edges[lo:hi], l.NumNodes); err != nil {
+			t.Fatalf("AppendChunk[%d:%d]: %v", lo, hi, err)
+		}
+		lo = hi
+	}
+	return inc
+}
+
+// TestIncrementalFoldIdentity: folding randomly sized sealed chunks must
+// reproduce the sequential one-pass scan byte for byte, across windows
+// from a single tick to beyond the whole span (the latter defeats the
+// boundary walk's early break, exercising full-chunk stitches).
+func TestIncrementalFoldIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		m := 1 + rng.Intn(400)
+		l := randomLog(rng, n, m)
+		for _, omega := range []int64{1, 3, int64(m/4 + 1), int64(m) + 10} {
+			want := foldBytes(t, mustApprox(t, l, omega, 4))
+			inc := appendRandomChunks(t, rng, l, omega, 4)
+			got := foldBytes(t, inc.View().Fold())
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trial %d omega %d: fold differs from ComputeApprox (n=%d m=%d chunks=%d)",
+					trial, omega, n, m, inc.NumChunks())
+			}
+		}
+	}
+}
+
+func mustApprox(t *testing.T, l *graph.Log, omega int64, precision int) *ApproxSummaries {
+	t.Helper()
+	s, err := ComputeApprox(l, omega, precision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestIncrementalFoldDoesNotMutateChunks: a fold must leave the cached
+// block-local state intact, so folding again — with or without more
+// chunks in between — still matches the offline scan over the covered
+// prefix.
+func TestIncrementalFoldDoesNotMutateChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := randomLog(rng, 25, 300)
+	const omega = 40
+	inc, err := NewIncrementalApprox(omega, 4, l.NumNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := l.Interactions
+	cut := len(edges) / 3
+	if err := inc.AppendChunk(edges[:cut], l.NumNodes); err != nil {
+		t.Fatal(err)
+	}
+	prefix := &graph.Log{NumNodes: l.NumNodes, Interactions: edges[:cut]}
+	wantPrefix := foldBytes(t, mustApprox(t, prefix, omega, 4))
+	first := foldBytes(t, inc.View().Fold())
+	if !bytes.Equal(first, wantPrefix) {
+		t.Fatal("first fold differs from offline prefix scan")
+	}
+	// Fold the same view again: identical, so the first fold mutated
+	// nothing it shouldn't have.
+	if again := foldBytes(t, inc.View().Fold()); !bytes.Equal(again, first) {
+		t.Fatal("refold of the same view differs")
+	}
+	if err := inc.AppendChunk(edges[cut:], l.NumNodes); err != nil {
+		t.Fatal(err)
+	}
+	wantFull := foldBytes(t, mustApprox(t, l, omega, 4))
+	if got := foldBytes(t, inc.View().Fold()); !bytes.Equal(got, wantFull) {
+		t.Fatal("fold after further appends differs from offline full scan")
+	}
+}
+
+// TestIncrementalFoldConcurrentWithAppend: a snapshot taken with View
+// may fold on another goroutine while the owner seals more chunks — the
+// compactor/ingester split of internal/stream. Run under -race.
+func TestIncrementalFoldConcurrentWithAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	l := randomLog(rng, 30, 2000)
+	const omega = 100
+	inc, err := NewIncrementalApprox(omega, 4, l.NumNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := l.Interactions
+	half := len(edges) / 2
+	if err := inc.AppendChunk(edges[:half], l.NumNodes); err != nil {
+		t.Fatal(err)
+	}
+	view := inc.View()
+	var wg sync.WaitGroup
+	var folded *ApproxSummaries
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		folded = view.Fold()
+	}()
+	for lo := half; lo < len(edges); {
+		hi := lo + 100
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if err := inc.AppendChunk(edges[lo:hi], l.NumNodes); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	wg.Wait()
+	prefix := &graph.Log{NumNodes: l.NumNodes, Interactions: edges[:half]}
+	if !bytes.Equal(foldBytes(t, folded), foldBytes(t, mustApprox(t, prefix, omega, 4))) {
+		t.Fatal("concurrent fold differs from offline prefix scan")
+	}
+	if got := foldBytes(t, inc.View().Fold()); !bytes.Equal(got, foldBytes(t, mustApprox(t, l, omega, 4))) {
+		t.Fatal("final fold differs from offline full scan")
+	}
+}
+
+// TestIncrementalGrowNodes: later chunks may widen the node range; the
+// fold matches an offline scan over the final range.
+func TestIncrementalGrowNodes(t *testing.T) {
+	inc, err := NewIncrementalApprox(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.AppendChunk([]graph.Interaction{{Src: 0, Dst: 1, At: 1}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.AppendChunk([]graph.Interaction{{Src: 1, Dst: 4, At: 3}, {Src: 4, Dst: 3, At: 5}}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if inc.NumNodes() != 5 || inc.EdgeCount() != 3 || inc.LastAt() != 5 {
+		t.Fatalf("state = %d nodes, %d edges, last %d", inc.NumNodes(), inc.EdgeCount(), inc.LastAt())
+	}
+	l := graph.New(5)
+	l.Add(0, 1, 1)
+	l.Add(1, 4, 3)
+	l.Add(4, 3, 5)
+	if !bytes.Equal(foldBytes(t, inc.View().Fold()), foldBytes(t, mustApprox(t, l, 10, 4))) {
+		t.Fatal("grown fold differs from offline scan")
+	}
+}
+
+func TestAppendChunkValidation(t *testing.T) {
+	inc, err := NewIncrementalApprox(10, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.AppendChunk(nil, 3); err == nil {
+		t.Error("empty chunk accepted")
+	}
+	if err := inc.AppendChunk([]graph.Interaction{{Src: 0, Dst: 5, At: 1}}, 3); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := inc.AppendChunk([]graph.Interaction{{Src: 0, Dst: 1, At: 2}, {Src: 1, Dst: 2, At: 2}}, 3); err == nil {
+		t.Error("tied timestamps accepted")
+	}
+	if err := inc.AppendChunk([]graph.Interaction{{Src: 0, Dst: 1, At: 2}}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.AppendChunk([]graph.Interaction{{Src: 1, Dst: 2, At: 2}}, 3); err == nil {
+		t.Error("chunk not after previous accepted")
+	}
+	if err := inc.AppendChunk([]graph.Interaction{{Src: 1, Dst: 2, At: 3}}, 2); err == nil {
+		t.Error("shrinking node range accepted")
+	}
+	if _, err := NewIncrementalApprox(10, 99, 3); err == nil {
+		t.Error("bad precision accepted")
+	}
+	if _, err := NewIncrementalApprox(0, 4, 3); err == nil {
+		t.Error("zero omega accepted")
+	}
+}
+
+// TestEmptyViewFold: a fold before any chunk yields empty summaries over
+// the configured node range.
+func TestEmptyViewFold(t *testing.T) {
+	inc, err := NewIncrementalApprox(5, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inc.View().Fold()
+	if s.NumNodes() != 4 || s.EntryCount() != 0 {
+		t.Fatalf("empty fold: %d nodes, %d entries", s.NumNodes(), s.EntryCount())
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ipin/internal/graph"
@@ -99,6 +100,10 @@ type Server struct {
 	cache *cache   // nil when disabled
 	lim   *limiter // nil when disabled
 	mx    *metrics
+	// genMu guards genCh, which is closed and replaced on every snapshot
+	// install; WaitGeneration blocks on it.
+	genMu sync.Mutex
+	genCh chan struct{}
 }
 
 // New returns a query server with no snapshot loaded; every query route
@@ -117,7 +122,7 @@ func New(cfg Config) *Server {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
 	mx := newMetrics(cfg.Registry)
-	s := &Server{cfg: cfg, store: newStore(cfg.Shards), mx: mx}
+	s := &Server{cfg: cfg, store: newStore(cfg.Shards), mx: mx, genCh: make(chan struct{})}
 	if cfg.CacheSize > 0 {
 		s.cache = newCache(cfg.CacheSize, mx)
 	}
@@ -130,6 +135,25 @@ func New(cfg Config) *Server {
 // Generation returns the store generation: it starts at zero and grows
 // with every loaded snapshot, and response caching is keyed on it.
 func (s *Server) Generation() uint64 { return s.store.generation() }
+
+// WaitGeneration blocks until the store generation reaches at least g or
+// ctx expires. It is how a caller that just handed summaries to a
+// live-ingestion publisher waits for them to become queryable.
+func (s *Server) WaitGeneration(ctx context.Context, g uint64) error {
+	for {
+		s.genMu.Lock()
+		ch := s.genCh
+		s.genMu.Unlock()
+		if s.Generation() >= g {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
 
 // QueueDepthNow returns the number of requests currently waiting for an
 // inflight slot, zero when admission control is disabled. It can never

@@ -302,9 +302,14 @@ func (s *Server) Reload() error {
 
 // afterLoad runs the bookkeeping common to all snapshot installs: old
 // cache entries can never be served again (keys embed the generation),
-// so drop them eagerly, and count the reload.
+// so drop them eagerly, count the reload, and wake WaitGeneration
+// callers.
 func (s *Server) afterLoad() {
 	s.cache.purge()
 	s.mx.reloads.Inc()
 	s.mx.generation.Set(int64(s.Generation()))
+	s.genMu.Lock()
+	close(s.genCh)
+	s.genCh = make(chan struct{})
+	s.genMu.Unlock()
 }

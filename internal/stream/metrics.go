@@ -1,0 +1,62 @@
+package stream
+
+import "ipin/internal/obs"
+
+// Streaming metric names. The serving-side series (generation, reloads)
+// stay in internal/serve; these cover intake → WAL → checkpoint.
+const (
+	MetricEdgesAccepted  = "stream_edges_accepted_total"
+	MetricEdgesEmitted   = "stream_edges_emitted_total"
+	MetricReorderDrops   = "stream_reorder_drops_total"
+	MetricReorderDepth   = "stream_reorder_depth"
+	MetricWatermarkLag   = "stream_watermark_lag_ticks"
+	MetricDetieBumps     = "stream_detie_bumps_total"
+	MetricParseErrors    = "stream_parse_errors_total"
+	MetricWALRecords     = "stream_wal_records_total"
+	MetricWALBytes       = "stream_wal_bytes_total"
+	MetricWALSegments    = "stream_wal_segments_total"
+	MetricWALTruncated   = "stream_wal_truncated_bytes_total"
+	MetricWALFsync       = "stream_wal_fsync_seconds"
+	MetricChunksSealed   = "stream_chunks_sealed_total"
+	MetricCheckpoints    = "stream_checkpoints_total"
+	MetricCheckpointSkip = "stream_checkpoints_skipped_total"
+	MetricCheckpointDur  = "stream_checkpoint_seconds"
+	MetricCheckpointAge  = "stream_checkpoint_age_seconds"
+	MetricCheckpointEdge = "stream_checkpoint_edges"
+)
+
+// metrics bundles the ingestion instruments. Built over a nil registry
+// every field is a nil no-op instrument, preserving obs's
+// zero-cost-when-disabled contract.
+type metrics struct {
+	accepted, emitted, drops, detie, parseErrors *obs.Counter
+	reorderDepth, watermarkLag                   *obs.Gauge
+	walRecords, walBytes, walSegments, walTrunc  *obs.Counter
+	walFsync                                     *obs.Histogram
+	chunks, checkpoints, checkpointSkips         *obs.Counter
+	checkpointDur                                *obs.Histogram
+	checkpointAge, checkpointEdges               *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		accepted:        reg.Counter(MetricEdgesAccepted, "Edges accepted from sources into the reordering buffer."),
+		emitted:         reg.Counter(MetricEdgesEmitted, "Edges released past the watermark into the WAL and sketch state."),
+		drops:           reg.Counter(MetricReorderDrops, "Edges dropped for arriving later than the reorder slack allows."),
+		detie:           reg.Counter(MetricDetieBumps, "Emitted timestamps bumped to keep the log strictly increasing."),
+		parseErrors:     reg.Counter(MetricParseErrors, "Malformed input lines rejected by the edge parser."),
+		reorderDepth:    reg.Gauge(MetricReorderDepth, "Edges currently held in the reordering buffer."),
+		watermarkLag:    reg.Gauge(MetricWatermarkLag, "Ticks between the latest arrival and the emission watermark."),
+		walRecords:      reg.Counter(MetricWALRecords, "Records appended to the write-ahead log."),
+		walBytes:        reg.Counter(MetricWALBytes, "Bytes appended to the write-ahead log."),
+		walSegments:     reg.Counter(MetricWALSegments, "WAL segments created (rotations plus the initial segment)."),
+		walTrunc:        reg.Counter(MetricWALTruncated, "Torn-tail bytes truncated from the final segment during replay."),
+		walFsync:        reg.Histogram(MetricWALFsync, "WAL fsync latency in seconds.", nil),
+		chunks:          reg.Counter(MetricChunksSealed, "Sketch chunks sealed from pending edges."),
+		checkpoints:     reg.Counter(MetricCheckpoints, "Checkpoints folded, written, and published."),
+		checkpointSkips: reg.Counter(MetricCheckpointSkip, "Interval checkpoints skipped because the compactor was busy."),
+		checkpointDur:   reg.Histogram(MetricCheckpointDur, "Checkpoint latency (fold + write + publish) in seconds.", nil),
+		checkpointAge:   reg.Gauge(MetricCheckpointAge, "Seconds since the last published checkpoint."),
+		checkpointEdges: reg.Gauge(MetricCheckpointEdge, "Edges covered by the last published checkpoint."),
+	}
+}

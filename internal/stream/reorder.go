@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"container/heap"
+
+	"ipin/internal/graph"
+)
+
+// Reordering buffer: live sources deliver edges roughly — not exactly —
+// in timestamp order, while everything downstream (WAL, chunk scans, the
+// paper's algorithms) requires a strictly increasing sequence. The buffer
+// holds arrivals in a min-heap keyed by timestamp and releases them once
+// the watermark passes: an edge leaves only when every edge that could
+// still legally precede it has had its chance to arrive.
+//
+// The watermark is maxSeen − slack, where maxSeen is the largest
+// timestamp observed so far and slack is the configured out-of-order
+// tolerance in ticks. An arrival with a timestamp strictly below the
+// already-drained watermark cannot be sequenced without rewriting emitted
+// history, so it is dropped and counted (stream_reorder_drops_total) —
+// the standard bounded-disorder contract of streaming watermarks.
+//
+// Emission applies the same de-tie rule as graph.Log.Detie: a released
+// edge whose timestamp does not exceed the previously emitted one is
+// bumped one tick past it, keeping the emitted log strictly increasing
+// while preserving order. Ties between buffered edges break by arrival
+// order, so the emitted sequence is a deterministic function of the
+// arrival sequence — which is what makes WAL replay reproducible.
+type reorder struct {
+	slack   int64
+	h       edgeHeap
+	seq     uint64
+	maxSeen graph.Time
+	seen    bool
+	wm      graph.Time // watermark already drained through (original stamps)
+	lastOut graph.Time // last emitted (possibly bumped) timestamp
+	emitted bool
+	drops   int64
+	bumps   int64
+	mx      *metrics
+}
+
+type heapEntry struct {
+	e   graph.Interaction
+	seq uint64
+}
+
+type edgeHeap []heapEntry
+
+func (h edgeHeap) Len() int { return len(h) }
+func (h edgeHeap) Less(i, j int) bool {
+	if h[i].e.At != h[j].e.At {
+		return h[i].e.At < h[j].e.At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h edgeHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x any)      { *h = append(*h, x.(heapEntry)) }
+func (h *edgeHeap) Pop() any        { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h edgeHeap) peek() graph.Time { return h[0].e.At }
+
+func newReorder(slack int64, mx *metrics) *reorder {
+	if mx == nil {
+		mx = &metrics{}
+	}
+	return &reorder{slack: slack, mx: mx}
+}
+
+// offer accepts an arrival into the buffer and drains everything the
+// advanced watermark releases into out, in timestamp order. It reports
+// whether the edge was accepted (false = dropped as too late).
+func (r *reorder) offer(e graph.Interaction, out *[]graph.Interaction) bool {
+	if r.seen && e.At < r.wm {
+		r.drops++
+		r.mx.drops.Inc()
+		return false
+	}
+	heap.Push(&r.h, heapEntry{e: e, seq: r.seq})
+	r.seq++
+	if !r.seen || e.At > r.maxSeen {
+		r.maxSeen = e.At
+		r.seen = true
+	}
+	if wm := r.maxSeen - graph.Time(r.slack); wm > r.wm || (r.wm == 0 && !r.emitted) {
+		r.wm = wm
+	}
+	r.drainTo(r.wm, out)
+	r.mx.reorderDepth.Set(int64(len(r.h)))
+	r.mx.watermarkLag.Set(int64(r.maxSeen - r.wm))
+	return true
+}
+
+// flush releases every buffered edge regardless of slack — end of input,
+// or an idle stream whose watermark would otherwise never advance. The
+// watermark jumps to maxSeen, so later stragglers below it are dropped.
+func (r *reorder) flush(out *[]graph.Interaction) {
+	if r.wm < r.maxSeen {
+		r.wm = r.maxSeen
+	}
+	r.drainTo(r.wm, out)
+	r.mx.reorderDepth.Set(int64(len(r.h)))
+	r.mx.watermarkLag.Set(0)
+}
+
+// drainTo pops every buffered edge with an original timestamp ≤ wm,
+// applying the de-tie bump on emission.
+func (r *reorder) drainTo(wm graph.Time, out *[]graph.Interaction) {
+	for len(r.h) > 0 && r.h.peek() <= wm {
+		e := heap.Pop(&r.h).(heapEntry).e
+		if r.emitted && e.At <= r.lastOut {
+			e.At = r.lastOut + 1
+			r.bumps++
+			r.mx.detie.Inc()
+		}
+		r.lastOut = e.At
+		r.emitted = true
+		*out = append(*out, e)
+	}
+}
+
+// depth returns the number of buffered edges.
+func (r *reorder) depth() int { return len(r.h) }

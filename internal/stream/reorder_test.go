@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+func drainAll(r *reorder, arrivals []graph.Interaction) (out []graph.Interaction, dropped int) {
+	for _, e := range arrivals {
+		if !r.offer(e, &out) {
+			dropped++
+		}
+	}
+	r.flush(&out)
+	return out, dropped
+}
+
+// TestReorderSortsWithinSlack: arrivals shuffled within a displacement
+// bound smaller than the slack come out fully sorted, nothing dropped.
+func TestReorderSortsWithinSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		m := 200 + rng.Intn(200)
+		edges := make([]graph.Interaction, m)
+		for i := range edges {
+			edges[i] = graph.Interaction{Src: 0, Dst: 1, At: graph.Time(i + 1)}
+		}
+		// Block shuffle: permuting within k-sized blocks bounds every
+		// element's lateness below k ticks, so slack k loses nothing.
+		k := 1 + rng.Intn(20)
+		shuffled := append([]graph.Interaction(nil), edges...)
+		for lo := 0; lo < len(shuffled); lo += k {
+			hi := min(lo+k, len(shuffled))
+			rng.Shuffle(hi-lo, func(i, j int) {
+				shuffled[lo+i], shuffled[lo+j] = shuffled[lo+j], shuffled[lo+i]
+			})
+		}
+		r := newReorder(int64(k), nil)
+		out, dropped := drainAll(r, shuffled)
+		if dropped != 0 || r.drops != 0 {
+			t.Fatalf("trial %d: dropped %d within slack", trial, dropped)
+		}
+		if len(out) != m {
+			t.Fatalf("trial %d: emitted %d of %d", trial, len(out), m)
+		}
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].At < out[j].At }) {
+			t.Fatalf("trial %d: output not sorted", trial)
+		}
+		// Distinct inputs within slack: no de-tie bumps, so the multiset of
+		// timestamps is preserved exactly.
+		for i, e := range out {
+			if e.At != graph.Time(i+1) {
+				t.Fatalf("trial %d: out[%d].At = %d, want %d", trial, i, e.At, i+1)
+			}
+		}
+	}
+}
+
+// TestReorderDropsBeyondSlack: an edge arriving further behind the max
+// seen than the slack is dropped and everything else still sequences.
+func TestReorderDropsBeyondSlack(t *testing.T) {
+	r := newReorder(2, nil)
+	var out []graph.Interaction
+	for _, at := range []graph.Time{10, 11, 12, 13} {
+		if !r.offer(graph.Interaction{Src: 0, Dst: 1, At: at}, &out) {
+			t.Fatalf("in-order edge at %d dropped", at)
+		}
+	}
+	// Watermark is 13-2 = 11; an arrival at 5 is behind it.
+	if r.offer(graph.Interaction{Src: 0, Dst: 1, At: 5}, &out) {
+		t.Fatal("stale edge accepted")
+	}
+	if r.drops != 1 {
+		t.Fatalf("drops = %d, want 1", r.drops)
+	}
+	r.flush(&out)
+	if len(out) != 4 {
+		t.Fatalf("emitted %d, want 4", len(out))
+	}
+}
+
+// TestReorderDetie: simultaneous arrivals are bumped apart in arrival
+// order, mirroring graph.Log.Detie.
+func TestReorderDetie(t *testing.T) {
+	r := newReorder(0, nil)
+	var out []graph.Interaction
+	r.offer(graph.Interaction{Src: 0, Dst: 1, At: 7}, &out)
+	r.offer(graph.Interaction{Src: 1, Dst: 2, At: 7}, &out)
+	r.offer(graph.Interaction{Src: 2, Dst: 3, At: 7}, &out)
+	r.flush(&out)
+	if len(out) != 3 {
+		t.Fatalf("emitted %d, want 3", len(out))
+	}
+	want := []graph.Time{7, 8, 9}
+	for i, e := range out {
+		if e.At != want[i] {
+			t.Fatalf("out[%d].At = %d, want %d", i, e.At, want[i])
+		}
+	}
+	if out[0].Src != 0 || out[1].Src != 1 || out[2].Src != 2 {
+		t.Fatal("tie broken out of arrival order")
+	}
+	if r.bumps != 2 {
+		t.Fatalf("bumps = %d, want 2", r.bumps)
+	}
+}
+
+// TestReorderStrictlyIncreasing: whatever the arrival pattern, emitted
+// timestamps are strictly increasing — the WAL invariant.
+func TestReorderStrictlyIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		r := newReorder(int64(rng.Intn(10)), nil)
+		var out []graph.Interaction
+		at := int64(0)
+		for i := 0; i < 500; i++ {
+			at += rng.Int63n(3) // ties and repeats on purpose
+			jitter := rng.Int63n(15) - 7
+			r.offer(graph.Interaction{Src: 0, Dst: 1, At: graph.Time(at + jitter)}, &out)
+		}
+		r.flush(&out)
+		for i := 1; i < len(out); i++ {
+			if out[i].At <= out[i-1].At {
+				t.Fatalf("trial %d: out[%d].At=%d not after %d", trial, i, out[i].At, out[i-1].At)
+			}
+		}
+	}
+}

@@ -1,0 +1,650 @@
+// Package stream is the live ingestion subsystem: it turns a feed of
+// timestamped interactions into continuously refreshed IRS summaries and
+// hands them to the serving layer without a restart.
+//
+// The pipeline, in edge order:
+//
+//	sources (TCP / HTTP / file tail / ReadFrom)
+//	  → reordering buffer (bounded out-of-order tolerance, watermarks)
+//	  → write-ahead log (durable, crash-safe segment rotation)
+//	  → pending batch → sealed chunks (core.IncrementalApprox)
+//	  → background compactor: fold → checkpoint.irx → Publish
+//
+// One goroutine — the run loop — owns the reorder buffer, the WAL, and
+// the incremental sketch state, so none of them need locks. The
+// compactor is a second goroutine that folds immutable ChunkView
+// snapshots; ingestion never stalls behind a checkpoint. Publishing is a
+// callback (wired to serve.Server.LoadApprox in process) so the serving
+// layer's generation-counted swap is the only handoff point.
+//
+// Recovery is replay: New re-reads every WAL segment (truncating a torn
+// tail in the final segment only), rebuilds the chunk state, and
+// publishes an initial checkpoint. Chunk boundaries do not affect fold
+// output, so the recovered summaries are byte-identical to those of an
+// uninterrupted run over the same emitted prefix — the property the
+// crash tests in recovery_test.go pin.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipin/internal/core"
+	"ipin/internal/graph"
+	"ipin/internal/obs"
+	"ipin/internal/swhll"
+)
+
+// Config parameterizes an Ingester. Dir and Omega are required; every
+// other field has a usable zero value.
+type Config struct {
+	// Dir is the ingester's state directory: WAL segments and checkpoint
+	// files live here. Created if missing.
+	Dir string
+	// Omega is the influence window in ticks (required, >= 1).
+	Omega int64
+	// Precision is the vHLL sketch precision; 0 selects
+	// core.DefaultPrecision.
+	Precision int
+	// NumNodes is the initial node range; the range grows automatically
+	// as the stream introduces larger IDs.
+	NumNodes int
+	// Slack is the out-of-order tolerance in ticks: an edge may arrive up
+	// to Slack ticks behind the newest timestamp seen and still be
+	// sequenced. 0 means in-order input (late edges drop immediately).
+	Slack int64
+	// ChunkEdges is the sealed-chunk size; 0 selects 16384. Smaller
+	// chunks lower checkpoint latency, larger ones lower fold overhead.
+	ChunkEdges int
+	// CheckpointEvery is the interval between automatic checkpoints; 0
+	// selects 5s, negative disables interval checkpoints (forced
+	// Checkpoint calls and the final Close checkpoint still run).
+	CheckpointEvery time.Duration
+	// CheckpointEdges additionally triggers a checkpoint whenever this
+	// many new edges sealed since the last one; 0 disables the edge
+	// trigger.
+	CheckpointEdges int
+	// IdleFlush bounds how long a buffered edge may wait for the
+	// watermark to advance: after this long with no arrivals the reorder
+	// buffer flushes fully. 0 selects 250ms, negative disables.
+	IdleFlush time.Duration
+	// QueueDepth bounds the intake channel; 0 selects 8192. Push blocks
+	// when the run loop falls behind.
+	QueueDepth int
+	// SegmentBytes and SyncEvery configure the WAL (see WALConfig).
+	SegmentBytes int64
+	SyncEvery    int
+	// ProfileWindow, when > 0, additionally maintains sliding-window
+	// out-neighborhood profiles (internal/swhll) over the emitted stream,
+	// exposed through Hot after Close. 0 disables them.
+	ProfileWindow int64
+	// Publish receives each folded checkpoint, in order. Wire it to
+	// serve.Server.LoadApprox for in-process hot swap; nil means
+	// checkpoints are only written to disk.
+	Publish func(*core.ApproxSummaries)
+	// Registry receives the stream_* metrics; nil disables them.
+	Registry *obs.Registry
+}
+
+// CheckpointName and CheckpointMetaName are the file names a checkpoint
+// writes inside Dir: the IRX1 summary snapshot and its JSON sidecar.
+const (
+	CheckpointName     = "checkpoint.irx"
+	CheckpointMetaName = "checkpoint.meta.json"
+)
+
+// Stats is a point-in-time snapshot of ingestion progress, readable from
+// any goroutine.
+type Stats struct {
+	Accepted     int64 // edges accepted from sources into the pipeline
+	Emitted      int64 // edges past the watermark, logged and sealed/pending
+	ReorderDrops int64 // edges dropped for exceeding the slack
+	Checkpoints  int64 // checkpoints published
+	LastAt       int64 // latest emitted timestamp
+	CoveredEdges int64 // edges covered by the last published checkpoint
+}
+
+var errClosed = errors.New("stream: ingester closed")
+
+// Ingester is the live intake pipeline. Construct with New, feed edges
+// with Push (or the source helpers in source.go), and stop with Close.
+type Ingester struct {
+	cfg Config
+	mx  *metrics
+
+	intake  chan graph.Interaction
+	force   chan chan error // forced Checkpoint requests
+	stopped chan struct{}   // closed when the run loop must exit
+	done    chan struct{}   // closed when the run loop has exited
+	stopMu  sync.Mutex
+	closed  bool
+	runErr  atomic.Pointer[error]
+
+	// Owned by the run loop.
+	buf       *reorder
+	wal       *WAL
+	inc       *core.IncrementalApprox
+	pending   []graph.Interaction
+	profiles  *swhll.Profiles
+	sinceCkpt int
+
+	// folds carries snapshots to the compactor goroutine.
+	folds chan foldJob
+
+	accepted    atomic.Int64
+	emitted     atomic.Int64
+	drops       atomic.Int64
+	checkpoints atomic.Int64
+	lastAt      atomic.Int64
+	ckptEdges   atomic.Int64
+	lastCkpt    atomic.Int64 // unix nanos of the last publish
+}
+
+// foldJob asks the compactor to fold one snapshot; done receives the
+// result exactly once.
+type foldJob struct {
+	view core.ChunkView
+	done chan error
+}
+
+// New opens (or creates) the state directory, replays the WAL, rebuilds
+// the sketch state, publishes a recovery checkpoint when the log was
+// non-empty, and starts the intake loop and compactor.
+func New(cfg Config) (*Ingester, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("stream: Config.Dir is required")
+	}
+	if cfg.Omega < 1 {
+		return nil, fmt.Errorf("stream: Config.Omega must be >= 1, got %d", cfg.Omega)
+	}
+	if cfg.Slack < 0 {
+		return nil, fmt.Errorf("stream: negative Slack %d", cfg.Slack)
+	}
+	if cfg.Precision == 0 {
+		cfg.Precision = core.DefaultPrecision
+	}
+	if cfg.ChunkEdges <= 0 {
+		cfg.ChunkEdges = 16384
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 5 * time.Second
+	}
+	if cfg.IdleFlush == 0 {
+		cfg.IdleFlush = 250 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8192
+	}
+	mx := newMetrics(cfg.Registry)
+	in := &Ingester{
+		cfg:     cfg,
+		mx:      mx,
+		intake:  make(chan graph.Interaction, cfg.QueueDepth),
+		force:   make(chan chan error),
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+		folds:   make(chan foldJob),
+		buf:     newReorder(cfg.Slack, mx),
+	}
+	inc, err := core.NewIncrementalApprox(cfg.Omega, cfg.Precision, cfg.NumNodes)
+	if err != nil {
+		return nil, err
+	}
+	in.inc = inc
+	if cfg.ProfileWindow > 0 {
+		p, err := swhll.NewProfiles(cfg.NumNodes, cfg.Precision, cfg.ProfileWindow)
+		if err != nil {
+			return nil, err
+		}
+		in.profiles = p
+	}
+	wal, recovered, err := OpenWAL(cfg.Dir, WALConfig{SegmentBytes: cfg.SegmentBytes, SyncEvery: cfg.SyncEvery}, mx)
+	if err != nil {
+		return nil, err
+	}
+	in.wal = wal
+	// Rebuild sketch state from the replayed edge sequence. The replayed
+	// edges already passed the reorder buffer in their first life, so they
+	// feed the chunk builder directly; the fresh reorder buffer is primed
+	// past the recovered tail so replayed history cannot be re-emitted.
+	for lo := 0; lo < len(recovered); lo += cfg.ChunkEdges {
+		hi := min(lo+cfg.ChunkEdges, len(recovered))
+		if err := in.seal(recovered[lo:hi]); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("stream: replay: %w", err)
+		}
+	}
+	if n := len(recovered); n > 0 {
+		last := recovered[n-1].At
+		in.buf.wm = last
+		in.buf.maxSeen = last
+		in.buf.seen = true
+		in.buf.lastOut = last
+		in.buf.emitted = true
+		in.lastAt.Store(int64(last))
+		in.emitted.Store(int64(n))
+	}
+	go in.compactor()
+	// Publish the recovered state before accepting new edges, so a
+	// restarted process serves its pre-crash coverage immediately.
+	if len(recovered) > 0 {
+		if err := in.checkpointNow(); err != nil {
+			close(in.folds)
+			wal.Close()
+			return nil, fmt.Errorf("stream: recovery checkpoint: %w", err)
+		}
+	}
+	go in.run()
+	return in, nil
+}
+
+// Push offers one edge to the pipeline, blocking while the intake queue
+// is full. It fails once Close has begun or the run loop has died.
+func (in *Ingester) Push(e graph.Interaction) error {
+	if e.Src < 0 || e.Dst < 0 {
+		return fmt.Errorf("stream: negative node id (%d,%d)", e.Src, e.Dst)
+	}
+	select {
+	case <-in.stopped:
+		return errClosed
+	default:
+	}
+	select {
+	case in.intake <- e:
+		return nil
+	case <-in.stopped:
+		return errClosed
+	}
+}
+
+// markStopped closes the stopped channel exactly once, unblocking every
+// Push. Called by Close and by the run loop on a terminal error.
+func (in *Ingester) markStopped() {
+	in.stopMu.Lock()
+	if !in.closed {
+		in.closed = true
+		close(in.stopped)
+	}
+	in.stopMu.Unlock()
+}
+
+// run is the single-owner intake loop.
+func (in *Ingester) run() {
+	defer close(in.done)
+	var idle *time.Timer
+	var idleC <-chan time.Time
+	if in.cfg.IdleFlush > 0 {
+		idle = time.NewTimer(in.cfg.IdleFlush)
+		defer idle.Stop()
+		idleC = idle.C
+	}
+	var tickC <-chan time.Time
+	if in.cfg.CheckpointEvery > 0 {
+		tick := time.NewTicker(in.cfg.CheckpointEvery)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	var out []graph.Interaction
+	fail := func(err error) {
+		in.runErr.Store(&err)
+		in.markStopped()
+		close(in.folds)
+		in.wal.Close()
+	}
+	for {
+		out = out[:0]
+		select {
+		case e := <-in.intake:
+			in.take(e, &out)
+			// Drain whatever else is queued before touching the WAL, so
+			// one record covers the whole burst.
+		burst:
+			for len(out) < in.cfg.ChunkEdges {
+				select {
+				case e := <-in.intake:
+					in.take(e, &out)
+				default:
+					break burst
+				}
+			}
+			if idle != nil {
+				if !idle.Stop() {
+					select {
+					case <-idle.C:
+					default:
+					}
+				}
+				idle.Reset(in.cfg.IdleFlush)
+			}
+			if err := in.absorb(out); err != nil {
+				fail(err)
+				return
+			}
+		case <-idleC:
+			in.buf.flush(&out)
+			idle.Reset(in.cfg.IdleFlush)
+			if err := in.absorb(out); err != nil {
+				fail(err)
+				return
+			}
+		case <-tickC:
+			if err := in.maybeCheckpoint(false); err != nil {
+				fail(err)
+				return
+			}
+		case done := <-in.force:
+			// Absorb everything already queued so the checkpoint covers
+			// every edge Push accepted before the call (edges still inside
+			// the reorder slack stay buffered: a forced checkpoint must not
+			// collapse the watermark and turn future stragglers into drops).
+		forced:
+			for {
+				select {
+				case e := <-in.intake:
+					in.take(e, &out)
+				default:
+					break forced
+				}
+			}
+			err := in.absorb(out)
+			if err == nil {
+				err = in.maybeCheckpoint(true)
+			}
+			done <- err
+			if err != nil {
+				fail(err)
+				return
+			}
+		case <-in.stopped:
+			// Final drain: edges already queued are accepted; then flush
+			// the buffer, seal, checkpoint, and stop the compactor.
+		drain:
+			for {
+				select {
+				case e := <-in.intake:
+					in.take(e, &out)
+				default:
+					break drain
+				}
+			}
+			in.buf.flush(&out)
+			err := in.absorb(out)
+			if err == nil {
+				err = in.sealPending()
+			}
+			if err == nil && int64(in.inc.EdgeCount()) > in.ckptEdges.Load() {
+				err = in.checkpointNow()
+			}
+			if err != nil {
+				in.runErr.Store(&err)
+			}
+			close(in.folds)
+			if cerr := in.wal.Close(); cerr != nil && in.runErr.Load() == nil {
+				in.runErr.Store(&cerr)
+			}
+			return
+		}
+	}
+}
+
+// take routes one arrival through the reorder buffer, counting it.
+func (in *Ingester) take(e graph.Interaction, out *[]graph.Interaction) {
+	in.accepted.Add(1)
+	in.mx.accepted.Inc()
+	if !in.buf.offer(e, out) {
+		in.drops.Add(1)
+	}
+}
+
+// absorb logs and stages a drained batch, sealing chunks as they fill
+// and applying the edge-count checkpoint trigger.
+func (in *Ingester) absorb(out []graph.Interaction) error {
+	if len(out) == 0 {
+		return nil
+	}
+	// Cap record size at the chunk size: a crash then loses at most one
+	// bounded record, and replay allocations stay proportional to it.
+	for lo := 0; lo < len(out); lo += in.cfg.ChunkEdges {
+		hi := min(lo+in.cfg.ChunkEdges, len(out))
+		if err := in.wal.Append(out[lo:hi]); err != nil {
+			return fmt.Errorf("stream: wal append: %w", err)
+		}
+	}
+	in.emitted.Add(int64(len(out)))
+	in.mx.emitted.Add(int64(len(out)))
+	in.lastAt.Store(int64(out[len(out)-1].At))
+	if in.profiles != nil {
+		if err := in.profiles.ObserveBatch(out); err != nil {
+			return fmt.Errorf("stream: profiles: %w", err)
+		}
+	}
+	in.pending = append(in.pending, out...)
+	for len(in.pending) >= in.cfg.ChunkEdges {
+		if err := in.seal(in.pending[:in.cfg.ChunkEdges]); err != nil {
+			return err
+		}
+		// seal copied the chunk, so resliding past it is safe even though
+		// later appends reuse the backing array.
+		in.pending = in.pending[in.cfg.ChunkEdges:]
+	}
+	if in.cfg.CheckpointEdges > 0 && in.sinceCkpt+len(in.pending) >= in.cfg.CheckpointEdges {
+		return in.maybeCheckpoint(false)
+	}
+	return nil
+}
+
+// seal appends one chunk to the incremental state, growing the node
+// range to fit. The slice is copied: AppendChunk retains its argument
+// and callers reuse their buffers.
+func (in *Ingester) seal(edges []graph.Interaction) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	n := in.inc.NumNodes()
+	for _, e := range edges {
+		if m := int(max(e.Src, e.Dst)) + 1; m > n {
+			n = m
+		}
+	}
+	cp := append([]graph.Interaction(nil), edges...)
+	if err := in.inc.AppendChunk(cp, n); err != nil {
+		return fmt.Errorf("stream: seal chunk: %w", err)
+	}
+	in.mx.chunks.Inc()
+	in.sinceCkpt += len(edges)
+	return nil
+}
+
+// sealPending seals whatever partial chunk is staged.
+func (in *Ingester) sealPending() error {
+	if len(in.pending) == 0 {
+		return nil
+	}
+	err := in.seal(in.pending)
+	in.pending = nil
+	return err
+}
+
+// maybeCheckpoint seals the pending batch, makes the covered edges
+// durable, and hands the snapshot to the compactor. When the compactor
+// is still folding the previous snapshot, interval/edge triggers skip
+// (counted); forced requests (wait=true) block until the fold lands.
+func (in *Ingester) maybeCheckpoint(wait bool) error {
+	if err := in.sealPending(); err != nil {
+		return err
+	}
+	if int64(in.inc.EdgeCount()) == in.ckptEdges.Load() {
+		return nil // nothing new to cover
+	}
+	// Sync here, on the WAL's owning goroutine, so the checkpoint never
+	// claims edges the log could still lose.
+	if err := in.wal.Sync(); err != nil {
+		return fmt.Errorf("stream: checkpoint wal sync: %w", err)
+	}
+	job := foldJob{view: in.inc.View(), done: make(chan error, 1)}
+	if wait {
+		in.folds <- job
+		if err := <-job.done; err != nil {
+			return err
+		}
+		in.sinceCkpt = 0
+		return nil
+	}
+	select {
+	case in.folds <- job:
+		in.sinceCkpt = 0
+	default:
+		in.mx.checkpointSkips.Inc()
+	}
+	return nil
+}
+
+// checkpointNow is maybeCheckpoint(wait=true) for paths that must not
+// skip: recovery publish and the final Close checkpoint.
+func (in *Ingester) checkpointNow() error { return in.maybeCheckpoint(true) }
+
+// compactor folds snapshots into checkpoints, one at a time, in order.
+func (in *Ingester) compactor() {
+	for job := range in.folds {
+		job.done <- in.checkpoint(job.view)
+	}
+}
+
+// checkpoint folds one snapshot, writes the IRX1 snapshot and its
+// metadata sidecar atomically, and publishes. Runs on the compactor
+// goroutine; it touches no run-loop state beyond the immutable view.
+func (in *Ingester) checkpoint(view core.ChunkView) error {
+	start := time.Now()
+	sum := view.Fold()
+	if err := in.writeCheckpoint(sum, view, start); err != nil {
+		return err
+	}
+	if in.cfg.Publish != nil {
+		in.cfg.Publish(sum)
+	}
+	in.checkpoints.Add(1)
+	in.ckptEdges.Store(int64(view.EdgeCount()))
+	in.lastCkpt.Store(time.Now().UnixNano())
+	in.mx.checkpoints.Inc()
+	in.mx.checkpointDur.Observe(time.Since(start).Seconds())
+	in.mx.checkpointAge.Set(0)
+	in.mx.checkpointEdges.Set(int64(view.EdgeCount()))
+	return nil
+}
+
+// writeCheckpoint persists the folded summaries via tmp + rename so a
+// crash mid-write never leaves a torn checkpoint file.
+func (in *Ingester) writeCheckpoint(sum *core.ApproxSummaries, view core.ChunkView, start time.Time) error {
+	path := filepath.Join(in.cfg.Dir, CheckpointName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := sum.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("stream: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	meta := fmt.Sprintf(`{"edges":%d,"last_at":%d,"nodes":%d,"omega":%d,"precision":%d,"fold_seconds":%.6f}`+"\n",
+		view.EdgeCount(), view.LastAt(), view.NumNodes(), in.cfg.Omega, in.cfg.Precision,
+		time.Since(start).Seconds())
+	metaPath := filepath.Join(in.cfg.Dir, CheckpointMetaName)
+	if err := os.WriteFile(metaPath+".tmp", []byte(meta), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(metaPath+".tmp", metaPath)
+}
+
+// Checkpoint forces a synchronous checkpoint: it absorbs every edge
+// Push accepted before the call (edges still held by the reorder slack
+// stay buffered), seals the pending batch, folds, writes, and publishes
+// before returning. ctx bounds the wait.
+func (in *Ingester) Checkpoint(ctx context.Context) error {
+	done := make(chan error, 1)
+	select {
+	case in.force <- done:
+	case <-in.done:
+		return errClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops intake, drains queued edges, flushes the reorder buffer,
+// seals, runs a final checkpoint when anything new was emitted, and
+// closes the WAL. ctx bounds the wait for the run loop to finish.
+func (in *Ingester) Close(ctx context.Context) error {
+	in.markStopped()
+	select {
+	case <-in.done:
+		return in.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Err returns the run loop's terminal error, nil while running or after
+// a clean shutdown.
+func (in *Ingester) Err() error {
+	if p := in.runErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the progress counters; safe from any
+// goroutine.
+func (in *Ingester) Stats() Stats {
+	if at := in.lastCkpt.Load(); at > 0 {
+		in.mx.checkpointAge.Set(int64(time.Since(time.Unix(0, at)).Seconds()))
+	}
+	return Stats{
+		Accepted:     in.accepted.Load(),
+		Emitted:      in.emitted.Load(),
+		ReorderDrops: in.drops.Load(),
+		Checkpoints:  in.checkpoints.Load(),
+		LastAt:       in.lastAt.Load(),
+		CoveredEdges: in.ckptEdges.Load(),
+	}
+}
+
+// Hot returns the k nodes with the largest sliding-window out-
+// neighborhood profiles, nil unless Config.ProfileWindow enabled them.
+// Profiles are owned by the run loop, so Hot answers only after Close
+// has completed (an end-of-run report); it returns nil while running.
+func (in *Ingester) Hot(k int) []graph.NodeID {
+	select {
+	case <-in.done:
+	default:
+		return nil
+	}
+	if in.profiles == nil {
+		return nil
+	}
+	return in.profiles.Top(k)
+}

@@ -1,0 +1,387 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"ipin/internal/graph"
+)
+
+// Write-ahead log: the durability substrate of the ingester. Edges that
+// cleared the reordering buffer are appended in batches before they touch
+// any sketch state, so a crash loses at most the batches that were never
+// acknowledged, and replaying the segments reproduces the exact emitted
+// edge sequence — the property the recovery-determinism tests pin.
+//
+// Layout (normative spec in DESIGN.md): a directory of segment files
+// wal-%08d.seg. Each segment starts with the 8-byte header "IWAL0001";
+// records follow back to back:
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// A payload is one batch: uvarint edge count, then per edge uvarint src,
+// uvarint dst, and the timestamp — varint absolute for the first edge,
+// uvarint delta to the predecessor for the rest (emitted timestamps are
+// strictly increasing, so deltas are ≥ 1 and compress well). Records are
+// self-contained: decoding needs no state from earlier records.
+//
+// Crash safety: segments are rotated by fsync-then-close before the next
+// one is created, so an interrupted write can only produce a torn tail in
+// the FINAL segment. Replay truncates the final segment at the first
+// incomplete or CRC-failing record and resumes appending there; the same
+// damage in any earlier segment is real corruption and fails the open.
+
+// walMagic is the segment header.
+var walMagic = [8]byte{'I', 'W', 'A', 'L', '0', '0', '0', '1'}
+
+// walCRC is the Castagnoli table used for record checksums.
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	walFrameBytes = 8 // length + checksum
+	// maxRecordBytes caps a record payload; a longer length prefix can
+	// only come from a torn or corrupt frame, never from Append (the
+	// ingester batches far below this), so replay treats it as damage
+	// instead of allocating whatever a garbage length demands.
+	maxRecordBytes = 64 << 20
+)
+
+// WALConfig parameterizes the log; the zero value is usable.
+type WALConfig struct {
+	// SegmentBytes is the rotation threshold; 0 selects 4 MiB.
+	SegmentBytes int64
+	// SyncEvery fsyncs after every n appended records: 0 selects 1
+	// (every record), negative disables fsync entirely (crash durability
+	// then depends on the OS; rotation and Close still sync).
+	SyncEvery int
+}
+
+// WAL is an append-only segmented edge log. Not goroutine-safe: the
+// ingest loop is the only writer.
+type WAL struct {
+	dir       string
+	cfg       WALConfig
+	mx        *metrics
+	f         *os.File
+	seq       int
+	segBytes  int64
+	sinceSync int
+	segments  int64
+	bytes     int64
+}
+
+// OpenWAL opens (creating if needed) the segmented log in dir, replays
+// every record, and positions the writer at the tail. It returns the
+// recovered edge sequence in emitted order. A torn tail in the final
+// segment is truncated (the damage is counted in stream_wal_truncated_
+// bytes_total); damage anywhere else fails the open.
+func OpenWAL(dir string, cfg WALConfig, mx *metrics) (*WAL, []graph.Interaction, error) {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 4 << 20
+	}
+	if cfg.SyncEvery == 0 {
+		cfg.SyncEvery = 1
+	}
+	if mx == nil {
+		mx = &metrics{}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{dir: dir, cfg: cfg, mx: mx}
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(names)
+	var edges []graph.Interaction
+	lastAt := int64(math.MinInt64)
+	for i, name := range names {
+		final := i == len(names)-1
+		n, err := w.replaySegment(name, final, &edges, &lastAt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if final {
+			seq, perr := segmentSeq(name)
+			if perr != nil {
+				return nil, nil, perr
+			}
+			w.seq = seq
+			w.segBytes = n
+		}
+	}
+	w.segments = int64(len(names))
+	if len(names) == 0 {
+		if err := w.rotate(); err != nil {
+			return nil, nil, err
+		}
+	} else if w.segBytes < int64(len(walMagic)) {
+		// The final segment was truncated all the way into its header
+		// (a crash during segment creation); rebuild it empty so the
+		// next replay sees a well-formed file.
+		f, err := os.OpenFile(names[len(names)-1], os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := f.Write(walMagic[:]); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.f = f
+		w.segBytes = int64(len(walMagic))
+	} else {
+		f, err := os.OpenFile(names[len(names)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		w.f = f
+	}
+	return w, edges, nil
+}
+
+// segmentName renders the file name of segment seq.
+func (w *WAL) segmentName(seq int) string {
+	return filepath.Join(w.dir, fmt.Sprintf("wal-%08d.seg", seq))
+}
+
+// segmentSeq parses the sequence number out of a segment file name.
+func segmentSeq(name string) (int, error) {
+	var seq int
+	if _, err := fmt.Sscanf(filepath.Base(name), "wal-%08d.seg", &seq); err != nil {
+		return 0, fmt.Errorf("stream: segment name %q: %v", name, err)
+	}
+	return seq, nil
+}
+
+// replaySegment reads one segment, appending decoded edges. For the
+// final segment it truncates at the first torn record and returns the
+// resulting (valid) size; for earlier segments any damage is fatal.
+func (w *WAL) replaySegment(name string, final bool, edges *[]graph.Interaction, lastAt *int64) (int64, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return 0, err
+	}
+	torn := func(off int64, why string) (int64, error) {
+		if !final {
+			return 0, fmt.Errorf("stream: wal segment %s corrupt at %d (%s): only the final segment may have a torn tail", name, off, why)
+		}
+		w.mx.walTrunc.Add(int64(len(data)) - off)
+		if err := os.Truncate(name, off); err != nil {
+			return 0, fmt.Errorf("stream: truncating torn tail of %s: %v", name, err)
+		}
+		return off, nil
+	}
+	if len(data) < len(walMagic) {
+		return torn(0, "short header")
+	}
+	if string(data[:len(walMagic)]) != string(walMagic[:]) {
+		return 0, fmt.Errorf("stream: wal segment %s: bad magic", name)
+	}
+	off := int64(len(walMagic))
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < walFrameBytes {
+			return torn(off, "short frame")
+		}
+		plen := int64(binary.LittleEndian.Uint32(rest))
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if plen > maxRecordBytes {
+			return torn(off, "implausible record length")
+		}
+		if int64(len(rest)) < walFrameBytes+plen {
+			return torn(off, "short payload")
+		}
+		payload := rest[walFrameBytes : walFrameBytes+plen]
+		if crc32.Checksum(payload, walCRC) != sum {
+			return torn(off, "checksum mismatch")
+		}
+		// The checksum held, so a decode failure is not a torn write —
+		// it is corruption (or a writer bug) and always fatal.
+		if err := decodeRecord(payload, edges, lastAt); err != nil {
+			return 0, fmt.Errorf("stream: wal segment %s record at %d: %v", name, off, err)
+		}
+		off += walFrameBytes + plen
+	}
+	return off, nil
+}
+
+// decodeRecord appends one record's edges, enforcing the strictly
+// increasing timestamp invariant across the whole log.
+func decodeRecord(payload []byte, edges *[]graph.Interaction, lastAt *int64) error {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return fmt.Errorf("bad edge count")
+	}
+	payload = payload[n:]
+	// Each edge takes at least 3 bytes (src, dst, time); a larger count
+	// is structurally impossible and would only inflate the allocation.
+	if count > uint64(len(payload))/3+1 {
+		return fmt.Errorf("edge count %d exceeds payload", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		src, n := binary.Uvarint(payload)
+		if n <= 0 || src > math.MaxInt32 {
+			return fmt.Errorf("edge %d: bad src", i)
+		}
+		payload = payload[n:]
+		dst, n := binary.Uvarint(payload)
+		if n <= 0 || dst > math.MaxInt32 {
+			return fmt.Errorf("edge %d: bad dst", i)
+		}
+		payload = payload[n:]
+		var at int64
+		if i == 0 {
+			v, n := binary.Varint(payload)
+			if n <= 0 {
+				return fmt.Errorf("edge %d: bad time", i)
+			}
+			payload = payload[n:]
+			at = v
+		} else {
+			d, n := binary.Uvarint(payload)
+			if n <= 0 || d == 0 || d > math.MaxInt64 {
+				return fmt.Errorf("edge %d: bad time delta", i)
+			}
+			payload = payload[n:]
+			// A wrapped sum falls below lastAt and fails the increasing
+			// check right after.
+			at = *lastAt + int64(d)
+		}
+		if at <= *lastAt && !(len(*edges) == 0 && i == 0) {
+			return fmt.Errorf("edge %d: time %d not increasing past %d", i, at, *lastAt)
+		}
+		*lastAt = at
+		*edges = append(*edges, graph.Interaction{Src: graph.NodeID(src), Dst: graph.NodeID(dst), At: graph.Time(at)})
+	}
+	if len(payload) != 0 {
+		return fmt.Errorf("%d trailing bytes", len(payload))
+	}
+	return nil
+}
+
+// Append writes one record holding the batch (which must continue the
+// strictly increasing timestamp order) and applies the fsync policy.
+func (w *WAL) Append(batch []graph.Interaction) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	payload := encodeRecord(batch)
+	var frame [walFrameBytes]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, walCRC))
+	if _, err := w.f.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	n := int64(walFrameBytes + len(payload))
+	w.segBytes += n
+	w.bytes += n
+	w.mx.walRecords.Inc()
+	w.mx.walBytes.Add(n)
+	w.sinceSync++
+	if w.cfg.SyncEvery > 0 && w.sinceSync >= w.cfg.SyncEvery {
+		if err := w.Sync(); err != nil {
+			return err
+		}
+	}
+	if w.segBytes >= w.cfg.SegmentBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// encodeRecord renders one batch payload.
+func encodeRecord(batch []graph.Interaction) []byte {
+	buf := make([]byte, 0, 4+9*len(batch))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(batch)))
+	buf = append(buf, tmp[:n]...)
+	prev := int64(0)
+	for i, e := range batch {
+		n = binary.PutUvarint(tmp[:], uint64(e.Src))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(e.Dst))
+		buf = append(buf, tmp[:n]...)
+		if i == 0 {
+			n = binary.PutVarint(tmp[:], int64(e.At))
+		} else {
+			n = binary.PutUvarint(tmp[:], uint64(int64(e.At)-prev))
+		}
+		buf = append(buf, tmp[:n]...)
+		prev = int64(e.At)
+	}
+	return buf
+}
+
+// Sync flushes the current segment to stable storage, recording the
+// latency. The checkpointer calls it before stamping metadata so a
+// checkpoint never claims edges the log could still lose.
+func (w *WAL) Sync() error {
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.mx.walFsync.Observe(time.Since(start).Seconds())
+	w.sinceSync = 0
+	return nil
+}
+
+// rotate seals the current segment (fsync + close, so torn tails can
+// only ever live in the newest segment) and starts the next one.
+func (w *WAL) rotate() error {
+	if w.f != nil {
+		if err := w.Sync(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		w.seq++
+	} else if w.seq == 0 {
+		w.seq = 1
+	}
+	f, err := os.OpenFile(w.segmentName(w.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(walMagic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segBytes = int64(len(walMagic))
+	w.segments++
+	w.mx.walSegments.Inc()
+	return nil
+}
+
+// Segments returns the number of segments this WAL has (recovered plus
+// created).
+func (w *WAL) Segments() int64 { return w.segments }
+
+// TotalBytes returns the bytes appended by this process (recovered
+// segments not included).
+func (w *WAL) TotalBytes() int64 { return w.bytes }
+
+// Close syncs and closes the active segment.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

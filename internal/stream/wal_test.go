@@ -1,0 +1,238 @@
+package stream
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// randomBatches builds a strictly-increasing-time edge sequence split
+// into random batches, the shape Append receives from the run loop.
+func randomBatches(rng *rand.Rand, n, m int) [][]graph.Interaction {
+	at := graph.Time(rng.Int63n(100))
+	var all []graph.Interaction
+	for i := 0; i < m; i++ {
+		at += graph.Time(1 + rng.Int63n(5))
+		all = append(all, graph.Interaction{
+			Src: graph.NodeID(rng.Intn(n)),
+			Dst: graph.NodeID(rng.Intn(n)),
+			At:  at,
+		})
+	}
+	var batches [][]graph.Interaction
+	for lo := 0; lo < len(all); {
+		hi := lo + 1 + rng.Intn(len(all)-lo)
+		batches = append(batches, all[lo:hi])
+		lo = hi
+	}
+	return batches
+}
+
+func flatten(batches [][]graph.Interaction) []graph.Interaction {
+	var all []graph.Interaction
+	for _, b := range batches {
+		all = append(all, b...)
+	}
+	return all
+}
+
+// TestWALRoundTrip: append batches, close, reopen, and get the same
+// edge sequence back — across segment rotations.
+func TestWALRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		dir := t.TempDir()
+		// Tiny segments force rotations mid-stream.
+		cfg := WALConfig{SegmentBytes: 256, SyncEvery: -1}
+		w, recovered, err := OpenWAL(dir, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recovered) != 0 {
+			t.Fatalf("fresh WAL recovered %d edges", len(recovered))
+		}
+		batches := randomBatches(rng, 50, 200)
+		for _, b := range batches {
+			if err := w.Append(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		w2, got, err := OpenWAL(dir, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := flatten(batches)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: replay mismatch: got %d edges, want %d", trial, len(got), len(want))
+		}
+		if w2.Segments() < 2 {
+			t.Fatalf("expected rotations, got %d segments", w2.Segments())
+		}
+		// The reopened WAL must still be appendable.
+		tail := []graph.Interaction{{Src: 1, Dst: 2, At: want[len(want)-1].At + 1}}
+		if err := w2.Append(tail); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, got3, err := OpenWAL(dir, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got3, append(want, tail...)) {
+			t.Fatal("append after reopen lost edges")
+		}
+	}
+}
+
+// TestWALTornTail: truncating the final segment at every possible byte
+// offset must recover exactly the record-aligned prefix, never error.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := WALConfig{SegmentBytes: 1 << 20, SyncEvery: -1}
+	w, _, err := OpenWAL(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []graph.Interaction
+	at := graph.Time(0)
+	for i := 0; i < 20; i++ {
+		var batch []graph.Interaction
+		for j := 0; j < 5; j++ {
+			at++
+			batch = append(batch, graph.Interaction{Src: graph.NodeID(i), Dst: graph.NodeID(j), At: at})
+		}
+		if err := w.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, batch...)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries: replay counts must be non-increasing in cut
+	// position and equal to the number of fully persisted records.
+	for cut := len(data); cut >= 0; cut -= 7 {
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, "wal-00000001.seg"), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, got, err := OpenWAL(dir2, cfg, nil)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got)%5 != 0 {
+			t.Fatalf("cut %d: recovered %d edges, not record-aligned", cut, len(got))
+		}
+		for i, e := range got {
+			if e != all[i] {
+				t.Fatalf("cut %d: recovered edge %d = %+v, want %+v", cut, i, e, all[i])
+			}
+		}
+		// The truncated log must accept appends continuing from its tail.
+		next := graph.Time(1)
+		if len(got) > 0 {
+			next = got[len(got)-1].At + 1
+		}
+		if err := w2.Append([]graph.Interaction{{Src: 0, Dst: 1, At: next}}); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, got2, err := OpenWAL(dir2, cfg, nil)
+		if err != nil {
+			t.Fatalf("cut %d: reopen after append: %v", cut, err)
+		}
+		if len(got2) != len(got)+1 {
+			t.Fatalf("cut %d: %d edges after append, want %d", cut, len(got2), len(got)+1)
+		}
+	}
+}
+
+// TestWALCorruptEarlierSegmentFatal: damage outside the final segment
+// must fail the open instead of silently dropping history.
+func TestWALCorruptEarlierSegmentFatal(t *testing.T) {
+	dir := t.TempDir()
+	cfg := WALConfig{SegmentBytes: 128, SyncEvery: -1}
+	w, _, err := OpenWAL(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		if err := w.Append([]graph.Interaction{{Src: 0, Dst: 1, At: graph.Time(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("want >= 3 segments, got %d", w.Segments())
+	}
+	first := filepath.Join(dir, "wal-00000001.seg")
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // flip a payload byte: CRC mismatch
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(dir, cfg, nil); err == nil {
+		t.Fatal("corrupt non-final segment accepted")
+	}
+}
+
+// TestWALBadMagic: a segment with the wrong header is rejected.
+func TestWALBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000001.seg"), []byte("NOTAWAL!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(dir, WALConfig{}, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestWALHeaderTorn: a final segment cut inside its 8-byte header is
+// rebuilt empty and stays usable.
+func TestWALHeaderTorn(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000003.seg"), []byte("IWA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, got, err := OpenWAL(dir, WALConfig{SyncEvery: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("recovered %d edges from torn header", len(got))
+	}
+	if err := w.Append([]graph.Interaction{{Src: 0, Dst: 1, At: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got2, err := OpenWAL(dir, WALConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 1 || got2[0].At != 5 {
+		t.Fatalf("rebuilt segment replayed %v", got2)
+	}
+}

@@ -69,6 +69,31 @@ func (p *Profiles) Observe(src, dst graph.NodeID, t graph.Time) error {
 	return nil
 }
 
+// Grow extends the profile table to cover n nodes; node counts never
+// shrink. Live streams introduce node IDs as they go, so the maintainers
+// behind them (internal/stream) cannot size the table up front.
+func (p *Profiles) Grow(n int) {
+	for len(p.counters) < n {
+		p.counters = append(p.counters, nil)
+	}
+}
+
+// ObserveBatch records a time-ordered batch of interactions, growing the
+// node table to fit any new IDs first. It is the bulk intake entry the
+// streaming ingester feeds with each drained watermark batch; one call
+// amortizes the per-edge bookkeeping of Observe over the batch.
+func (p *Profiles) ObserveBatch(edges []graph.Interaction) error {
+	for _, e := range edges {
+		if n := int(max(e.Src, e.Dst)) + 1; n > len(p.counters) {
+			p.Grow(n)
+		}
+		if err := p.Observe(e.Src, e.Dst, e.At); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Profile returns the estimated number of distinct out-neighbours of u
 // within the window ending at the latest observation.
 func (p *Profiles) Profile(u graph.NodeID) float64 {

@@ -52,7 +52,10 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		if err != nil {
 			return fmt.Errorf("vhll: cell %d count: %v", i, err)
 		}
-		if count > uint64(r.Len()) {
+		// Each entry consumes at least 2 bytes (varint delta + rank), so a
+		// larger count is structurally impossible and would only inflate
+		// the allocation below.
+		if count > uint64(r.Len())/2 {
 			return fmt.Errorf("vhll: cell %d count %d exceeds remaining input", i, count)
 		}
 		if count == 0 {

@@ -306,6 +306,28 @@ func (s *Sketch) Merge(other *Sketch) error {
 	return nil
 }
 
+// MergeInto folds src into dst without ever mutating src and returns the
+// resulting sketch: a nil dst adopts a deep copy of src, a nil src leaves
+// dst untouched. It is the clone-safe chunk-merge entry point of the
+// incremental fold (core.ChunkView.Fold), where the source sketches are
+// cached block-local state that must survive for the next fold and the
+// destination starts out nil for most nodes. Both sketches must share a
+// precision; MergeInto panics otherwise, because the incremental callers
+// construct every sketch at one configured precision and a mismatch is a
+// programming error, not input error.
+func MergeInto(dst, src *Sketch) *Sketch {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		return src.Clone()
+	}
+	if err := dst.Merge(src); err != nil {
+		panic(err)
+	}
+	return dst
+}
+
 // mergeCell folds one source cell list into cell i. Both lists are
 // staircases (ascending At, strictly ascending Rank), so the union is a
 // single linear sweep in time order keeping entries whose rank exceeds

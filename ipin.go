@@ -42,6 +42,7 @@ import (
 	"ipin/internal/hll"
 	"ipin/internal/obs"
 	"ipin/internal/serve"
+	"ipin/internal/stream"
 	"ipin/internal/swhll"
 	"ipin/internal/temporal"
 	"ipin/internal/vhll"
@@ -261,6 +262,39 @@ type (
 //	srv.LoadApprox(irs)
 //	http.ListenAndServe(":8080", srv.Handler())
 func NewQueryServer(cfg ServeConfig) *QueryServer { return serve.New(cfg) }
+
+// Live ingestion (internal/stream): streaming edge intake, incremental
+// sketch maintenance, and checkpointed hot-swap into the serving layer.
+type (
+	// Ingester is the live intake pipeline: timestamped interactions go
+	// in (Push, or the TCP/HTTP/file-tail sources), pass a bounded
+	// out-of-order reordering buffer, are made durable in a write-ahead
+	// log, and surface as continuously refreshed ApproxIRS checkpoints.
+	// Recovery is WAL replay: after a crash the rebuilt state is
+	// byte-identical to an uninterrupted run over the surviving prefix.
+	Ingester = stream.Ingester
+	// IngestConfig parameterizes an Ingester; Dir and Omega are
+	// required, everything else has a usable zero value.
+	IngestConfig = stream.Config
+	// IngestStats is a point-in-time snapshot of ingestion progress.
+	IngestStats = stream.Stats
+)
+
+// NewIngester opens (or recovers) the state directory and starts the
+// live ingestion pipeline. Wire cfg.Publish to a QueryServer for
+// in-process hot swap of each checkpoint:
+//
+//	srv := ipin.NewQueryServer(ipin.ServeConfig{})
+//	ing, err := ipin.NewIngester(ipin.IngestConfig{
+//		Dir: "state", Omega: 3600, Publish: srv.LoadApprox,
+//	})
+//	// ... ing.Push(edge) / ing.ServeTCP(l) / ing.Handler() ...
+//	defer ing.Close(ctx)
+func NewIngester(cfg IngestConfig) (*Ingester, error) { return stream.New(cfg) }
+
+// ParseStreamEdge parses one "src dst time" wire-format line, the
+// format the Ingester sources and gennet -stream speak.
+func ParseStreamEdge(line string) (Interaction, error) { return stream.ParseEdge(line) }
 
 // Observability (internal/obs). Telemetry is off by default: every
 // instrument is a nil-safe no-op until InstallMetrics runs, so library
