@@ -1,15 +1,21 @@
 // Command benchstream measures the live ingestion subsystem
 // (internal/stream) end to end and writes the results as JSON
 // (BENCH_stream.json at the repo root, by convention). It reports the
-// three numbers that size a deployment:
+// numbers that size a deployment:
 //
 //   - sustained intake: edges/second through Push → reorder → WAL →
 //     sealed chunks while interval checkpoints run concurrently;
 //   - checkpoint latency: fold + snapshot write per checkpoint
-//     (p50/p99), the cost of refreshing the served state;
+//     (p50/p99), the cost of refreshing the served state — with the
+//     amortized incremental fold, proportional to the edges since the
+//     previous checkpoint, not the total;
+//   - the incremental-vs-full fold A/B: the same final state folded
+//     once against the cached previous fold and once from scratch, the
+//     speedup the fold cache buys at full size;
 //   - freshness: how stale a just-ingested edge is before a published
-//     checkpoint makes it queryable (p50/p99), the product of the
-//     checkpoint cadence and checkpoint latency.
+//     checkpoint makes it queryable (p50/p99);
+//   - recovery: wall time and the chunk-sidecar / WAL-suffix split of
+//     the replayed edges when the state directory is reopened.
 //
 // Alongside the numbers it enforces the subsystem's correctness
 // contract and exits non-zero on any violation:
@@ -18,8 +24,15 @@
 //     offline one-pass scan (core.ComputeApprox) over the same log;
 //   - a bounded out-of-order replay of the same edges (block shuffle,
 //     -skew positions) drops nothing and converges to the same bytes;
-//   - re-opening the state directory replays the WAL into a recovery
-//     checkpoint with, again, the same bytes.
+//   - re-opening the state directory rebuilds the state from durable
+//     chunk sidecars with zero WAL replay — and, again, the same bytes;
+//   - after deleting the trailing sidecars (a crash between compactor
+//     passes), recovery replays exactly the uncovered WAL suffix and
+//     still converges to the same bytes;
+//   - the incremental fold beats the full refold by at least
+//     -min-speedup at full size;
+//   - WAL segments covered by durable sidecars are actually deleted,
+//     so the log's disk footprint stays bounded.
 //
 // The report records the host's CPU count and GOMAXPROCS, the same
 // convention as BENCH_serve.json: intake is single-writer by design,
@@ -57,6 +70,7 @@ type report struct {
 	OmegaTicks      int64   `json:"omega_ticks"`
 	Skew            int     `json:"skew_positions"`
 	CheckpointEvery string  `json:"checkpoint_every"`
+	SegmentBytes    int64   `json:"segment_bytes"`
 	NumCPU          int     `json:"num_cpu"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
 	Note            string  `json:"note"`
@@ -71,10 +85,33 @@ type report struct {
 	FreshnessN      int     `json:"freshness_samples"`
 	WALBytes        int64   `json:"wal_bytes"`
 	WALSegments     int64   `json:"wal_segments"`
-	IdentityInOrder bool    `json:"identity_in_order"`
-	IdentitySkewed  bool    `json:"identity_skewed"`
-	IdentityRecover bool    `json:"identity_recovered"`
-	SkewedDrops     int64   `json:"skewed_drops"`
+
+	// Incremental-vs-full fold A/B over the final state.
+	FoldFullMs          float64 `json:"fold_full_refold_ms"`
+	FoldIncrementalMs   float64 `json:"fold_incremental_ms"`
+	FoldSpeedup         float64 `json:"fold_speedup"`
+	IdentityIncremental bool    `json:"identity_incremental_fold"`
+
+	// Durability footprint of the sustained run.
+	WALDeletedSegments int64 `json:"wal_deleted_segments"`
+	WALLiveSegments    int   `json:"wal_live_segments"`
+	ChunkFiles         int64 `json:"chunk_files"`
+	ChunkFileBytes     int64 `json:"chunk_file_bytes"`
+
+	// Recovery from the intact directory (sidecars cover everything).
+	RecoverySeconds     float64 `json:"recovery_wall_seconds"`
+	RecoveredChunkEdges int64   `json:"recovered_chunk_edges"`
+	RecoveredWALEdges   int64   `json:"recovered_wal_edges"`
+
+	// Recovery after the trailing sidecars are lost (WAL suffix replay).
+	SuffixReplaySeconds  float64 `json:"suffix_recovery_wall_seconds"`
+	SuffixReplayWALEdges int64   `json:"suffix_recovery_wal_edges"`
+	IdentitySuffix       bool    `json:"identity_suffix_recovery"`
+
+	IdentityInOrder bool  `json:"identity_in_order"`
+	IdentitySkewed  bool  `json:"identity_skewed"`
+	IdentityRecover bool  `json:"identity_recovered"`
+	SkewedDrops     int64 `json:"skewed_drops"`
 }
 
 // ckptMeta mirrors the checkpoint.meta.json sidecar the ingester writes
@@ -87,13 +124,15 @@ type ckptMeta struct {
 
 func main() {
 	var (
-		edges    = flag.Int("edges", 500_000, "interactions in the generated log")
-		nodes    = flag.Int("nodes", 20_000, "nodes in the generated log")
-		window   = flag.Float64("window", 1, "window as % of the time span")
-		every    = flag.Duration("checkpoint-every", 250*time.Millisecond, "interval between automatic checkpoints during the sustained run")
-		sampleEv = flag.Int("sample-every", 512, "freshness sample cadence in edges")
-		skew     = flag.Int("skew", 64, "out-of-order displacement (positions) for the skewed replay")
-		out      = flag.String("out", "BENCH_stream.json", "output JSON path")
+		edges      = flag.Int("edges", 500_000, "interactions in the generated log")
+		nodes      = flag.Int("nodes", 20_000, "nodes in the generated log")
+		window     = flag.Float64("window", 1, "window as % of the time span")
+		every      = flag.Duration("checkpoint-every", 250*time.Millisecond, "interval between automatic checkpoints during the sustained run")
+		sampleEv   = flag.Int("sample-every", 512, "freshness sample cadence in edges")
+		skew       = flag.Int("skew", 64, "out-of-order displacement (positions) for the skewed replay")
+		segBytes   = flag.Int64("segment-bytes", 256<<10, "WAL segment size for the sustained run (small enough to exercise compaction)")
+		minSpeedup = flag.Float64("min-speedup", 5, "minimum incremental-vs-full fold speedup (gate)")
+		out        = flag.String("out", "BENCH_stream.json", "output JSON path")
 	)
 	flag.Parse()
 
@@ -136,11 +175,58 @@ func main() {
 		OmegaTicks:      omega,
 		Skew:            *skew,
 		CheckpointEvery: every.String(),
+		SegmentBytes:    *segBytes,
 		NumCPU:          runtime.NumCPU(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		Note: "in-order sustained run with interval checkpoints; freshness = push-to-publish age of sampled edges; identity gates compare the final, " +
-			"skewed-replay, and WAL-recovery checkpoints byte-for-byte against the offline one-pass scan",
+		Note: "in-order sustained run with interval checkpoints; freshness = push-to-publish age of sampled edges; fold A/B = same final state folded " +
+			"with and without the cached previous fold; identity gates compare the final, skewed-replay, sidecar-recovery, and WAL-suffix-recovery " +
+			"checkpoints byte-for-byte against the offline one-pass scan",
 	}
+
+	// Phase 0: the fold A/B. Build the final chunk sequence once, fold it
+	// after warming the cache on all-but-the-last chunk (the steady-state
+	// checkpoint: one new chunk against the cached fold), then fold the
+	// identical sequence on a cold builder (every pre-cache checkpoint).
+	const abChunk = 16384 // stream.Config's default ChunkEdges
+	warm, err := core.NewIncrementalApprox(omega, core.DefaultPrecision, l.NumNodes)
+	if err != nil {
+		fatal(err)
+	}
+	last := (l.Len() - 1) / abChunk * abChunk // first index of the final chunk
+	for lo := 0; lo < last; lo += abChunk {
+		if err := warm.AppendChunk(l.Interactions[lo:min(lo+abChunk, last)], l.NumNodes); err != nil {
+			fatal(err)
+		}
+	}
+	warm.View().Fold() // prime the cache; untimed
+	if err := warm.AppendChunk(l.Interactions[last:], l.NumNodes); err != nil {
+		fatal(err)
+	}
+	incStart := time.Now()
+	incSum := warm.View().Fold()
+	incD := time.Since(incStart)
+	cold, err := core.NewIncrementalApprox(omega, core.DefaultPrecision, l.NumNodes)
+	if err != nil {
+		fatal(err)
+	}
+	for lo := 0; lo < l.Len(); lo += abChunk {
+		if err := cold.AppendChunk(l.Interactions[lo:min(lo+abChunk, l.Len())], l.NumNodes); err != nil {
+			fatal(err)
+		}
+	}
+	fullStart := time.Now()
+	cold.View().Fold()
+	fullD := time.Since(fullStart)
+	var incBuf bytes.Buffer
+	if _, err := incSum.WriteTo(&incBuf); err != nil {
+		fatal(err)
+	}
+	rep.FoldFullMs = float64(fullD) / float64(time.Millisecond)
+	rep.FoldIncrementalMs = float64(incD) / float64(time.Millisecond)
+	rep.FoldSpeedup = float64(fullD) / float64(incD)
+	rep.IdentityIncremental = bytes.Equal(incBuf.Bytes(), offlineBuf.Bytes())
+	fmt.Fprintf(os.Stderr, "benchstream: fold A/B: full %.0fms, incremental %.0fms (%.1fx), identity %v\n",
+		rep.FoldFullMs, rep.FoldIncrementalMs, rep.FoldSpeedup, rep.IdentityIncremental)
 
 	work, err := os.MkdirTemp("", "benchstream-*")
 	if err != nil {
@@ -151,7 +237,9 @@ func main() {
 
 	// Phase 1: sustained in-order ingest. One producer pushes flat out
 	// while the timer checkpoints; every sample-every-th edge gets a
-	// timestamp so the Publish hook can measure push-to-publish age.
+	// timestamp so the Publish hook can measure push-to-publish age. The
+	// small WAL segments force rotations, so compaction (covered-segment
+	// deletion behind the sidecar frontier) runs live under load.
 	type sample struct {
 		index int64 // accepted-edge count at sample time (== emitted order, in-order run)
 		at    time.Time
@@ -168,6 +256,7 @@ func main() {
 		Omega:           omega,
 		NumNodes:        l.NumNodes,
 		CheckpointEvery: *every,
+		SegmentBytes:    *segBytes,
 		Registry:        reg,
 		Publish: func(*core.ApproxSummaries) {
 			// The sidecar is renamed into place before Publish runs, and
@@ -225,9 +314,25 @@ func main() {
 	if v, ok := snap[stream.MetricWALSegments].(int64); ok {
 		rep.WALSegments = v
 	}
+	if v, ok := snap[stream.MetricWALDeletedSegs].(int64); ok {
+		rep.WALDeletedSegments = v
+	}
+	if v, ok := snap[stream.MetricChunkFiles].(int64); ok {
+		rep.ChunkFiles = v
+	}
+	if v, ok := snap[stream.MetricChunkFileBytes].(int64); ok {
+		rep.ChunkFileBytes = v
+	}
+	liveSegs, err := filepath.Glob(filepath.Join(dir1, "wal-*.seg"))
+	if err != nil {
+		fatal(err)
+	}
+	rep.WALLiveSegments = len(liveSegs)
 	fmt.Fprintf(os.Stderr, "benchstream: sustained %.0f edges/s over %.2fs, %d checkpoints (p50 %.1fms p99 %.1fms), freshness p50 %.0fms p99 %.0fms (%d samples)\n",
 		rep.SustainedEPS, rep.IngestSeconds, rep.Checkpoints,
 		rep.CheckpointP50Ms, rep.CheckpointP99Ms, rep.FreshnessP50Ms, rep.FreshnessP99Ms, rep.FreshnessN)
+	fmt.Fprintf(os.Stderr, "benchstream: WAL %d segments created, %d deleted, %d live; %d chunk sidecars (%.1f MiB)\n",
+		rep.WALSegments, rep.WALDeletedSegments, rep.WALLiveSegments, rep.ChunkFiles, float64(rep.ChunkFileBytes)/(1<<20))
 
 	// Phase 2: identity of the in-order run's final checkpoint.
 	rep.IdentityInOrder = checkpointMatches(dir1, offlineBuf.Bytes())
@@ -235,7 +340,9 @@ func main() {
 
 	// Phase 3: skewed replay. Block-shuffling within skew+1 positions
 	// bounds displacement, and the slack is set to the worst observed
-	// time lateness, so a correct reorder buffer drops nothing.
+	// time lateness, so a correct reorder buffer drops nothing. The WAL
+	// is kept to a single never-rotated segment so phase 5 can delete
+	// trailing sidecars and still find every edge in the log.
 	arrival := append([]graph.Interaction(nil), l.Interactions...)
 	shuffleBounded(arrival, *skew, 7)
 	var slack, maxSeen int64
@@ -256,6 +363,7 @@ func main() {
 		Slack:           slack,
 		CheckpointEvery: -1,
 		IdleFlush:       -1,
+		SegmentBytes:    1 << 40,
 	})
 	if err != nil {
 		fatal(err)
@@ -273,14 +381,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchstream: skewed identity (skew %d, slack %d ticks): %v (%d drops)\n",
 		*skew, slack, rep.IdentitySkewed, rep.SkewedDrops)
 
-	// Phase 4: recovery. Re-opening the in-order directory replays the
-	// WAL and publishes a recovery checkpoint before accepting intake.
+	// Phase 4: recovery. Re-opening the in-order directory must rebuild
+	// the whole state from durable chunk sidecars — zero WAL replay —
+	// and publish a recovery checkpoint before accepting intake.
 	var recovered bytes.Buffer
+	recStart := time.Now()
 	in3, err := stream.New(stream.Config{
 		Dir:             dir1,
 		Omega:           omega,
 		NumNodes:        l.NumNodes,
 		CheckpointEvery: -1,
+		SegmentBytes:    *segBytes,
 		Publish: func(s *core.ApproxSummaries) {
 			recovered.Reset()
 			if _, err := s.WriteTo(&recovered); err != nil {
@@ -291,11 +402,64 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rep.RecoverySeconds = time.Since(recStart).Seconds()
+	rst := in3.Stats()
+	rep.RecoveredChunkEdges = rst.RecoveredChunkEdges
+	rep.RecoveredWALEdges = rst.RecoveredWALEdges
 	if err := in3.Close(context.Background()); err != nil {
 		fatal(err)
 	}
 	rep.IdentityRecover = bytes.Equal(recovered.Bytes(), offlineBuf.Bytes())
-	fmt.Fprintf(os.Stderr, "benchstream: recovery identity: %v\n", rep.IdentityRecover)
+	fmt.Fprintf(os.Stderr, "benchstream: recovery identity: %v (%.2fs; %d edges from sidecars, %d from WAL)\n",
+		rep.IdentityRecover, rep.RecoverySeconds, rep.RecoveredChunkEdges, rep.RecoveredWALEdges)
+
+	// Phase 5: suffix replay. Drop the last two sidecars from the skewed
+	// directory — the state a crash between compactor passes leaves —
+	// and recovery must rebuild the surviving prefix from sidecars,
+	// replay exactly the uncovered WAL suffix, and converge to the same
+	// bytes (the stale checkpoint meta, which claims more chunks than
+	// survive, must be rejected by the fold-cache seeding).
+	sidecars, err := filepath.Glob(filepath.Join(dir2, "chunk-*.blk"))
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(sidecars) // indices share a width here, so this is numeric
+	if len(sidecars) < 3 {
+		fatal(fmt.Errorf("phase 5 needs ≥3 sidecars, found %d (raise -edges)", len(sidecars)))
+	}
+	for _, name := range sidecars[len(sidecars)-2:] {
+		if err := os.Remove(name); err != nil {
+			fatal(err)
+		}
+	}
+	var suffixRecovered bytes.Buffer
+	sufStart := time.Now()
+	in4, err := stream.New(stream.Config{
+		Dir:             dir2,
+		Omega:           omega,
+		NumNodes:        l.NumNodes,
+		CheckpointEvery: -1,
+		SegmentBytes:    1 << 40,
+		Publish: func(s *core.ApproxSummaries) {
+			suffixRecovered.Reset()
+			if _, err := s.WriteTo(&suffixRecovered); err != nil {
+				fatal(err)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep.SuffixReplaySeconds = time.Since(sufStart).Seconds()
+	sst := in4.Stats()
+	rep.SuffixReplayWALEdges = sst.RecoveredWALEdges
+	if err := in4.Close(context.Background()); err != nil {
+		fatal(err)
+	}
+	rep.IdentitySuffix = bytes.Equal(suffixRecovered.Bytes(), offlineBuf.Bytes()) &&
+		sst.RecoveredChunkEdges+sst.RecoveredWALEdges == int64(l.Len())
+	fmt.Fprintf(os.Stderr, "benchstream: suffix-replay identity: %v (%.2fs; %d edges from sidecars, %d from WAL)\n",
+		rep.IdentitySuffix, rep.SuffixReplaySeconds, sst.RecoveredChunkEdges, sst.RecoveredWALEdges)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -316,8 +480,21 @@ func main() {
 		fatal(fmt.Errorf("skewed replay diverged (drops=%d)", rep.SkewedDrops))
 	case !rep.IdentityRecover:
 		fatal(fmt.Errorf("recovery checkpoint differs from the offline scan"))
+	case !rep.IdentityIncremental:
+		fatal(fmt.Errorf("incremental fold differs from the offline scan"))
+	case !rep.IdentitySuffix:
+		fatal(fmt.Errorf("suffix-replay recovery diverged"))
 	case rep.Checkpoints < 1:
 		fatal(fmt.Errorf("sustained run published no checkpoints"))
+	case rep.FoldSpeedup < *minSpeedup:
+		fatal(fmt.Errorf("fold speedup %.2fx below the %.2fx gate", rep.FoldSpeedup, *minSpeedup))
+	case rep.RecoveredWALEdges != 0 || rep.RecoveredChunkEdges != int64(l.Len()):
+		fatal(fmt.Errorf("recovery replayed %d WAL edges (want 0) and %d sidecar edges (want %d)",
+			rep.RecoveredWALEdges, rep.RecoveredChunkEdges, l.Len()))
+	case rep.WALDeletedSegments < 1:
+		fatal(fmt.Errorf("no WAL segments deleted across %d rotations", rep.WALSegments))
+	case rep.SuffixReplayWALEdges < 1:
+		fatal(fmt.Errorf("suffix recovery replayed no WAL edges — the deleted sidecars were not exercised"))
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ipin/internal/graph"
 	"ipin/internal/hll"
@@ -38,6 +39,18 @@ import (
 // are immutable and the fold only clones out of them. This split is what
 // lets internal/stream keep ingesting while a background compactor folds
 // a checkpoint.
+//
+// Folds are amortized: every Fold caches its per-node result together
+// with the number of chunks it covered, and the next Fold over a view
+// with more chunks reuses the cached summaries as the folded prefix. Only
+// the new chunks are scanned, and their contribution propagates backward
+// through the old chunks as a windowed delta — MergeWindow drops entries
+// outside ω, so the backward walk terminates as soon as each chunk
+// boundary falls out of the window. The cached and delta paths produce
+// output byte-identical to a from-scratch fold (and therefore to
+// ComputeApprox): a vHLL cell is a pure, order-independent function of
+// its inserted (rank, timestamp) pair set, and the delta decomposition
+// feeds every cell the same pair set along the same ω-bounded paths.
 type IncrementalApprox struct {
 	omega     int64
 	precision int
@@ -46,6 +59,25 @@ type IncrementalApprox struct {
 	lastAt    graph.Time
 	hashes    []uint64
 	chunks    []approxChunk
+	cache     *cacheBox
+}
+
+// foldCache is the result of a completed fold: the per-node summaries
+// covering the first `chunks` sealed chunks. The sketch slice is shared —
+// with the ApproxSummaries handed to the caller and potentially with
+// later folds' outputs — and is immutable by convention: folds clone
+// before merging into any cached sketch.
+type foldCache struct {
+	chunks   int
+	sketches []*vhll.Sketch
+}
+
+// cacheBox shares the latest fold result between the appending owner and
+// any number of concurrently folding views. Stores race benignly: a stale
+// winner only costs the next fold some speed, never correctness, because
+// every cache entry is a valid fold of a chunk prefix.
+type cacheBox struct {
+	p atomic.Pointer[foldCache]
 }
 
 // approxChunk is one sealed, immutable time slice of the stream: its
@@ -78,7 +110,7 @@ func NewIncrementalApprox(omega int64, precision, numNodes int) (*IncrementalApp
 	if numNodes < 0 {
 		return nil, fmt.Errorf("core: negative node count %d", numNodes)
 	}
-	return &IncrementalApprox{omega: omega, precision: precision, numNodes: numNodes}, nil
+	return &IncrementalApprox{omega: omega, precision: precision, numNodes: numNodes, cache: &cacheBox{}}, nil
 }
 
 // Omega returns the window the summaries are built with.
@@ -106,6 +138,44 @@ func (inc *IncrementalApprox) NumChunks() int { return len(inc.chunks) }
 // every previously sealed interaction, and reference nodes < numNodes;
 // numNodes may exceed the current range to introduce new nodes.
 func (inc *IncrementalApprox) AppendChunk(edges []graph.Interaction, numNodes int) error {
+	if err := inc.validateChunk(edges, numNodes); err != nil {
+		return err
+	}
+	span := obs.NewSpan(sink(), "scan/chunk")
+	locals := make([]*vhll.Sketch, numNodes)
+	scanApproxBlock(edges, locals, inc.hashes, inc.omega, inc.precision)
+	inc.seal(edges, locals)
+	span.Endf("%s edges sealed (chunk %d, %s total)",
+		obs.Count(int64(len(edges))), len(inc.chunks), obs.Count(int64(inc.edgeCount)))
+	return nil
+}
+
+// AppendSealedChunk seals edges together with precomputed block-local
+// sketches — a chunk recovered from a durable sidecar rather than
+// rescanned. locals must be what AppendChunk would have computed: indexed
+// by NodeID, len(locals) == numNodes, built with the same omega and
+// precision (precision is checked; omega cannot be verified here, so
+// callers must gate on their own recorded value). Both slices are
+// retained. The same ordering/range validation as AppendChunk applies.
+func (inc *IncrementalApprox) AppendSealedChunk(edges []graph.Interaction, locals []*vhll.Sketch, numNodes int) error {
+	if err := inc.validateChunk(edges, numNodes); err != nil {
+		return err
+	}
+	if len(locals) != numNodes {
+		return fmt.Errorf("core: sealed chunk has %d local sketches for %d nodes", len(locals), numNodes)
+	}
+	for u, sk := range locals {
+		if sk != nil && sk.Precision() != inc.precision {
+			return fmt.Errorf("core: sealed chunk local %d has precision %d, want %d", u, sk.Precision(), inc.precision)
+		}
+	}
+	inc.seal(edges, locals)
+	return nil
+}
+
+// validateChunk checks chunk ordering and node range, then grows the node
+// range and hash cache. It mutates inc only on success.
+func (inc *IncrementalApprox) validateChunk(edges []graph.Interaction, numNodes int) error {
 	if len(edges) == 0 {
 		return fmt.Errorf("core: empty chunk")
 	}
@@ -127,14 +197,44 @@ func (inc *IncrementalApprox) AppendChunk(edges []graph.Interaction, numNodes in
 	for len(inc.hashes) < numNodes {
 		inc.hashes = append(inc.hashes, hll.Hash64(uint64(len(inc.hashes))))
 	}
-	span := obs.NewSpan(sink(), "scan/chunk")
-	locals := make([]*vhll.Sketch, numNodes)
-	scanApproxBlock(edges, locals, inc.hashes, inc.omega, inc.precision)
+	return nil
+}
+
+// seal appends a validated chunk.
+func (inc *IncrementalApprox) seal(edges []graph.Interaction, locals []*vhll.Sketch) {
 	inc.chunks = append(inc.chunks, approxChunk{edges: edges, locals: locals})
 	inc.edgeCount += len(edges)
 	inc.lastAt = edges[len(edges)-1].At
-	span.Endf("%s edges sealed (chunk %d, %s total)",
-		obs.Count(int64(len(edges))), len(inc.chunks), obs.Count(int64(inc.edgeCount)))
+}
+
+// SeedFoldCache primes the fold cache with summaries recovered from a
+// checkpoint that covers exactly the first `chunks` sealed chunks — the
+// recovery analogue of the cache a completed Fold leaves behind, so the
+// first post-recovery fold is already incremental. The summaries must
+// have been produced by Fold (or decode to the same bytes) over that
+// prefix under the same omega and precision; the sketch slice is adopted
+// as shared immutable state and must not be mutated afterwards. Seeding
+// with anything else silently corrupts every later fold, so callers gate
+// on their own durable metadata; the structural subset checked here
+// (window, precision, chunk and node ranges) rejects the detectable
+// mismatches.
+func (inc *IncrementalApprox) SeedFoldCache(s *ApproxSummaries, chunks int) error {
+	if s == nil {
+		return fmt.Errorf("core: nil summaries")
+	}
+	if s.Omega != inc.omega {
+		return fmt.Errorf("core: seed omega %d, builder has %d", s.Omega, inc.omega)
+	}
+	if s.Precision != inc.precision {
+		return fmt.Errorf("core: seed precision %d, builder has %d", s.Precision, inc.precision)
+	}
+	if chunks <= 0 || chunks > len(inc.chunks) {
+		return fmt.Errorf("core: seed covers %d chunks, builder has %d", chunks, len(inc.chunks))
+	}
+	if len(s.Sketches) > inc.numNodes {
+		return fmt.Errorf("core: seed spans %d nodes, builder has %d", len(s.Sketches), inc.numNodes)
+	}
+	inc.cache.p.Store(&foldCache{chunks: chunks, sketches: s.Sketches})
 	return nil
 }
 
@@ -148,11 +248,14 @@ func (inc *IncrementalApprox) View() ChunkView {
 		edgeCount: inc.edgeCount,
 		lastAt:    inc.lastAt,
 		chunks:    inc.chunks[:len(inc.chunks):len(inc.chunks)],
+		cache:     inc.cache,
 	}
 }
 
 // ChunkView is an immutable snapshot of sealed chunks, the unit a
-// background compactor folds into a checkpoint.
+// background compactor folds into a checkpoint. Views created from the
+// same builder share its fold cache, so folding a newer view reuses the
+// result of the previous fold.
 type ChunkView struct {
 	omega     int64
 	precision int
@@ -160,6 +263,7 @@ type ChunkView struct {
 	edgeCount int
 	lastAt    graph.Time
 	chunks    []approxChunk
+	cache     *cacheBox
 }
 
 // NumNodes returns the node range of the snapshot.
@@ -184,32 +288,100 @@ func (v ChunkView) EachEdge(fn func(graph.Interaction)) {
 	}
 }
 
+// Chunk exposes sealed chunk i: its interactions in ascending time order
+// and its block-local sketches (indexed by NodeID, sized to the node
+// range at seal time). Both slices are the live cached state — callers
+// must treat them as read-only. This is what lets internal/stream
+// persist sealed chunks as durable sidecars without recomputing them.
+func (v ChunkView) Chunk(i int) (edges []graph.Interaction, locals []*vhll.Sketch) {
+	c := &v.chunks[i]
+	return c.edges, c.locals
+}
+
 // Fold produces full summaries over every sealed chunk — byte-identical
 // to ComputeApprox over the concatenated interactions. It never mutates
 // chunk state: block-local sketches are cloned on adoption (that is the
 // one divergence from the parallel scan's stitch, which owns its locals),
 // so a view can be folded repeatedly and concurrently with appends. The
 // per-node merge fan-out runs on the library worker pool.
+//
+// When the view's cache holds a previous fold covering a prefix of its
+// chunks, only the chunks past that prefix are folded from scratch; the
+// prefix contributes through the cached summaries plus an ω-bounded
+// backward delta walk (see foldDelta). The returned sketches may be
+// shared with earlier Fold results and with the internal cache, so
+// callers must treat ApproxSummaries.Sketches as read-only — which the
+// serving layer already does.
 func (v ChunkView) Fold() *ApproxSummaries {
 	workers := Parallelism()
 	s := &ApproxSummaries{
 		Omega:     v.omega,
 		Precision: v.precision,
-		Sketches:  make([]*vhll.Sketch, v.numNodes),
 	}
 	if len(v.chunks) == 0 {
+		s.Sketches = make([]*vhll.Sketch, v.numNodes)
 		return s
 	}
 	span := obs.NewSpan(sink(), "scan/fold")
+	fc := v.cachedPrefix()
+	var out []*vhll.Sketch
+	reused := 0
+	switch {
+	case fc != nil && fc.chunks == len(v.chunks):
+		// The cache already covers the whole view; reshare it (padding
+		// the node range if the view grew it without sealing chunks).
+		out = fc.sketches
+		if len(out) != v.numNodes {
+			padded := make([]*vhll.Sketch, v.numNodes)
+			copy(padded, out)
+			out = padded
+		}
+		reused = fc.chunks
+	case fc != nil:
+		out = v.foldDelta(fc, workers)
+		reused = fc.chunks
+	default:
+		out = v.foldSuffix(0, workers)
+	}
+	s.Sketches = out
+	if v.cache != nil {
+		v.cache.p.Store(&foldCache{chunks: len(v.chunks), sketches: out})
+	}
+	span.Endf("%s edges, %d chunks (%d cached), %s entries",
+		obs.Count(int64(v.edgeCount)), len(v.chunks), reused, obs.Count(int64(s.EntryCount())))
+	return s
+}
+
+// cachedPrefix returns the shared fold cache if it covers a non-empty
+// prefix of this view's chunks, nil otherwise. Chunks are append-only
+// and immutable, so a cache recorded at k chunks is always a fold of
+// chunks[:k] of any later view from the same builder.
+func (v ChunkView) cachedPrefix() *foldCache {
+	if v.cache == nil {
+		return nil
+	}
+	fc := v.cache.p.Load()
+	if fc == nil || fc.chunks <= 0 || fc.chunks > len(v.chunks) || len(fc.sketches) > v.numNodes {
+		return nil
+	}
+	return fc
+}
+
+// foldSuffix folds chunks[from:] into fresh per-node sketches over the
+// view's full node range — for from == 0, the complete fold. Every
+// non-nil sketch in the result is owned by the caller (cloned or newly
+// built), never shared with chunk state.
+func (v ChunkView) foldSuffix(from, workers int) []*vhll.Sketch {
+	out := make([]*vhll.Sketch, v.numNodes)
 	// Adopt the latest chunk by clone: the stitch mutates suffix state in
 	// place, and the cached locals must survive for the next fold.
 	last := &v.chunks[len(v.chunks)-1]
 	par.ForEach(workers, v.numNodes, func(ui int) {
 		if sk := last.local(graph.NodeID(ui)); sk != nil {
-			s.Sketches[ui] = sk.Clone()
+			out[ui] = sk.Clone()
 		}
 	})
-	for b := len(v.chunks) - 2; b >= 0; b-- {
+	for b := len(v.chunks) - 2; b >= from; b-- {
 		c := &v.chunks[b]
 		boundary := v.chunks[b+1].edges[0].At
 		// Boundary walk: propagate suffix entries back through this
@@ -224,7 +396,7 @@ func (v ChunkView) Fold() *ApproxSummaries {
 			if e.Src == e.Dst {
 				continue
 			}
-			skV, dV := s.Sketches[e.Dst], delta[e.Dst]
+			skV, dV := out[e.Dst], delta[e.Dst]
 			if skV == nil && dV == nil {
 				continue
 			}
@@ -246,7 +418,7 @@ func (v ChunkView) Fold() *ApproxSummaries {
 		// locals are cached, so they fold in through the clone-safe merge.
 		par.ForEach(workers, v.numNodes, func(ui int) {
 			u := graph.NodeID(ui)
-			dst := vhll.MergeInto(s.Sketches[u], c.local(u))
+			dst := vhll.MergeInto(out[u], c.local(u))
 			if d := delta[u]; d != nil {
 				if dst == nil {
 					dst = d
@@ -254,10 +426,87 @@ func (v ChunkView) Fold() *ApproxSummaries {
 					_ = dst.Merge(d)
 				}
 			}
-			s.Sketches[u] = dst
+			out[u] = dst
 		})
 	}
-	span.Endf("%s edges, %d chunks, %s entries",
-		obs.Count(int64(v.edgeCount)), len(v.chunks), obs.Count(int64(s.EntryCount())))
-	return s
+	return out
+}
+
+// foldDelta folds a view whose first fc.chunks chunks are covered by the
+// cached summaries. The new chunks fold from scratch (foldSuffix), their
+// contribution walks backward through the old chunks as a windowed
+// delta, and the result is cached-prefix ∪ delta per node.
+//
+// Correctness: a sketch is the canonical form of its inserted pair set,
+// so the full fold's result at node u is (pairs reaching u through the
+// old chunks' stitch) ∪ (pairs originating in the new chunks reaching u
+// through the same ω-bounded edge paths). The first set is exactly the
+// cached summaries — the cached fold ran the identical walk over the
+// identical old chunks. The second set is what this delta walk computes:
+// it replays the old chunks' boundary walks with the suffix state
+// restricted to new-chunk contributions. Window filtering applies per
+// entry, so filtering the union equals the union of filtered parts, and
+// both paths feed every cell the same pair set. Non-nil structure is
+// preserved for byte identity: a delta sketch is created (possibly
+// empty) exactly when the full walk would have created one from a
+// new-chunk source, and old-source creations are already in the cache.
+func (v ChunkView) foldDelta(fc *foldCache, workers int) []*vhll.Sketch {
+	k := fc.chunks
+	d := v.foldSuffix(k, workers)
+	// Every entry in d carries a timestamp from the new chunks, i.e.
+	// ≥ newStart, and merges preserve original timestamps. MergeWindow
+	// keeps entries with At − t < ω, so once an old edge sits ω or more
+	// before newStart the merge is provably a no-op and can be skipped.
+	// The sketch creation above it must still run: the full fold creates
+	// a (possibly empty) sketch there, and byte identity tracks the
+	// nil/non-nil pattern as much as the contents.
+	newStart := v.chunks[k].edges[0].At
+	for b := k - 1; b >= 0; b-- {
+		c := &v.chunks[b]
+		boundary := v.chunks[b+1].edges[0].At
+		for i := len(c.edges) - 1; i >= 0; i-- {
+			e := c.edges[i]
+			if int64(boundary-e.At) >= v.omega {
+				break
+			}
+			if e.Src == e.Dst {
+				continue
+			}
+			dV := d[e.Dst]
+			if dV == nil {
+				continue
+			}
+			dU := d[e.Src]
+			if dU == nil {
+				dU = vhll.MustNew(v.precision)
+				d[e.Src] = dU
+			}
+			if int64(newStart-e.At) >= v.omega {
+				continue
+			}
+			_ = dU.MergeWindow(dV, int64(e.At), v.omega)
+		}
+	}
+	out := make([]*vhll.Sketch, v.numNodes)
+	par.ForEach(workers, v.numNodes, func(ui int) {
+		var base *vhll.Sketch
+		if ui < len(fc.sketches) {
+			base = fc.sketches[ui]
+		}
+		switch {
+		case d[ui] == nil:
+			out[ui] = base // untouched by new chunks: share the cached sketch
+		case base == nil:
+			out[ui] = d[ui] // fresh delta, owned by this fold
+		case d[ui].Empty():
+			// Creation-only delta: the full fold would merge nothing into
+			// the cached sketch, so its bytes are exactly the cached ones.
+			out[ui] = base
+		default:
+			sk := base.Clone() // cached sketches are shared — never mutate
+			_ = sk.Merge(d[ui])
+			out[ui] = sk
+		}
+	})
+	return out
 }

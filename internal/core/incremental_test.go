@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ipin/internal/graph"
+	"ipin/internal/vhll"
 )
 
 // foldBytes encodes summaries to their canonical IRX1 bytes.
@@ -172,6 +173,219 @@ func TestIncrementalGrowNodes(t *testing.T) {
 	l.Add(4, 3, 5)
 	if !bytes.Equal(foldBytes(t, inc.View().Fold()), foldBytes(t, mustApprox(t, l, 10, 4))) {
 		t.Fatal("grown fold differs from offline scan")
+	}
+}
+
+// TestFoldCacheIncrementalIdentity: folding after EVERY appended chunk —
+// so each fold past the first takes the cached-delta path, chained on
+// the previous fold's cache — must stay byte-identical to the offline
+// one-pass scan over the covered prefix, across windows from one tick to
+// beyond the whole span. This is the property that licenses amortized
+// checkpoints in internal/stream.
+func TestFoldCacheIncrementalIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(40)
+		m := 1 + rng.Intn(400)
+		l := randomLog(rng, n, m)
+		for _, omega := range []int64{1, 3, int64(m/4 + 1), int64(m) + 10} {
+			inc, err := NewIncrementalApprox(omega, 4, l.NumNodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edges := l.Interactions
+			for lo := 0; lo < len(edges); {
+				hi := lo + 1 + rng.Intn(len(edges)-lo)
+				if err := inc.AppendChunk(edges[lo:hi], l.NumNodes); err != nil {
+					t.Fatalf("AppendChunk[%d:%d]: %v", lo, hi, err)
+				}
+				prefix := &graph.Log{NumNodes: l.NumNodes, Interactions: edges[:hi]}
+				want := foldBytes(t, mustApprox(t, prefix, omega, 4))
+				if got := foldBytes(t, inc.View().Fold()); !bytes.Equal(got, want) {
+					t.Fatalf("trial %d omega %d: cached fold over edges[:%d] differs from ComputeApprox (n=%d m=%d chunks=%d)",
+						trial, omega, hi, n, m, inc.NumChunks())
+				}
+				lo = hi
+			}
+		}
+	}
+}
+
+// TestFoldCacheGrowNodes: the delta path must stay identical when new
+// chunks widen the node range past the cached summaries' length.
+func TestFoldCacheGrowNodes(t *testing.T) {
+	inc, err := NewIncrementalApprox(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.AppendChunk([]graph.Interaction{{Src: 0, Dst: 1, At: 1}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	_ = inc.View().Fold() // cache covers 1 chunk over 2 nodes
+	if err := inc.AppendChunk([]graph.Interaction{{Src: 1, Dst: 4, At: 3}, {Src: 4, Dst: 3, At: 5}}, 5); err != nil {
+		t.Fatal(err)
+	}
+	l := graph.New(5)
+	l.Add(0, 1, 1)
+	l.Add(1, 4, 3)
+	l.Add(4, 3, 5)
+	if !bytes.Equal(foldBytes(t, inc.View().Fold()), foldBytes(t, mustApprox(t, l, 10, 4))) {
+		t.Fatal("cached fold across node growth differs from offline scan")
+	}
+}
+
+// TestSeedFoldCache: priming a fresh builder's cache from a decoded
+// checkpoint (the recovery path) must make later folds byte-identical to
+// both the offline scan and an unseeded fold.
+func TestSeedFoldCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	l := randomLog(rng, 30, 400)
+	const omega, prec = 50, 4
+	edges := l.Interactions
+	cut := len(edges) / 2
+
+	build := func(upto int) *IncrementalApprox {
+		inc, err := NewIncrementalApprox(omega, prec, l.NumNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < upto; {
+			hi := lo + 37
+			if hi > upto {
+				hi = upto
+			}
+			if err := inc.AppendChunk(edges[lo:hi], l.NumNodes); err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+		return inc
+	}
+
+	// Checkpoint the first half, round-trip it through the codec.
+	first := build(cut)
+	ckpt := foldBytes(t, first.View().Fold())
+	decoded, err := ReadApproxSummaries(bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Recover": rebuild the same chunks, seed the cache, append the rest.
+	second := build(cut)
+	chunks := second.NumChunks()
+	if err := second.SeedFoldCache(decoded, chunks); err != nil {
+		t.Fatalf("SeedFoldCache: %v", err)
+	}
+	for lo := cut; lo < len(edges); {
+		hi := lo + 37
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if err := second.AppendChunk(edges[lo:hi], l.NumNodes); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	want := foldBytes(t, mustApprox(t, l, omega, prec))
+	if got := foldBytes(t, second.View().Fold()); !bytes.Equal(got, want) {
+		t.Fatal("seeded fold differs from offline scan")
+	}
+	// And the seeded prefix itself must reproduce the checkpoint.
+	third := build(cut)
+	if err := third.SeedFoldCache(decoded, third.NumChunks()); err != nil {
+		t.Fatal(err)
+	}
+	if got := foldBytes(t, third.View().Fold()); !bytes.Equal(got, ckpt) {
+		t.Fatal("seeded refold of the covered prefix differs from the checkpoint")
+	}
+}
+
+func TestSeedFoldCacheValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	l := randomLog(rng, 10, 60)
+	inc := appendRandomChunks(t, rng, l, 20, 4)
+	sum := inc.View().Fold()
+	if err := inc.SeedFoldCache(nil, 1); err == nil {
+		t.Error("nil summaries accepted")
+	}
+	bad := *sum
+	bad.Omega = 999
+	if err := inc.SeedFoldCache(&bad, inc.NumChunks()); err == nil {
+		t.Error("omega mismatch accepted")
+	}
+	bad = *sum
+	bad.Precision = 9
+	if err := inc.SeedFoldCache(&bad, inc.NumChunks()); err == nil {
+		t.Error("precision mismatch accepted")
+	}
+	if err := inc.SeedFoldCache(sum, 0); err == nil {
+		t.Error("zero chunk count accepted")
+	}
+	if err := inc.SeedFoldCache(sum, inc.NumChunks()+1); err == nil {
+		t.Error("chunk count beyond builder accepted")
+	}
+	if err := inc.SeedFoldCache(sum, inc.NumChunks()); err != nil {
+		t.Errorf("valid seed rejected: %v", err)
+	}
+}
+
+// TestAppendSealedChunk: sealing a chunk with precomputed locals (the
+// sidecar recovery path) must behave exactly like AppendChunk.
+func TestAppendSealedChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	l := randomLog(rng, 20, 200)
+	const omega, prec = 30, 4
+	edges := l.Interactions
+
+	// Build once with AppendChunk to harvest the block-local sketches.
+	donor, err := NewIncrementalApprox(omega, prec, l.NumNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []int
+	for lo := 0; lo < len(edges); {
+		hi := lo + 1 + rng.Intn(60)
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if err := donor.AppendChunk(edges[lo:hi], l.NumNodes); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, hi)
+		lo = hi
+	}
+
+	recovered, err := NewIncrementalApprox(omega, prec, l.NumNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := donor.View()
+	for i := 0; i < dv.NumChunks(); i++ {
+		ce, cl := dv.Chunk(i)
+		if err := recovered.AppendSealedChunk(ce, cl, len(cl)); err != nil {
+			t.Fatalf("AppendSealedChunk %d: %v", i, err)
+		}
+	}
+	if recovered.EdgeCount() != donor.EdgeCount() || recovered.LastAt() != donor.LastAt() {
+		t.Fatalf("recovered state %d/%d, donor %d/%d",
+			recovered.EdgeCount(), recovered.LastAt(), donor.EdgeCount(), donor.LastAt())
+	}
+	want := foldBytes(t, mustApprox(t, l, omega, prec))
+	if got := foldBytes(t, recovered.View().Fold()); !bytes.Equal(got, want) {
+		t.Fatal("fold over sealed chunks differs from offline scan")
+	}
+
+	// Validation: locals length and precision must match.
+	fresh, _ := NewIncrementalApprox(omega, prec, l.NumNodes)
+	ce, cl := dv.Chunk(0)
+	if err := fresh.AppendSealedChunk(ce, cl[:len(cl)-1], len(cl)); err == nil {
+		t.Error("short locals accepted")
+	}
+	wrong := make([]*vhll.Sketch, len(cl))
+	copy(wrong, cl)
+	wrong[0] = vhll.MustNew(prec + 1)
+	if err := fresh.AppendSealedChunk(ce, wrong, len(cl)); err == nil {
+		t.Error("wrong-precision local accepted")
 	}
 }
 

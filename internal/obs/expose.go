@@ -70,6 +70,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			typ, help = "counter", m.help
 		case *Gauge:
 			typ, help = "gauge", m.help
+		case *GaugeFunc:
+			typ, help = "gauge", m.help
 		case *Histogram:
 			typ, help = "histogram", m.help
 		}
@@ -83,6 +85,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case *Counter:
 				fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), m.Value())
 			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), m.Value())
+			case *GaugeFunc:
 				fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), m.Value())
 			case *Histogram:
 				snap := m.Snapshot()
@@ -120,6 +124,8 @@ func (r *Registry) Snapshot() map[string]any {
 		case *Counter:
 			out[name] = m.Value()
 		case *Gauge:
+			out[name] = m.Value()
+		case *GaugeFunc:
 			out[name] = m.Value()
 		case *Histogram:
 			out[name] = m.Snapshot()

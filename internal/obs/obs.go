@@ -97,6 +97,25 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// GaugeFunc is a gauge whose value is computed by a callback at read
+// (scrape) time instead of being pushed by the instrumented code. Use it
+// for values that are a function of the current clock or of other state
+// — e.g. "seconds since X" — which a Set-style gauge can only ever
+// report as of its last incidental update. A nil *GaugeFunc is a no-op.
+type GaugeFunc struct {
+	name string
+	help string
+	fn   func() int64
+}
+
+// Value computes the current value; 0 on a nil receiver.
+func (g *GaugeFunc) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.fn()
+}
+
 // Histogram is a fixed-bucket cumulative histogram in the Prometheus
 // style: bucket i counts observations ≤ bounds[i], plus an implicit +Inf
 // bucket. Observations take one binary search over the (small, immutable)
@@ -256,6 +275,28 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		return g
 	}
 	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// GaugeFunc registers a computed gauge under the given full name whose
+// value is fn() at every exposition. Asking twice for the same name
+// returns the existing instrument (the first fn wins). The callback must
+// be safe to call from any goroutine. Nil registry → nil instrument.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metric[name]; ok {
+		g, ok := m.(*GaugeFunc)
+		if !ok {
+			panic("obs: metric " + name + " already registered with a different type")
+		}
+		return g
+	}
+	g := &GaugeFunc{name: name, help: help, fn: fn}
 	r.register(name, g)
 	return g
 }

@@ -23,6 +23,14 @@ const (
 	MetricCheckpointDur  = "stream_checkpoint_seconds"
 	MetricCheckpointAge  = "stream_checkpoint_age_seconds"
 	MetricCheckpointEdge = "stream_checkpoint_edges"
+
+	MetricWALDeletedSegs  = "stream_wal_deleted_segments_total"
+	MetricWALDeletedBytes = "stream_wal_deleted_bytes_total"
+	MetricChunkFiles      = "stream_chunk_files_total"
+	MetricChunkFileBytes  = "stream_chunk_file_bytes_total"
+	MetricDirSyncs        = "stream_dir_syncs_total"
+	MetricRecoveredChunk  = "stream_recovered_chunk_edges"
+	MetricRecoveredWAL    = "stream_recovered_wal_edges"
 )
 
 // metrics bundles the ingestion instruments. Built over a nil registry
@@ -35,28 +43,37 @@ type metrics struct {
 	walFsync                                     *obs.Histogram
 	chunks, checkpoints, checkpointSkips         *obs.Counter
 	checkpointDur                                *obs.Histogram
-	checkpointAge, checkpointEdges               *obs.Gauge
+	checkpointEdges                              *obs.Gauge
+	walDeleted, walDeletedBytes                  *obs.Counter
+	chunkFiles, chunkFileBytes, dirSyncs         *obs.Counter
+	recoveredChunkEdges, recoveredWALEdges       *obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
 	return &metrics{
-		accepted:        reg.Counter(MetricEdgesAccepted, "Edges accepted from sources into the reordering buffer."),
-		emitted:         reg.Counter(MetricEdgesEmitted, "Edges released past the watermark into the WAL and sketch state."),
-		drops:           reg.Counter(MetricReorderDrops, "Edges dropped for arriving later than the reorder slack allows."),
-		detie:           reg.Counter(MetricDetieBumps, "Emitted timestamps bumped to keep the log strictly increasing."),
-		parseErrors:     reg.Counter(MetricParseErrors, "Malformed input lines rejected by the edge parser."),
-		reorderDepth:    reg.Gauge(MetricReorderDepth, "Edges currently held in the reordering buffer."),
-		watermarkLag:    reg.Gauge(MetricWatermarkLag, "Ticks between the latest arrival and the emission watermark."),
-		walRecords:      reg.Counter(MetricWALRecords, "Records appended to the write-ahead log."),
-		walBytes:        reg.Counter(MetricWALBytes, "Bytes appended to the write-ahead log."),
-		walSegments:     reg.Counter(MetricWALSegments, "WAL segments created (rotations plus the initial segment)."),
-		walTrunc:        reg.Counter(MetricWALTruncated, "Torn-tail bytes truncated from the final segment during replay."),
-		walFsync:        reg.Histogram(MetricWALFsync, "WAL fsync latency in seconds.", nil),
-		chunks:          reg.Counter(MetricChunksSealed, "Sketch chunks sealed from pending edges."),
-		checkpoints:     reg.Counter(MetricCheckpoints, "Checkpoints folded, written, and published."),
-		checkpointSkips: reg.Counter(MetricCheckpointSkip, "Interval checkpoints skipped because the compactor was busy."),
-		checkpointDur:   reg.Histogram(MetricCheckpointDur, "Checkpoint latency (fold + write + publish) in seconds.", nil),
-		checkpointAge:   reg.Gauge(MetricCheckpointAge, "Seconds since the last published checkpoint."),
-		checkpointEdges: reg.Gauge(MetricCheckpointEdge, "Edges covered by the last published checkpoint."),
+		accepted:            reg.Counter(MetricEdgesAccepted, "Edges accepted from sources into the reordering buffer."),
+		emitted:             reg.Counter(MetricEdgesEmitted, "Edges released past the watermark into the WAL and sketch state."),
+		drops:               reg.Counter(MetricReorderDrops, "Edges dropped for arriving later than the reorder slack allows."),
+		detie:               reg.Counter(MetricDetieBumps, "Emitted timestamps bumped to keep the log strictly increasing."),
+		parseErrors:         reg.Counter(MetricParseErrors, "Malformed input lines rejected by the edge parser."),
+		reorderDepth:        reg.Gauge(MetricReorderDepth, "Edges currently held in the reordering buffer."),
+		watermarkLag:        reg.Gauge(MetricWatermarkLag, "Ticks between the latest arrival and the emission watermark."),
+		walRecords:          reg.Counter(MetricWALRecords, "Records appended to the write-ahead log."),
+		walBytes:            reg.Counter(MetricWALBytes, "Bytes appended to the write-ahead log."),
+		walSegments:         reg.Counter(MetricWALSegments, "WAL segments created (rotations plus the initial segment)."),
+		walTrunc:            reg.Counter(MetricWALTruncated, "Torn-tail bytes truncated from the final segment during replay."),
+		walFsync:            reg.Histogram(MetricWALFsync, "WAL fsync latency in seconds.", nil),
+		chunks:              reg.Counter(MetricChunksSealed, "Sketch chunks sealed from pending edges."),
+		checkpoints:         reg.Counter(MetricCheckpoints, "Checkpoints folded, written, and published."),
+		checkpointSkips:     reg.Counter(MetricCheckpointSkip, "Interval checkpoints skipped because the compactor was busy."),
+		checkpointDur:       reg.Histogram(MetricCheckpointDur, "Checkpoint latency (fold + write + publish) in seconds.", nil),
+		checkpointEdges:     reg.Gauge(MetricCheckpointEdge, "Edges covered by the last published checkpoint."),
+		walDeleted:          reg.Counter(MetricWALDeletedSegs, "WAL segments deleted after their edges became durable in chunk sidecars."),
+		walDeletedBytes:     reg.Counter(MetricWALDeletedBytes, "Bytes reclaimed by deleting covered WAL segments."),
+		chunkFiles:          reg.Counter(MetricChunkFiles, "Chunk sidecar files written."),
+		chunkFileBytes:      reg.Counter(MetricChunkFileBytes, "Bytes written to chunk sidecar files."),
+		dirSyncs:            reg.Counter(MetricDirSyncs, "Directory fsyncs after renames, creations, and deletions."),
+		recoveredChunkEdges: reg.Gauge(MetricRecoveredChunk, "Edges recovered from durable chunk sidecars at startup."),
+		recoveredWALEdges:   reg.Gauge(MetricRecoveredWAL, "Edges recovered by WAL suffix replay at startup."),
 	}
 }

@@ -57,6 +57,25 @@ func segFiles(t *testing.T, dir string) []string {
 	return names
 }
 
+// wipeDurable deletes the chunk sidecars and checkpoint files from dir,
+// leaving only the WAL — the state a crash leaves behind when it lands
+// before the first compactor pass. WAL-tearing tests need this: after a
+// clean Close every edge is durable in sidecars, so a torn WAL tail
+// would otherwise lose nothing.
+func wipeDurable(t *testing.T, dir string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, chunkFilePattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = append(names, filepath.Join(dir, CheckpointName), filepath.Join(dir, CheckpointMetaName))
+	for _, name := range names {
+		if err := os.Remove(name); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+}
+
 // recoverPublished reopens dir and returns the recovery checkpoint that
 // New publishes from the replayed WAL.
 func recoverPublished(t *testing.T, dir string, cfg Config) (*core.ApproxSummaries, *Ingester) {
@@ -104,6 +123,7 @@ func TestRecoveryMidBatchTorn(t *testing.T) {
 	cfg := Config{Omega: 15, Precision: 4, ChunkEdges: 40, CheckpointEvery: -1, SegmentBytes: 1 << 20}
 	dir := t.TempDir()
 	ingestAll(t, dir, edges, cfg)
+	wipeDurable(t, dir)
 	segs := segFiles(t, dir)
 	final := segs[len(segs)-1]
 	data, err := os.ReadFile(final)
@@ -168,6 +188,7 @@ func TestRecoveryResumeAppending(t *testing.T) {
 	cfg := Config{Omega: 25, Precision: 4, ChunkEdges: 30, CheckpointEvery: -1}
 	dir := t.TempDir()
 	ingestAll(t, dir, edges[:half], cfg)
+	wipeDurable(t, dir)
 	// Tear a few bytes off the final segment: lose the last record(s).
 	segs := segFiles(t, dir)
 	final := segs[len(segs)-1]

@@ -17,18 +17,25 @@
 // callback (wired to serve.Server.LoadApprox in process) so the serving
 // layer's generation-counted swap is the only handoff point.
 //
-// Recovery is replay: New re-reads every WAL segment (truncating a torn
-// tail in the final segment only), rebuilds the chunk state, and
-// publishes an initial checkpoint. Chunk boundaries do not affect fold
-// output, so the recovered summaries are byte-identical to those of an
-// uninterrupted run over the same emitted prefix — the property the
-// crash tests in recovery_test.go pin.
+// Durability is two-tier. Chunk sidecars (chunkfile.go) persist each
+// sealed chunk's edges and block-local sketches the next time the
+// compactor runs, so recovery loads the sidecar prefix with
+// AppendSealedChunk — no rescan — and replays only the WAL suffix past
+// it (truncating a torn tail in the final segment only). WAL segments
+// entirely covered by durable sidecars are deleted, bounding the log.
+// The fold cache seeded from checkpoint.irx makes the first
+// post-recovery checkpoint incremental too. Chunk boundaries do not
+// affect fold output, so the recovered summaries are byte-identical to
+// those of an uninterrupted run over the same emitted prefix — the
+// property the crash tests in recovery_test.go pin.
 package stream
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -39,6 +46,7 @@ import (
 	"ipin/internal/graph"
 	"ipin/internal/obs"
 	"ipin/internal/swhll"
+	"ipin/internal/vhll"
 )
 
 // Config parameterizes an Ingester. Dir and Omega are required; every
@@ -86,7 +94,9 @@ type Config struct {
 	ProfileWindow int64
 	// Publish receives each folded checkpoint, in order. Wire it to
 	// serve.Server.LoadApprox for in-process hot swap; nil means
-	// checkpoints are only written to disk.
+	// checkpoints are only written to disk. The summaries are shared
+	// with the ingester's fold cache (the base later incremental folds
+	// build on), so the callback must treat them as read-only.
 	Publish func(*core.ApproxSummaries)
 	// Registry receives the stream_* metrics; nil disables them.
 	Registry *obs.Registry
@@ -102,12 +112,20 @@ const (
 // Stats is a point-in-time snapshot of ingestion progress, readable from
 // any goroutine.
 type Stats struct {
-	Accepted     int64 // edges accepted from sources into the pipeline
+	Accepted     int64 // edges accepted from sources into the pipeline (drops excluded)
 	Emitted      int64 // edges past the watermark, logged and sealed/pending
 	ReorderDrops int64 // edges dropped for exceeding the slack
 	Checkpoints  int64 // checkpoints published
 	LastAt       int64 // latest emitted timestamp
 	CoveredEdges int64 // edges covered by the last published checkpoint
+
+	// RecoveredChunkEdges and RecoveredWALEdges split the startup
+	// recovery by source: edges rebuilt from durable chunk sidecars
+	// (no rescan) versus edges replayed from the WAL suffix. Their sum
+	// is the recovered prefix; a well-compacted directory recovers
+	// almost everything from sidecars.
+	RecoveredChunkEdges int64
+	RecoveredWALEdges   int64
 }
 
 var errClosed = errors.New("stream: ingester closed")
@@ -127,15 +145,22 @@ type Ingester struct {
 	runErr  atomic.Pointer[error]
 
 	// Owned by the run loop.
-	buf       *reorder
-	wal       *WAL
-	inc       *core.IncrementalApprox
-	pending   []graph.Interaction
-	profiles  *swhll.Profiles
-	sinceCkpt int
+	buf            *reorder
+	wal            *WAL
+	inc            *core.IncrementalApprox
+	pending        []graph.Interaction
+	profiles       *swhll.Profiles
+	sinceCkpt      int
+	walCompactedAt int64 // timestamp DeleteCovered last ran with
 
-	// folds carries snapshots to the compactor goroutine.
-	folds chan foldJob
+	// Owned by the compactor goroutine (initialized before it starts).
+	durableChunks int // sealed chunks already persisted as sidecars
+
+	// folds carries snapshots to the compactor goroutine; foldsPending
+	// counts submitted-but-unfinished jobs so triggers can skip without
+	// sealing while a fold is in flight.
+	folds        chan foldJob
+	foldsPending atomic.Int32
 
 	accepted    atomic.Int64
 	emitted     atomic.Int64
@@ -144,6 +169,10 @@ type Ingester struct {
 	lastAt      atomic.Int64
 	ckptEdges   atomic.Int64
 	lastCkpt    atomic.Int64 // unix nanos of the last publish
+	durableAt   atomic.Int64 // newest timestamp covered by durable sidecars
+
+	recoveredChunkEdges int64 // set once in New, before the loops start
+	recoveredWALEdges   int64
 }
 
 // foldJob asks the compactor to fold one snapshot; done receives the
@@ -153,9 +182,11 @@ type foldJob struct {
 	done chan error
 }
 
-// New opens (or creates) the state directory, replays the WAL, rebuilds
-// the sketch state, publishes a recovery checkpoint when the log was
-// non-empty, and starts the intake loop and compactor.
+// New opens (or creates) the state directory, loads the durable chunk
+// sidecars, replays the WAL suffix past them, rebuilds the sketch state,
+// seeds the fold cache from the checkpoint, publishes a recovery
+// checkpoint when anything was recovered, deletes WAL segments the
+// sidecars cover, and starts the intake loop and compactor.
 func New(cfg Config) (*Ingester, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("stream: Config.Dir is required")
@@ -192,6 +223,15 @@ func New(cfg Config) (*Ingester, error) {
 		folds:   make(chan foldJob),
 		buf:     newReorder(cfg.Slack, mx),
 	}
+	// The checkpoint age is computed at exposition time: a push-style
+	// gauge can only report the age as of its last incidental update.
+	cfg.Registry.GaugeFunc(MetricCheckpointAge, "Seconds since the last published checkpoint.", func() int64 {
+		at := in.lastCkpt.Load()
+		if at == 0 {
+			return 0
+		}
+		return int64(time.Since(time.Unix(0, at)).Seconds())
+	})
 	inc, err := core.NewIncrementalApprox(cfg.Omega, cfg.Precision, cfg.NumNodes)
 	if err != nil {
 		return nil, err
@@ -204,24 +244,69 @@ func New(cfg Config) (*Ingester, error) {
 		}
 		in.profiles = p
 	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Tier 1: durable chunk sidecars. Each carries a sealed chunk's edges
+	// and block-local sketches, so the state rebuilds without a rescan.
+	sidecars, err := loadChunks(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	chunkLastAt := int64(math.MinInt64)
+	var chunkEdges int64
+	for _, c := range sidecars {
+		if c.omega != cfg.Omega || c.precision != cfg.Precision {
+			// The sidecar was written under a different configuration; its
+			// cached sketches are useless, but its edges are not — rescan.
+			if err := in.seal(c.edges); err != nil {
+				return nil, fmt.Errorf("stream: chunk sidecar %d replay: %w", c.index, err)
+			}
+		} else {
+			locals, nodes := c.locals, c.numNodes
+			if n := inc.NumNodes(); n > nodes {
+				// The configured node range outgrew the sidecar's; pad with
+				// nils, exactly what a rescan would produce for idle nodes.
+				padded := make([]*vhll.Sketch, n)
+				copy(padded, locals)
+				locals, nodes = padded, n
+			}
+			if err := inc.AppendSealedChunk(c.edges, locals, nodes); err != nil {
+				return nil, fmt.Errorf("stream: chunk sidecar %d: %w", c.index, err)
+			}
+			mx.chunks.Inc()
+			in.sinceCkpt += len(c.edges)
+		}
+		chunkEdges += int64(len(c.edges))
+		chunkLastAt = int64(c.edges[len(c.edges)-1].At)
+	}
+	// Tier 2: the WAL. Replay still reads every surviving segment, but
+	// only the suffix past the sidecar coverage is new — the overlap (the
+	// segment that was active when the last sidecar batch landed) is
+	// skipped, and fully covered segments were already deleted.
 	wal, recovered, err := OpenWAL(cfg.Dir, WALConfig{SegmentBytes: cfg.SegmentBytes, SyncEvery: cfg.SyncEvery}, mx)
 	if err != nil {
 		return nil, err
 	}
 	in.wal = wal
-	// Rebuild sketch state from the replayed edge sequence. The replayed
-	// edges already passed the reorder buffer in their first life, so they
-	// feed the chunk builder directly; the fresh reorder buffer is primed
-	// past the recovered tail so replayed history cannot be re-emitted.
-	for lo := 0; lo < len(recovered); lo += cfg.ChunkEdges {
-		hi := min(lo+cfg.ChunkEdges, len(recovered))
-		if err := in.seal(recovered[lo:hi]); err != nil {
+	suffix := recovered
+	for len(suffix) > 0 && int64(suffix[0].At) <= chunkLastAt {
+		suffix = suffix[1:]
+	}
+	// Rebuild the rest of the sketch state from the replayed suffix. The
+	// replayed edges already passed the reorder buffer in their first
+	// life, so they feed the chunk builder directly; the fresh reorder
+	// buffer is primed past the recovered tail so replayed history cannot
+	// be re-emitted.
+	for lo := 0; lo < len(suffix); lo += cfg.ChunkEdges {
+		hi := min(lo+cfg.ChunkEdges, len(suffix))
+		if err := in.seal(suffix[lo:hi]); err != nil {
 			wal.Close()
 			return nil, fmt.Errorf("stream: replay: %w", err)
 		}
 	}
-	if n := len(recovered); n > 0 {
-		last := recovered[n-1].At
+	if n := inc.EdgeCount(); n > 0 {
+		last := inc.LastAt()
 		in.buf.wm = last
 		in.buf.maxSeen = last
 		in.buf.seen = true
@@ -230,18 +315,100 @@ func New(cfg Config) (*Ingester, error) {
 		in.lastAt.Store(int64(last))
 		in.emitted.Store(int64(n))
 	}
+	in.recoveredChunkEdges = chunkEdges
+	in.recoveredWALEdges = int64(len(suffix))
+	mx.recoveredChunkEdges.Set(chunkEdges)
+	mx.recoveredWALEdges.Set(int64(len(suffix)))
+	// Seed the fold cache from the durable checkpoint, so the first
+	// post-recovery fold is already incremental.
+	in.seedFoldCache(sidecars)
+	in.durableChunks = len(sidecars)
+	in.durableAt.Store(chunkLastAt)
+	in.walCompactedAt = math.MinInt64
 	go in.compactor()
 	// Publish the recovered state before accepting new edges, so a
 	// restarted process serves its pre-crash coverage immediately.
-	if len(recovered) > 0 {
+	if inc.EdgeCount() > 0 {
 		if err := in.checkpointNow(); err != nil {
 			close(in.folds)
 			wal.Close()
 			return nil, fmt.Errorf("stream: recovery checkpoint: %w", err)
 		}
 	}
+	// Reclaim WAL segments the (possibly just-extended) sidecar coverage
+	// makes redundant — including deletions a pre-crash run never got to.
+	if err := in.compactWAL(); err != nil {
+		close(in.folds)
+		wal.Close()
+		return nil, err
+	}
 	go in.run()
 	return in, nil
+}
+
+// seedFoldCache primes the incremental fold cache from checkpoint.irx
+// when the checkpoint's own metadata proves it covers exactly the loaded
+// sidecar prefix under the current configuration. Any mismatch —
+// missing or legacy meta, different window or precision, edge counts
+// that do not line up — silently skips seeding; the first fold is then
+// computed from scratch, which is always correct.
+func (in *Ingester) seedFoldCache(sidecars []*chunkData) {
+	raw, err := os.ReadFile(filepath.Join(in.cfg.Dir, CheckpointMetaName))
+	if err != nil {
+		return
+	}
+	var meta struct {
+		Edges     int64 `json:"edges"`
+		Chunks    int   `json:"chunks"`
+		Omega     int64 `json:"omega"`
+		Precision int   `json:"precision"`
+	}
+	if json.Unmarshal(raw, &meta) != nil {
+		return
+	}
+	if meta.Chunks <= 0 || meta.Chunks > len(sidecars) ||
+		meta.Omega != in.cfg.Omega || meta.Precision != in.cfg.Precision {
+		return
+	}
+	var edges int64
+	for _, c := range sidecars[:meta.Chunks] {
+		if c.omega != in.cfg.Omega || c.precision != in.cfg.Precision {
+			return // those chunks were resealed with fresh boundaries-by-rescan
+		}
+		edges += int64(len(c.edges))
+	}
+	if edges != meta.Edges {
+		return
+	}
+	f, err := os.Open(filepath.Join(in.cfg.Dir, CheckpointName))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sum, err := core.ReadApproxSummaries(f)
+	if err != nil {
+		return
+	}
+	// SeedFoldCache re-validates omega/precision/ranges; an all-empty
+	// checkpoint decodes with the default precision and is rejected
+	// there, which only costs the first fold its shortcut.
+	_ = in.inc.SeedFoldCache(sum, meta.Chunks)
+}
+
+// compactWAL deletes WAL segments whose edges are all covered by durable
+// chunk sidecars. Runs on the WAL's owning goroutine (the run loop, or
+// New before the loop starts); the compactor only publishes the covered
+// timestamp.
+func (in *Ingester) compactWAL() error {
+	at := in.durableAt.Load()
+	if at <= in.walCompactedAt {
+		return nil
+	}
+	if _, err := in.wal.DeleteCovered(at); err != nil {
+		return fmt.Errorf("stream: wal compaction: %w", err)
+	}
+	in.walCompactedAt = at
+	return nil
 }
 
 // Push offers one edge to the pipeline, blocking while the intake queue
@@ -326,6 +493,10 @@ func (in *Ingester) run() {
 				fail(err)
 				return
 			}
+			if err := in.compactWAL(); err != nil {
+				fail(err)
+				return
+			}
 		case <-idleC:
 			in.buf.flush(&out)
 			idle.Reset(in.cfg.IdleFlush)
@@ -333,8 +504,16 @@ func (in *Ingester) run() {
 				fail(err)
 				return
 			}
+			if err := in.compactWAL(); err != nil {
+				fail(err)
+				return
+			}
 		case <-tickC:
 			if err := in.maybeCheckpoint(false); err != nil {
+				fail(err)
+				return
+			}
+			if err := in.compactWAL(); err != nil {
 				fail(err)
 				return
 			}
@@ -355,6 +534,9 @@ func (in *Ingester) run() {
 			err := in.absorb(out)
 			if err == nil {
 				err = in.maybeCheckpoint(true)
+			}
+			if err == nil {
+				err = in.compactWAL()
 			}
 			done <- err
 			if err != nil {
@@ -381,6 +563,9 @@ func (in *Ingester) run() {
 			if err == nil && int64(in.inc.EdgeCount()) > in.ckptEdges.Load() {
 				err = in.checkpointNow()
 			}
+			if err == nil {
+				err = in.compactWAL()
+			}
 			if err != nil {
 				in.runErr.Store(&err)
 			}
@@ -393,13 +578,17 @@ func (in *Ingester) run() {
 	}
 }
 
-// take routes one arrival through the reorder buffer, counting it.
+// take routes one arrival through the reorder buffer. Only edges the
+// buffer actually accepts count as accepted — a reorder-dropped edge
+// never enters the pipeline, so counting it would break the invariant
+// that Accepted − Emitted bounds the buffered depth.
 func (in *Ingester) take(e graph.Interaction, out *[]graph.Interaction) {
-	in.accepted.Add(1)
-	in.mx.accepted.Inc()
 	if !in.buf.offer(e, out) {
 		in.drops.Add(1)
+		return
 	}
+	in.accepted.Add(1)
+	in.mx.accepted.Inc()
 }
 
 // absorb logs and stages a drained batch, sealing chunks as they fill
@@ -474,8 +663,15 @@ func (in *Ingester) sealPending() error {
 // maybeCheckpoint seals the pending batch, makes the covered edges
 // durable, and hands the snapshot to the compactor. When the compactor
 // is still folding the previous snapshot, interval/edge triggers skip
-// (counted); forced requests (wait=true) block until the fold lands.
+// (counted) — before sealing anything: a skipped trigger must not seal
+// the pending partial chunk, or every tick during a slow fold would
+// seal another tiny chunk and permanently fragment the chunk sequence.
+// Forced requests (wait=true) block until the fold lands.
 func (in *Ingester) maybeCheckpoint(wait bool) error {
+	if !wait && in.foldsPending.Load() > 0 {
+		in.mx.checkpointSkips.Inc()
+		return nil
+	}
 	if err := in.sealPending(); err != nil {
 		return err
 	}
@@ -488,6 +684,7 @@ func (in *Ingester) maybeCheckpoint(wait bool) error {
 		return fmt.Errorf("stream: checkpoint wal sync: %w", err)
 	}
 	job := foldJob{view: in.inc.View(), done: make(chan error, 1)}
+	in.foldsPending.Add(1)
 	if wait {
 		in.folds <- job
 		if err := <-job.done; err != nil {
@@ -500,6 +697,9 @@ func (in *Ingester) maybeCheckpoint(wait bool) error {
 	case in.folds <- job:
 		in.sinceCkpt = 0
 	default:
+		// The compactor had not reached its receive yet (it decrements
+		// between finishing a job and blocking again); treat as busy.
+		in.foldsPending.Add(-1)
 		in.mx.checkpointSkips.Inc()
 	}
 	return nil
@@ -512,17 +712,28 @@ func (in *Ingester) checkpointNow() error { return in.maybeCheckpoint(true) }
 // compactor folds snapshots into checkpoints, one at a time, in order.
 func (in *Ingester) compactor() {
 	for job := range in.folds {
-		job.done <- in.checkpoint(job.view)
+		err := in.checkpoint(job.view)
+		in.foldsPending.Add(-1)
+		job.done <- err
 	}
 }
 
-// checkpoint folds one snapshot, writes the IRX1 snapshot and its
-// metadata sidecar atomically, and publishes. Runs on the compactor
-// goroutine; it touches no run-loop state beyond the immutable view.
+// checkpoint persists the snapshot's new chunks as durable sidecars,
+// folds it (incrementally, against the cached previous fold), writes
+// the IRX1 snapshot and its metadata sidecar atomically, and publishes.
+// Runs on the compactor goroutine; it touches no run-loop state beyond
+// the immutable view. Sidecars go first: once they are durable the
+// checkpoint may claim chunk coverage, and the run loop may delete the
+// WAL segments they cover.
 func (in *Ingester) checkpoint(view core.ChunkView) error {
 	start := time.Now()
+	if err := in.persistChunks(view); err != nil {
+		return err
+	}
+	foldStart := time.Now()
 	sum := view.Fold()
-	if err := in.writeCheckpoint(sum, view, start); err != nil {
+	foldDur := time.Since(foldStart)
+	if err := in.writeCheckpoint(sum, view, foldDur); err != nil {
 		return err
 	}
 	if in.cfg.Publish != nil {
@@ -533,14 +744,39 @@ func (in *Ingester) checkpoint(view core.ChunkView) error {
 	in.lastCkpt.Store(time.Now().UnixNano())
 	in.mx.checkpoints.Inc()
 	in.mx.checkpointDur.Observe(time.Since(start).Seconds())
-	in.mx.checkpointAge.Set(0)
 	in.mx.checkpointEdges.Set(int64(view.EdgeCount()))
 	return nil
 }
 
+// persistChunks writes a sidecar for every sealed chunk the snapshot
+// holds beyond the durable prefix, then fsyncs the directory once and
+// advances the covered timestamp the run loop compacts the WAL against.
+func (in *Ingester) persistChunks(view core.ChunkView) error {
+	n := view.NumChunks()
+	if n <= in.durableChunks {
+		return nil
+	}
+	for c := in.durableChunks; c < n; c++ {
+		edges, locals := view.Chunk(c)
+		if err := writeChunkFile(in.cfg.Dir, c, in.cfg.Omega, in.cfg.Precision, edges, locals, in.mx); err != nil {
+			return fmt.Errorf("stream: chunk sidecar %d: %w", c, err)
+		}
+	}
+	if err := syncDir(in.cfg.Dir); err != nil {
+		return err
+	}
+	in.mx.dirSyncs.Inc()
+	in.durableChunks = n
+	in.durableAt.Store(int64(view.LastAt()))
+	return nil
+}
+
 // writeCheckpoint persists the folded summaries via tmp + rename so a
-// crash mid-write never leaves a torn checkpoint file.
-func (in *Ingester) writeCheckpoint(sum *core.ApproxSummaries, view core.ChunkView, start time.Time) error {
+// crash mid-write never leaves a torn checkpoint file, then fsyncs the
+// directory — without that, a crash after the rename could lose the
+// dirent and resurrect the previous checkpoint (or none at all).
+func (in *Ingester) writeCheckpoint(sum *core.ApproxSummaries, view core.ChunkView, foldDur time.Duration) error {
+	start := time.Now()
 	path := filepath.Join(in.cfg.Dir, CheckpointName)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -564,14 +800,21 @@ func (in *Ingester) writeCheckpoint(sum *core.ApproxSummaries, view core.ChunkVi
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
-	meta := fmt.Sprintf(`{"edges":%d,"last_at":%d,"nodes":%d,"omega":%d,"precision":%d,"fold_seconds":%.6f}`+"\n",
+	meta := fmt.Sprintf(`{"edges":%d,"last_at":%d,"nodes":%d,"omega":%d,"precision":%d,"chunks":%d,"fold_seconds":%.6f,"write_seconds":%.6f}`+"\n",
 		view.EdgeCount(), view.LastAt(), view.NumNodes(), in.cfg.Omega, in.cfg.Precision,
-		time.Since(start).Seconds())
+		view.NumChunks(), foldDur.Seconds(), time.Since(start).Seconds())
 	metaPath := filepath.Join(in.cfg.Dir, CheckpointMetaName)
 	if err := os.WriteFile(metaPath+".tmp", []byte(meta), 0o644); err != nil {
 		return err
 	}
-	return os.Rename(metaPath+".tmp", metaPath)
+	if err := os.Rename(metaPath+".tmp", metaPath); err != nil {
+		return err
+	}
+	if err := syncDir(in.cfg.Dir); err != nil {
+		return err
+	}
+	in.mx.dirSyncs.Inc()
+	return nil
 }
 
 // Checkpoint forces a synchronous checkpoint: it absorbs every edge
@@ -620,16 +863,15 @@ func (in *Ingester) Err() error {
 // Stats returns a snapshot of the progress counters; safe from any
 // goroutine.
 func (in *Ingester) Stats() Stats {
-	if at := in.lastCkpt.Load(); at > 0 {
-		in.mx.checkpointAge.Set(int64(time.Since(time.Unix(0, at)).Seconds()))
-	}
 	return Stats{
-		Accepted:     in.accepted.Load(),
-		Emitted:      in.emitted.Load(),
-		ReorderDrops: in.drops.Load(),
-		Checkpoints:  in.checkpoints.Load(),
-		LastAt:       in.lastAt.Load(),
-		CoveredEdges: in.ckptEdges.Load(),
+		Accepted:            in.accepted.Load(),
+		Emitted:             in.emitted.Load(),
+		ReorderDrops:        in.drops.Load(),
+		Checkpoints:         in.checkpoints.Load(),
+		LastAt:              in.lastAt.Load(),
+		CoveredEdges:        in.ckptEdges.Load(),
+		RecoveredChunkEdges: in.recoveredChunkEdges,
+		RecoveredWALEdges:   in.recoveredWALEdges,
 	}
 }
 

@@ -2,12 +2,14 @@ package stream
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"syscall"
 	"time"
 
 	"ipin/internal/graph"
@@ -74,6 +76,17 @@ type WAL struct {
 	sinceSync int
 	segments  int64
 	bytes     int64
+	lastAt    int64    // timestamp of the newest appended/replayed edge
+	sealed    []walSeg // rotated-out segments still on disk, oldest first
+}
+
+// walSeg describes one sealed (fsynced and closed) segment awaiting
+// compaction: once every edge it holds is covered by durable chunk
+// sidecars, DeleteCovered may remove it.
+type walSeg struct {
+	seq    int
+	lastAt int64 // newest timestamp in the segment
+	bytes  int64
 }
 
 // OpenWAL opens (creating if needed) the segmented log in dir, replays
@@ -99,7 +112,17 @@ func OpenWAL(dir string, cfg WALConfig, mx *metrics) (*WAL, []graph.Interaction,
 	if err != nil {
 		return nil, nil, err
 	}
-	sort.Strings(names)
+	// Sort numerically by sequence number: lexicographic order diverges
+	// from replay order once a sequence outgrows the zero-padded width
+	// (wal-99999999.seg sorts after wal-100000000.seg), and compaction
+	// only ever pushes sequences upward.
+	seqs := make([]int, len(names))
+	for i, name := range names {
+		if seqs[i], err = segmentSeq(name); err != nil {
+			return nil, nil, err
+		}
+	}
+	sort.Sort(&segOrder{seqs: seqs, names: names})
 	var edges []graph.Interaction
 	lastAt := int64(math.MinInt64)
 	for i, name := range names {
@@ -109,14 +132,13 @@ func OpenWAL(dir string, cfg WALConfig, mx *metrics) (*WAL, []graph.Interaction,
 			return nil, nil, err
 		}
 		if final {
-			seq, perr := segmentSeq(name)
-			if perr != nil {
-				return nil, nil, perr
-			}
-			w.seq = seq
+			w.seq = seqs[i]
 			w.segBytes = n
+		} else {
+			w.sealed = append(w.sealed, walSeg{seq: seqs[i], lastAt: lastAt, bytes: n})
 		}
 	}
+	w.lastAt = lastAt
 	w.segments = int64(len(names))
 	if len(names) == 0 {
 		if err := w.rotate(); err != nil {
@@ -146,15 +168,51 @@ func OpenWAL(dir string, cfg WALConfig, mx *metrics) (*WAL, []graph.Interaction,
 	return w, edges, nil
 }
 
+// segOrder sorts segment names and their parsed sequence numbers in
+// lockstep, numerically.
+type segOrder struct {
+	seqs  []int
+	names []string
+}
+
+func (s *segOrder) Len() int           { return len(s.seqs) }
+func (s *segOrder) Less(i, j int) bool { return s.seqs[i] < s.seqs[j] }
+func (s *segOrder) Swap(i, j int) {
+	s.seqs[i], s.seqs[j] = s.seqs[j], s.seqs[i]
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+}
+
 // segmentName renders the file name of segment seq.
 func (w *WAL) segmentName(seq int) string {
 	return filepath.Join(w.dir, fmt.Sprintf("wal-%08d.seg", seq))
 }
 
+// syncDir fsyncs a directory, making renames, creations, and deletions
+// inside it durable. Filesystems may not support fsync on directories
+// (notably some network mounts); those errors are ignored, matching the
+// usual database practice — the sync is best-effort hardening.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
+}
+
 // segmentSeq parses the sequence number out of a segment file name.
+// The scan verb is width-free on purpose: %08d would stop after eight
+// digits and reject the very names this parser exists to order.
 func segmentSeq(name string) (int, error) {
 	var seq int
-	if _, err := fmt.Sscanf(filepath.Base(name), "wal-%08d.seg", &seq); err != nil {
+	if _, err := fmt.Sscanf(filepath.Base(name), "wal-%d.seg", &seq); err != nil {
 		return 0, fmt.Errorf("stream: segment name %q: %v", name, err)
 	}
 	return seq, nil
@@ -285,6 +343,7 @@ func (w *WAL) Append(batch []graph.Interaction) error {
 	n := int64(walFrameBytes + len(payload))
 	w.segBytes += n
 	w.bytes += n
+	w.lastAt = int64(batch[len(batch)-1].At)
 	w.mx.walRecords.Inc()
 	w.mx.walBytes.Add(n)
 	w.sinceSync++
@@ -336,7 +395,10 @@ func (w *WAL) Sync() error {
 }
 
 // rotate seals the current segment (fsync + close, so torn tails can
-// only ever live in the newest segment) and starts the next one.
+// only ever live in the newest segment) and starts the next one. The
+// directory is fsynced after the new segment is created: without it a
+// crash could lose the dirent for a file whose records were already
+// acknowledged as synced.
 func (w *WAL) rotate() error {
 	if w.f != nil {
 		if err := w.Sync(); err != nil {
@@ -345,6 +407,7 @@ func (w *WAL) rotate() error {
 		if err := w.f.Close(); err != nil {
 			return err
 		}
+		w.sealed = append(w.sealed, walSeg{seq: w.seq, lastAt: w.lastAt, bytes: w.segBytes})
 		w.seq++
 	} else if w.seq == 0 {
 		w.seq = 1
@@ -357,12 +420,53 @@ func (w *WAL) rotate() error {
 		f.Close()
 		return err
 	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.mx.dirSyncs.Inc()
 	w.f = f
 	w.segBytes = int64(len(walMagic))
 	w.segments++
 	w.mx.walSegments.Inc()
 	return nil
 }
+
+// DeleteCovered removes sealed segments whose every edge is at or below
+// coveredAt — edges that durable chunk sidecars already hold, making the
+// segments dead weight for recovery. The active segment is never
+// touched. Returns the number of segments deleted; the directory is
+// fsynced once per non-empty batch so the deletions are durable in the
+// same sense the creations were.
+func (w *WAL) DeleteCovered(coveredAt int64) (int, error) {
+	removed := 0
+	kept := w.sealed[:0]
+	for _, s := range w.sealed {
+		if s.lastAt > coveredAt {
+			kept = append(kept, s)
+			continue
+		}
+		if err := os.Remove(w.segmentName(s.seq)); err != nil && !os.IsNotExist(err) {
+			w.sealed = append(kept, w.sealed[removed+len(kept):]...)
+			return removed, err
+		}
+		removed++
+		w.mx.walDeleted.Inc()
+		w.mx.walDeletedBytes.Add(s.bytes)
+	}
+	w.sealed = kept
+	if removed > 0 {
+		if err := syncDir(w.dir); err != nil {
+			return removed, err
+		}
+		w.mx.dirSyncs.Inc()
+	}
+	return removed, nil
+}
+
+// SealedSegments returns the number of rotated-out segments still on
+// disk (the active segment not included).
+func (w *WAL) SealedSegments() int { return len(w.sealed) }
 
 // Segments returns the number of segments this WAL has (recovered plus
 // created).

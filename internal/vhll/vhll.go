@@ -75,6 +75,12 @@ func (s *Sketch) Precision() int { return int(s.precision) }
 // NumCells returns β.
 func (s *Sketch) NumCells() int { return len(s.cells) }
 
+// Empty reports whether the sketch has never held an entry. After Prune
+// a drained sketch may still report false (occupied keeps once-filled
+// cells), so callers may use a true result as a no-content fast path
+// but must not read anything into false.
+func (s *Sketch) Empty() bool { return len(s.occupied) == 0 }
+
 // AddHash inserts a pre-hashed item observed at time t. This is the
 // ApproxAdd of the paper's Algorithm 3: the pair is ignored when
 // dominated, and evicts every pair it dominates.
