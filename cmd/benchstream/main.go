@@ -61,7 +61,9 @@ import (
 	"ipin/internal/gen"
 	"ipin/internal/graph"
 	"ipin/internal/obs"
+	"ipin/internal/serve"
 	"ipin/internal/stream"
+	"ipin/internal/trace"
 )
 
 type report struct {
@@ -112,6 +114,37 @@ type report struct {
 	IdentitySkewed  bool  `json:"identity_skewed"`
 	IdentityRecover bool  `json:"identity_recovered"`
 	SkewedDrops     int64 `json:"skewed_drops"`
+
+	// Traced run: per-stage latency attribution from sampled end-to-end
+	// edge traces, the freshness SLO, and the accounting that proves
+	// every traced edge reached serve-visible exactly once.
+	TraceSampleEvery  int                  `json:"trace_sample_every"`
+	TraceSampled      int64                `json:"trace_sampled"`
+	TraceCompleted    int64                `json:"trace_completed"`
+	TraceCancelled    int64                `json:"trace_cancelled"`
+	TraceLost         int64                `json:"trace_lost"`
+	TraceEvicted      int64                `json:"trace_evicted"`
+	TraceInflight     int64                `json:"trace_inflight"`
+	TraceStages       []trace.StageLatency `json:"trace_stages"`
+	TraceE2EP50Ms     float64              `json:"trace_e2e_p50_ms"`
+	TraceE2EP99Ms     float64              `json:"trace_e2e_p99_ms"`
+	TraceStageP50Sum  float64              `json:"trace_stage_p50_sum_ms"`
+	TraceIndepP50Ms   float64              `json:"trace_independent_e2e_p50_ms"`
+	TraceIndepP99Ms   float64              `json:"trace_independent_e2e_p99_ms"`
+	TraceIndepSamples int                  `json:"trace_independent_samples"`
+	TraceAttrGap      float64              `json:"trace_attribution_gap"`
+	SLOObjectiveMs    float64              `json:"slo_objective_ms"`
+	SLOTarget         float64              `json:"slo_target"`
+	SLOAttainment     float64              `json:"slo_attainment"`
+	SLOBudgetRemain   float64              `json:"slo_budget_remaining"`
+	SLOBurnRate       float64              `json:"slo_burn_rate"`
+
+	// Tracing overhead A/B: sustained intake with tracing absent vs
+	// sampled at 1/1024, interleaved pairs, medians compared.
+	OverheadPairs     int     `json:"overhead_pairs"`
+	OverheadBaseEPS   float64 `json:"overhead_base_eps"`
+	OverheadTracedEPS float64 `json:"overhead_traced_eps"`
+	TraceOverhead     float64 `json:"trace_overhead"`
 }
 
 // ckptMeta mirrors the checkpoint.meta.json sidecar the ingester writes
@@ -132,6 +165,12 @@ func main() {
 		skew       = flag.Int("skew", 64, "out-of-order displacement (positions) for the skewed replay")
 		segBytes   = flag.Int64("segment-bytes", 256<<10, "WAL segment size for the sustained run (small enough to exercise compaction)")
 		minSpeedup = flag.Float64("min-speedup", 5, "minimum incremental-vs-full fold speedup (gate)")
+		traceEvery = flag.Int("trace-every", 256, "edge-trace sampling cadence for the traced run")
+		sloObj     = flag.Duration("slo-objective", 2*time.Second, "freshness SLO objective for the traced run")
+		sloTarget  = flag.Float64("slo-target", 0.99, "freshness SLO target fraction")
+		maxAttrGap = flag.Float64("max-attr-gap", 0.15, "max relative gap between the stage-p50 sum and the independent e2e p50 (gate)")
+		maxTraceOv = flag.Float64("max-trace-overhead", 0.05, "max sustained-intake regression with 1/1024 tracing (gate)")
+		ovPairs    = flag.Int("overhead-pairs", 3, "interleaved off/on ingest pairs for the overhead A/B")
 		out        = flag.String("out", "BENCH_stream.json", "output JSON path")
 	)
 	flag.Parse()
@@ -461,6 +500,192 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchstream: suffix-replay identity: %v (%.2fs; %d edges from sidecars, %d from WAL)\n",
 		rep.IdentitySuffix, rep.SuffixReplaySeconds, sst.RecoveredChunkEdges, sst.RecoveredWALEdges)
 
+	// Phase 6: the traced run. Same shape as the sustained run, but every
+	// trace-every-th accepted edge carries a trace record stamped at each
+	// pipeline stage, the Publish hook installs each checkpoint into a
+	// real serve store (whose generation swap stamps serve-visible), and
+	// an independent push-to-queryable sample stream cross-checks the
+	// per-stage attribution: the stage p50s must sum to within
+	// -max-attr-gap of the independently measured end-to-end p50.
+	dir6 := filepath.Join(work, "traced")
+	tr6 := trace.New(trace.Config{
+		SampleEvery: *traceEvery,
+		RingSize:    1 << 14,
+		MaxInflight: 1 << 20,
+		SLO:         trace.SLOConfig{Objective: *sloObj, Target: *sloTarget},
+	})
+	jr6 := trace.NewJournal(trace.JournalConfig{})
+	srv := serve.New(serve.Config{Tracer: tr6})
+	var (
+		tmu      sync.Mutex
+		tsamples []sample
+		tfresh   []time.Duration
+	)
+	in6, err := stream.New(stream.Config{
+		Dir:             dir6,
+		Omega:           omega,
+		NumNodes:        l.NumNodes,
+		CheckpointEvery: *every,
+		SegmentBytes:    *segBytes,
+		Tracer:          tr6,
+		Journal:         jr6,
+		Publish: func(s *core.ApproxSummaries) {
+			// Queryable means installed in the serve store, not merely
+			// published — LoadApprox is part of the measured freshness.
+			srv.LoadApprox(s)
+			var meta ckptMeta
+			raw, err := os.ReadFile(filepath.Join(dir6, stream.CheckpointMetaName))
+			if err != nil || json.Unmarshal(raw, &meta) != nil {
+				return
+			}
+			now := time.Now()
+			tmu.Lock()
+			defer tmu.Unlock()
+			for len(tsamples) > 0 && tsamples[0].index <= meta.Edges {
+				tfresh = append(tfresh, now.Sub(tsamples[0].at))
+				tsamples = tsamples[1:]
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i, e := range l.Interactions {
+		if err := in6.Push(e); err != nil {
+			fatal(err)
+		}
+		if (i+1)%*sampleEv == 0 {
+			tmu.Lock()
+			tsamples = append(tsamples, sample{index: int64(i + 1), at: time.Now()})
+			tmu.Unlock()
+		}
+	}
+	if err := in6.Close(context.Background()); err != nil {
+		fatal(err)
+	}
+	counts := tr6.CountsNow()
+	ts := tr6.Snapshot(0)
+	rep.TraceSampleEvery = *traceEvery
+	rep.TraceSampled = counts.Sampled
+	rep.TraceCompleted = counts.Completed
+	rep.TraceCancelled = counts.Cancelled
+	rep.TraceLost = counts.Lost
+	rep.TraceEvicted = counts.Evicted
+	rep.TraceInflight = counts.Inflight
+	// Per-stage percentiles come from the exact stamps in the completed-
+	// record ring, not the exposition histograms: the histogram buckets
+	// are sized for dashboards, and their interpolation error would eat
+	// most of the attribution-gap budget.
+	perStage := make([][]time.Duration, trace.NumStages)
+	var e2es []time.Duration
+	for _, rec := range tr6.Recent(1 << 14) {
+		if rec.Outcome != trace.OutcomeCompleted {
+			continue
+		}
+		prev := rec.Stamps[trace.StageAccept]
+		for s := trace.StageReorderEmit; s < trace.NumStages; s++ {
+			at := rec.Stamps[s]
+			if at == 0 {
+				continue
+			}
+			perStage[s] = append(perStage[s], time.Duration(at-prev))
+			prev = at
+		}
+		e2es = append(e2es, time.Duration(rec.Stamps[trace.StageServeVisible]-rec.Stamps[trace.StageAccept]))
+	}
+	for s := trace.StageReorderEmit; s < trace.NumStages; s++ {
+		d := perStage[s]
+		st := trace.StageStats{
+			Count: int64(len(d)),
+			P50Ms: percentileMs(d, 50),
+			P90Ms: percentileMs(d, 90),
+			P99Ms: percentileMs(d, 99),
+		}
+		if len(d) > 0 {
+			var sum time.Duration
+			for _, x := range d {
+				sum += x
+			}
+			st.MeanMs = float64(sum) / float64(len(d)) / float64(time.Millisecond)
+		}
+		rep.TraceStages = append(rep.TraceStages, trace.StageLatency{Stage: s.String(), StageStats: st})
+		rep.TraceStageP50Sum += st.P50Ms
+	}
+	rep.TraceE2EP50Ms = percentileMs(e2es, 50)
+	rep.TraceE2EP99Ms = percentileMs(e2es, 99)
+	rep.TraceIndepP50Ms = percentileMs(tfresh, 50)
+	rep.TraceIndepP99Ms = percentileMs(tfresh, 99)
+	rep.TraceIndepSamples = len(tfresh)
+	if rep.TraceIndepP50Ms > 0 {
+		rep.TraceAttrGap = abs(rep.TraceStageP50Sum-rep.TraceIndepP50Ms) / rep.TraceIndepP50Ms
+	}
+	if ts.SLO != nil {
+		rep.SLOObjectiveMs = ts.SLO.ObjectiveMs
+		rep.SLOTarget = ts.SLO.Target
+		rep.SLOAttainment = ts.SLO.Attainment
+		rep.SLOBudgetRemain = ts.SLO.BudgetRemaining
+		rep.SLOBurnRate = ts.SLO.BurnRate
+	}
+	fmt.Fprintf(os.Stderr, "benchstream: traced run (1/%d): %d sampled, %d completed; e2e p50 %.0fms, stage-p50 sum %.0fms vs independent %.0fms (gap %.1f%%); SLO attainment %.4f\n",
+		*traceEvery, counts.Sampled, counts.Completed,
+		rep.TraceE2EP50Ms, rep.TraceStageP50Sum, rep.TraceIndepP50Ms, rep.TraceAttrGap*100, rep.SLOAttainment)
+
+	// Phase 7: the tracing-overhead A/B. Interleaved pairs of identical
+	// intake-only ingests (no interval checkpoints, so the comparison
+	// isolates the hot path), tracing absent vs sampled at 1/1024, with
+	// the regression of the medians gated.
+	runIngest := func(i int, ovTr *trace.Tracer) float64 {
+		dir := filepath.Join(work, fmt.Sprintf("overhead-%d", i))
+		ino, err := stream.New(stream.Config{
+			Dir:             dir,
+			Omega:           omega,
+			NumNodes:        l.NumNodes,
+			CheckpointEvery: -1,
+			SegmentBytes:    *segBytes,
+			Tracer:          ovTr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // keep the previous run's garbage off this one's clock
+		ovStart := time.Now()
+		for _, e := range l.Interactions {
+			if err := ino.Push(e); err != nil {
+				fatal(err)
+			}
+		}
+		// Time through the full drain, not just the push loop: the push
+		// loop alone races the absorber for CPU, and how that race goes is
+		// scheduler luck, not tracing cost.
+		for ino.Stats().Emitted < int64(l.Len()) {
+			time.Sleep(time.Millisecond)
+		}
+		d := time.Since(ovStart)
+		if err := ino.Close(context.Background()); err != nil {
+			fatal(err)
+		}
+		os.RemoveAll(dir)
+		return float64(l.Len()) / d.Seconds()
+	}
+	runIngest(2**ovPairs, nil) // untimed warmup: page cache, heap sizing
+	var offEPS, onEPS, ratios []float64
+	for i := 0; i < *ovPairs; i++ {
+		off := runIngest(2*i, nil)
+		on := runIngest(2*i+1, trace.New(trace.Config{SampleEvery: 1024, MaxInflight: 1 << 20}))
+		offEPS = append(offEPS, off)
+		onEPS = append(onEPS, on)
+		ratios = append(ratios, on/off)
+	}
+	rep.OverheadPairs = *ovPairs
+	rep.OverheadBaseEPS = median(offEPS)
+	rep.OverheadTracedEPS = median(onEPS)
+	// The overhead is the median of the paired ratios, not the ratio of
+	// the medians: machine noise is correlated within a back-to-back
+	// pair, so pairing cancels most of it.
+	rep.TraceOverhead = 1 - median(ratios)
+	fmt.Fprintf(os.Stderr, "benchstream: overhead A/B (%d pairs): %.0f edges/s untraced, %.0f edges/s at 1/1024 (%.2f%% overhead)\n",
+		*ovPairs, rep.OverheadBaseEPS, rep.OverheadTracedEPS, rep.TraceOverhead*100)
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -495,7 +720,36 @@ func main() {
 		fatal(fmt.Errorf("no WAL segments deleted across %d rotations", rep.WALSegments))
 	case rep.SuffixReplayWALEdges < 1:
 		fatal(fmt.Errorf("suffix recovery replayed no WAL edges — the deleted sidecars were not exercised"))
+	case rep.TraceSampled < 1:
+		fatal(fmt.Errorf("traced run sampled no edges (%d edges at 1/%d — raise -edges or lower -trace-every)", rep.Edges, rep.TraceSampleEvery))
+	case rep.TraceCompleted != rep.TraceSampled || rep.TraceInflight != 0 ||
+		rep.TraceLost != 0 || rep.TraceEvicted != 0 || rep.TraceCancelled != 0:
+		fatal(fmt.Errorf("traced edges not exactly-once: sampled %d, completed %d, inflight %d, lost %d, evicted %d, cancelled %d",
+			rep.TraceSampled, rep.TraceCompleted, rep.TraceInflight, rep.TraceLost, rep.TraceEvicted, rep.TraceCancelled))
+	case rep.TraceAttrGap > *maxAttrGap:
+		fatal(fmt.Errorf("stage-p50 sum %.1fms vs independent e2e p50 %.1fms: gap %.1f%% exceeds the %.0f%% gate",
+			rep.TraceStageP50Sum, rep.TraceIndepP50Ms, rep.TraceAttrGap*100, *maxAttrGap*100))
+	case rep.TraceOverhead > *maxTraceOv:
+		fatal(fmt.Errorf("1/1024 tracing costs %.2f%% sustained intake, above the %.0f%% gate",
+			rep.TraceOverhead*100, *maxTraceOv*100))
 	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// median returns the middle value of the sorted copy, 0 on empty input.
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64{}, v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 // checkpointMatches reads dir's checkpoint snapshot and compares it

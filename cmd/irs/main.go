@@ -63,6 +63,9 @@ func main() {
 		vhll.InstallMetrics(reg)
 		swhll.InstallMetrics(reg)
 		cascade.InstallMetrics(reg)
+		// Runtime series too, so the JSON dump records the process's heap
+		// footprint and GC behavior next to the workload counters.
+		obs.InstallRuntimeMetrics(reg)
 	}
 	if *progress {
 		core.SetProgressSink(obs.TextSink(os.Stderr, "irs: "))

@@ -39,7 +39,18 @@
 //	POST /ingest            "src dst time" lines, any number per body
 //	POST /admin/checkpoint  force a checkpoint + publish, synchronously
 //	GET  /stream/stats      ingestion counters and the served generation
-//	GET  /metrics           Prometheus text (stream_* and serve_* both)
+//	GET  /metrics           Prometheus text (stream_*, serve_*, trace_*, go_*)
+//	GET  /debug/pipeline    pipeline health: per-stage trace latencies,
+//	                        freshness SLO budget, watermark lag, disk
+//	                        footprint, recent lifecycle events
+//
+// Every -trace-every-th accepted edge carries an end-to-end trace record
+// stamped at each pipeline stage (accept → reorder emit → WAL append and
+// fsync → chunk seal → fold → checkpoint write → publish →
+// serve-visible); -slo-objective sets the freshness SLO those traces are
+// judged against, and -journal appends the lifecycle event log as JSON
+// lines to a file. The same health document is served on a separate
+// -health-addr listener when operators want it off the query port.
 package main
 
 import (
@@ -67,6 +78,11 @@ func main() {
 		windowPct    = flag.Float64("window", 5, "influence window as % of the cascade's time span")
 		every        = flag.Duration("checkpoint-every", 2*time.Second, "interval between automatic checkpoints")
 		slack        = flag.Int64("slack", 0, "out-of-order tolerance in ticks for externally fed edges")
+		traceEvery   = flag.Int("trace-every", 1024, "trace every Nth accepted edge end to end (0 disables tracing)")
+		sloObjective = flag.Duration("slo-objective", 5*time.Second, "freshness SLO: accept-to-queryable objective for traced edges (0 disables)")
+		sloTarget    = flag.Float64("slo-target", 0.99, "freshness SLO: fraction of traced edges that must meet the objective")
+		journalPath  = flag.String("journal", "", "append lifecycle events (rotations, seals, checkpoints, sheds) as JSON lines to this file")
+		healthAddr   = flag.String("health-addr", "", "serve /debug/pipeline and /metrics on this extra address too")
 	)
 	flag.Parse()
 
@@ -99,15 +115,48 @@ func main() {
 
 	reg := ipin.NewMetricsRegistry()
 	ipin.InstallMetrics(reg)
+	ipin.InstallRuntimeMetrics(reg)
+
+	var tr *ipin.Tracer
+	if *traceEvery > 0 {
+		tr = ipin.NewTracer(ipin.TraceConfig{
+			SampleEvery: *traceEvery,
+			SLO:         ipin.TraceSLOConfig{Objective: *sloObjective, Target: *sloTarget},
+			Registry:    reg,
+		})
+	}
+	var sink *os.File
+	if *journalPath != "" {
+		var err error
+		if sink, err = os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		defer sink.Close()
+	}
+	jr := ipin.NewTraceJournal(ipin.TraceJournalConfig{Sink: sink, Registry: reg})
 
 	app, err := newApp(appConfig{
 		dir: *dir, omega: omega, nodes: *nodes,
 		slack: *slack, every: *every, registry: reg,
+		tracer: tr, journal: jr,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("live oracle on %s (ω=%d, checkpoint every %s, state in %s)", *addr, omega, *every, *dir)
+
+	if *healthAddr != "" {
+		hmux := http.NewServeMux()
+		hmux.Handle("/debug/pipeline", app.health())
+		hmux.Handle("/metrics", ipin.MetricsHandler(reg))
+		go func() {
+			hs := &http.Server{Addr: *healthAddr, Handler: hmux, ReadHeaderTimeout: 5 * time.Second}
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("health listener: %v", err)
+			}
+		}()
+		log.Printf("pipeline health on %s/debug/pipeline", *healthAddr)
+	}
 
 	if *eps > 0 {
 		go func() {
@@ -154,6 +203,8 @@ type appConfig struct {
 	slack    int64
 	every    time.Duration
 	registry *ipin.MetricsRegistry
+	tracer   *ipin.Tracer       // nil disables edge tracing
+	journal  *ipin.TraceJournal // nil disables the event journal
 }
 
 // app owns the ingester→server pair and the routes that expose them.
@@ -161,10 +212,20 @@ type app struct {
 	in  *ipin.Ingester
 	srv *ipin.QueryServer
 	reg *ipin.MetricsRegistry
+	tr  *ipin.Tracer
+	jr  *ipin.TraceJournal
 }
 
 func newApp(cfg appConfig) (*app, error) {
-	srv := ipin.NewQueryServer(ipin.ServeConfig{CacheSize: 1024, Registry: cfg.registry})
+	// The tracer is shared: the ingester stamps intake through publish,
+	// the query server stamps serve-visible at its generation swap — the
+	// moment the traced edge actually becomes queryable.
+	srv := ipin.NewQueryServer(ipin.ServeConfig{
+		CacheSize: 1024,
+		Registry:  cfg.registry,
+		Tracer:    cfg.tracer,
+		Journal:   cfg.journal,
+	})
 	in, err := ipin.NewIngester(ipin.IngestConfig{
 		Dir:             cfg.dir,
 		Omega:           cfg.omega,
@@ -173,11 +234,28 @@ func newApp(cfg appConfig) (*app, error) {
 		CheckpointEvery: cfg.every,
 		Publish:         srv.LoadApprox,
 		Registry:        cfg.registry,
+		Tracer:          cfg.tracer,
+		Journal:         cfg.journal,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &app{in: in, srv: srv, reg: cfg.registry}, nil
+	return &app{in: in, srv: srv, reg: cfg.registry, tr: cfg.tracer, jr: cfg.journal}, nil
+}
+
+// health builds the /debug/pipeline handler: trace and SLO state, the
+// lifecycle event tail, and the ingester's live status (watermark lag,
+// disk footprint) plus the served generation.
+func (a *app) health() http.Handler {
+	return &ipin.PipelineHealth{
+		Tracer:  a.tr,
+		Journal: a.jr,
+		Status: func() map[string]any {
+			st := a.in.Health()
+			st["generation"] = a.srv.Generation()
+			return st
+		},
+	}
 }
 
 // handler mounts the query surface next to the intake surface.
@@ -188,6 +266,7 @@ func (a *app) handler() http.Handler {
 	mux.HandleFunc("/admin/checkpoint", a.forceCheckpoint)
 	mux.HandleFunc("/stream/stats", a.streamStats)
 	mux.Handle("/metrics", ipin.MetricsHandler(a.reg))
+	mux.Handle("/debug/pipeline", a.health())
 	routes := append(a.srv.Routes(), "/ingest", "/stream/stats")
 	return ipin.InstrumentHTTP(a.reg, routes, mux)
 }

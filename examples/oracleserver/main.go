@@ -30,8 +30,9 @@
 //	GET  /channel?src=<id>&dst=<id>     a witness information channel
 //	GET  /stats                         snapshot statistics
 //	POST /admin/reload                  re-read -snapshot and swap it in
-//	GET  /metrics                       Prometheus text exposition
+//	GET  /metrics                       Prometheus text exposition (runtime series included)
 //	GET  /debug/vars                    expvar JSON (same registry)
+//	GET  /debug/pipeline                serving health as JSON (generation, queue depth)
 //	GET  /debug/pprof/                  runtime profiles
 //
 // Errors come back as JSON ({"error": ..., "status": ...}) with proper
@@ -85,6 +86,7 @@ func main() {
 
 	reg := ipin.NewMetricsRegistry()
 	ipin.InstallMetrics(reg)
+	ipin.InstallRuntimeMetrics(reg)
 	reg.PublishExpvar("ipin")
 
 	srv := ipin.NewQueryServer(ipin.ServeConfig{
@@ -182,6 +184,12 @@ func buildHandler(srv *ipin.QueryServer, app *appState, reg *ipin.MetricsRegistr
 	srv.Register(mux)
 	mux.HandleFunc("/channel", app.channel)
 	mux.Handle("/metrics", ipin.MetricsHandler(reg))
+	mux.Handle("/debug/pipeline", &ipin.PipelineHealth{Status: func() map[string]any {
+		return map[string]any{
+			"generation":  srv.Generation(),
+			"queue_depth": srv.QueueDepthNow(),
+		}
+	}})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -74,6 +74,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			typ, help = "gauge", m.help
 		case *Histogram:
 			typ, help = "histogram", m.help
+		case *HistogramFunc:
+			typ, help = "histogram", m.help
 		}
 		if help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", base, help)
@@ -89,19 +91,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case *GaugeFunc:
 				fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), m.Value())
 			case *Histogram:
-				snap := m.Snapshot()
-				for i, bound := range snap.Bounds {
-					le := `le="` + formatFloat(bound) + `"`
-					fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, le), snap.Counts[i])
-				}
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), snap.Counts[len(snap.Counts)-1])
-				fmt.Fprintf(&b, "%s_sum%s %s\n", base, joinLabels(labels, ""), formatFloat(snap.Sum))
-				fmt.Fprintf(&b, "%s_count%s %d\n", base, joinLabels(labels, ""), snap.Count)
+				writeHistogram(&b, base, labels, m.Snapshot())
+			case *HistogramFunc:
+				writeHistogram(&b, base, labels, m.Snapshot())
 			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeHistogram renders one histogram series in exposition format.
+func writeHistogram(b *strings.Builder, base, labels string, snap HistogramSnapshot) {
+	if len(snap.Counts) == 0 {
+		// A computed histogram may legitimately return an empty snapshot
+		// (e.g. its source has not been sampled yet); render a valid
+		// zero-observation series.
+		fmt.Fprintf(b, "%s_bucket%s 0\n", base, joinLabels(labels, `le="+Inf"`))
+		fmt.Fprintf(b, "%s_sum%s 0\n", base, joinLabels(labels, ""))
+		fmt.Fprintf(b, "%s_count%s 0\n", base, joinLabels(labels, ""))
+		return
+	}
+	for i, bound := range snap.Bounds {
+		le := `le="` + formatFloat(bound) + `"`
+		fmt.Fprintf(b, "%s_bucket%s %d\n", base, joinLabels(labels, le), snap.Counts[i])
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), snap.Counts[len(snap.Counts)-1])
+	fmt.Fprintf(b, "%s_sum%s %s\n", base, joinLabels(labels, ""), formatFloat(snap.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", base, joinLabels(labels, ""), snap.Count)
 }
 
 // Handler returns an http.Handler serving the registry in Prometheus
@@ -128,6 +145,8 @@ func (r *Registry) Snapshot() map[string]any {
 		case *GaugeFunc:
 			out[name] = m.Value()
 		case *Histogram:
+			out[name] = m.Snapshot()
+		case *HistogramFunc:
 			out[name] = m.Snapshot()
 		}
 	})

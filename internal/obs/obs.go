@@ -203,6 +203,69 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram snapshot
+// by linear interpolation inside the bucket holding the target rank. An
+// empty snapshot returns 0; ranks landing in the +Inf bucket return the
+// largest finite bound (the histogram cannot resolve beyond it).
+func Quantile(s HistogramSnapshot, q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	for i, cum := range s.Counts {
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: the best defensible answer is the largest
+			// finite bound.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		prev := int64(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+			prev = s.Counts[i-1]
+		}
+		hi := s.Bounds[i]
+		inBucket := float64(s.Counts[i] - prev)
+		if inBucket <= 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/inBucket
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// HistogramFunc is a histogram whose state is computed by a callback at
+// read (scrape) time — the histogram analogue of GaugeFunc. Use it to
+// expose distributions an external collector already maintains (e.g. the
+// runtime/metrics GC-pause histogram) without double bookkeeping. The
+// callback must return cumulative counts in HistogramSnapshot shape and
+// be safe to call from any goroutine. A nil *HistogramFunc is a no-op.
+type HistogramFunc struct {
+	name string
+	help string
+	fn   func() HistogramSnapshot
+}
+
+// Snapshot computes the current state; zero-valued on a nil receiver.
+func (h *HistogramFunc) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.fn()
+}
+
 // atomicFloat is a float64 with atomic add, via CAS on the bit pattern.
 type atomicFloat struct{ bits atomic.Uint64 }
 
@@ -318,6 +381,28 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		return h
 	}
 	h := NewHistogram(name, help, bounds)
+	r.register(name, h)
+	return h
+}
+
+// HistogramFunc registers a computed histogram under the given full name
+// whose state is fn() at every exposition. Asking twice for the same name
+// returns the existing instrument (the first fn wins). Nil registry → nil
+// instrument.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSnapshot) *HistogramFunc {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metric[name]; ok {
+		h, ok := m.(*HistogramFunc)
+		if !ok {
+			panic("obs: metric " + name + " already registered with a different type")
+		}
+		return h
+	}
+	h := &HistogramFunc{name: name, help: help, fn: fn}
 	r.register(name, h)
 	return h
 }

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Go runtime telemetry, bridged from runtime/metrics into the registry
+// behind an explicit InstallRuntimeMetrics toggle. Scalar samples become
+// computed gauges and the runtime's native distribution samples (GC
+// pauses, scheduler latency) become computed histograms, all read lazily
+// at exposition time — installing them adds zero cost to any hot path.
+
+// Runtime metric names. The go_ prefix matches the conventional Prometheus
+// Go-collector namespace so dashboards transfer.
+const (
+	MetricGoGoroutines   = "go_goroutines"
+	MetricGoHeapBytes    = "go_heap_live_bytes"
+	MetricGoMemoryBytes  = "go_memory_total_bytes"
+	MetricGoGCCycles     = "go_gc_cycles"
+	MetricGoGCPause      = "go_gc_pause_seconds"
+	MetricGoSchedLatency = "go_sched_latency_seconds"
+)
+
+// runtimeBounds are the fixed upper bounds (seconds) runtime histograms
+// are rebinned into: powers of four from 1µs to ~1s. Rebinning keeps the
+// exposition compact and its shape stable across Go versions, whose
+// native bucket layouts differ.
+var runtimeBounds = []float64{
+	1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4, 1.024e-3,
+	4.096e-3, 1.6384e-2, 6.5536e-2, 2.62144e-1, 1.048576,
+}
+
+// runtimeSampler reads one batch of runtime/metrics samples, refreshed at
+// most every refreshEvery so one scrape triggers one runtime read no
+// matter how many instruments it visits.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	index   map[string]int
+	last    time.Time
+}
+
+const runtimeRefresh = 100 * time.Millisecond
+
+func newRuntimeSampler(names []string) *runtimeSampler {
+	available := make(map[string]bool)
+	for _, d := range metrics.All() {
+		available[d.Name] = true
+	}
+	s := &runtimeSampler{index: make(map[string]int)}
+	for _, name := range names {
+		if !available[name] {
+			continue
+		}
+		s.index[name] = len(s.samples)
+		s.samples = append(s.samples, metrics.Sample{Name: name})
+	}
+	return s
+}
+
+// value returns the current sample for name, refreshing the batch when
+// stale. The second result is false when the runtime does not provide the
+// metric (older toolchain).
+func (s *runtimeSampler) value(name string) (metrics.Value, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return metrics.Value{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.last) >= runtimeRefresh {
+		metrics.Read(s.samples)
+		s.last = time.Now()
+	}
+	return s.samples[i].Value, true
+}
+
+// scalarInt64 renders a scalar sample as int64 for gauge exposition.
+func scalarInt64(v metrics.Value) int64 {
+	switch v.Kind() {
+	case metrics.KindUint64:
+		u := v.Uint64()
+		if u > math.MaxInt64 {
+			return math.MaxInt64
+		}
+		return int64(u)
+	case metrics.KindFloat64:
+		return int64(v.Float64())
+	default:
+		return 0
+	}
+}
+
+// rebinHistogram converts a runtime float64 histogram into an obs
+// HistogramSnapshot over runtimeBounds. Each native bucket's count lands
+// in the first fixed bound at or above its upper edge. The runtime does
+// not track a sum, so Sum is estimated from bucket midpoints — good
+// enough for rate dashboards, documented in DESIGN.md.
+func rebinHistogram(h *metrics.Float64Histogram) HistogramSnapshot {
+	snap := HistogramSnapshot{Bounds: runtimeBounds, Counts: make([]int64, len(runtimeBounds)+1)}
+	if h == nil {
+		return snap
+	}
+	raw := make([]int64, len(runtimeBounds)+1)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		slot := len(runtimeBounds) // +Inf by default
+		for b, bound := range runtimeBounds {
+			if hi <= bound {
+				slot = b
+				break
+			}
+		}
+		n := int64(c)
+		raw[slot] += n
+		snap.Count += n
+		// Midpoint estimate, degrading gracefully at the ±Inf edges.
+		mid := (lo + hi) / 2
+		if math.IsInf(lo, -1) {
+			mid = hi
+		}
+		if math.IsInf(hi, 1) {
+			mid = lo
+		}
+		snap.Sum += float64(n) * mid
+	}
+	cum := int64(0)
+	for i, n := range raw {
+		cum += n
+		snap.Counts[i] = cum
+	}
+	return snap
+}
+
+// InstallRuntimeMetrics registers Go runtime telemetry — goroutine count,
+// live heap bytes, total memory, GC cycle count, and the GC-pause and
+// scheduler-latency distributions — as computed instruments on reg. All
+// values are read lazily from runtime/metrics at exposition time; nothing
+// is polled in the background. No-op on a nil registry; safe to call more
+// than once (the first installation wins).
+func InstallRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	gcPause := "/sched/pauses/total/gc:seconds"
+	if s := newRuntimeSampler([]string{gcPause}); len(s.samples) == 0 {
+		gcPause = "/gc/pauses:seconds" // pre-1.22 name
+	}
+	sampler := newRuntimeSampler([]string{
+		"/sched/goroutines:goroutines",
+		"/memory/classes/heap/objects:bytes",
+		"/memory/classes/total:bytes",
+		"/gc/cycles/total:gc-cycles",
+		gcPause,
+		"/sched/latencies:seconds",
+	})
+	gauge := func(name, help, src string) {
+		reg.GaugeFunc(name, help, func() int64 {
+			v, ok := sampler.value(src)
+			if !ok {
+				return 0
+			}
+			return scalarInt64(v)
+		})
+	}
+	hist := func(name, help, src string) {
+		reg.HistogramFunc(name, help, func() HistogramSnapshot {
+			v, ok := sampler.value(src)
+			if !ok || v.Kind() != metrics.KindFloat64Histogram {
+				return HistogramSnapshot{Bounds: runtimeBounds, Counts: make([]int64, len(runtimeBounds)+1)}
+			}
+			return rebinHistogram(v.Float64Histogram())
+		})
+	}
+	gauge(MetricGoGoroutines, "Live goroutines.", "/sched/goroutines:goroutines")
+	gauge(MetricGoHeapBytes, "Bytes of live heap objects.", "/memory/classes/heap/objects:bytes")
+	gauge(MetricGoMemoryBytes, "Total bytes of memory mapped by the Go runtime.", "/memory/classes/total:bytes")
+	gauge(MetricGoGCCycles, "Completed GC cycles since process start.", "/gc/cycles/total:gc-cycles")
+	hist(MetricGoGCPause, "Stop-the-world GC pause latency in seconds.", gcPause)
+	hist(MetricGoSchedLatency, "Time goroutines spend runnable before running, in seconds.", "/sched/latencies:seconds")
+}

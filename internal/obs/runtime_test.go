@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("q_seconds", "", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all 100 in the (1,2] bucket
+	}
+	s := h.Snapshot()
+	// Rank 50 of 100 lands mid-bucket: linear interpolation inside (1,2].
+	if got := Quantile(s, 0.5); got != 1.5 {
+		t.Fatalf("p50 = %v, want 1.5", got)
+	}
+	if got := Quantile(s, 1); got != 2 {
+		t.Fatalf("p100 = %v, want 2", got)
+	}
+	// Observations past every bound resolve to the largest finite bound.
+	h2 := NewRegistry().Histogram("q2_seconds", "", []float64{1, 2})
+	h2.Observe(100)
+	if got := Quantile(h2.Snapshot(), 0.99); got != 2 {
+		t.Fatalf("+Inf-bucket quantile = %v, want 2", got)
+	}
+	if got := Quantile(HistogramSnapshot{}, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramFunc(t *testing.T) {
+	reg := NewRegistry()
+	snap := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{3, 5, 6}, Count: 6, Sum: 9}
+	hf := reg.HistogramFunc("hf_seconds", "computed at read time", func() HistogramSnapshot { return snap })
+	if got := hf.Snapshot(); got.Count != 6 || got.Sum != 9 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	// Get-or-create returns the same instrument; the first fn wins.
+	again := reg.HistogramFunc("hf_seconds", "", func() HistogramSnapshot { return HistogramSnapshot{} })
+	if again != hf {
+		t.Fatal("get-or-create returned a different instrument")
+	}
+	if got := again.Snapshot(); got.Count != 6 {
+		t.Fatal("second fn replaced the first")
+	}
+	var nilHF *HistogramFunc
+	if got := nilHF.Snapshot(); got.Count != 0 {
+		t.Fatal("nil HistogramFunc not zero")
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE hf_seconds histogram",
+		`hf_seconds_bucket{le="1"} 3`,
+		`hf_seconds_bucket{le="2"} 5`,
+		`hf_seconds_bucket{le="+Inf"} 6`,
+		"hf_seconds_sum 9",
+		"hf_seconds_count 6",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInstallRuntimeMetrics(t *testing.T) {
+	InstallRuntimeMetrics(nil) // nil-safe
+
+	reg := NewRegistry()
+	InstallRuntimeMetrics(reg)
+	runtime.GC() // make the GC series nonzero
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, name := range []string{
+		MetricGoGoroutines, MetricGoHeapBytes, MetricGoMemoryBytes,
+		MetricGoGCCycles, MetricGoGCPause, MetricGoSchedLatency,
+	} {
+		if !strings.Contains(text, "\n"+name) && !strings.HasPrefix(text, name) {
+			t.Fatalf("exposition missing %s:\n%s", name, text)
+		}
+	}
+	snap := reg.Snapshot()
+	if g, ok := snap[MetricGoGoroutines].(int64); !ok || g < 1 {
+		t.Fatalf("goroutines = %v", snap[MetricGoGoroutines])
+	}
+	if h, ok := snap[MetricGoHeapBytes].(int64); !ok || h <= 0 {
+		t.Fatalf("heap bytes = %v", snap[MetricGoHeapBytes])
+	}
+}
+
+func TestRebinHistogramShape(t *testing.T) {
+	reg := NewRegistry()
+	InstallRuntimeMetrics(reg)
+	runtime.GC()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The rebinned GC-pause histogram must render cumulative buckets
+	// ending in +Inf with a consistent count.
+	text := b.String()
+	if !strings.Contains(text, MetricGoGCPause+`_bucket{le="+Inf"}`) {
+		t.Fatalf("gc pause histogram missing +Inf bucket:\n%s", text)
+	}
+}

@@ -9,6 +9,7 @@ const (
 	MetricCacheShared  = "serve_cache_singleflight_shared_total"
 	MetricCacheEvicted = "serve_cache_evictions_total"
 	MetricCachePurges  = "serve_cache_purges_total"
+	MetricCacheEntries = "serve_cache_entries"
 	MetricShed         = "serve_shed_total"
 	MetricQueueDepth   = "serve_queue_depth"
 	MetricReloads      = "serve_snapshot_reloads_total"

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"ipin/internal/obs"
+)
+
+// The golden exposition test pins the metric families a served, cached,
+// middleware-wrapped query server exposes. A renamed series, one
+// registered but never exported, or one exported by accident diffs
+// against the pinned list.
+func TestMetricsGoldenExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{CacheSize: 8, Registry: reg})
+	h := s.Handler()
+	for _, path := range []string{
+		"/influence?node=0", // cache miss
+		"/influence?node=0", // cache hit
+		"/topk?k=2",
+		"/stats",
+		"/influence?node=banana", // 400 → error counter
+	} {
+		get(t, h, path)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			got = append(got, rest)
+		}
+	}
+	want := []string{
+		"http_errors_total counter",
+		"http_in_flight_requests gauge",
+		"http_request_duration_seconds histogram",
+		"http_requests_total counter",
+		"serve_cache_entries gauge",
+		"serve_cache_evictions_total counter",
+		"serve_cache_hits_total counter",
+		"serve_cache_misses_total counter",
+		"serve_cache_purges_total counter",
+		"serve_cache_singleflight_shared_total counter",
+		"serve_queue_depth gauge",
+		"serve_shed_total counter",
+		"serve_snapshot_generation gauge",
+		"serve_snapshot_reloads_total counter",
+	}
+	for i := 0; i < len(got) || i < len(want); i++ {
+		switch {
+		case i >= len(got):
+			t.Errorf("missing family %q", want[i])
+		case i >= len(want):
+			t.Errorf("unexpected family %q", got[i])
+		case got[i] != want[i]:
+			t.Errorf("family %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// The workload must move what it touched: a series stuck at zero here
+	// is exported but never updated.
+	snap := reg.Snapshot()
+	for name, min := range map[string]int64{
+		MetricCacheHits:    1,
+		MetricCacheMisses:  1, // /influence cold, /topk, /stats bypasses cache
+		MetricCacheEntries: 1,
+		MetricReloads:      1,
+		MetricGeneration:   1,
+		`http_requests_total{route="/influence",code="200"}`: 2,
+		`http_requests_total{route="/influence",code="400"}`: 1,
+		`http_errors_total{route="/influence"}`:              1,
+	} {
+		if v, ok := snap[name].(int64); !ok || v < min {
+			t.Errorf("%s = %v, want >= %d", name, snap[name], min)
+		}
+	}
+	if h, ok := snap[`http_request_duration_seconds{route="/influence"}`].(obs.HistogramSnapshot); !ok || h.Count < 3 {
+		t.Errorf("influence latency histogram count = %v", snap[`http_request_duration_seconds{route="/influence"}`])
+	}
+}

@@ -57,6 +57,7 @@ import (
 
 	"ipin/internal/graph"
 	"ipin/internal/obs"
+	"ipin/internal/trace"
 )
 
 // Config parameterizes a query server. The zero value is usable: defaults
@@ -83,6 +84,11 @@ type Config struct {
 	SnapshotPath string
 	// Registry receives the serving metrics; nil disables them.
 	Registry *obs.Registry
+	// Tracer, when non-nil, is stamped serve-visible after every snapshot
+	// install — the terminal stage of the pipeline's end-to-end traces.
+	Tracer *trace.Tracer
+	// Journal, when non-nil, receives snapshot-reload and shed events.
+	Journal *trace.Journal
 }
 
 // Defaults for the zero Config.
@@ -129,6 +135,11 @@ func New(cfg Config) *Server {
 	if cfg.MaxInflight > 0 {
 		s.lim = newLimiter(cfg.MaxInflight, cfg.QueueDepth, mx)
 	}
+	// Read-time gauge: a push-style gauge would have to be updated on
+	// every insert/evict/purge; the count is cheap to read on demand.
+	cfg.Registry.GaugeFunc(MetricCacheEntries, "Result-cache entries currently resident.", func() int64 {
+		return int64(s.cache.len())
+	})
 	return s
 }
 
@@ -229,9 +240,14 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 // Retry-After hint so well-behaved clients back off.
 func (s *Server) shed(w http.ResponseWriter, err error) {
 	status := http.StatusServiceUnavailable
+	cause := "deadline"
 	if errors.Is(err, errQueueFull) {
 		status = http.StatusTooManyRequests
+		cause = "queue_full"
 	}
+	s.cfg.Journal.Record(trace.EventShed, cause, 0, map[string]any{
+		"queued": s.QueueDepthNow(),
+	})
 	w.Header().Set("Retry-After", "1")
 	writeError(w, &requestError{status: status, msg: err.Error()})
 }

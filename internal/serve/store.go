@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ipin/internal/core"
 	"ipin/internal/graph"
 	"ipin/internal/hll"
+	"ipin/internal/trace"
 )
 
 // store holds the queryable snapshot state. The hot per-node table —
@@ -276,14 +278,16 @@ func (s *snapshot) statsBody() map[string]any {
 // LoadApprox installs sketched summaries as the served snapshot. Safe
 // under live traffic: queries in flight finish on a consistent table.
 func (s *Server) LoadApprox(sum *core.ApproxSummaries) {
+	start := time.Now()
 	s.store.loadApprox(sum)
-	s.afterLoad()
+	s.afterLoad("load_approx", start)
 }
 
 // LoadExact installs exact summaries as the served snapshot.
 func (s *Server) LoadExact(sum *core.ExactSummaries) {
+	start := time.Now()
 	s.store.loadExact(sum)
-	s.afterLoad()
+	s.afterLoad("load_exact", start)
 }
 
 // Reload re-reads Config.SnapshotPath and swaps the result in atomically.
@@ -293,18 +297,20 @@ func (s *Server) Reload() error {
 	if s.cfg.SnapshotPath == "" {
 		return fmt.Errorf("serve: no snapshot path configured")
 	}
+	start := time.Now()
 	if err := s.store.loadFile(s.cfg.SnapshotPath); err != nil {
 		return err
 	}
-	s.afterLoad()
+	s.afterLoad("reload", start)
 	return nil
 }
 
 // afterLoad runs the bookkeeping common to all snapshot installs: old
 // cache entries can never be served again (keys embed the generation),
-// so drop them eagerly, count the reload, and wake WaitGeneration
-// callers.
-func (s *Server) afterLoad() {
+// so drop them eagerly, count the reload, wake WaitGeneration callers,
+// and — the generation swap being the moment the new data became
+// queryable — stamp waiting trace records serve-visible.
+func (s *Server) afterLoad(cause string, start time.Time) {
 	s.cache.purge()
 	s.mx.reloads.Inc()
 	s.mx.generation.Set(int64(s.Generation()))
@@ -312,4 +318,8 @@ func (s *Server) afterLoad() {
 	close(s.genCh)
 	s.genCh = make(chan struct{})
 	s.genMu.Unlock()
+	s.cfg.Tracer.StampVisible()
+	s.cfg.Journal.Record(trace.EventSnapshotReload, cause, time.Since(start), map[string]any{
+		"generation": s.Generation(),
+	})
 }

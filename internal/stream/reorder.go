@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"ipin/internal/graph"
+	"ipin/internal/trace"
 )
 
 // Reordering buffer: live sources deliver edges roughly — not exactly —
@@ -37,11 +38,16 @@ type reorder struct {
 	emitted bool
 	drops   int64
 	bumps   int64
+	count   int64 // edges emitted so far (the next edge's emit index)
 	mx      *metrics
+	tr      *trace.Tracer
 }
 
+// heapEntry carries a buffered edge plus, for sampled edges, the trace
+// record that co-travels with it until emission assigns an emit index.
 type heapEntry struct {
 	e   graph.Interaction
+	rec *trace.Record
 	seq uint64
 }
 
@@ -59,23 +65,25 @@ func (h *edgeHeap) Push(x any)      { *h = append(*h, x.(heapEntry)) }
 func (h *edgeHeap) Pop() any        { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 func (h edgeHeap) peek() graph.Time { return h[0].e.At }
 
-func newReorder(slack int64, mx *metrics) *reorder {
+func newReorder(slack int64, mx *metrics, tr *trace.Tracer) *reorder {
 	if mx == nil {
 		mx = &metrics{}
 	}
-	return &reorder{slack: slack, mx: mx}
+	return &reorder{slack: slack, mx: mx, tr: tr}
 }
 
 // offer accepts an arrival into the buffer and drains everything the
 // advanced watermark releases into out, in timestamp order. It reports
-// whether the edge was accepted (false = dropped as too late).
-func (r *reorder) offer(e graph.Interaction, out *[]graph.Interaction) bool {
+// whether the edge was accepted (false = dropped as too late). rec is the
+// edge's trace record (nil for unsampled edges); it rides the heap entry
+// and is registered with its emit index on release.
+func (r *reorder) offer(e graph.Interaction, rec *trace.Record, out *[]graph.Interaction) bool {
 	if r.seen && e.At < r.wm {
 		r.drops++
 		r.mx.drops.Inc()
 		return false
 	}
-	heap.Push(&r.h, heapEntry{e: e, seq: r.seq})
+	heap.Push(&r.h, heapEntry{e: e, rec: rec, seq: r.seq})
 	r.seq++
 	if !r.seen || e.At > r.maxSeen {
 		r.maxSeen = e.At
@@ -106,7 +114,8 @@ func (r *reorder) flush(out *[]graph.Interaction) {
 // applying the de-tie bump on emission.
 func (r *reorder) drainTo(wm graph.Time, out *[]graph.Interaction) {
 	for len(r.h) > 0 && r.h.peek() <= wm {
-		e := heap.Pop(&r.h).(heapEntry).e
+		ent := heap.Pop(&r.h).(heapEntry)
+		e := ent.e
 		if r.emitted && e.At <= r.lastOut {
 			e.At = r.lastOut + 1
 			r.bumps++
@@ -114,6 +123,12 @@ func (r *reorder) drainTo(wm graph.Time, out *[]graph.Interaction) {
 		}
 		r.lastOut = e.At
 		r.emitted = true
+		if ent.rec != nil {
+			// r.count is exactly this edge's position in the emitted
+			// sequence — the coordinate every later stage stamps by.
+			r.tr.Emitted(ent.rec, r.count)
+		}
+		r.count++
 		*out = append(*out, e)
 	}
 }

@@ -10,7 +10,7 @@ import (
 
 func drainAll(r *reorder, arrivals []graph.Interaction) (out []graph.Interaction, dropped int) {
 	for _, e := range arrivals {
-		if !r.offer(e, &out) {
+		if !r.offer(e, nil, &out) {
 			dropped++
 		}
 	}
@@ -38,7 +38,7 @@ func TestReorderSortsWithinSlack(t *testing.T) {
 				shuffled[lo+i], shuffled[lo+j] = shuffled[lo+j], shuffled[lo+i]
 			})
 		}
-		r := newReorder(int64(k), nil)
+		r := newReorder(int64(k), nil, nil)
 		out, dropped := drainAll(r, shuffled)
 		if dropped != 0 || r.drops != 0 {
 			t.Fatalf("trial %d: dropped %d within slack", trial, dropped)
@@ -62,15 +62,15 @@ func TestReorderSortsWithinSlack(t *testing.T) {
 // TestReorderDropsBeyondSlack: an edge arriving further behind the max
 // seen than the slack is dropped and everything else still sequences.
 func TestReorderDropsBeyondSlack(t *testing.T) {
-	r := newReorder(2, nil)
+	r := newReorder(2, nil, nil)
 	var out []graph.Interaction
 	for _, at := range []graph.Time{10, 11, 12, 13} {
-		if !r.offer(graph.Interaction{Src: 0, Dst: 1, At: at}, &out) {
+		if !r.offer(graph.Interaction{Src: 0, Dst: 1, At: at}, nil, &out) {
 			t.Fatalf("in-order edge at %d dropped", at)
 		}
 	}
 	// Watermark is 13-2 = 11; an arrival at 5 is behind it.
-	if r.offer(graph.Interaction{Src: 0, Dst: 1, At: 5}, &out) {
+	if r.offer(graph.Interaction{Src: 0, Dst: 1, At: 5}, nil, &out) {
 		t.Fatal("stale edge accepted")
 	}
 	if r.drops != 1 {
@@ -85,11 +85,11 @@ func TestReorderDropsBeyondSlack(t *testing.T) {
 // TestReorderDetie: simultaneous arrivals are bumped apart in arrival
 // order, mirroring graph.Log.Detie.
 func TestReorderDetie(t *testing.T) {
-	r := newReorder(0, nil)
+	r := newReorder(0, nil, nil)
 	var out []graph.Interaction
-	r.offer(graph.Interaction{Src: 0, Dst: 1, At: 7}, &out)
-	r.offer(graph.Interaction{Src: 1, Dst: 2, At: 7}, &out)
-	r.offer(graph.Interaction{Src: 2, Dst: 3, At: 7}, &out)
+	r.offer(graph.Interaction{Src: 0, Dst: 1, At: 7}, nil, &out)
+	r.offer(graph.Interaction{Src: 1, Dst: 2, At: 7}, nil, &out)
+	r.offer(graph.Interaction{Src: 2, Dst: 3, At: 7}, nil, &out)
 	r.flush(&out)
 	if len(out) != 3 {
 		t.Fatalf("emitted %d, want 3", len(out))
@@ -113,13 +113,13 @@ func TestReorderDetie(t *testing.T) {
 func TestReorderStrictlyIncreasing(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 20; trial++ {
-		r := newReorder(int64(rng.Intn(10)), nil)
+		r := newReorder(int64(rng.Intn(10)), nil, nil)
 		var out []graph.Interaction
 		at := int64(0)
 		for i := 0; i < 500; i++ {
 			at += rng.Int63n(3) // ties and repeats on purpose
 			jitter := rng.Int63n(15) - 7
-			r.offer(graph.Interaction{Src: 0, Dst: 1, At: graph.Time(at + jitter)}, &out)
+			r.offer(graph.Interaction{Src: 0, Dst: 1, At: graph.Time(at + jitter)}, nil, &out)
 		}
 		r.flush(&out)
 		for i := 1; i < len(out); i++ {

@@ -46,6 +46,7 @@ import (
 	"ipin/internal/graph"
 	"ipin/internal/obs"
 	"ipin/internal/swhll"
+	"ipin/internal/trace"
 	"ipin/internal/vhll"
 )
 
@@ -100,6 +101,15 @@ type Config struct {
 	Publish func(*core.ApproxSummaries)
 	// Registry receives the stream_* metrics; nil disables them.
 	Registry *obs.Registry
+	// Tracer, when non-nil, samples accepted edges into end-to-end trace
+	// records stamped at every pipeline stage (see internal/trace). The
+	// same Tracer may be handed to a successor ingester over the same
+	// directory; New reconciles records open across the restart.
+	Tracer *trace.Tracer
+	// Journal, when non-nil, receives structured lifecycle events:
+	// recovery, segment rotations, chunk seals and persists, checkpoints,
+	// compaction deletions.
+	Journal *trace.Journal
 }
 
 // CheckpointName and CheckpointMetaName are the file names a checkpoint
@@ -135,6 +145,8 @@ var errClosed = errors.New("stream: ingester closed")
 type Ingester struct {
 	cfg Config
 	mx  *metrics
+	tr  *trace.Tracer
+	jr  *trace.Journal
 
 	intake  chan graph.Interaction
 	force   chan chan error // forced Checkpoint requests
@@ -152,6 +164,7 @@ type Ingester struct {
 	profiles       *swhll.Profiles
 	sinceCkpt      int
 	walCompactedAt int64 // timestamp DeleteCovered last ran with
+	sealLive       bool  // false during New's replay: recovered chunks are not re-stamped
 
 	// Owned by the compactor goroutine (initialized before it starts).
 	durableChunks int // sealed chunks already persisted as sidecars
@@ -170,16 +183,19 @@ type Ingester struct {
 	ckptEdges   atomic.Int64
 	lastCkpt    atomic.Int64 // unix nanos of the last publish
 	durableAt   atomic.Int64 // newest timestamp covered by durable sidecars
+	wmLag       atomic.Int64 // maxSeen − watermark, in ticks (health surface)
+	bufDepth    atomic.Int64 // reorder buffer depth (health surface)
 
 	recoveredChunkEdges int64 // set once in New, before the loops start
 	recoveredWALEdges   int64
 }
 
 // foldJob asks the compactor to fold one snapshot; done receives the
-// result exactly once.
+// result exactly once. cause labels the trigger in the journal.
 type foldJob struct {
-	view core.ChunkView
-	done chan error
+	view  core.ChunkView
+	cause string
+	done  chan error
 }
 
 // New opens (or creates) the state directory, loads the durable chunk
@@ -212,16 +228,19 @@ func New(cfg Config) (*Ingester, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 8192
 	}
+	startNew := time.Now()
 	mx := newMetrics(cfg.Registry)
 	in := &Ingester{
 		cfg:     cfg,
 		mx:      mx,
+		tr:      cfg.Tracer,
+		jr:      cfg.Journal,
 		intake:  make(chan graph.Interaction, cfg.QueueDepth),
 		force:   make(chan chan error),
 		stopped: make(chan struct{}),
 		done:    make(chan struct{}),
 		folds:   make(chan foldJob),
-		buf:     newReorder(cfg.Slack, mx),
+		buf:     newReorder(cfg.Slack, mx, cfg.Tracer),
 	}
 	// The checkpoint age is computed at exposition time: a push-style
 	// gauge can only report the age as of its last incidental update.
@@ -284,7 +303,7 @@ func New(cfg Config) (*Ingester, error) {
 	// only the suffix past the sidecar coverage is new — the overlap (the
 	// segment that was active when the last sidecar batch landed) is
 	// skipped, and fully covered segments were already deleted.
-	wal, recovered, err := OpenWAL(cfg.Dir, WALConfig{SegmentBytes: cfg.SegmentBytes, SyncEvery: cfg.SyncEvery}, mx)
+	wal, recovered, err := OpenWAL(cfg.Dir, WALConfig{SegmentBytes: cfg.SegmentBytes, SyncEvery: cfg.SyncEvery, Journal: cfg.Journal}, mx)
 	if err != nil {
 		return nil, err
 	}
@@ -315,6 +334,11 @@ func New(cfg Config) (*Ingester, error) {
 		in.lastAt.Store(int64(last))
 		in.emitted.Store(int64(n))
 	}
+	// The emit-index clocks (reorder count, emitted counter) resume at the
+	// recovered prefix; a reused tracer retires records the crash lost so
+	// fresh edges cannot collide with their emit indices.
+	in.buf.count = int64(inc.EdgeCount())
+	in.tr.Recovered(int64(inc.EdgeCount()))
 	in.recoveredChunkEdges = chunkEdges
 	in.recoveredWALEdges = int64(len(suffix))
 	mx.recoveredChunkEdges.Set(chunkEdges)
@@ -329,7 +353,7 @@ func New(cfg Config) (*Ingester, error) {
 	// Publish the recovered state before accepting new edges, so a
 	// restarted process serves its pre-crash coverage immediately.
 	if inc.EdgeCount() > 0 {
-		if err := in.checkpointNow(); err != nil {
+		if err := in.checkpointNow("recovery"); err != nil {
 			close(in.folds)
 			wal.Close()
 			return nil, fmt.Errorf("stream: recovery checkpoint: %w", err)
@@ -342,6 +366,12 @@ func New(cfg Config) (*Ingester, error) {
 		wal.Close()
 		return nil, err
 	}
+	if chunkEdges > 0 || len(suffix) > 0 {
+		in.jr.Record(trace.EventRecovery, "startup", time.Since(startNew), map[string]any{
+			"chunk_edges": chunkEdges, "wal_edges": int64(len(suffix)),
+		})
+	}
+	in.sealLive = true
 	go in.run()
 	return in, nil
 }
@@ -509,7 +539,7 @@ func (in *Ingester) run() {
 				return
 			}
 		case <-tickC:
-			if err := in.maybeCheckpoint(false); err != nil {
+			if err := in.maybeCheckpoint(false, "interval"); err != nil {
 				fail(err)
 				return
 			}
@@ -533,7 +563,7 @@ func (in *Ingester) run() {
 			}
 			err := in.absorb(out)
 			if err == nil {
-				err = in.maybeCheckpoint(true)
+				err = in.maybeCheckpoint(true, "forced")
 			}
 			if err == nil {
 				err = in.compactWAL()
@@ -561,7 +591,7 @@ func (in *Ingester) run() {
 				err = in.sealPending()
 			}
 			if err == nil && int64(in.inc.EdgeCount()) > in.ckptEdges.Load() {
-				err = in.checkpointNow()
+				err = in.checkpointNow("final")
 			}
 			if err == nil {
 				err = in.compactWAL()
@@ -583,7 +613,9 @@ func (in *Ingester) run() {
 // never enters the pipeline, so counting it would break the invariant
 // that Accepted − Emitted bounds the buffered depth.
 func (in *Ingester) take(e graph.Interaction, out *[]graph.Interaction) {
-	if !in.buf.offer(e, out) {
+	rec := in.tr.SampleAccept(e)
+	if !in.buf.offer(e, rec, out) {
+		in.tr.Cancel(rec)
 		in.drops.Add(1)
 		return
 	}
@@ -594,15 +626,27 @@ func (in *Ingester) take(e graph.Interaction, out *[]graph.Interaction) {
 // absorb logs and stages a drained batch, sealing chunks as they fill
 // and applying the edge-count checkpoint trigger.
 func (in *Ingester) absorb(out []graph.Interaction) error {
+	in.bufDepth.Store(int64(in.buf.depth()))
+	if in.buf.seen {
+		in.wmLag.Store(int64(in.buf.maxSeen - in.buf.wm))
+	}
 	if len(out) == 0 {
 		return nil
 	}
+	// base is the emit index of out[0]: the reorder buffer assigned
+	// indices base..base+len(out)-1 as it drained this batch.
+	base := in.emitted.Load()
 	// Cap record size at the chunk size: a crash then loses at most one
 	// bounded record, and replay allocations stay proportional to it.
 	for lo := 0; lo < len(out); lo += in.cfg.ChunkEdges {
 		hi := min(lo+in.cfg.ChunkEdges, len(out))
+		syncsBefore := in.wal.SyncCount()
 		if err := in.wal.Append(out[lo:hi]); err != nil {
 			return fmt.Errorf("stream: wal append: %w", err)
+		}
+		in.tr.StampThrough(trace.StageWALAppend, base+int64(hi))
+		if in.wal.SyncCount() != syncsBefore {
+			in.tr.StampThrough(trace.StageWALFsync, base+int64(hi))
 		}
 	}
 	in.emitted.Add(int64(len(out)))
@@ -623,7 +667,7 @@ func (in *Ingester) absorb(out []graph.Interaction) error {
 		in.pending = in.pending[in.cfg.ChunkEdges:]
 	}
 	if in.cfg.CheckpointEdges > 0 && in.sinceCkpt+len(in.pending) >= in.cfg.CheckpointEdges {
-		return in.maybeCheckpoint(false)
+		return in.maybeCheckpoint(false, "edges")
 	}
 	return nil
 }
@@ -641,12 +685,21 @@ func (in *Ingester) seal(edges []graph.Interaction) error {
 			n = m
 		}
 	}
+	start := time.Now()
 	cp := append([]graph.Interaction(nil), edges...)
 	if err := in.inc.AppendChunk(cp, n); err != nil {
 		return fmt.Errorf("stream: seal chunk: %w", err)
 	}
 	in.mx.chunks.Inc()
 	in.sinceCkpt += len(edges)
+	if in.sealLive {
+		// EdgeCount after the append is exactly the emit index one past
+		// the sealed chunk's last edge.
+		in.tr.StampThrough(trace.StageChunkSeal, int64(in.inc.EdgeCount()))
+		in.jr.Record(trace.EventChunkSeal, "", time.Since(start), map[string]any{
+			"edges": len(edges), "chunks": in.inc.NumChunks(),
+		})
+	}
 	return nil
 }
 
@@ -667,7 +720,7 @@ func (in *Ingester) sealPending() error {
 // the pending partial chunk, or every tick during a slow fold would
 // seal another tiny chunk and permanently fragment the chunk sequence.
 // Forced requests (wait=true) block until the fold lands.
-func (in *Ingester) maybeCheckpoint(wait bool) error {
+func (in *Ingester) maybeCheckpoint(wait bool, cause string) error {
 	if !wait && in.foldsPending.Load() > 0 {
 		in.mx.checkpointSkips.Inc()
 		return nil
@@ -683,7 +736,9 @@ func (in *Ingester) maybeCheckpoint(wait bool) error {
 	if err := in.wal.Sync(); err != nil {
 		return fmt.Errorf("stream: checkpoint wal sync: %w", err)
 	}
-	job := foldJob{view: in.inc.View(), done: make(chan error, 1)}
+	// Everything emitted so far is appended and now fsynced.
+	in.tr.StampThrough(trace.StageWALFsync, in.emitted.Load())
+	job := foldJob{view: in.inc.View(), cause: cause, done: make(chan error, 1)}
 	in.foldsPending.Add(1)
 	if wait {
 		in.folds <- job
@@ -707,12 +762,12 @@ func (in *Ingester) maybeCheckpoint(wait bool) error {
 
 // checkpointNow is maybeCheckpoint(wait=true) for paths that must not
 // skip: recovery publish and the final Close checkpoint.
-func (in *Ingester) checkpointNow() error { return in.maybeCheckpoint(true) }
+func (in *Ingester) checkpointNow(cause string) error { return in.maybeCheckpoint(true, cause) }
 
 // compactor folds snapshots into checkpoints, one at a time, in order.
 func (in *Ingester) compactor() {
 	for job := range in.folds {
-		err := in.checkpoint(job.view)
+		err := in.checkpoint(job.view, job.cause)
 		in.foldsPending.Add(-1)
 		job.done <- err
 	}
@@ -725,26 +780,37 @@ func (in *Ingester) compactor() {
 // the immutable view. Sidecars go first: once they are durable the
 // checkpoint may claim chunk coverage, and the run loop may delete the
 // WAL segments they cover.
-func (in *Ingester) checkpoint(view core.ChunkView) error {
+func (in *Ingester) checkpoint(view core.ChunkView, cause string) error {
 	start := time.Now()
+	covered := int64(view.EdgeCount())
 	if err := in.persistChunks(view); err != nil {
 		return err
 	}
 	foldStart := time.Now()
 	sum := view.Fold()
 	foldDur := time.Since(foldStart)
+	in.tr.StampThrough(trace.StageFold, covered)
 	if err := in.writeCheckpoint(sum, view, foldDur); err != nil {
 		return err
 	}
+	in.tr.StampThrough(trace.StageCheckpointWrite, covered)
+	// Covered records are marked awaiting visibility before the handoff:
+	// the serving layer's generation swap stamps serve_visible, or
+	// FinishPublish completes them when nothing downstream will.
+	in.tr.BeginPublish(covered)
 	if in.cfg.Publish != nil {
 		in.cfg.Publish(sum)
 	}
+	in.tr.FinishPublish()
 	in.checkpoints.Add(1)
-	in.ckptEdges.Store(int64(view.EdgeCount()))
+	in.ckptEdges.Store(covered)
 	in.lastCkpt.Store(time.Now().UnixNano())
 	in.mx.checkpoints.Inc()
 	in.mx.checkpointDur.Observe(time.Since(start).Seconds())
-	in.mx.checkpointEdges.Set(int64(view.EdgeCount()))
+	in.mx.checkpointEdges.Set(covered)
+	in.jr.Record(trace.EventCheckpoint, cause, time.Since(start), map[string]any{
+		"edges": covered, "chunks": view.NumChunks(), "fold_ms": float64(foldDur) / 1e6,
+	})
 	return nil
 }
 
@@ -756,6 +822,8 @@ func (in *Ingester) persistChunks(view core.ChunkView) error {
 	if n <= in.durableChunks {
 		return nil
 	}
+	start := time.Now()
+	wrote := n - in.durableChunks
 	for c := in.durableChunks; c < n; c++ {
 		edges, locals := view.Chunk(c)
 		if err := writeChunkFile(in.cfg.Dir, c, in.cfg.Omega, in.cfg.Precision, edges, locals, in.mx); err != nil {
@@ -768,6 +836,9 @@ func (in *Ingester) persistChunks(view core.ChunkView) error {
 	in.mx.dirSyncs.Inc()
 	in.durableChunks = n
 	in.durableAt.Store(int64(view.LastAt()))
+	in.jr.Record(trace.EventChunkPersist, "", time.Since(start), map[string]any{
+		"chunks": wrote, "durable": n,
+	})
 	return nil
 }
 
@@ -873,6 +944,59 @@ func (in *Ingester) Stats() Stats {
 		RecoveredChunkEdges: in.recoveredChunkEdges,
 		RecoveredWALEdges:   in.recoveredWALEdges,
 	}
+}
+
+// Health returns the live pipeline state for the /debug/pipeline
+// endpoint: progress counters, watermark lag, reorder and intake depth,
+// checkpoint age, and the on-disk footprint of the WAL, the chunk
+// sidecars, and the checkpoint. Safe from any goroutine; the disk
+// numbers come from a directory listing, not run-loop state.
+func (in *Ingester) Health() map[string]any {
+	st := in.Stats()
+	h := map[string]any{
+		"accepted":              st.Accepted,
+		"emitted":               st.Emitted,
+		"reorder_drops":         st.ReorderDrops,
+		"checkpoints":           st.Checkpoints,
+		"covered_edges":         st.CoveredEdges,
+		"last_at":               st.LastAt,
+		"watermark_lag":         in.wmLag.Load(),
+		"reorder_depth":         in.bufDepth.Load(),
+		"intake_queued":         len(in.intake),
+		"recovered_chunk_edges": st.RecoveredChunkEdges,
+		"recovered_wal_edges":   st.RecoveredWALEdges,
+	}
+	if at := in.lastCkpt.Load(); at > 0 {
+		h["checkpoint_age_seconds"] = time.Since(time.Unix(0, at)).Seconds()
+	}
+	var walBytes, chunkBytes, ckptBytes int64
+	var walSegs, chunkFiles int
+	for _, g := range []struct {
+		pat   string
+		bytes *int64
+		files *int
+	}{
+		{"wal-*.seg", &walBytes, &walSegs},
+		{"chunk-*.blk", &chunkBytes, &chunkFiles},
+		{CheckpointName, &ckptBytes, nil},
+	} {
+		names, _ := filepath.Glob(filepath.Join(in.cfg.Dir, g.pat))
+		for _, name := range names {
+			if fi, err := os.Stat(name); err == nil {
+				*g.bytes += fi.Size()
+				if g.files != nil {
+					*g.files++
+				}
+			}
+		}
+	}
+	h["disk"] = map[string]any{
+		"wal_bytes": walBytes, "wal_segments": walSegs,
+		"chunk_bytes": chunkBytes, "chunk_files": chunkFiles,
+		"checkpoint_bytes": ckptBytes,
+		"total_bytes":      walBytes + chunkBytes + ckptBytes,
+	}
+	return h
 }
 
 // Hot returns the k nodes with the largest sliding-window out-

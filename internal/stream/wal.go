@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ipin/internal/graph"
+	"ipin/internal/trace"
 )
 
 // Write-ahead log: the durability substrate of the ingester. Edges that
@@ -62,6 +63,9 @@ type WALConfig struct {
 	// (every record), negative disables fsync entirely (crash durability
 	// then depends on the OS; rotation and Close still sync).
 	SyncEvery int
+	// Journal, when non-nil, receives lifecycle events: segment
+	// rotations, torn-tail truncations, compaction deletions.
+	Journal *trace.Journal
 }
 
 // WAL is an append-only segmented edge log. Not goroutine-safe: the
@@ -74,6 +78,7 @@ type WAL struct {
 	seq       int
 	segBytes  int64
 	sinceSync int
+	syncs     int64 // fsyncs completed; trace stamping compares before/after
 	segments  int64
 	bytes     int64
 	lastAt    int64    // timestamp of the newest appended/replayed edge
@@ -234,6 +239,9 @@ func (w *WAL) replaySegment(name string, final bool, edges *[]graph.Interaction,
 		if err := os.Truncate(name, off); err != nil {
 			return 0, fmt.Errorf("stream: truncating torn tail of %s: %v", name, err)
 		}
+		w.cfg.Journal.Record(trace.EventWALTruncate, why, 0, map[string]any{
+			"segment": filepath.Base(name), "bytes": int64(len(data)) - off,
+		})
 		return off, nil
 	}
 	if len(data) < len(walMagic) {
@@ -391,8 +399,14 @@ func (w *WAL) Sync() error {
 	}
 	w.mx.walFsync.Observe(time.Since(start).Seconds())
 	w.sinceSync = 0
+	w.syncs++
 	return nil
 }
+
+// SyncCount returns the number of fsyncs completed so far. The ingester
+// compares it around an Append to learn whether the sync policy covered
+// the appended edges (and may stamp their trace records at wal_fsync).
+func (w *WAL) SyncCount() int64 { return w.syncs }
 
 // rotate seals the current segment (fsync + close, so torn tails can
 // only ever live in the newest segment) and starts the next one. The
@@ -425,10 +439,15 @@ func (w *WAL) rotate() error {
 		return err
 	}
 	w.mx.dirSyncs.Inc()
+	cause := "size"
+	if w.f == nil {
+		cause = "open"
+	}
 	w.f = f
 	w.segBytes = int64(len(walMagic))
 	w.segments++
 	w.mx.walSegments.Inc()
+	w.cfg.Journal.Record(trace.EventSegmentRotate, cause, 0, map[string]any{"segment": w.seq})
 	return nil
 }
 
@@ -440,6 +459,7 @@ func (w *WAL) rotate() error {
 // same sense the creations were.
 func (w *WAL) DeleteCovered(coveredAt int64) (int, error) {
 	removed := 0
+	var freed int64
 	kept := w.sealed[:0]
 	for _, s := range w.sealed {
 		if s.lastAt > coveredAt {
@@ -451,6 +471,7 @@ func (w *WAL) DeleteCovered(coveredAt int64) (int, error) {
 			return removed, err
 		}
 		removed++
+		freed += s.bytes
 		w.mx.walDeleted.Inc()
 		w.mx.walDeletedBytes.Add(s.bytes)
 	}
@@ -460,6 +481,9 @@ func (w *WAL) DeleteCovered(coveredAt int64) (int, error) {
 			return removed, err
 		}
 		w.mx.dirSyncs.Inc()
+		w.cfg.Journal.Record(trace.EventCompactionDelete, "sidecar-coverage", 0, map[string]any{
+			"segments": removed, "bytes": freed,
+		})
 	}
 	return removed, nil
 }

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// The disabled-path benchmark backs the tracer's central promise: a
+// pipeline built without tracing pays one nil check per accepted edge,
+// well under 5 ns. The tracer lives in a package var so the compiler
+// cannot fold the nil check away.
+var disabledTracer *Tracer
+
+func BenchmarkDisabledSampleAccept(b *testing.B) {
+	e := graph.Interaction{Src: 1, Dst: 2, At: 3}
+	for i := 0; i < b.N; i++ {
+		if rec := disabledTracer.SampleAccept(e); rec != nil {
+			b.Fatal("nil tracer sampled")
+		}
+	}
+}
+
+// BenchmarkUnsampledAccept is the 1/1024 configuration's common case: the
+// tracer exists but this edge is not the Nth — one atomic add and a mod.
+func BenchmarkUnsampledAccept(b *testing.B) {
+	tr := New(Config{SampleEvery: 1 << 30})
+	e := graph.Interaction{Src: 1, Dst: 2, At: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := tr.SampleAccept(e); rec != nil {
+			b.Fatal("sampled")
+		}
+	}
+}

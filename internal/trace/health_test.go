@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ipin/internal/graph"
+)
+
+// TestHealthEndpoint drives one traced edge through the pipeline and
+// checks /debug/pipeline renders every section.
+func TestHealthEndpoint(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, SLO: SLOConfig{Objective: time.Hour}})
+	rec := tr.SampleAccept(graph.Interaction{Src: 1, Dst: 2, At: 9})
+	tr.Emitted(rec, 0)
+	tr.StampThrough(StageWALAppend, 1)
+	tr.BeginPublish(1)
+	tr.StampVisible()
+	j := NewJournal(JournalConfig{Size: 8})
+	j.Record(EventCheckpoint, "interval", time.Millisecond, map[string]any{"edges": 1})
+
+	h := &Health{
+		Tracer:  tr,
+		Journal: j,
+		Status:  func() map[string]any { return map[string]any{"watermark_lag": 3} },
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pipeline", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc struct {
+		Trace  TracerSnapshot `json:"trace"`
+		Events []Event        `json:"events"`
+		Status map[string]any `json:"status"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("payload: %v\n%s", err, rr.Body.String())
+	}
+	if doc.Trace.Counts.Completed != 1 || doc.Trace.SampleEvery != 1 {
+		t.Fatalf("trace section = %+v", doc.Trace)
+	}
+	if doc.Trace.SLO == nil || doc.Trace.SLO.Observed != 1 {
+		t.Fatalf("slo section = %+v", doc.Trace.SLO)
+	}
+	if len(doc.Trace.Recent) != 1 || doc.Trace.Recent[0].Outcome != "completed" {
+		t.Fatalf("recent section = %+v", doc.Trace.Recent)
+	}
+	// Stage offsets are relative to accept and nondecreasing.
+	stages := doc.Trace.Recent[0].Stages
+	if len(stages) == 0 || stages[0].Stage != "accept" || stages[0].OffsetMs != 0 {
+		t.Fatalf("stages = %+v", stages)
+	}
+	for i := 1; i < len(stages); i++ {
+		if stages[i].OffsetMs < stages[i-1].OffsetMs {
+			t.Fatalf("stage offsets regress: %+v", stages)
+		}
+	}
+	if len(doc.Events) != 1 || doc.Events[0].Type != EventCheckpoint {
+		t.Fatalf("events section = %+v", doc.Events)
+	}
+	if doc.Status["watermark_lag"] != float64(3) {
+		t.Fatalf("status section = %+v", doc.Status)
+	}
+}
+
+// TestHealthEmpty: a Health with nothing attached renders an empty JSON
+// object, not a panic.
+func TestHealthEmpty(t *testing.T) {
+	rr := httptest.NewRecorder()
+	(&Health{}).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pipeline", nil))
+	var doc map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("payload: %v", err)
+	}
+	if len(doc) != 0 {
+		t.Fatalf("doc = %v", doc)
+	}
+}

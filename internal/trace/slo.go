@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"ipin/internal/obs"
+)
+
+// Freshness SLO tracking: the objective is a statement like "99% of edges
+// become queryable within 30 s". Every completed trace feeds one
+// observation; the tracker maintains lifetime attainment, the remaining
+// error budget, and a windowed burn rate — the three numbers an on-call
+// needs to decide between "ignore", "watch", and "page".
+
+// SLOConfig parameterizes the freshness objective.
+type SLOConfig struct {
+	// Objective is the freshness threshold an observation must meet
+	// (e.g. 30s for "edge-to-queryable < 30 s"). 0 disables tracking.
+	Objective time.Duration
+	// Target is the fraction of observations that must meet it; 0 selects
+	// 0.99.
+	Target float64
+	// BurnWindow is the lookback for the burn-rate signal; 0 selects 5m.
+	BurnWindow time.Duration
+}
+
+// sloBuckets is the burn-window resolution: the window is split into this
+// many rotating time buckets.
+const sloBuckets = 30
+
+// SLO tracks one freshness objective. A nil *SLO is a no-op.
+type SLO struct {
+	cfg SLOConfig
+
+	mu      sync.Mutex
+	buckets [sloBuckets]sloBucket
+	cur     int
+	curEnd  time.Time
+
+	observed, breaches *obs.Counter
+}
+
+type sloBucket struct {
+	total, breaches int64
+}
+
+func newSLO(cfg SLOConfig, reg *obs.Registry) *SLO {
+	if cfg.Target <= 0 || cfg.Target >= 1 {
+		cfg.Target = 0.99
+	}
+	if cfg.BurnWindow <= 0 {
+		cfg.BurnWindow = 5 * time.Minute
+	}
+	s := &SLO{cfg: cfg}
+	s.observed = reg.Counter(MetricSLOOK, "Freshness observations judged against the SLO objective.")
+	s.breaches = reg.Counter(MetricSLOBreach, "Freshness observations that exceeded the SLO objective.")
+	if s.observed == nil {
+		// No registry: standalone counters keep the tracker functional
+		// (snapshots still work, nothing is exposed).
+		s.observed, s.breaches = &obs.Counter{}, &obs.Counter{}
+	}
+	reg.Gauge(MetricSLOObj, "Freshness SLO objective in milliseconds.").Set(cfg.Objective.Milliseconds())
+	reg.Gauge(MetricSLOTarget, "Freshness SLO target in parts per million (990000 = 99%).").Set(int64(cfg.Target * 1e6))
+	reg.GaugeFunc(MetricSLOAttain, "Lifetime SLO attainment in parts per million (1000000 with no observations).", func() int64 {
+		return int64(s.Snapshot().Attainment * 1e6)
+	})
+	reg.GaugeFunc(MetricSLOBudget, "Fraction of the error budget remaining, in parts per million (negative = overspent).", func() int64 {
+		return int64(s.Snapshot().BudgetRemaining * 1e6)
+	})
+	reg.GaugeFunc(MetricSLOBurn, "Error-budget burn rate over the burn window, in parts per million (1000000 = exactly sustainable).", func() int64 {
+		return int64(s.Snapshot().BurnRate * 1e6)
+	})
+	return s
+}
+
+// rotateLocked advances the bucket ring so cur covers now.
+func (s *SLO) rotateLocked(now time.Time) {
+	per := s.cfg.BurnWindow / sloBuckets
+	if s.curEnd.IsZero() {
+		s.curEnd = now.Add(per)
+		return
+	}
+	for !now.Before(s.curEnd) {
+		s.cur = (s.cur + 1) % sloBuckets
+		s.buckets[s.cur] = sloBucket{}
+		s.curEnd = s.curEnd.Add(per)
+		if s.curEnd.Add(s.cfg.BurnWindow).Before(now) {
+			// Idle far longer than the window: everything is stale.
+			for i := range s.buckets {
+				s.buckets[i] = sloBucket{}
+			}
+			s.curEnd = now.Add(per)
+			break
+		}
+	}
+}
+
+// Observe judges one freshness measurement against the objective. No-op
+// on a nil receiver.
+func (s *SLO) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	breach := d > s.cfg.Objective
+	s.observed.Inc()
+	if breach {
+		s.breaches.Inc()
+	}
+	s.mu.Lock()
+	s.rotateLocked(time.Now())
+	s.buckets[s.cur].total++
+	if breach {
+		s.buckets[s.cur].breaches++
+	}
+	s.mu.Unlock()
+}
+
+// SLOSnapshot is a point-in-time view of the objective's health.
+type SLOSnapshot struct {
+	ObjectiveMs float64 `json:"objective_ms"`
+	Target      float64 `json:"target"`
+	Observed    int64   `json:"observed"`
+	Breaches    int64   `json:"breaches"`
+	// Attainment is the lifetime fraction of observations meeting the
+	// objective; 1 with no observations.
+	Attainment float64 `json:"attainment"`
+	// BudgetRemaining is the fraction of the lifetime error budget left:
+	// 1 = untouched, 0 = exhausted, negative = overspent.
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// BurnRate is the breach rate over the burn window relative to the
+	// sustainable rate (1−Target): 1 means breaching exactly as fast as
+	// the budget replenishes; >1 means the budget is shrinking.
+	BurnRate float64 `json:"burn_rate"`
+	// WindowObserved/WindowBreaches are the burn-window sample counts
+	// behind BurnRate.
+	WindowObserved int64 `json:"window_observed"`
+	WindowBreaches int64 `json:"window_breaches"`
+}
+
+// Snapshot computes the current SLO state; zero-valued on a nil receiver.
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	snap := SLOSnapshot{
+		ObjectiveMs: float64(s.cfg.Objective) / 1e6,
+		Target:      s.cfg.Target,
+		Observed:    s.observed.Value(),
+		Breaches:    s.breaches.Value(),
+		Attainment:  1,
+		BurnRate:    0,
+	}
+	if snap.Observed > 0 {
+		snap.Attainment = 1 - float64(snap.Breaches)/float64(snap.Observed)
+	}
+	allowed := (1 - s.cfg.Target) * float64(snap.Observed)
+	snap.BudgetRemaining = 1.0
+	if allowed > 0 {
+		snap.BudgetRemaining = 1 - float64(snap.Breaches)/allowed
+	} else if snap.Breaches > 0 {
+		snap.BudgetRemaining = 0
+	}
+	s.mu.Lock()
+	s.rotateLocked(time.Now())
+	var wt, wb int64
+	for _, b := range s.buckets {
+		wt += b.total
+		wb += b.breaches
+	}
+	s.mu.Unlock()
+	snap.WindowObserved, snap.WindowBreaches = wt, wb
+	if wt > 0 {
+		snap.BurnRate = (float64(wb) / float64(wt)) / (1 - s.cfg.Target)
+	}
+	return snap
+}

@@ -45,6 +45,7 @@ import (
 	"ipin/internal/stream"
 	"ipin/internal/swhll"
 	"ipin/internal/temporal"
+	"ipin/internal/trace"
 	"ipin/internal/vhll"
 )
 
@@ -345,3 +346,46 @@ func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg)
 func InstrumentHTTP(reg *MetricsRegistry, routes []string, next http.Handler) http.Handler {
 	return obs.Middleware(reg, routes, next)
 }
+
+// InstallRuntimeMetrics registers Go runtime telemetry (goroutines, heap
+// and total memory, GC cycles and pause distribution, scheduler latency)
+// in reg, refreshed at exposition time. Nil-safe; install it on every
+// registry a /metrics server exposes.
+func InstallRuntimeMetrics(reg *MetricsRegistry) { obs.InstallRuntimeMetrics(reg) }
+
+// End-to-end pipeline tracing (internal/trace): sampled edge traces
+// through the live pipeline, a freshness SLO, a structured lifecycle
+// journal, and the /debug/pipeline health endpoint. All of it is opt-in
+// and nil-safe: an Ingester or QueryServer built without a Tracer or
+// Journal pays one nil check per instrumented event.
+type (
+	// Tracer stamps every Nth accepted edge at each pipeline stage
+	// (accept → reorder emit → WAL append/fsync → chunk seal → fold →
+	// checkpoint write → publish → serve-visible). Hand one to both
+	// IngestConfig.Tracer and ServeConfig.Tracer so traces terminate at
+	// the generation swap that makes the edge queryable.
+	Tracer = trace.Tracer
+	// TraceConfig parameterizes a Tracer; the zero value samples every
+	// 1024th edge.
+	TraceConfig = trace.Config
+	// TraceSLOConfig enables the freshness SLO tracker when Objective>0.
+	TraceSLOConfig = trace.SLOConfig
+	// TraceJournal is the bounded structured lifecycle-event journal
+	// (segment rotations, chunk seals, checkpoints, compaction deletions,
+	// snapshot reloads, shed decisions), with an optional JSON-lines
+	// sink.
+	TraceJournal = trace.Journal
+	// TraceJournalConfig parameterizes a TraceJournal.
+	TraceJournalConfig = trace.JournalConfig
+	// PipelineHealth is the /debug/pipeline HTTP handler: stage
+	// latencies, SLO budget, the lifecycle-event tail, recent traces,
+	// and caller-supplied status (an Ingester's Health map, say).
+	PipelineHealth = trace.Health
+)
+
+// NewTracer returns a pipeline tracer. Nil is a valid *Tracer
+// everywhere; construct one only when tracing is wanted.
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// NewTraceJournal returns a lifecycle-event journal.
+func NewTraceJournal(cfg TraceJournalConfig) *TraceJournal { return trace.NewJournal(cfg) }
