@@ -32,7 +32,12 @@
 //   - the incremental fold beats the full refold by at least
 //     -min-speedup at full size;
 //   - WAL segments covered by durable sidecars are actually deleted,
-//     so the log's disk footprint stays bounded.
+//     so the log's disk footprint stays bounded;
+//   - with -retain bounding the retained history, resident sketch
+//     bytes and on-disk sidecar bytes plateau while the stream grows
+//     4×, the final checkpoint stays byte-identical to the offline
+//     scan over exactly the retained suffix, and window-restricted
+//     spread queries agree with that suffix scan.
 //
 // The report records the host's CPU count and GOMAXPROCS, the same
 // convention as BENCH_serve.json: intake is single-writer by design,
@@ -145,14 +150,41 @@ type report struct {
 	OverheadBaseEPS   float64 `json:"overhead_base_eps"`
 	OverheadTracedEPS float64 `json:"overhead_traced_eps"`
 	TraceOverhead     float64 `json:"trace_overhead"`
+
+	// Bounded-memory long run (Config.Retain): the stream grows ≥4×
+	// across checkpointed quarters while the retained history stays
+	// fixed, so resident sketch bytes and on-disk sidecar bytes must
+	// plateau instead of tracking stream length; the final checkpoint
+	// must stay byte-identical to the offline scan over exactly the
+	// suffix its metadata claims is retained.
+	RetainTicks          int64          `json:"retain_ticks"`
+	BoundedQuarters      []boundedPhase `json:"bounded_quarters"`
+	BoundedGrowth        float64        `json:"bounded_edges_growth"`
+	BoundedSketchRatio   float64        `json:"bounded_sketch_plateau_ratio"`
+	BoundedChunkRatio    float64        `json:"bounded_chunk_plateau_ratio"`
+	BoundedRetiredChunks int64          `json:"bounded_retired_chunks"`
+	BoundedRetiredEdges  int64          `json:"bounded_retired_edges"`
+	IdentityBounded      bool           `json:"identity_bounded_retention"`
+	BoundedWindowAgree   bool           `json:"bounded_window_query_agrees"`
+}
+
+// boundedPhase is one measured quarter of the bounded-memory run, taken
+// right after that quarter's forced checkpoint published.
+type boundedPhase struct {
+	Edges         int64 `json:"edges"`
+	SketchBytes   int64 `json:"sketch_bytes"`
+	ChunkBytes    int64 `json:"chunk_bytes_on_disk"`
+	RetiredChunks int64 `json:"retired_chunks"`
+	RetiredEdges  int64 `json:"retired_edges"`
 }
 
 // ckptMeta mirrors the checkpoint.meta.json sidecar the ingester writes
 // before publishing, so the Publish callback can attribute each publish
 // to the edge count and fold time it covers.
 type ckptMeta struct {
-	Edges       int64   `json:"edges"`
-	FoldSeconds float64 `json:"fold_seconds"`
+	Edges        int64   `json:"edges"`
+	RetiredEdges int64   `json:"retired_edges"`
+	FoldSeconds  float64 `json:"fold_seconds"`
 }
 
 func main() {
@@ -171,6 +203,8 @@ func main() {
 		maxAttrGap = flag.Float64("max-attr-gap", 0.15, "max relative gap between the stage-p50 sum and the independent e2e p50 (gate)")
 		maxTraceOv = flag.Float64("max-trace-overhead", 0.05, "max sustained-intake regression with 1/1024 tracing (gate)")
 		ovPairs    = flag.Int("overhead-pairs", 3, "interleaved off/on ingest pairs for the overhead A/B")
+		retainPct  = flag.Float64("retain", 4, "bounded-memory run: retained history as % of the time span (clamped up to -window)")
+		maxPlateau = flag.Float64("max-plateau", 1.5, "bounded-memory run: max sketch-RAM and on-disk growth from the second to the last quarter (gate)")
 		out        = flag.String("out", "BENCH_stream.json", "output JSON path")
 	)
 	flag.Parse()
@@ -686,6 +720,110 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchstream: overhead A/B (%d pairs): %.0f edges/s untraced, %.0f edges/s at 1/1024 (%.2f%% overhead)\n",
 		*ovPairs, rep.OverheadBaseEPS, rep.OverheadTracedEPS, rep.TraceOverhead*100)
 
+	// Phase 8: the bounded-memory long run. Retain fixes the retained
+	// history in ticks while the same stream grows 4× across forced
+	// checkpoints, so resident sketch bytes and the on-disk sidecar
+	// footprint must plateau instead of tracking the stream. Each
+	// quarter is measured right after its checkpoint; the plateau gate
+	// compares the last quarter against the second (the first still
+	// carries pre-retention history, because chunks are only shed once
+	// their sidecars are durable). Afterwards the final checkpoint must
+	// be byte-identical to the offline one-pass scan over exactly the
+	// suffix its metadata claims is retained, and a window-restricted
+	// spread query must agree between the published summaries and that
+	// offline suffix scan.
+	retain := l.WindowFromPercent(*retainPct)
+	if retain < omega {
+		retain = omega
+	}
+	rep.RetainTicks = retain
+	dir8 := filepath.Join(work, "bounded")
+	reg8 := obs.NewRegistry()
+	var boundedSum *core.ApproxSummaries
+	in8, err := stream.New(stream.Config{
+		Dir:             dir8,
+		Omega:           omega,
+		NumNodes:        l.NumNodes,
+		Retain:          retain,
+		ProfileWindow:   omega,
+		CheckpointEvery: -1,
+		IdleFlush:       -1,
+		SegmentBytes:    *segBytes,
+		Registry:        reg8,
+		// The compactor serializes publishes and Close joins it, so after
+		// Close this holds the final checkpoint's summaries.
+		Publish: func(s *core.ApproxSummaries) { boundedSum = s },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	quarter := (l.Len() + 3) / 4
+	for q := 0; q < 4; q++ {
+		for _, e := range l.Interactions[q*quarter : min((q+1)*quarter, l.Len())] {
+			if err := in8.Push(e); err != nil {
+				fatal(err)
+			}
+		}
+		if err := in8.Checkpoint(context.Background()); err != nil {
+			fatal(err)
+		}
+		snap8 := reg8.Snapshot()
+		st8 := in8.Stats()
+		ph := boundedPhase{Edges: st8.Emitted, RetiredChunks: st8.RetiredChunks, RetiredEdges: st8.RetiredEdges}
+		if v, ok := snap8[stream.MetricSketchBytes].(int64); ok {
+			ph.SketchBytes = v
+		}
+		var written, reclaimed int64
+		if v, ok := snap8[stream.MetricChunkFileBytes].(int64); ok {
+			written = v
+		}
+		if v, ok := snap8[stream.MetricChunkRetiredBytes].(int64); ok {
+			reclaimed = v
+		}
+		ph.ChunkBytes = written - reclaimed
+		rep.BoundedQuarters = append(rep.BoundedQuarters, ph)
+	}
+	if err := in8.Close(context.Background()); err != nil {
+		fatal(err)
+	}
+	first, base, lastQ := rep.BoundedQuarters[0], rep.BoundedQuarters[1], rep.BoundedQuarters[3]
+	rep.BoundedGrowth = float64(lastQ.Edges) / float64(first.Edges)
+	rep.BoundedRetiredChunks = lastQ.RetiredChunks
+	rep.BoundedRetiredEdges = lastQ.RetiredEdges
+	if base.SketchBytes > 0 {
+		rep.BoundedSketchRatio = float64(lastQ.SketchBytes) / float64(base.SketchBytes)
+	}
+	if base.ChunkBytes > 0 {
+		rep.BoundedChunkRatio = float64(lastQ.ChunkBytes) / float64(base.ChunkBytes)
+	}
+	var meta8 ckptMeta
+	raw8, err := os.ReadFile(filepath.Join(dir8, stream.CheckpointMetaName))
+	if err != nil {
+		fatal(err)
+	}
+	if err := json.Unmarshal(raw8, &meta8); err != nil {
+		fatal(err)
+	}
+	suffix := &graph.Log{NumNodes: l.NumNodes, Interactions: l.Interactions[meta8.RetiredEdges:]}
+	sufSum, err := core.ComputeApprox(suffix, omega, core.DefaultPrecision)
+	if err != nil {
+		fatal(err)
+	}
+	var sufBuf bytes.Buffer
+	if _, err := sufSum.WriteTo(&sufBuf); err != nil {
+		fatal(err)
+	}
+	rep.IdentityBounded = checkpointMatches(dir8, sufBuf.Bytes())
+	windowSeeds := []graph.NodeID{0, 1, 2}
+	windowAt := int64(l.Interactions[l.Len()-1].At) - omega + 1
+	rep.BoundedWindowAgree = boundedSum != nil &&
+		boundedSum.SpreadEstimateWindow(windowSeeds, windowAt, omega) == sufSum.SpreadEstimateWindow(windowSeeds, windowAt, omega)
+	fmt.Fprintf(os.Stderr, "benchstream: bounded run (retain %d ticks): edges ×%.1f, sketch %.0f KiB → %.0f KiB (×%.2f), disk %.0f KiB → %.0f KiB (×%.2f), %d chunks / %d edges retired, suffix identity %v, window agree %v\n",
+		retain, rep.BoundedGrowth,
+		float64(base.SketchBytes)/1024, float64(lastQ.SketchBytes)/1024, rep.BoundedSketchRatio,
+		float64(base.ChunkBytes)/1024, float64(lastQ.ChunkBytes)/1024, rep.BoundedChunkRatio,
+		rep.BoundedRetiredChunks, rep.BoundedRetiredEdges, rep.IdentityBounded, rep.BoundedWindowAgree)
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -732,6 +870,20 @@ func main() {
 	case rep.TraceOverhead > *maxTraceOv:
 		fatal(fmt.Errorf("1/1024 tracing costs %.2f%% sustained intake, above the %.0f%% gate",
 			rep.TraceOverhead*100, *maxTraceOv*100))
+	case rep.BoundedGrowth < 4:
+		fatal(fmt.Errorf("bounded-memory run grew %.1fx, want ≥4x", rep.BoundedGrowth))
+	case rep.BoundedRetiredChunks < 1:
+		fatal(fmt.Errorf("bounded-memory run retired no chunks — raise -edges or shrink -retain"))
+	case rep.BoundedSketchRatio > *maxPlateau:
+		fatal(fmt.Errorf("sketch RAM grew ×%.2f from the second to the last quarter, above the ×%.2f plateau gate",
+			rep.BoundedSketchRatio, *maxPlateau))
+	case rep.BoundedChunkRatio > *maxPlateau:
+		fatal(fmt.Errorf("on-disk chunk bytes grew ×%.2f from the second to the last quarter, above the ×%.2f plateau gate",
+			rep.BoundedChunkRatio, *maxPlateau))
+	case !rep.IdentityBounded:
+		fatal(fmt.Errorf("bounded-memory checkpoint differs from the offline scan over the retained suffix"))
+	case !rep.BoundedWindowAgree:
+		fatal(fmt.Errorf("window-restricted spread disagrees between the bounded run and the offline suffix scan"))
 	}
 }
 

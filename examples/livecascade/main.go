@@ -39,6 +39,9 @@
 //	POST /ingest            "src dst time" lines, any number per body
 //	POST /admin/checkpoint  force a checkpoint + publish, synchronously
 //	GET  /stream/stats      ingestion counters and the served generation
+//	GET  /stream/topk       the live top-k influencer view, refreshed at
+//	                        every checkpoint from the sliding profile
+//	                        window (-topk 0 disables it)
 //	GET  /metrics           Prometheus text (stream_*, serve_*, trace_*, go_*)
 //	GET  /debug/pipeline    pipeline health: per-stage trace latencies,
 //	                        freshness SLO budget, watermark lag, disk
@@ -76,6 +79,8 @@ func main() {
 		interactions = flag.Int("interactions", 100_000, "self-feed: interactions in the generated cascade")
 		eps          = flag.Float64("eps", 2_000, "self-feed: edges per second (0 disables the self-feed)")
 		windowPct    = flag.Float64("window", 5, "influence window as % of the cascade's time span")
+		retainPct    = flag.Float64("retain", 0, "retained history as % of the time span (0 = keep everything); must cover -window")
+		topK         = flag.Int("topk", 10, "size of the live /stream/topk influencer view (0 disables it)")
 		every        = flag.Duration("checkpoint-every", 2*time.Second, "interval between automatic checkpoints")
 		slack        = flag.Int64("slack", 0, "out-of-order tolerance in ticks for externally fed edges")
 		traceEvery   = flag.Int("trace-every", 1024, "trace every Nth accepted edge end to end (0 disables tracing)")
@@ -112,6 +117,17 @@ func main() {
 	}
 	sort.SliceStable(net.Interactions, func(i, j int) bool { return net.Interactions[i].At < net.Interactions[j].At })
 	omega := net.WindowFromPercent(*windowPct)
+	var retain int64
+	if *retainPct > 0 {
+		retain = net.WindowFromPercent(*retainPct)
+		if retain < omega {
+			retain = omega // Retain must cover the influence window
+		}
+	}
+	var profileWindow int64
+	if *topK > 0 {
+		profileWindow = omega // profile the same window the oracle answers over
+	}
 
 	reg := ipin.NewMetricsRegistry()
 	ipin.InstallMetrics(reg)
@@ -138,6 +154,7 @@ func main() {
 	app, err := newApp(appConfig{
 		dir: *dir, omega: omega, nodes: *nodes,
 		slack: *slack, every: *every, registry: reg,
+		profileWindow: profileWindow, topK: *topK, retain: retain,
 		tracer: tr, journal: jr,
 	})
 	if err != nil {
@@ -197,14 +214,17 @@ func main() {
 // appConfig is what the app needs beyond library defaults; the test
 // constructs it directly with tight intervals.
 type appConfig struct {
-	dir      string
-	omega    int64
-	nodes    int
-	slack    int64
-	every    time.Duration
-	registry *ipin.MetricsRegistry
-	tracer   *ipin.Tracer       // nil disables edge tracing
-	journal  *ipin.TraceJournal // nil disables the event journal
+	dir           string
+	omega         int64
+	nodes         int
+	slack         int64
+	every         time.Duration
+	profileWindow int64 // >0 maintains sliding profiles for /stream/topk
+	topK          int   // size of the live top-k view
+	retain        int64 // >0 bounds retained history in ticks
+	registry      *ipin.MetricsRegistry
+	tracer        *ipin.Tracer       // nil disables edge tracing
+	journal       *ipin.TraceJournal // nil disables the event journal
 }
 
 // app owns the ingester→server pair and the routes that expose them.
@@ -232,6 +252,9 @@ func newApp(cfg appConfig) (*app, error) {
 		NumNodes:        cfg.nodes,
 		Slack:           cfg.slack,
 		CheckpointEvery: cfg.every,
+		ProfileWindow:   cfg.profileWindow,
+		TopK:            cfg.topK,
+		Retain:          cfg.retain,
 		Publish:         srv.LoadApprox,
 		Registry:        cfg.registry,
 		Tracer:          cfg.tracer,
@@ -265,9 +288,10 @@ func (a *app) handler() http.Handler {
 	mux.Handle("/ingest", a.in.Handler())
 	mux.HandleFunc("/admin/checkpoint", a.forceCheckpoint)
 	mux.HandleFunc("/stream/stats", a.streamStats)
+	mux.HandleFunc("/stream/topk", a.streamTopK)
 	mux.Handle("/metrics", ipin.MetricsHandler(a.reg))
 	mux.Handle("/debug/pipeline", a.health())
-	routes := append(a.srv.Routes(), "/ingest", "/stream/stats")
+	routes := append(a.srv.Routes(), "/ingest", "/stream/stats", "/stream/topk")
 	return ipin.InstrumentHTTP(a.reg, routes, mux)
 }
 
@@ -289,6 +313,30 @@ func (a *app) forceCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 func (a *app) streamStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"generation": a.srv.Generation(), "stats": a.in.Stats()})
+}
+
+// streamTopK serves the continuously-maintained top-k influencer view
+// the compactor snapshots with every checkpoint: who is reaching the
+// most distinct nodes inside the sliding profile window right now, with
+// the checkpoint provenance (covered edges, last timestamp) the scores
+// were computed at. 503 until the first checkpoint publishes a view, or
+// always when the view is disabled (-topk 0).
+func (a *app) streamTopK(w http.ResponseWriter, r *http.Request) {
+	view := a.in.TopK()
+	if view == nil {
+		writeErrorJSON(w, http.StatusServiceUnavailable, "no top-k view published yet (enabled via -topk)")
+		return
+	}
+	entries := make([]map[string]any, len(view.Entries))
+	for i, e := range view.Entries {
+		entries[i] = map[string]any{"node": e.Node, "score": e.Score}
+	}
+	writeJSON(w, map[string]any{
+		"entries":       entries,
+		"covered_edges": view.CoveredEdges,
+		"last_at":       view.LastAt,
+		"refreshed_at":  view.RefreshedAt.UTC().Format(time.RFC3339Nano),
+	})
 }
 
 // selfFeed replays the generated cascade into the ingester at eps edges

@@ -195,6 +195,73 @@ func TestEdgesQueryableWithinInterval(t *testing.T) {
 	}
 }
 
+// TestStreamTopK: with profiles enabled, /stream/topk is 503 before
+// the first checkpoint, then serves the live influencer view with the
+// checkpoint's provenance and descending scores — no Close involved.
+func TestStreamTopK(t *testing.T) {
+	edges := fixtureEdges(t, 300)
+	const omega = 500
+	a, err := newApp(appConfig{
+		dir: t.TempDir(), omega: omega, nodes: 200, every: -1,
+		profileWindow: omega, topK: 3, retain: omega,
+		registry: ipin.NewMetricsRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = a.close(ctx)
+	})
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts, "/stream/topk"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/stream/topk before first checkpoint: got %d, want 503", code)
+	}
+	if code, body := post(t, ts, "/ingest", lines(edges)); code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	if code, body := post(t, ts, "/admin/checkpoint", ""); code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", code, body)
+	}
+	code, body := get(t, ts, "/stream/topk")
+	if code != http.StatusOK {
+		t.Fatalf("/stream/topk: %d %s", code, body)
+	}
+	var view struct {
+		Entries []struct {
+			Node  int     `json:"node"`
+			Score float64 `json:"score"`
+		} `json:"entries"`
+		CoveredEdges int64  `json:"covered_edges"`
+		LastAt       int64  `json:"last_at"`
+		RefreshedAt  string `json:"refreshed_at"`
+	}
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("/stream/topk body %q: %v", body, err)
+	}
+	if view.CoveredEdges != int64(len(edges)) || view.LastAt != int64(edges[len(edges)-1].At) {
+		t.Fatalf("provenance = (%d edges, last_at %d), want (%d, %d)",
+			view.CoveredEdges, view.LastAt, len(edges), edges[len(edges)-1].At)
+	}
+	if len(view.Entries) == 0 || len(view.Entries) > 3 {
+		t.Fatalf("got %d entries, want 1..3", len(view.Entries))
+	}
+	for i, e := range view.Entries {
+		if e.Score <= 0 {
+			t.Fatalf("entry %d: non-positive score %v", i, e.Score)
+		}
+		if i > 0 && e.Score > view.Entries[i-1].Score {
+			t.Fatalf("scores not descending at %d: %v > %v", i, e.Score, view.Entries[i-1].Score)
+		}
+	}
+	if view.RefreshedAt == "" {
+		t.Fatal("missing refreshed_at")
+	}
+}
+
 // TestIntakeSurvivesRestart: edges POSTed before a crash are served
 // after reconstruction from the WAL alone (no checkpoint forced before
 // the "crash").

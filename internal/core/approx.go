@@ -155,3 +155,37 @@ func (s *ApproxSummaries) SpreadEstimate(seeds []graph.NodeID) float64 {
 	}
 	return union.Estimate()
 }
+
+// EstimateIRSWindow estimates how many nodes u first becomes able to
+// reach during the window [at, at+horizon−1]: the summary timestamps are
+// the earliest admissible channel end times λ(u,v), so restricting the
+// sketch to that window counts the nodes whose earliest influence lands
+// inside it. This is the jumping/sliding-window influence view of the
+// time-decaying formulations (PAPERS.md): an ESTIMATE, not an exact
+// restriction — dominance pruning may have dropped an in-window entry
+// whose dominator (an earlier λ) fell before the window, so tight
+// windows can under-count relative to a from-scratch scan of the window.
+// For exact window semantics at chunk granularity use
+// ChunkView.FoldFrom, which re-folds the admissible suffix.
+func (s *ApproxSummaries) EstimateIRSWindow(u graph.NodeID, at, horizon int64) float64 {
+	sk := s.Sketches[u]
+	if sk == nil {
+		return 0
+	}
+	return sk.EstimateWindow(at, horizon)
+}
+
+// SpreadEstimateWindow is EstimateIRSWindow over a seed set: the
+// estimated number of distinct nodes first reachable from any seed
+// during [at, at+horizon−1], by unioning the window-collapsed sketches.
+// The same estimate caveat as EstimateIRSWindow applies.
+func (s *ApproxSummaries) SpreadEstimateWindow(seeds []graph.NodeID, at, horizon int64) float64 {
+	union := hll.MustNew(s.Precision)
+	for _, u := range seeds {
+		if sk := s.Sketches[u]; sk != nil {
+			// Same-precision merge cannot fail.
+			_ = union.Merge(sk.CollapseWindow(at, horizon))
+		}
+	}
+	return union.Estimate()
+}

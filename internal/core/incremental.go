@@ -55,19 +55,29 @@ type IncrementalApprox struct {
 	omega     int64
 	precision int
 	numNodes  int
-	edgeCount int
+	edgeCount int // total interactions ever sealed, including retired ones
 	lastAt    graph.Time
+	anchored  bool // a chunk has been sealed; lastAt bounds the next one
 	hashes    []uint64
-	chunks    []approxChunk
-	cache     *cacheBox
+	chunks    []approxChunk // the retained chunks; chunks[0] has index firstChunk
+	// firstChunk is the absolute index of chunks[0]: Retire advances it as
+	// whole chunks age past the retention horizon. Chunk indices are
+	// absolute everywhere in the API, so sidecar file names, fold-cache
+	// tags, and checkpoint metadata stay stable across retirement.
+	firstChunk   int
+	retiredEdges int // interactions inside retired chunks
+	cache        *cacheBox
 }
 
 // foldCache is the result of a completed fold: the per-node summaries
-// covering the first `chunks` sealed chunks. The sketch slice is shared —
-// with the ApproxSummaries handed to the caller and potentially with
-// later folds' outputs — and is immutable by convention: folds clone
-// before merging into any cached sketch.
+// covering absolute chunks [base, chunks). base is the firstChunk of the
+// view that folded; a view whose retained range starts elsewhere cannot
+// reuse the cache (sketches cannot subtract a retired prefix back out).
+// The sketch slice is shared — with the ApproxSummaries handed to the
+// caller and potentially with later folds' outputs — and is immutable by
+// convention: folds clone before merging into any cached sketch.
 type foldCache struct {
+	base     int
 	chunks   int
 	sketches []*vhll.Sketch
 }
@@ -122,15 +132,95 @@ func (inc *IncrementalApprox) Precision() int { return inc.precision }
 // NumNodes returns the current node range [0, n).
 func (inc *IncrementalApprox) NumNodes() int { return inc.numNodes }
 
-// EdgeCount returns the total number of sealed interactions.
+// EdgeCount returns the total number of interactions ever sealed,
+// including those inside retired chunks — it is the stream's emit index
+// and never decreases.
 func (inc *IncrementalApprox) EdgeCount() int { return inc.edgeCount }
+
+// RetainedEdges returns the number of interactions inside the retained
+// chunks, the set a Fold actually covers.
+func (inc *IncrementalApprox) RetainedEdges() int { return inc.edgeCount - inc.retiredEdges }
+
+// RetiredEdges returns the number of interactions Retire has shed.
+func (inc *IncrementalApprox) RetiredEdges() int { return inc.retiredEdges }
 
 // LastAt returns the timestamp of the latest sealed interaction (zero
 // before the first chunk; check EdgeCount to disambiguate).
 func (inc *IncrementalApprox) LastAt() graph.Time { return inc.lastAt }
 
-// NumChunks returns the number of sealed chunks.
-func (inc *IncrementalApprox) NumChunks() int { return len(inc.chunks) }
+// NumChunks returns the total number of chunks ever sealed (retired ones
+// included): absolute chunk indices run [0, NumChunks()), and the
+// retained range is [FirstChunk(), NumChunks()).
+func (inc *IncrementalApprox) NumChunks() int { return inc.firstChunk + len(inc.chunks) }
+
+// FirstChunk returns the absolute index of the oldest retained chunk.
+func (inc *IncrementalApprox) FirstChunk() int { return inc.firstChunk }
+
+// RetainedInteractions calls fn once per retained chunk, oldest first,
+// with that chunk's interactions in stream order. The slices alias the
+// builder's internal state and must not be mutated or held past the
+// call; callers that need edges for longer must copy.
+func (inc *IncrementalApprox) RetainedInteractions(fn func([]graph.Interaction)) {
+	for i := range inc.chunks {
+		fn(inc.chunks[i].edges)
+	}
+}
+
+// Retire drops every retained chunk whose entire span lies before
+// horizon — whose last interaction satisfies At < horizon. Chunks are
+// time-ordered, so the retired set is always a prefix, and retirement is
+// exhaustive and deterministic: the retained range afterwards is a pure
+// function of the sealed chunks and the horizon, which is what lets a
+// recovered builder reproduce byte-identical folds (recovery re-retires
+// under the same rule; see internal/stream). Retirement is chunk-
+// granular: a chunk straddling the horizon is kept whole, so a fold
+// after Retire still covers every interaction at or after horizon.
+//
+// The fold cache is left alone: cache entries are tagged with the base
+// they folded from, and a base mismatch makes the next Fold start from
+// scratch over the retained chunks (bounded by the horizon, which is the
+// point). Returns the number of chunks and interactions retired.
+func (inc *IncrementalApprox) Retire(horizon int64) (chunks, edges int) {
+	k := 0
+	for k < len(inc.chunks) {
+		es := inc.chunks[k].edges
+		if int64(es[len(es)-1].At) >= horizon {
+			break
+		}
+		edges += len(es)
+		k++
+	}
+	if k == 0 {
+		return 0, 0
+	}
+	// Reallocate instead of reslicing: a concurrently folding ChunkView
+	// may still reference the old backing array, so the retired entries
+	// can neither be zeroed in place nor kept pinning the array head.
+	inc.chunks = append([]approxChunk(nil), inc.chunks[k:]...)
+	inc.firstChunk += k
+	inc.retiredEdges += edges
+	return k, edges
+}
+
+// ResumeAt primes an empty builder to continue a stream whose chunk
+// prefix [0, firstChunk) was retired before a restart: absolute chunk
+// indices resume at firstChunk and EdgeCount at retiredEdges, so emit
+// clocks and sidecar file names line up with the pre-restart run. The
+// first chunk sealed afterwards has no lower time bound (the retired
+// prefix that would have bounded it is gone); ordering within and
+// between the resumed chunks is validated as usual.
+func (inc *IncrementalApprox) ResumeAt(firstChunk, retiredEdges int) error {
+	if inc.edgeCount != 0 || len(inc.chunks) != 0 {
+		return fmt.Errorf("core: ResumeAt on a non-empty builder (%d chunks, %d edges)", len(inc.chunks), inc.edgeCount)
+	}
+	if firstChunk < 0 || retiredEdges < 0 {
+		return fmt.Errorf("core: ResumeAt(%d, %d) negative", firstChunk, retiredEdges)
+	}
+	inc.firstChunk = firstChunk
+	inc.retiredEdges = retiredEdges
+	inc.edgeCount = retiredEdges
+	return nil
+}
 
 // AppendChunk seals edges as the next time chunk and runs its block-local
 // reverse scan. The slice is retained; callers must not modify it
@@ -183,7 +273,7 @@ func (inc *IncrementalApprox) validateChunk(edges []graph.Interaction, numNodes 
 		return fmt.Errorf("core: node range cannot shrink (%d -> %d)", inc.numNodes, numNodes)
 	}
 	prev := inc.lastAt
-	first := inc.edgeCount == 0
+	first := !inc.anchored
 	for i, e := range edges {
 		if int(e.Src) < 0 || int(e.Src) >= numNodes || int(e.Dst) < 0 || int(e.Dst) >= numNodes {
 			return fmt.Errorf("core: chunk edge %d (%d,%d,%d) out of range for %d nodes", i, e.Src, e.Dst, e.At, numNodes)
@@ -205,19 +295,20 @@ func (inc *IncrementalApprox) seal(edges []graph.Interaction, locals []*vhll.Ske
 	inc.chunks = append(inc.chunks, approxChunk{edges: edges, locals: locals})
 	inc.edgeCount += len(edges)
 	inc.lastAt = edges[len(edges)-1].At
+	inc.anchored = true
 }
 
 // SeedFoldCache primes the fold cache with summaries recovered from a
-// checkpoint that covers exactly the first `chunks` sealed chunks — the
-// recovery analogue of the cache a completed Fold leaves behind, so the
-// first post-recovery fold is already incremental. The summaries must
-// have been produced by Fold (or decode to the same bytes) over that
-// prefix under the same omega and precision; the sketch slice is adopted
-// as shared immutable state and must not be mutated afterwards. Seeding
-// with anything else silently corrupts every later fold, so callers gate
-// on their own durable metadata; the structural subset checked here
-// (window, precision, chunk and node ranges) rejects the detectable
-// mismatches.
+// checkpoint that covers exactly the retained chunks below absolute
+// index `chunks` — the recovery analogue of the cache a completed Fold
+// leaves behind, so the first post-recovery fold is already incremental.
+// The summaries must have been produced by Fold (or decode to the same
+// bytes) over chunks [FirstChunk(), chunks) under the same omega and
+// precision; the sketch slice is adopted as shared immutable state and
+// must not be mutated afterwards. Seeding with anything else silently
+// corrupts every later fold, so callers gate on their own durable
+// metadata; the structural subset checked here (window, precision, chunk
+// and node ranges) rejects the detectable mismatches.
 func (inc *IncrementalApprox) SeedFoldCache(s *ApproxSummaries, chunks int) error {
 	if s == nil {
 		return fmt.Errorf("core: nil summaries")
@@ -228,13 +319,13 @@ func (inc *IncrementalApprox) SeedFoldCache(s *ApproxSummaries, chunks int) erro
 	if s.Precision != inc.precision {
 		return fmt.Errorf("core: seed precision %d, builder has %d", s.Precision, inc.precision)
 	}
-	if chunks <= 0 || chunks > len(inc.chunks) {
-		return fmt.Errorf("core: seed covers %d chunks, builder has %d", chunks, len(inc.chunks))
+	if chunks <= inc.firstChunk || chunks > inc.NumChunks() {
+		return fmt.Errorf("core: seed covers chunks below %d, builder retains [%d,%d)", chunks, inc.firstChunk, inc.NumChunks())
 	}
 	if len(s.Sketches) > inc.numNodes {
 		return fmt.Errorf("core: seed spans %d nodes, builder has %d", len(s.Sketches), inc.numNodes)
 	}
-	inc.cache.p.Store(&foldCache{chunks: chunks, sketches: s.Sketches})
+	inc.cache.p.Store(&foldCache{base: inc.firstChunk, chunks: chunks, sketches: s.Sketches})
 	return nil
 }
 
@@ -242,13 +333,15 @@ func (inc *IncrementalApprox) SeedFoldCache(s *ApproxSummaries, chunks int) erro
 // may run on another goroutine while the owner keeps appending chunks.
 func (inc *IncrementalApprox) View() ChunkView {
 	return ChunkView{
-		omega:     inc.omega,
-		precision: inc.precision,
-		numNodes:  inc.numNodes,
-		edgeCount: inc.edgeCount,
-		lastAt:    inc.lastAt,
-		chunks:    inc.chunks[:len(inc.chunks):len(inc.chunks)],
-		cache:     inc.cache,
+		omega:        inc.omega,
+		precision:    inc.precision,
+		numNodes:     inc.numNodes,
+		edgeCount:    inc.edgeCount,
+		lastAt:       inc.lastAt,
+		firstChunk:   inc.firstChunk,
+		retiredEdges: inc.retiredEdges,
+		chunks:       inc.chunks[:len(inc.chunks):len(inc.chunks)],
+		cache:        inc.cache,
 	}
 }
 
@@ -257,29 +350,43 @@ func (inc *IncrementalApprox) View() ChunkView {
 // same builder share its fold cache, so folding a newer view reuses the
 // result of the previous fold.
 type ChunkView struct {
-	omega     int64
-	precision int
-	numNodes  int
-	edgeCount int
-	lastAt    graph.Time
-	chunks    []approxChunk
-	cache     *cacheBox
+	omega        int64
+	precision    int
+	numNodes     int
+	edgeCount    int
+	lastAt       graph.Time
+	firstChunk   int
+	retiredEdges int
+	chunks       []approxChunk
+	cache        *cacheBox
 }
 
 // NumNodes returns the node range of the snapshot.
 func (v ChunkView) NumNodes() int { return v.numNodes }
 
-// EdgeCount returns the number of interactions covered by the snapshot.
+// EdgeCount returns the total number of interactions ever covered by the
+// snapshot's builder, retired ones included — the emit index.
 func (v ChunkView) EdgeCount() int { return v.edgeCount }
+
+// RetainedEdges returns the number of interactions inside the retained
+// chunks, the set Fold covers.
+func (v ChunkView) RetainedEdges() int { return v.edgeCount - v.retiredEdges }
+
+// RetiredEdges returns the number of interactions inside retired chunks.
+func (v ChunkView) RetiredEdges() int { return v.retiredEdges }
 
 // LastAt returns the latest covered timestamp.
 func (v ChunkView) LastAt() graph.Time { return v.lastAt }
 
-// NumChunks returns the number of sealed chunks in the snapshot.
-func (v ChunkView) NumChunks() int { return len(v.chunks) }
+// NumChunks returns the total number of chunks ever sealed; the retained
+// range is [FirstChunk(), NumChunks()).
+func (v ChunkView) NumChunks() int { return v.firstChunk + len(v.chunks) }
 
-// EachEdge calls fn for every covered interaction in ascending time
-// order, the prefix a fold's output summarizes.
+// FirstChunk returns the absolute index of the oldest retained chunk.
+func (v ChunkView) FirstChunk() int { return v.firstChunk }
+
+// EachEdge calls fn for every retained interaction in ascending time
+// order, the suffix a fold's output summarizes.
 func (v ChunkView) EachEdge(fn func(graph.Interaction)) {
 	for _, c := range v.chunks {
 		for _, e := range c.edges {
@@ -288,22 +395,41 @@ func (v ChunkView) EachEdge(fn func(graph.Interaction)) {
 	}
 }
 
-// Chunk exposes sealed chunk i: its interactions in ascending time order
+// MemoryBytes returns the payload size of the retained chunks' cached
+// block-local sketches — the resident sketch state the retention horizon
+// bounds (fold outputs and caches are shared snapshots on top of it).
+func (v ChunkView) MemoryBytes() int {
+	n := 0
+	for i := range v.chunks {
+		for _, sk := range v.chunks[i].locals {
+			if sk != nil {
+				n += sk.MemoryBytes()
+			}
+		}
+	}
+	return n
+}
+
+// Chunk exposes sealed chunk i (an ABSOLUTE index in
+// [FirstChunk(), NumChunks())): its interactions in ascending time order
 // and its block-local sketches (indexed by NodeID, sized to the node
 // range at seal time). Both slices are the live cached state — callers
 // must treat them as read-only. This is what lets internal/stream
 // persist sealed chunks as durable sidecars without recomputing them.
 func (v ChunkView) Chunk(i int) (edges []graph.Interaction, locals []*vhll.Sketch) {
-	c := &v.chunks[i]
+	c := &v.chunks[i-v.firstChunk]
 	return c.edges, c.locals
 }
 
-// Fold produces full summaries over every sealed chunk — byte-identical
-// to ComputeApprox over the concatenated interactions. It never mutates
-// chunk state: block-local sketches are cloned on adoption (that is the
-// one divergence from the parallel scan's stitch, which owns its locals),
-// so a view can be folded repeatedly and concurrently with appends. The
-// per-node merge fan-out runs on the library worker pool.
+// Fold produces full summaries over every retained chunk —
+// byte-identical to ComputeApprox over the concatenated retained
+// interactions (the reverse scan's prefix is the log's suffix, so a
+// fold over a chunk suffix is exactly the offline scan of those edges).
+// It never mutates chunk state: block-local sketches are cloned on
+// adoption (that is the one divergence from the parallel scan's stitch,
+// which owns its locals), so a view can be folded repeatedly and
+// concurrently with appends. The per-node merge fan-out runs on the
+// library worker pool.
 //
 // When the view's cache holds a previous fold covering a prefix of its
 // chunks, only the chunks past that prefix are folded from scratch; the
@@ -327,7 +453,7 @@ func (v ChunkView) Fold() *ApproxSummaries {
 	var out []*vhll.Sketch
 	reused := 0
 	switch {
-	case fc != nil && fc.chunks == len(v.chunks):
+	case fc != nil && fc.chunks == v.NumChunks():
 		// The cache already covers the whole view; reshare it (padding
 		// the node range if the view grew it without sealing chunks).
 		out = fc.sketches
@@ -336,32 +462,53 @@ func (v ChunkView) Fold() *ApproxSummaries {
 			copy(padded, out)
 			out = padded
 		}
-		reused = fc.chunks
+		reused = fc.chunks - fc.base
 	case fc != nil:
 		out = v.foldDelta(fc, workers)
-		reused = fc.chunks
+		reused = fc.chunks - fc.base
 	default:
 		out = v.foldSuffix(0, workers)
 	}
 	s.Sketches = out
 	if v.cache != nil {
-		v.cache.p.Store(&foldCache{chunks: len(v.chunks), sketches: out})
+		v.cache.p.Store(&foldCache{base: v.firstChunk, chunks: v.NumChunks(), sketches: out})
 	}
 	span.Endf("%s edges, %d chunks (%d cached), %s entries",
-		obs.Count(int64(v.edgeCount)), len(v.chunks), reused, obs.Count(int64(s.EntryCount())))
+		obs.Count(int64(v.RetainedEdges())), len(v.chunks), reused, obs.Count(int64(s.EntryCount())))
 	return s
 }
 
-// cachedPrefix returns the shared fold cache if it covers a non-empty
-// prefix of this view's chunks, nil otherwise. Chunks are append-only
-// and immutable, so a cache recorded at k chunks is always a fold of
-// chunks[:k] of any later view from the same builder.
+// FoldFrom folds the retained chunks at or past absolute index from into
+// fresh summaries, bypassing the fold cache — byte-identical to
+// ComputeApprox over exactly those chunks' interactions, because the
+// reverse scan's prefix is the log's suffix. This is the chunk-granular
+// window-query entry point: anchor a horizon at a chunk boundary and the
+// result is the offline scan of the admissible suffix, not an estimate.
+func (v ChunkView) FoldFrom(from int) (*ApproxSummaries, error) {
+	if from < v.firstChunk || from >= v.NumChunks() {
+		return nil, fmt.Errorf("core: FoldFrom(%d) outside retained chunks [%d,%d)", from, v.firstChunk, v.NumChunks())
+	}
+	s := &ApproxSummaries{
+		Omega:     v.omega,
+		Precision: v.precision,
+		Sketches:  v.foldSuffix(from-v.firstChunk, Parallelism()),
+	}
+	return s, nil
+}
+
+// cachedPrefix returns the shared fold cache if it was folded from this
+// view's retained base and covers a non-empty prefix of its chunks, nil
+// otherwise. Chunks are append-only and immutable, so a same-base cache
+// recorded through absolute chunk k is always a fold of this view's
+// chunks below k; a cache from a different base is useless — sketches
+// cannot subtract the chunks Retire removed.
 func (v ChunkView) cachedPrefix() *foldCache {
 	if v.cache == nil {
 		return nil
 	}
 	fc := v.cache.p.Load()
-	if fc == nil || fc.chunks <= 0 || fc.chunks > len(v.chunks) || len(fc.sketches) > v.numNodes {
+	if fc == nil || fc.base != v.firstChunk || fc.chunks <= fc.base ||
+		fc.chunks > v.NumChunks() || len(fc.sketches) > v.numNodes {
 		return nil
 	}
 	return fc
@@ -451,7 +598,7 @@ func (v ChunkView) foldSuffix(from, workers int) []*vhll.Sketch {
 // empty) exactly when the full walk would have created one from a
 // new-chunk source, and old-source creations are already in the cache.
 func (v ChunkView) foldDelta(fc *foldCache, workers int) []*vhll.Sketch {
-	k := fc.chunks
+	k := fc.chunks - v.firstChunk // relative index of the first uncached chunk
 	d := v.foldSuffix(k, workers)
 	// Every entry in d carries a timestamp from the new chunks, i.e.
 	// ≥ newStart, and merges preserve original timestamps. MergeWindow

@@ -432,3 +432,140 @@ func TestEmptyViewFold(t *testing.T) {
 		t.Fatalf("empty fold: %d nodes, %d entries", s.NumNodes(), s.EntryCount())
 	}
 }
+
+// TestRetireFoldIdentity: after retiring the prefix below a horizon, the
+// fold over the retained suffix must be byte-identical to the offline
+// scan over exactly those edges — retirement sheds state without
+// perturbing what remains, across random chunkings and horizons.
+func TestRetireFoldIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(30)
+		m := 40 + rng.Intn(300)
+		l := randomLog(rng, n, m)
+		const omega = 20
+		inc := appendRandomChunks(t, rng, l, omega, 4)
+		horizon := int64(1 + rng.Intn(m+10))
+		chunks, edges := inc.Retire(horizon)
+		if edges != inc.RetiredEdges() {
+			t.Fatalf("trial %d: Retire reported %d edges, accounting says %d", trial, edges, inc.RetiredEdges())
+		}
+		if chunks != inc.FirstChunk() {
+			t.Fatalf("trial %d: Retire reported %d chunks, base moved to %d", trial, chunks, inc.FirstChunk())
+		}
+		// Chunk-granular horizon: every retired edge is strictly below it,
+		// and every interaction at or after it is still covered.
+		retained := l.Interactions[inc.RetiredEdges():]
+		for _, e := range l.Interactions[:inc.RetiredEdges()] {
+			if int64(e.At) >= horizon {
+				t.Fatalf("trial %d: retired edge at %d >= horizon %d", trial, e.At, horizon)
+			}
+		}
+		if inc.RetainedEdges() == 0 {
+			continue // nothing left to fold; the stream layer never folds an empty view
+		}
+		want := foldBytes(t, mustApprox(t, &graph.Log{NumNodes: l.NumNodes, Interactions: retained}, omega, 4))
+		if got := foldBytes(t, inc.View().Fold()); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d horizon %d: fold after Retire differs from offline scan over the retained %d edges",
+				trial, horizon, len(retained))
+		}
+		// Idempotent: the same horizon retires nothing further.
+		if c, e := inc.Retire(horizon); c != 0 || e != 0 {
+			t.Fatalf("trial %d: second Retire(%d) shed %d chunks / %d edges", trial, horizon, c, e)
+		}
+	}
+}
+
+// TestFoldFromIdentity: FoldFrom(k) is the offline scan over the chunk
+// suffix [k, NumChunks) — the exact window-restricted fold at chunk
+// granularity — and rejects indices outside the retained range.
+func TestFoldFromIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	l := randomLog(rng, 20, 200)
+	const omega = 30
+	inc, err := NewIncrementalApprox(omega, 4, l.NumNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 25
+	for lo := 0; lo < len(l.Interactions); lo += chunk {
+		hi := min(lo+chunk, len(l.Interactions))
+		if err := inc.AppendChunk(l.Interactions[lo:hi], l.NumNodes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc.Retire(int64(l.Interactions[60].At)) // move the base off zero
+	v := inc.View()
+	for from := v.FirstChunk(); from < v.NumChunks(); from++ {
+		got, err := v.FoldFrom(from)
+		if err != nil {
+			t.Fatalf("FoldFrom(%d): %v", from, err)
+		}
+		suffix := &graph.Log{NumNodes: l.NumNodes, Interactions: l.Interactions[from*chunk:]}
+		if !bytes.Equal(foldBytes(t, got), foldBytes(t, mustApprox(t, suffix, omega, 4))) {
+			t.Fatalf("FoldFrom(%d) differs from offline scan over chunks [%d, %d)", from, from, v.NumChunks())
+		}
+	}
+	for _, from := range []int{v.FirstChunk() - 1, v.NumChunks(), -1} {
+		if _, err := v.FoldFrom(from); err == nil {
+			t.Fatalf("FoldFrom(%d) accepted outside [%d, %d)", from, v.FirstChunk(), v.NumChunks())
+		}
+	}
+}
+
+// TestResumeAt: a fresh builder primed with ResumeAt and fed the retained
+// chunks reproduces the retired builder's state — absolute indices, edge
+// clocks, and fold bytes — and rejects being primed when non-empty.
+func TestResumeAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	l := randomLog(rng, 15, 150)
+	const omega, chunk = 25, 30
+	a, err := NewIncrementalApprox(omega, 4, l.NumNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(l.Interactions); lo += chunk {
+		if err := a.AppendChunk(l.Interactions[lo:min(lo+chunk, len(l.Interactions))], l.NumNodes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Retire(int64(l.Interactions[70].At))
+	if a.FirstChunk() == 0 {
+		t.Fatal("fixture retired nothing")
+	}
+
+	b, err := NewIncrementalApprox(omega, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ResumeAt(a.FirstChunk(), a.RetiredEdges()); err != nil {
+		t.Fatal(err)
+	}
+	av := a.View()
+	for c := av.FirstChunk(); c < av.NumChunks(); c++ {
+		edges, _ := av.Chunk(c)
+		if err := b.AppendChunk(edges, l.NumNodes); err != nil {
+			t.Fatalf("resumed append of chunk %d: %v", c, err)
+		}
+	}
+	if b.FirstChunk() != a.FirstChunk() || b.NumChunks() != a.NumChunks() ||
+		b.EdgeCount() != a.EdgeCount() || b.RetiredEdges() != a.RetiredEdges() {
+		t.Fatalf("resumed clocks: first=%d chunks=%d edges=%d retired=%d, want first=%d chunks=%d edges=%d retired=%d",
+			b.FirstChunk(), b.NumChunks(), b.EdgeCount(), b.RetiredEdges(),
+			a.FirstChunk(), a.NumChunks(), a.EdgeCount(), a.RetiredEdges())
+	}
+	if !bytes.Equal(foldBytes(t, b.View().Fold()), foldBytes(t, a.View().Fold())) {
+		t.Fatal("resumed fold differs from the retired builder's fold")
+	}
+
+	if err := b.ResumeAt(0, 0); err == nil {
+		t.Fatal("ResumeAt accepted on a non-empty builder")
+	}
+	fresh, err := NewIncrementalApprox(omega, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.ResumeAt(-1, 0); err == nil {
+		t.Fatal("negative firstChunk accepted")
+	}
+}

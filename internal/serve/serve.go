@@ -180,7 +180,7 @@ func (s *Server) QueueDepthNow() int64 {
 // Routes returns the URL paths Register installs, the closed set an
 // obs.Middleware wrapper should track individually.
 func (s *Server) Routes() []string {
-	return []string{"/influence", "/spread", "/topk", "/spreadby", "/stats", "/admin/reload"}
+	return []string{"/influence", "/spread", "/topk", "/spreadby", "/spreadwindow", "/stats", "/admin/reload"}
 }
 
 // Register installs the query routes on mux. Query routes pass through
@@ -191,6 +191,7 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/spread", s.admit(s.spread))
 	mux.HandleFunc("/topk", s.admit(s.topk))
 	mux.HandleFunc("/spreadby", s.admit(s.spreadBy))
+	mux.HandleFunc("/spreadwindow", s.admit(s.spreadWindow))
 	mux.HandleFunc("/stats", s.admit(s.stats))
 	mux.HandleFunc("/admin/reload", s.reload)
 }
@@ -355,6 +356,58 @@ func (s *Server) spreadBy(w http.ResponseWriter, r *http.Request) {
 			"seeds":    seeds,
 			"deadline": deadline,
 			"spread":   snap.spreadBy(seeds, graph.Time(deadline)),
+		}, nil
+	})
+}
+
+// errWindowNeedsApprox is the /spreadwindow answer on an exact snapshot:
+// the request is well-formed but conflicts with the loaded summary kind.
+var errWindowNeedsApprox = &requestError{
+	status: http.StatusConflict,
+	msg:    "window queries require an approx snapshot",
+}
+
+// spreadWindow answers the jumping/sliding-window spread: the estimated
+// number of distinct nodes first influenced by the seed set inside
+// [at, at+horizon−1], with horizon defaulting to the snapshot's omega
+// (so a bare at gives one jumping-window position). Only approx
+// snapshots retain the versioned sketches this needs; on an exact
+// snapshot the route answers 409 Conflict.
+func (s *Server) spreadWindow(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.current()
+	if snap == nil {
+		writeError(w, errNoSnapshot)
+		return
+	}
+	seeds, err := parseSeeds(r.URL.Query().Get("seeds"), snap.numNodes)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	at, err := strconv.ParseInt(r.URL.Query().Get("at"), 10, 64)
+	if err != nil {
+		writeError(w, badParam("bad at parameter"))
+		return
+	}
+	horizon := snap.omega()
+	if raw := r.URL.Query().Get("horizon"); raw != "" {
+		horizon, err = strconv.ParseInt(raw, 10, 64)
+		if err != nil || horizon < 1 {
+			writeError(w, badParam("bad horizon parameter"))
+			return
+		}
+	}
+	key := fmt.Sprintf("spreadwindow|%d|%s|%d|%d", snap.gen, seedKey(seeds), at, horizon)
+	s.answer(w, r, key, func() (any, error) {
+		spread, ok := snap.spreadWindow(seeds, at, horizon)
+		if !ok {
+			return nil, errWindowNeedsApprox
+		}
+		return map[string]any{
+			"seeds":   seeds,
+			"at":      at,
+			"horizon": horizon,
+			"spread":  spread,
 		}, nil
 	})
 }

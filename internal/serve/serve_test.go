@@ -68,6 +68,8 @@ func TestRoutes(t *testing.T) {
 		"/spread?seeds=0,1",
 		"/topk?k=2",
 		"/spreadby?seeds=0&deadline=400",
+		"/spreadwindow?seeds=0&at=100",
+		"/spreadwindow?seeds=0,1&at=100&horizon=250",
 		"/stats",
 	} {
 		code, _, body := get(t, h, path)
@@ -93,6 +95,9 @@ func TestErrorStatuses(t *testing.T) {
 		{"/spread?seeds=0,zzz", http.StatusBadRequest},
 		{"/topk?k=0", http.StatusBadRequest},
 		{"/spreadby?seeds=0&deadline=x", http.StatusBadRequest},
+		{"/spreadwindow?seeds=0", http.StatusBadRequest},
+		{"/spreadwindow?seeds=0&at=x", http.StatusBadRequest},
+		{"/spreadwindow?seeds=0&at=100&horizon=0", http.StatusBadRequest},
 		{"/admin/reload", http.StatusMethodNotAllowed},
 	}
 	for _, c := range cases {
@@ -113,7 +118,7 @@ func TestErrorStatuses(t *testing.T) {
 func TestNoSnapshotIs503(t *testing.T) {
 	s := New(Config{})
 	h := s.Handler()
-	for _, path := range []string{"/influence?node=0", "/spread?seeds=0", "/topk?k=1", "/spreadby?seeds=0&deadline=1", "/stats"} {
+	for _, path := range []string{"/influence?node=0", "/spread?seeds=0", "/topk?k=1", "/spreadby?seeds=0&deadline=1", "/spreadwindow?seeds=0&at=1", "/stats"} {
 		if code, _, _ := get(t, h, path); code != http.StatusServiceUnavailable {
 			t.Errorf("%s before load: status %d, want 503", path, code)
 		}
@@ -168,6 +173,57 @@ func TestByteIdentity(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSpreadWindow pins the window route: the body echoes the resolved
+// window, horizon defaults to the snapshot's omega, the answer matches
+// the summaries' own window estimate, and an exact snapshot answers 409
+// (its maps hold only earliest influence times, not the versioned
+// staircases a window query needs).
+func TestSpreadWindow(t *testing.T) {
+	sum := testApprox(t)
+	s := New(Config{CacheSize: 16})
+	s.LoadApprox(sum)
+	h := s.Handler()
+
+	code, _, body := get(t, h, "/spreadwindow?seeds=0&at=100&horizon=150")
+	if code != http.StatusOK {
+		t.Fatalf("status %d (%s)", code, body)
+	}
+	var v struct {
+		At      int64   `json:"at"`
+		Horizon int64   `json:"horizon"`
+		Spread  float64 `json:"spread"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.At != 100 || v.Horizon != 150 {
+		t.Fatalf("window echoed as at=%d horizon=%d, want 100 and 150", v.At, v.Horizon)
+	}
+	if want := sum.SpreadEstimateWindow([]graph.NodeID{0}, 100, 150); v.Spread != want {
+		t.Fatalf("spread %v, want the summaries' own estimate %v", v.Spread, want)
+	}
+
+	// A bare at resolves horizon to the snapshot omega — one jumping-
+	// window position of the width the summaries were built for.
+	code, _, body = get(t, h, "/spreadwindow?seeds=0&at=100")
+	if code != http.StatusOK {
+		t.Fatalf("default-horizon status %d (%s)", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Horizon != sum.Omega {
+		t.Fatalf("default horizon %d, want omega %d", v.Horizon, sum.Omega)
+	}
+
+	se := New(Config{})
+	se.LoadExact(core.ComputeExact(testLog(t), 500))
+	code, _, body = get(t, se.Handler(), "/spreadwindow?seeds=0&at=100")
+	if code != http.StatusConflict {
+		t.Fatalf("exact snapshot: status %d (%s), want 409", code, body)
 	}
 }
 

@@ -253,6 +253,27 @@ func (s *snapshot) spreadBy(seeds []graph.NodeID, deadline graph.Time) float64 {
 	return float64(s.exact.SpreadBy(seeds, deadline))
 }
 
+// omega returns the channel-duration bound the snapshot was built with.
+func (s *snapshot) omega() int64 {
+	if s.approx != nil {
+		return s.approx.Omega
+	}
+	return s.exact.Omega
+}
+
+// spreadWindow answers the window-restricted spread |⋃ σ(u)| counting
+// only nodes first influenced inside [at, at+horizon−1], on the full
+// approx summaries. The second return is false on exact snapshots:
+// their summary maps record only the earliest influence time per pair,
+// not the versioned staircases a window query needs, so the handler
+// turns that into 409 rather than serving a silently wrong number.
+func (s *snapshot) spreadWindow(seeds []graph.NodeID, at, horizon int64) (float64, bool) {
+	if s.approx == nil {
+		return 0, false
+	}
+	return s.approx.SpreadEstimateWindow(seeds, at, horizon), true
+}
+
 // statsBody is the /stats response: snapshot-level facts only, so the
 // body is independent of shard count and cache configuration.
 func (s *snapshot) statsBody() map[string]any {

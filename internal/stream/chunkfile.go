@@ -284,39 +284,50 @@ func readChunkFile(name string, want int) (*chunkData, error) {
 	return c, nil
 }
 
-// loadChunks reads the contiguous sidecar prefix chunk-0..chunk-k from
-// dir. Files past a gap in the index sequence are orphans — renames
-// that landed without their batch's dir fsync before a crash — and are
-// deleted (their edges are still in the WAL, which is only compacted
-// after a batch is fully durable). A sidecar that exists but fails
-// validation is real corruption and fails the load: its content was
-// fsynced before the rename, so presence implies completeness.
-func loadChunks(dir string) ([]*chunkData, error) {
+// loadChunks reads the contiguous sidecar run chunk-floor..chunk-k from
+// dir. floor is the first retained chunk index recorded by the durable
+// checkpoint metadata: files BELOW it were retired — their deletion is
+// allowed only after that metadata landed, so any still on disk are the
+// leftovers of a crash mid-retirement and are deleted here. Files past a
+// gap in the index sequence are orphans — renames that landed without
+// their batch's dir fsync before a crash — and are deleted (their edges
+// are still in the WAL, which is only compacted after a batch is fully
+// durable). A sidecar that exists but fails validation is real
+// corruption and fails the load: its content was fsynced before the
+// rename, so presence implies completeness.
+func loadChunks(dir string, floor int) ([]*chunkData, error) {
 	names, err := filepath.Glob(filepath.Join(dir, chunkFilePattern))
 	if err != nil {
 		return nil, err
 	}
 	byIndex := make(map[int]string, len(names))
 	indices := make([]int, 0, len(names))
+	removedOrphans := false
 	for _, name := range names {
 		i, err := chunkFileIndex(name)
 		if err != nil {
 			return nil, err
+		}
+		if i < floor {
+			if err := os.Remove(name); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+			removedOrphans = true
+			continue
 		}
 		byIndex[i] = name
 		indices = append(indices, i)
 	}
 	sort.Ints(indices)
 	var chunks []*chunkData
-	for len(chunks) < len(indices) && indices[len(chunks)] == len(chunks) {
-		next := len(chunks)
+	for len(chunks) < len(indices) && indices[len(chunks)] == floor+len(chunks) {
+		next := floor + len(chunks)
 		c, err := readChunkFile(byIndex[next], next)
 		if err != nil {
 			return nil, err
 		}
 		chunks = append(chunks, c)
 	}
-	removedOrphans := false
 	for _, i := range indices[len(chunks):] {
 		if err := os.Remove(byIndex[i]); err != nil && !os.IsNotExist(err) {
 			return nil, err

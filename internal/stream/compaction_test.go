@@ -379,7 +379,7 @@ func TestChunkOrphanCleanup(t *testing.T) {
 	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	chunks, err := loadChunks(dir)
+	chunks, err := loadChunks(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -358,18 +358,27 @@ func TestPushAfterClose(t *testing.T) {
 	}
 }
 
-// TestIngestProfiles: with ProfileWindow set, Hot ranks recent
-// out-degree after Close.
+// TestIngestProfiles: with ProfileWindow set, a RUNNING ingester answers
+// Hot from the checkpoint-published top-k snapshot — the regression this
+// pins is Hot silently returning nil for the whole life of the stream —
+// and after Close it ranks the exact current profiles.
 func TestIngestProfiles(t *testing.T) {
 	in, err := New(Config{
 		Dir:             t.TempDir(),
 		Omega:           100,
 		ProfileWindow:   100,
+		TopK:            4,
 		CheckpointEvery: -1,
 		SyncEvery:       -1,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// No checkpoint has published a view yet.
+	if in.Hot(1) != nil {
+		t.Fatal("Hot answered before the first checkpoint")
 	}
 	// Node 2 talks to four distinct targets, node 0 to one.
 	stream := []graph.Interaction{
@@ -381,10 +390,23 @@ func TestIngestProfiles(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if in.Hot(1) != nil {
-		t.Fatal("Hot answered before Close")
+	if err := in.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Still running: Hot answers from the compactor's snapshot.
+	if hot := in.Hot(2); len(hot) != 2 || hot[0] != 2 {
+		t.Fatalf("live Hot(2) = %v, want node 2 first", hot)
+	}
+	view := in.TopK()
+	if view == nil {
+		t.Fatal("TopK view missing after checkpoint")
+	}
+	if view.CoveredEdges != int64(len(stream)) || view.LastAt != 5 {
+		t.Fatalf("TopK provenance = %d edges through %d, want %d through 5",
+			view.CoveredEdges, view.LastAt, len(stream))
+	}
+	if len(view.Entries) != 2 || view.Entries[0].Node != 2 || view.Entries[0].Score <= view.Entries[1].Score {
+		t.Fatalf("TopK entries = %+v, want node 2 ranked first", view.Entries)
 	}
 	if err := in.Close(ctx); err != nil {
 		t.Fatal(err)

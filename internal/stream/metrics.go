@@ -31,6 +31,12 @@ const (
 	MetricDirSyncs        = "stream_dir_syncs_total"
 	MetricRecoveredChunk  = "stream_recovered_chunk_edges"
 	MetricRecoveredWAL    = "stream_recovered_wal_edges"
+
+	MetricChunksRetired     = "stream_chunks_retired_total"
+	MetricChunkRetiredBytes = "stream_chunk_retired_bytes_total"
+	MetricSketchBytes       = "stream_sketch_bytes"
+	MetricTopkRefreshes     = "stream_topk_refreshes_total"
+	MetricTopkSize          = "stream_topk_size"
 )
 
 // metrics bundles the ingestion instruments. Built over a nil registry
@@ -47,6 +53,10 @@ type metrics struct {
 	walDeleted, walDeletedBytes                  *obs.Counter
 	chunkFiles, chunkFileBytes, dirSyncs         *obs.Counter
 	recoveredChunkEdges, recoveredWALEdges       *obs.Gauge
+	chunksRetired, chunkRetiredBytes             *obs.Counter
+	sketchBytes                                  *obs.Gauge
+	topkRefreshes                                *obs.Counter
+	topkSize                                     *obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -75,5 +85,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 		dirSyncs:            reg.Counter(MetricDirSyncs, "Directory fsyncs after renames, creations, and deletions."),
 		recoveredChunkEdges: reg.Gauge(MetricRecoveredChunk, "Edges recovered from durable chunk sidecars at startup."),
 		recoveredWALEdges:   reg.Gauge(MetricRecoveredWAL, "Edges recovered by WAL suffix replay at startup."),
+		chunksRetired:       reg.Counter(MetricChunksRetired, "Chunk sidecar files deleted after aging past the retention horizon."),
+		chunkRetiredBytes:   reg.Counter(MetricChunkRetiredBytes, "Bytes reclaimed by deleting retired chunk sidecar files."),
+		sketchBytes:         reg.Gauge(MetricSketchBytes, "Resident block-local sketch bytes across the retained chunks."),
+		topkRefreshes:       reg.Counter(MetricTopkRefreshes, "Live top-k view refreshes published alongside checkpoints."),
+		topkSize:            reg.Gauge(MetricTopkSize, "Entries in the last published live top-k view."),
 	}
 }

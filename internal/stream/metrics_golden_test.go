@@ -43,7 +43,8 @@ func TestMetricsGoldenExposition(t *testing.T) {
 	in, err := New(Config{
 		Dir: t.TempDir(), Omega: 25, Precision: 4, NumNodes: 16,
 		ChunkEdges: 32, CheckpointEvery: -1, IdleFlush: 5 * time.Millisecond,
-		Slack: 4, Registry: reg, Tracer: tr, Journal: jr,
+		Slack: 4, Retain: 50, ProfileWindow: 25, TopK: 5,
+		Registry: reg, Tracer: tr, Journal: jr,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,8 +52,13 @@ func TestMetricsGoldenExposition(t *testing.T) {
 
 	// A workload touching every update path: paired timestamps force
 	// de-tie bumps, the straggler arrives past the slack and is dropped,
+	// the forced mid-run checkpoint makes the first batch's sidecars
+	// durable so the second batch's checkpoint can retire them past the
+	// 50-tick retention horizon (publishing a top-k view both times),
 	// and Close seals, folds, and publishes the final checkpoint.
 	const m = 200
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	for i := 0; i < m; i++ {
 		e := graph.Interaction{Src: graph.NodeID(i % 16), Dst: graph.NodeID((i + 1) % 16), At: graph.Time(1 + i/2)}
 		if err := in.Push(e); err != nil {
@@ -62,8 +68,18 @@ func TestMetricsGoldenExposition(t *testing.T) {
 	if err := in.Push(graph.Interaction{Src: 0, Dst: 1, At: 1}); err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
+	if err := in.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		e := graph.Interaction{Src: graph.NodeID(i % 16), Dst: graph.NodeID((i + 1) % 16), At: graph.Time(101 + i/2)}
+		if err := in.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
 	if err := in.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -76,6 +92,8 @@ func TestMetricsGoldenExposition(t *testing.T) {
 		"stream_checkpoints_total counter",
 		"stream_chunk_file_bytes_total counter",
 		"stream_chunk_files_total counter",
+		"stream_chunk_retired_bytes_total counter",
+		"stream_chunks_retired_total counter",
 		"stream_chunks_sealed_total counter",
 		"stream_detie_bumps_total counter",
 		"stream_dir_syncs_total counter",
@@ -86,6 +104,9 @@ func TestMetricsGoldenExposition(t *testing.T) {
 		"stream_recovered_wal_edges gauge",
 		"stream_reorder_depth gauge",
 		"stream_reorder_drops_total counter",
+		"stream_sketch_bytes gauge",
+		"stream_topk_refreshes_total counter",
+		"stream_topk_size gauge",
 		"stream_wal_bytes_total counter",
 		"stream_wal_deleted_bytes_total counter",
 		"stream_wal_deleted_segments_total counter",
@@ -134,10 +155,13 @@ func TestMetricsGoldenExposition(t *testing.T) {
 		MetricDetieBumps, MetricWALRecords, MetricWALBytes, MetricWALSegments,
 		MetricChunksSealed, MetricCheckpoints, MetricCheckpointEdge,
 		MetricChunkFiles, MetricChunkFileBytes, MetricDirSyncs,
+		MetricChunksRetired, MetricChunkRetiredBytes,
+		MetricSketchBytes, MetricTopkRefreshes, MetricTopkSize,
 		trace.MetricSampled, trace.MetricCompleted, trace.MetricCancelled,
 		trace.MetricSLOOK, trace.MetricSLOAttain,
 		trace.MetricJournalEvt + `{type="segment_rotate"}`,
 		trace.MetricJournalEvt + `{type="chunk_seal"}`,
+		trace.MetricJournalEvt + `{type="chunk_retire"}`,
 		trace.MetricJournalEvt + `{type="checkpoint"}`,
 	} {
 		if v, ok := snap[name].(int64); !ok || v <= 0 {

@@ -91,8 +91,22 @@ type Config struct {
 	SyncEvery    int
 	// ProfileWindow, when > 0, additionally maintains sliding-window
 	// out-neighborhood profiles (internal/swhll) over the emitted stream,
-	// exposed through Hot after Close. 0 disables them.
+	// exposed through the live Hot/TopK view and, exactly, after Close.
+	// 0 disables them.
 	ProfileWindow int64
+	// TopK is the size of the continuously-maintained top-k influencer
+	// view refreshed at every checkpoint when ProfileWindow enables
+	// profiles; 0 selects 10.
+	TopK int
+	// Retain, when > 0, bounds the retained history in ticks: at every
+	// checkpoint, sealed chunks whose entire span lies before
+	// LastAt−Retain+1 are retired — dropped from sketch state, their
+	// sidecars deleted once the checkpoint metadata recording the new
+	// retained range is durable. Published summaries then cover the
+	// retained suffix only (byte-identical to the offline scan over it),
+	// so Retain must be at least Omega or in-window queries would lose
+	// admissible edges. 0 keeps everything forever.
+	Retain int64
 	// Publish receives each folded checkpoint, in order. Wire it to
 	// serve.Server.LoadApprox for in-process hot swap; nil means
 	// checkpoints are only written to disk. The summaries are shared
@@ -136,6 +150,28 @@ type Stats struct {
 	// almost everything from sidecars.
 	RecoveredChunkEdges int64
 	RecoveredWALEdges   int64
+
+	// RetiredChunks and RetiredEdges count what the retention horizon
+	// has shed from sketch state (Config.Retain); Emitted and
+	// CoveredEdges keep counting retired edges — they are emit clocks,
+	// not residency gauges.
+	RetiredChunks int64
+	RetiredEdges  int64
+}
+
+// HotView is one published snapshot of the continuously-maintained
+// top-k influencer view: the nodes with the largest sliding-window
+// out-neighborhood profiles as of the checkpoint that published it.
+type HotView struct {
+	// Entries holds the top nodes with their estimated distinct
+	// out-neighbor counts, descending, ties broken by smaller NodeID.
+	Entries []swhll.TopEntry
+	// CoveredEdges is the emit index of the publishing checkpoint.
+	CoveredEdges int64
+	// LastAt is the newest emitted timestamp the view covers.
+	LastAt int64
+	// RefreshedAt is when the compactor published the view.
+	RefreshedAt time.Time
 }
 
 var errClosed = errors.New("stream: ingester closed")
@@ -168,6 +204,7 @@ type Ingester struct {
 
 	// Owned by the compactor goroutine (initialized before it starts).
 	durableChunks int // sealed chunks already persisted as sidecars
+	retiredFloor  int // lowest chunk sidecar index still on disk
 
 	// folds carries snapshots to the compactor goroutine; foldsPending
 	// counts submitted-but-unfinished jobs so triggers can skip without
@@ -186,14 +223,23 @@ type Ingester struct {
 	wmLag       atomic.Int64 // maxSeen − watermark, in ticks (health surface)
 	bufDepth    atomic.Int64 // reorder buffer depth (health surface)
 
+	retiredChunks atomic.Int64 // chunks shed from sketch state (run loop writes)
+	retiredEdges  atomic.Int64 // edges inside those chunks
+	sketchBytes   atomic.Int64 // retained block-local sketch bytes, as of the last checkpoint
+	hot           atomic.Pointer[HotView]
+
 	recoveredChunkEdges int64 // set once in New, before the loops start
 	recoveredWALEdges   int64
 }
 
 // foldJob asks the compactor to fold one snapshot; done receives the
-// result exactly once. cause labels the trigger in the journal.
+// result exactly once. cause labels the trigger in the journal. hot is
+// the refreshed top-k view the run loop computed when it cut the
+// snapshot (nil when profiles are disabled); the compactor publishes it
+// alongside the checkpoint.
 type foldJob struct {
 	view  core.ChunkView
+	hot   []swhll.TopEntry
 	cause string
 	done  chan error
 }
@@ -212,6 +258,18 @@ func New(cfg Config) (*Ingester, error) {
 	}
 	if cfg.Slack < 0 {
 		return nil, fmt.Errorf("stream: negative Slack %d", cfg.Slack)
+	}
+	if cfg.Retain < 0 {
+		return nil, fmt.Errorf("stream: negative Retain %d", cfg.Retain)
+	}
+	if cfg.Retain > 0 && cfg.Retain < cfg.Omega {
+		return nil, fmt.Errorf("stream: Retain %d shorter than Omega %d would retire admissible edges", cfg.Retain, cfg.Omega)
+	}
+	if cfg.TopK < 0 {
+		return nil, fmt.Errorf("stream: negative TopK %d", cfg.TopK)
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 10
 	}
 	if cfg.Precision == 0 {
 		cfg.Precision = core.DefaultPrecision
@@ -266,9 +324,24 @@ func New(cfg Config) (*Ingester, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
+	// The checkpoint metadata is the durable record of retirement: chunks
+	// below meta.FirstChunk were shed from sketch state, and their
+	// sidecars (and the WAL segments covering them) may already be gone.
+	// It is read FIRST so the sidecar load knows its floor — a sidecar
+	// below the floor is a crash leftover, not a gap.
+	meta := readCheckpointMeta(cfg.Dir)
+	floor, metaRetired, metaLastAt := 0, 0, int64(math.MinInt64)
+	if meta != nil {
+		floor, metaRetired, metaLastAt = meta.FirstChunk, meta.RetiredEdges, meta.LastAt
+	}
+	if floor > 0 || metaRetired > 0 {
+		if err := inc.ResumeAt(floor, metaRetired); err != nil {
+			return nil, fmt.Errorf("stream: resume after retirement: %w", err)
+		}
+	}
 	// Tier 1: durable chunk sidecars. Each carries a sealed chunk's edges
 	// and block-local sketches, so the state rebuilds without a rescan.
-	sidecars, err := loadChunks(cfg.Dir)
+	sidecars, err := loadChunks(cfg.Dir, floor)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +382,16 @@ func New(cfg Config) (*Ingester, error) {
 	}
 	in.wal = wal
 	suffix := recovered
-	for len(suffix) > 0 && int64(suffix[0].At) <= chunkLastAt {
+	// The replay skip threshold is normally the last sidecar timestamp.
+	// When retirement deleted EVERY sidecar (the retained range is empty
+	// on disk), the checkpoint metadata's last_at takes over: at the
+	// moment that metadata became durable the sealed prefix was exactly
+	// the retired prefix, so WAL edges at or before it are covered.
+	skipAt := chunkLastAt
+	if len(sidecars) == 0 && floor > 0 {
+		skipAt = metaLastAt
+	}
+	for len(suffix) > 0 && int64(suffix[0].At) <= skipAt {
 		suffix = suffix[1:]
 	}
 	// Rebuild the rest of the sketch state from the replayed suffix. The
@@ -326,6 +408,12 @@ func New(cfg Config) (*Ingester, error) {
 	}
 	if n := inc.EdgeCount(); n > 0 {
 		last := inc.LastAt()
+		if inc.RetainedEdges() == 0 {
+			// Everything sealed was retired and nothing replayed: the
+			// builder has no chunk to read a clock from, but the stream's
+			// time did advance to the retired prefix's end.
+			last = graph.Time(metaLastAt)
+		}
 		in.buf.wm = last
 		in.buf.maxSeen = last
 		in.buf.seen = true
@@ -343,16 +431,46 @@ func New(cfg Config) (*Ingester, error) {
 	in.recoveredWALEdges = int64(len(suffix))
 	mx.recoveredChunkEdges.Set(chunkEdges)
 	mx.recoveredWALEdges.Set(int64(len(suffix)))
+	in.durableChunks = floor + len(sidecars)
+	in.retiredFloor = floor
+	in.durableAt.Store(chunkLastAt)
+	// Re-apply the retention horizon to the rebuilt state before anything
+	// folds: retirement is deterministic (same sealed chunks, same
+	// horizon, same result), so a recovered builder retires exactly what
+	// the pre-crash run had — or would have — retired, and the recovery
+	// checkpoint below publishes the same retained range.
+	in.retire()
+	// Recovered edges bypass the emit path, so the profile table is empty
+	// here; rebuild it from the retained chunks before the recovery
+	// checkpoint cuts a top-k view, or a restarted process would publish
+	// an empty view while claiming full coverage. The retained suffix
+	// spans at least the profile window (Retain >= ProfileWindow after
+	// clamping), and window estimates are a pure function of the edges
+	// inside the window, so the rebuilt view matches the pre-crash one.
+	if in.profiles != nil {
+		var perr error
+		inc.RetainedInteractions(func(batch []graph.Interaction) {
+			if perr == nil {
+				perr = in.profiles.ObserveBatch(batch)
+			}
+		})
+		if perr != nil {
+			wal.Close()
+			return nil, fmt.Errorf("stream: recovery profiles: %w", perr)
+		}
+		in.profiles.Prune()
+	}
 	// Seed the fold cache from the durable checkpoint, so the first
 	// post-recovery fold is already incremental.
-	in.seedFoldCache(sidecars)
-	in.durableChunks = len(sidecars)
-	in.durableAt.Store(chunkLastAt)
+	in.seedFoldCache(meta, sidecars)
 	in.walCompactedAt = math.MinInt64
 	go in.compactor()
 	// Publish the recovered state before accepting new edges, so a
 	// restarted process serves its pre-crash coverage immediately.
-	if inc.EdgeCount() > 0 {
+	// Retained, not total: when everything sealed has aged past the
+	// horizon there is nothing to fold, and a checkpoint cut from an
+	// empty view would regress the metadata's clocks.
+	if inc.RetainedEdges() > 0 {
 		if err := in.checkpointNow("recovery"); err != nil {
 			close(in.folds)
 			wal.Close()
@@ -376,38 +494,68 @@ func New(cfg Config) (*Ingester, error) {
 	return in, nil
 }
 
-// seedFoldCache primes the incremental fold cache from checkpoint.irx
-// when the checkpoint's own metadata proves it covers exactly the loaded
-// sidecar prefix under the current configuration. Any mismatch —
-// missing or legacy meta, different window or precision, edge counts
-// that do not line up — silently skips seeding; the first fold is then
-// computed from scratch, which is always correct.
-func (in *Ingester) seedFoldCache(sidecars []*chunkData) {
-	raw, err := os.ReadFile(filepath.Join(in.cfg.Dir, CheckpointMetaName))
+// ckptMeta is the decoded checkpoint.meta.json sidecar. FirstChunk and
+// RetiredEdges decode as zero from pre-retirement metadata, which reads
+// exactly as "nothing retired".
+type ckptMeta struct {
+	Edges        int64 `json:"edges"`
+	LastAt       int64 `json:"last_at"`
+	Chunks       int   `json:"chunks"`
+	FirstChunk   int   `json:"first_chunk"`
+	RetiredEdges int   `json:"retired_edges"`
+	Omega        int64 `json:"omega"`
+	Precision    int   `json:"precision"`
+}
+
+// readCheckpointMeta loads the checkpoint metadata sidecar, nil when it
+// is missing or unparseable (recovery then proceeds as if no checkpoint
+// had ever been published, which is always safe: retirement only
+// deletes data after this file is durable).
+func readCheckpointMeta(dir string) *ckptMeta {
+	raw, err := os.ReadFile(filepath.Join(dir, CheckpointMetaName))
 	if err != nil {
-		return
+		return nil
 	}
-	var meta struct {
-		Edges     int64 `json:"edges"`
-		Chunks    int   `json:"chunks"`
-		Omega     int64 `json:"omega"`
-		Precision int   `json:"precision"`
-	}
+	var meta ckptMeta
 	if json.Unmarshal(raw, &meta) != nil {
+		return nil
+	}
+	if meta.FirstChunk < 0 || meta.RetiredEdges < 0 || meta.Chunks < meta.FirstChunk {
+		return nil
+	}
+	return &meta
+}
+
+// seedFoldCache primes the incremental fold cache from checkpoint.irx
+// when the checkpoint's own metadata proves it covers exactly the
+// retained sidecar prefix under the current configuration. Any mismatch
+// — missing or legacy meta, different window or precision, a retained
+// range moved by recovery retirement, edge counts that do not line up —
+// silently skips seeding; the first fold is then computed from scratch,
+// which is always correct.
+func (in *Ingester) seedFoldCache(meta *ckptMeta, sidecars []*chunkData) {
+	if meta == nil {
 		return
 	}
-	if meta.Chunks <= 0 || meta.Chunks > len(sidecars) ||
+	if meta.Chunks <= meta.FirstChunk || meta.Chunks > meta.FirstChunk+len(sidecars) ||
 		meta.Omega != in.cfg.Omega || meta.Precision != in.cfg.Precision {
 		return
 	}
+	// The checkpoint folded chunks [meta.FirstChunk, meta.Chunks); the
+	// cache is only valid from the builder's CURRENT base — if recovery
+	// retirement just advanced it, the cached fold still covers chunks
+	// the builder shed, and sketches cannot subtract them back out.
+	if meta.FirstChunk != in.inc.FirstChunk() || meta.RetiredEdges != in.inc.RetiredEdges() {
+		return
+	}
 	var edges int64
-	for _, c := range sidecars[:meta.Chunks] {
+	for _, c := range sidecars[:meta.Chunks-meta.FirstChunk] {
 		if c.omega != in.cfg.Omega || c.precision != in.cfg.Precision {
 			return // those chunks were resealed with fresh boundaries-by-rescan
 		}
 		edges += int64(len(c.edges))
 	}
-	if edges != meta.Edges {
+	if edges != meta.Edges-int64(meta.RetiredEdges) {
 		return
 	}
 	f, err := os.Open(filepath.Join(in.cfg.Dir, CheckpointName))
@@ -423,6 +571,71 @@ func (in *Ingester) seedFoldCache(sidecars []*chunkData) {
 	// checkpoint decodes with the default precision and is rejected
 	// there, which only costs the first fold its shortcut.
 	_ = in.inc.SeedFoldCache(sum, meta.Chunks)
+}
+
+// retire applies the retention horizon to the sketch state: chunks whose
+// entire span lies before LastAt−Retain+1 are dropped from the builder.
+// Retirement is additionally capped at the durable-sidecar coverage —
+// a chunk is only shed from memory once its sidecar is on disk, so the
+// WAL segments covering it (deleted against durableAt) are never the
+// last copy of edges the checkpoint metadata does not yet account for.
+// Runs on the builder's owning goroutine (the run loop, or New during
+// recovery). The on-disk sidecars are deleted later, by the compactor,
+// after the checkpoint metadata recording the new retained range is
+// durable — see retireSidecars.
+func (in *Ingester) retire() {
+	if in.cfg.Retain == 0 || in.inc.RetainedEdges() == 0 {
+		return
+	}
+	horizon := int64(in.inc.LastAt()) - in.cfg.Retain + 1
+	if durable := in.durableAt.Load(); durable < horizon-1 {
+		horizon = durable + 1
+	}
+	chunks, edges := in.inc.Retire(horizon)
+	if chunks == 0 {
+		return
+	}
+	in.retiredChunks.Add(int64(chunks))
+	in.retiredEdges.Add(int64(edges))
+	in.jr.Record(trace.EventChunkRetire, "", 0, map[string]any{
+		"chunks": chunks, "edges": edges, "first_chunk": in.inc.FirstChunk(), "horizon": horizon,
+	})
+}
+
+// retireSidecars deletes the sidecar files of chunks the snapshot has
+// retired. Runs on the compactor goroutine, strictly AFTER
+// writeCheckpoint made the metadata recording view.FirstChunk() durable:
+// a crash before that metadata landed must find the files still present,
+// or recovery would see a gap at the old floor and discard the retained
+// suffix. A crash between the metadata and the deletions is healed by
+// loadChunks, which treats below-floor files as leftovers.
+func (in *Ingester) retireSidecars(view core.ChunkView) error {
+	lo, hi := in.retiredFloor, view.FirstChunk()
+	if hi <= lo {
+		return nil
+	}
+	start := time.Now()
+	var bytes int64
+	for c := lo; c < hi; c++ {
+		name := chunkFileName(in.cfg.Dir, c)
+		if fi, err := os.Stat(name); err == nil {
+			bytes += fi.Size()
+		}
+		if err := os.Remove(name); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("stream: retire sidecar %d: %w", c, err)
+		}
+	}
+	if err := syncDir(in.cfg.Dir); err != nil {
+		return err
+	}
+	in.mx.dirSyncs.Inc()
+	in.retiredFloor = hi
+	in.mx.chunksRetired.Add(int64(hi - lo))
+	in.mx.chunkRetiredBytes.Add(bytes)
+	in.jr.Record(trace.EventChunkRetire, "sidecars", time.Since(start), map[string]any{
+		"chunks": hi - lo, "bytes": bytes, "floor": hi,
+	})
+	return nil
 }
 
 // compactWAL deletes WAL segments whose edges are all covered by durable
@@ -696,6 +909,17 @@ func (in *Ingester) seal(edges []graph.Interaction) error {
 		// EdgeCount after the append is exactly the emit index one past
 		// the sealed chunk's last edge.
 		in.tr.StampThrough(trace.StageChunkSeal, int64(in.inc.EdgeCount()))
+		if in.profiles != nil {
+			// Chunk sealing is the natural batch boundary for the window
+			// cleanup: force the profiles' vhll.Prune so per-node counter
+			// state sheds entries no admissible sliding-window query can
+			// still observe, keeping the live top-k view's memory
+			// proportional to the window rather than the stream. The
+			// chunk's block-local sketches are NOT pruned — fold output
+			// must stay byte-identical to the offline scan, and bounded
+			// residency for them comes from chunk retirement instead.
+			in.profiles.Prune()
+		}
 		in.jr.Record(trace.EventChunkSeal, "", time.Since(start), map[string]any{
 			"edges": len(edges), "chunks": in.inc.NumChunks(),
 		})
@@ -731,6 +955,10 @@ func (in *Ingester) maybeCheckpoint(wait bool, cause string) error {
 	if int64(in.inc.EdgeCount()) == in.ckptEdges.Load() {
 		return nil // nothing new to cover
 	}
+	// Shed chunks past the retention horizon before cutting the snapshot,
+	// so the fold below only covers — and the checkpoint only claims —
+	// the retained suffix.
+	in.retire()
 	// Sync here, on the WAL's owning goroutine, so the checkpoint never
 	// claims edges the log could still lose.
 	if err := in.wal.Sync(); err != nil {
@@ -739,6 +967,11 @@ func (in *Ingester) maybeCheckpoint(wait bool, cause string) error {
 	// Everything emitted so far is appended and now fsynced.
 	in.tr.StampThrough(trace.StageWALFsync, in.emitted.Load())
 	job := foldJob{view: in.inc.View(), cause: cause, done: make(chan error, 1)}
+	if in.profiles != nil {
+		// The profile table is run-loop state: the top-k view is computed
+		// here and published by the compactor after the checkpoint lands.
+		job.hot = in.profiles.TopEntries(in.cfg.TopK)
+	}
 	in.foldsPending.Add(1)
 	if wait {
 		in.folds <- job
@@ -767,7 +1000,7 @@ func (in *Ingester) checkpointNow(cause string) error { return in.maybeCheckpoin
 // compactor folds snapshots into checkpoints, one at a time, in order.
 func (in *Ingester) compactor() {
 	for job := range in.folds {
-		err := in.checkpoint(job.view, job.cause)
+		err := in.checkpoint(job)
 		in.foldsPending.Add(-1)
 		job.done <- err
 	}
@@ -775,12 +1008,16 @@ func (in *Ingester) compactor() {
 
 // checkpoint persists the snapshot's new chunks as durable sidecars,
 // folds it (incrementally, against the cached previous fold), writes
-// the IRX1 snapshot and its metadata sidecar atomically, and publishes.
-// Runs on the compactor goroutine; it touches no run-loop state beyond
-// the immutable view. Sidecars go first: once they are durable the
+// the IRX1 snapshot and its metadata sidecar atomically, publishes, and
+// finally deletes the sidecars of chunks the snapshot retired. Runs on
+// the compactor goroutine; it touches no run-loop state beyond the
+// immutable view. Sidecars go first: once they are durable the
 // checkpoint may claim chunk coverage, and the run loop may delete the
-// WAL segments they cover.
-func (in *Ingester) checkpoint(view core.ChunkView, cause string) error {
+// WAL segments they cover. Retired-sidecar deletion goes last, after
+// the metadata recording the new retained range is durable — before
+// that, the files are still recovery's only proof the floor moved.
+func (in *Ingester) checkpoint(job foldJob) error {
+	view, cause := job.view, job.cause
 	start := time.Now()
 	covered := int64(view.EdgeCount())
 	if err := in.persistChunks(view); err != nil {
@@ -794,6 +1031,9 @@ func (in *Ingester) checkpoint(view core.ChunkView, cause string) error {
 		return err
 	}
 	in.tr.StampThrough(trace.StageCheckpointWrite, covered)
+	if err := in.retireSidecars(view); err != nil {
+		return err
+	}
 	// Covered records are marked awaiting visibility before the handoff:
 	// the serving layer's generation swap stamps serve_visible, or
 	// FinishPublish completes them when nothing downstream will.
@@ -802,6 +1042,19 @@ func (in *Ingester) checkpoint(view core.ChunkView, cause string) error {
 		in.cfg.Publish(sum)
 	}
 	in.tr.FinishPublish()
+	if in.profiles != nil {
+		in.hot.Store(&HotView{
+			Entries:      job.hot,
+			CoveredEdges: covered,
+			LastAt:       int64(view.LastAt()),
+			RefreshedAt:  time.Now(),
+		})
+		in.mx.topkRefreshes.Inc()
+		in.mx.topkSize.Set(int64(len(job.hot)))
+	}
+	sketchBytes := int64(view.MemoryBytes())
+	in.sketchBytes.Store(sketchBytes)
+	in.mx.sketchBytes.Set(sketchBytes)
 	in.checkpoints.Add(1)
 	in.ckptEdges.Store(covered)
 	in.lastCkpt.Store(time.Now().UnixNano())
@@ -809,7 +1062,8 @@ func (in *Ingester) checkpoint(view core.ChunkView, cause string) error {
 	in.mx.checkpointDur.Observe(time.Since(start).Seconds())
 	in.mx.checkpointEdges.Set(covered)
 	in.jr.Record(trace.EventCheckpoint, cause, time.Since(start), map[string]any{
-		"edges": covered, "chunks": view.NumChunks(), "fold_ms": float64(foldDur) / 1e6,
+		"edges": covered, "chunks": view.NumChunks(), "first_chunk": view.FirstChunk(),
+		"fold_ms": float64(foldDur) / 1e6,
 	})
 	return nil
 }
@@ -871,9 +1125,9 @@ func (in *Ingester) writeCheckpoint(sum *core.ApproxSummaries, view core.ChunkVi
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
-	meta := fmt.Sprintf(`{"edges":%d,"last_at":%d,"nodes":%d,"omega":%d,"precision":%d,"chunks":%d,"fold_seconds":%.6f,"write_seconds":%.6f}`+"\n",
+	meta := fmt.Sprintf(`{"edges":%d,"last_at":%d,"nodes":%d,"omega":%d,"precision":%d,"chunks":%d,"first_chunk":%d,"retired_edges":%d,"fold_seconds":%.6f,"write_seconds":%.6f}`+"\n",
 		view.EdgeCount(), view.LastAt(), view.NumNodes(), in.cfg.Omega, in.cfg.Precision,
-		view.NumChunks(), foldDur.Seconds(), time.Since(start).Seconds())
+		view.NumChunks(), view.FirstChunk(), view.RetiredEdges(), foldDur.Seconds(), time.Since(start).Seconds())
 	metaPath := filepath.Join(in.cfg.Dir, CheckpointMetaName)
 	if err := os.WriteFile(metaPath+".tmp", []byte(meta), 0o644); err != nil {
 		return err
@@ -943,6 +1197,8 @@ func (in *Ingester) Stats() Stats {
 		CoveredEdges:        in.ckptEdges.Load(),
 		RecoveredChunkEdges: in.recoveredChunkEdges,
 		RecoveredWALEdges:   in.recoveredWALEdges,
+		RetiredChunks:       in.retiredChunks.Load(),
+		RetiredEdges:        in.retiredEdges.Load(),
 	}
 }
 
@@ -965,6 +1221,9 @@ func (in *Ingester) Health() map[string]any {
 		"intake_queued":         len(in.intake),
 		"recovered_chunk_edges": st.RecoveredChunkEdges,
 		"recovered_wal_edges":   st.RecoveredWALEdges,
+		"retired_chunks":        st.RetiredChunks,
+		"retired_edges":         st.RetiredEdges,
+		"sketch_bytes":          in.sketchBytes.Load(),
 	}
 	if at := in.lastCkpt.Load(); at > 0 {
 		h["checkpoint_age_seconds"] = time.Since(time.Unix(0, at)).Seconds()
@@ -1001,16 +1260,36 @@ func (in *Ingester) Health() map[string]any {
 
 // Hot returns the k nodes with the largest sliding-window out-
 // neighborhood profiles, nil unless Config.ProfileWindow enabled them.
-// Profiles are owned by the run loop, so Hot answers only after Close
-// has completed (an end-of-run report); it returns nil while running.
+// While the ingester runs it answers from the top-k view the compactor
+// published with the latest checkpoint (nil before the first one, and
+// truncated to Config.TopK entries); after Close it reads the final
+// profile table directly — the run loop has exited, so the exact
+// end-of-run state is safe to walk.
 func (in *Ingester) Hot(k int) []graph.NodeID {
 	select {
 	case <-in.done:
+		if in.profiles == nil {
+			return nil
+		}
+		return in.profiles.Top(k)
 	default:
+	}
+	hv := in.hot.Load()
+	if hv == nil {
 		return nil
 	}
-	if in.profiles == nil {
-		return nil
+	if k > len(hv.Entries) {
+		k = len(hv.Entries)
 	}
-	return in.profiles.Top(k)
+	out := make([]graph.NodeID, k)
+	for i := range out {
+		out[i] = hv.Entries[i].Node
+	}
+	return out
 }
+
+// TopK returns the latest published top-k influencer view with scores
+// and provenance (which checkpoint, how fresh), nil before the first
+// checkpoint or when Config.ProfileWindow is zero. The snapshot is
+// immutable; callers may retain it.
+func (in *Ingester) TopK() *HotView { return in.hot.Load() }

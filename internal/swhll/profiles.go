@@ -104,20 +104,37 @@ func (p *Profiles) Profile(u graph.NodeID) float64 {
 	return c.EstimateAt(p.last)
 }
 
-// Top returns the k nodes with the largest current profiles, descending,
-// ties broken by smaller NodeID.
-func (p *Profiles) Top(k int) []graph.NodeID {
-	type scored struct {
-		node  graph.NodeID
-		score float64
+// Prune forces the amortized window cleanup on every counter now,
+// resetting the observation countdown. Callers with a natural batch
+// boundary (the streaming ingester seals chunks) use it to keep sketch
+// memory proportional to the window instead of waiting out the
+// observation-count trigger.
+func (p *Profiles) Prune() {
+	p.sincePrune = 0
+	for _, c := range p.counters {
+		if c != nil {
+			c.Prune()
+		}
 	}
-	var all []scored
+}
+
+// TopEntry is one row of the live top-k view: a node and its estimated
+// distinct out-neighbour count within the current window.
+type TopEntry struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// TopEntries returns the k nodes with the largest current profiles with
+// their scores, descending, ties broken by smaller NodeID.
+func (p *Profiles) TopEntries(k int) []TopEntry {
+	var all []TopEntry
 	for u, c := range p.counters {
 		if c == nil {
 			continue
 		}
 		if s := c.EstimateAt(p.last); s > 0 {
-			all = append(all, scored{node: graph.NodeID(u), score: s})
+			all = append(all, TopEntry{Node: graph.NodeID(u), Score: s})
 		}
 	}
 	// Insertion-sort into the top-k prefix; k is small in practice.
@@ -127,16 +144,23 @@ func (p *Profiles) Top(k int) []graph.NodeID {
 	for i := 0; i < k; i++ {
 		best := i
 		for j := i + 1; j < len(all); j++ {
-			if all[j].score > all[best].score ||
-				(all[j].score == all[best].score && all[j].node < all[best].node) {
+			if all[j].Score > all[best].Score ||
+				(all[j].Score == all[best].Score && all[j].Node < all[best].Node) {
 				best = j
 			}
 		}
 		all[i], all[best] = all[best], all[i]
 	}
-	out := make([]graph.NodeID, k)
-	for i := 0; i < k; i++ {
-		out[i] = all[i].node
+	return all[:k:k]
+}
+
+// Top returns the k nodes with the largest current profiles, descending,
+// ties broken by smaller NodeID.
+func (p *Profiles) Top(k int) []graph.NodeID {
+	entries := p.TopEntries(k)
+	out := make([]graph.NodeID, len(entries))
+	for i, e := range entries {
+		out[i] = e.Node
 	}
 	return out
 }

@@ -1,0 +1,101 @@
+package swhll
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// cloneCounter deep-copies a counter so one stream can be pruned/merged
+// along two different orders.
+func cloneCounter(c *Counter) *Counter {
+	return &Counter{inner: c.inner.Clone(), window: c.window, last: c.last, seen: c.seen}
+}
+
+func counterBytes(t *testing.T, c *Counter) []byte {
+	t.Helper()
+	data, err := c.inner.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	return data
+}
+
+// feedCounter streams n random observations with non-decreasing
+// timestamps starting at base, returning the counter and its last tick.
+func feedCounter(t *testing.T, rng *rand.Rand, base int64, n int, window int64) *Counter {
+	t.Helper()
+	c := MustNew(9, window)
+	now := base
+	for i := 0; i < n; i++ {
+		now += rng.Int63n(4)
+		if err := c.Add(rng.Uint64()%512, now); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return c
+}
+
+// TestPruneMergeCommutes pins the audited contract of Counter.Prune
+// after Merge (the prune horizon is c.last, which Merge advances):
+//
+//  1. Observable equivalence — pruning each input before the merge
+//     versus pruning nothing changes no admissible estimate. Queries
+//     require now ≥ the merged last tick, and prune drops only entries
+//     out of window at that horizon.
+//  2. Byte convergence — the two orders may retain different entry sets
+//     (prune-each-then-merge prunes the earlier input against its own,
+//     earlier clock), but one Prune on the merged counter lands both on
+//     identical bytes.
+func TestPruneMergeCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		window := int64(8 + rng.Int63n(64))
+		// Stagger the bases so the two streams usually end at different
+		// ticks — the case where the prune horizons genuinely differ.
+		a := feedCounter(t, rng, 1000, 40+rng.Intn(80), window)
+		b := feedCounter(t, rng, 1000+rng.Int63n(2*window), 40+rng.Intn(80), window)
+
+		// Order 1: merge the raw counters, then prune.
+		mergedRaw := cloneCounter(a)
+		if err := mergedRaw.Merge(cloneCounter(b)); err != nil {
+			t.Fatalf("merge raw: %v", err)
+		}
+		// Order 2: prune each input first, then merge.
+		pa, pb := cloneCounter(a), cloneCounter(b)
+		pa.Prune()
+		pb.Prune()
+		mergedPruned := pa
+		if err := mergedPruned.Merge(pb); err != nil {
+			t.Fatalf("merge pruned: %v", err)
+		}
+
+		if mergedRaw.last != mergedPruned.last {
+			t.Fatalf("trial %d: merged last diverged: %d vs %d", trial, mergedRaw.last, mergedPruned.last)
+		}
+		// Property 1: every admissible query (now ≥ merged last) agrees,
+		// whether or not either side pruned, and whether or not the merged
+		// counter prunes afterwards.
+		prunedAfter := cloneCounter(mergedRaw)
+		prunedAfter.Prune()
+		for _, dt := range []int64{0, 1, window / 2, window - 1, window, 3 * window} {
+			now := mergedRaw.last + dt
+			want := mergedRaw.EstimateAt(now)
+			if got := mergedPruned.EstimateAt(now); got != want {
+				t.Fatalf("trial %d: EstimateAt(last+%d) diverged: pruned-then-merged %v vs merged %v",
+					trial, dt, got, want)
+			}
+			if got := prunedAfter.EstimateAt(now); got != want {
+				t.Fatalf("trial %d: EstimateAt(last+%d) diverged after post-merge prune: %v vs %v",
+					trial, dt, got, want)
+			}
+		}
+		// Property 2: one prune on the merged counter converges both
+		// orders to identical bytes.
+		mergedRaw.Prune()
+		mergedPruned.Prune()
+		if !bytes.Equal(counterBytes(t, mergedRaw), counterBytes(t, mergedPruned)) {
+			t.Fatalf("trial %d: pruned merged counters are not byte-identical", trial)
+		}
+	}
+}

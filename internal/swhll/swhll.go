@@ -104,6 +104,17 @@ func (c *Counter) EstimateAt(now int64) float64 {
 // Prune discards entries that can no longer influence any admissible
 // query (older than window before the latest Add). It is the periodic
 // cleanup step of the sliding-window sketch; estimates are unchanged.
+//
+// The horizon is anchored at c.last, which Merge advances to the maximum
+// of the two inputs. That is the correct anchor: EstimateAt requires
+// now ≥ last, so after a merge the earlier input's trailing entries may
+// be dropped against the LATER input's clock — any query the merged
+// counter admits already has them out of window. The consequence is that
+// prune and merge commute only up to observable state: pruning two
+// counters separately and then merging can retain entries that pruning
+// after the merge would drop, but every admissible estimate agrees, and
+// one more Prune on the merged counter converges the bytes. The property
+// test in prune_merge_test.go pins both facts.
 func (c *Counter) Prune() {
 	if c.seen {
 		m().prunes.Inc()

@@ -33,6 +33,7 @@ const (
 	EventWALTruncate      = "wal_truncate"
 	EventChunkSeal        = "chunk_seal"
 	EventChunkPersist     = "chunk_persist"
+	EventChunkRetire      = "chunk_retire"
 	EventCheckpoint       = "checkpoint"
 	EventCompactionDelete = "compaction_delete"
 	EventRecovery         = "recovery"
