@@ -37,7 +37,11 @@
 //     bytes and on-disk sidecar bytes plateau while the stream grows
 //     4×, the final checkpoint stays byte-identical to the offline
 //     scan over exactly the retained suffix, and window-restricted
-//     spread queries agree with that suffix scan.
+//     spread queries agree with that suffix scan;
+//   - with -shards N, a bipartite copy of the log ingested through the
+//     slot router at N shards answers every query byte-identically to
+//     a single-node server fed the whole copy, with merge-query
+//     latency reported alongside 1-shard vs N-shard intake rates.
 //
 // The report records the host's CPU count and GOMAXPROCS, the same
 // convention as BENCH_serve.json: intake is single-writer by design,
@@ -55,6 +59,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -62,6 +68,7 @@ import (
 	"sync"
 	"time"
 
+	"ipin/internal/cluster"
 	"ipin/internal/core"
 	"ipin/internal/gen"
 	"ipin/internal/graph"
@@ -166,6 +173,20 @@ type report struct {
 	BoundedRetiredEdges  int64          `json:"bounded_retired_edges"`
 	IdentityBounded      bool           `json:"identity_bounded_retention"`
 	BoundedWindowAgree   bool           `json:"bounded_window_query_agrees"`
+
+	// Cluster phase (-shards): a bipartite copy of the log ingested
+	// through the shard router at 1 shard and at -shards shards, the
+	// scatter-gather identity gate against a real single-node server,
+	// and merge-query latency over the sharded frontend. All shards
+	// share this machine's cores, so the sharded edges/s measures
+	// routing overhead, not scale-out — see the note.
+	ClusterShards     int     `json:"cluster_shards"`
+	ClusterEPS1       float64 `json:"cluster_1shard_edges_per_sec"`
+	ClusterEPSK       float64 `json:"cluster_sharded_edges_per_sec"`
+	ClusterQueryCount int     `json:"cluster_merge_queries"`
+	ClusterQueryP50Ms float64 `json:"cluster_merge_query_p50_ms"`
+	ClusterQueryP99Ms float64 `json:"cluster_merge_query_p99_ms"`
+	IdentityCluster   bool    `json:"identity_cluster_scatter_gather"`
 }
 
 // boundedPhase is one measured quarter of the bounded-memory run, taken
@@ -205,6 +226,7 @@ func main() {
 		ovPairs    = flag.Int("overhead-pairs", 3, "interleaved off/on ingest pairs for the overhead A/B")
 		retainPct  = flag.Float64("retain", 4, "bounded-memory run: retained history as % of the time span (clamped up to -window)")
 		maxPlateau = flag.Float64("max-plateau", 1.5, "bounded-memory run: max sketch-RAM and on-disk growth from the second to the last quarter (gate)")
+		shards     = flag.Int("shards", 2, "shard count for the cluster phase (0 disables it)")
 		out        = flag.String("out", "BENCH_stream.json", "output JSON path")
 	)
 	flag.Parse()
@@ -824,6 +846,140 @@ func main() {
 		float64(base.ChunkBytes)/1024, float64(lastQ.ChunkBytes)/1024, rep.BoundedChunkRatio,
 		rep.BoundedRetiredChunks, rep.BoundedRetiredEdges, rep.IdentityBounded, rep.BoundedWindowAgree)
 
+	// Phase 9: the cluster phase. The scatter-gather identity is exact on
+	// streams without cross-shard multi-hop channels, so the phase runs
+	// over a bipartite copy of the log: sources in the lower half of the
+	// node space, destinations in the upper half, timestamps unchanged
+	// (still strictly increasing). The same copy is ingested three ways —
+	// a real single-node stack (stream.Ingester into serve.Server), a
+	// 1-shard cluster, and a -shards cluster — then every battery query
+	// is compared byte-for-byte between the single-node server and the
+	// sharded frontend, and merge-query latency is sampled on the
+	// frontend. Intake here is forced-checkpoint only: the number
+	// isolates routing overhead, and since every shard shares this
+	// machine's cores it does NOT measure scale-out.
+	if *shards > 0 {
+		half := l.NumNodes / 2
+		bip := make([]graph.Interaction, l.Len())
+		for i, e := range l.Interactions {
+			bip[i] = graph.Interaction{
+				Src: graph.NodeID(int(e.Src) % half),
+				Dst: graph.NodeID(half + int(e.Dst)%half),
+				At:  e.At,
+			}
+		}
+		rep.ClusterShards = *shards
+
+		srv9 := serve.New(serve.Config{})
+		in9, err := stream.New(stream.Config{
+			Dir:             filepath.Join(work, "cluster-single"),
+			Omega:           omega,
+			NumNodes:        l.NumNodes,
+			CheckpointEvery: -1,
+			IdleFlush:       -1,
+			Publish:         srv9.LoadApprox,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range bip {
+			if err := in9.Push(e); err != nil {
+				fatal(err)
+			}
+		}
+		if err := in9.Close(context.Background()); err != nil {
+			fatal(err)
+		}
+		singleMux := http.NewServeMux()
+		srv9.Register(singleMux)
+
+		runCluster := func(k int) (*cluster.Ingester, float64) {
+			cl, err := cluster.New(cluster.Config{
+				Shards: k,
+				Dir:    filepath.Join(work, fmt.Sprintf("cluster-%d", k)),
+				Stream: stream.Config{
+					Omega:           omega,
+					NumNodes:        l.NumNodes,
+					CheckpointEvery: -1,
+					IdleFlush:       -1,
+				},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			clStart := time.Now()
+			for _, e := range bip {
+				if err := cl.Push(e); err != nil {
+					fatal(err)
+				}
+			}
+			for cl.Stats().Emitted < int64(len(bip)) {
+				time.Sleep(time.Millisecond)
+			}
+			eps := float64(len(bip)) / time.Since(clStart).Seconds()
+			if err := cl.Checkpoint(context.Background()); err != nil {
+				fatal(err)
+			}
+			return cl, eps
+		}
+		cl1, eps1 := runCluster(1)
+		rep.ClusterEPS1 = eps1
+		if err := cl1.Close(context.Background()); err != nil {
+			fatal(err)
+		}
+		clK, epsK := runCluster(*shards)
+		rep.ClusterEPSK = epsK
+		frontend := cluster.NewFrontend(clK.Gather()).Handler()
+
+		mid := int64(bip[len(bip)/2].At)
+		battery := []string{
+			"/influence?node=0",
+			fmt.Sprintf("/influence?node=%d", half-1),
+			fmt.Sprintf("/influence?node=%d", half),
+			fmt.Sprintf("/influence?node=%d", l.NumNodes-1),
+			"/spread?seeds=0,1,2,3,4",
+			fmt.Sprintf("/spread?seeds=7,%d,%d", half+3, l.NumNodes-1),
+			"/topk?k=5",
+			fmt.Sprintf("/spreadby?seeds=0,1,2&deadline=%d", mid),
+			fmt.Sprintf("/spreadwindow?seeds=0,1,2&at=%d", mid),
+			"/stats",
+		}
+		rep.IdentityCluster = true
+		for _, q := range battery {
+			wantRec := httptest.NewRecorder()
+			singleMux.ServeHTTP(wantRec, httptest.NewRequest("GET", q, nil))
+			gotRec := httptest.NewRecorder()
+			frontend.ServeHTTP(gotRec, httptest.NewRequest("GET", q, nil))
+			if wantRec.Code != gotRec.Code || wantRec.Body.String() != gotRec.Body.String() {
+				rep.IdentityCluster = false
+				fmt.Fprintf(os.Stderr, "benchstream: cluster identity violation on %s:\n  single: %d %s  merged: %d %s",
+					q, wantRec.Code, wantRec.Body.String(), gotRec.Code, gotRec.Body.String())
+			}
+		}
+
+		// Merge-query latency: repeated battery sweeps against the sharded
+		// frontend, each request timed individually. Every query merges the
+		// requested nodes' per-shard sketches at answer time.
+		var qlat []time.Duration
+		for sweep := 0; sweep < 40; sweep++ {
+			for _, q := range battery {
+				req := httptest.NewRequest("GET", q, nil)
+				qStart := time.Now()
+				frontend.ServeHTTP(httptest.NewRecorder(), req)
+				qlat = append(qlat, time.Since(qStart))
+			}
+		}
+		rep.ClusterQueryCount = len(qlat)
+		rep.ClusterQueryP50Ms = percentileMs(qlat, 50)
+		rep.ClusterQueryP99Ms = percentileMs(qlat, 99)
+		if err := clK.Close(context.Background()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchstream: cluster phase: identity %v at %d shards; intake %.0f edges/s (1 shard) vs %.0f edges/s (%d shards, shared cores); merge query p50 %.2fms p99 %.2fms (%d queries)\n",
+			rep.IdentityCluster, *shards, rep.ClusterEPS1, rep.ClusterEPSK, *shards,
+			rep.ClusterQueryP50Ms, rep.ClusterQueryP99Ms, rep.ClusterQueryCount)
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -884,6 +1040,8 @@ func main() {
 		fatal(fmt.Errorf("bounded-memory checkpoint differs from the offline scan over the retained suffix"))
 	case !rep.BoundedWindowAgree:
 		fatal(fmt.Errorf("window-restricted spread disagrees between the bounded run and the offline suffix scan"))
+	case *shards > 0 && !rep.IdentityCluster:
+		fatal(fmt.Errorf("scatter-gather answers at %d shards differ from the single-node server", *shards))
 	}
 }
 

@@ -88,6 +88,7 @@ func main() {
 		sloTarget    = flag.Float64("slo-target", 0.99, "freshness SLO: fraction of traced edges that must meet the objective")
 		journalPath  = flag.String("journal", "", "append lifecycle events (rotations, seals, checkpoints, sheds) as JSON lines to this file")
 		healthAddr   = flag.String("health-addr", "", "serve /debug/pipeline and /metrics on this extra address too")
+		shards       = flag.Int("shards", 1, "route ingest across this many shards (each with its own WAL and checkpoints under -dir) and answer queries by scatter-gather merge; 1 = single-node")
 	)
 	flag.Parse()
 
@@ -134,6 +135,13 @@ func main() {
 	ipin.InstallRuntimeMetrics(reg)
 
 	var tr *ipin.Tracer
+	if *shards > 1 && *traceEvery > 0 {
+		// Edge traces are stamped serve-visible by the single-node query
+		// server's generation swap; the scatter-gather frontend has no
+		// equivalent single swap, so traced edges would never complete.
+		log.Print("tracing disabled in cluster mode (-shards > 1)")
+		*traceEvery = 0
+	}
 	if *traceEvery > 0 {
 		tr = ipin.NewTracer(ipin.TraceConfig{
 			SampleEvery: *traceEvery,
@@ -155,12 +163,16 @@ func main() {
 		dir: *dir, omega: omega, nodes: *nodes,
 		slack: *slack, every: *every, registry: reg,
 		profileWindow: profileWindow, topK: *topK, retain: retain,
-		tracer: tr, journal: jr,
+		tracer: tr, journal: jr, shards: *shards,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("live oracle on %s (ω=%d, checkpoint every %s, state in %s)", *addr, omega, *every, *dir)
+	if *shards > 1 {
+		log.Printf("live oracle on %s (ω=%d, checkpoint every %s, %d shards under %s)", *addr, omega, *every, *shards, *dir)
+	} else {
+		log.Printf("live oracle on %s (ω=%d, checkpoint every %s, state in %s)", *addr, omega, *every, *dir)
+	}
 
 	if *healthAddr != "" {
 		hmux := http.NewServeMux()
@@ -222,21 +234,62 @@ type appConfig struct {
 	profileWindow int64 // >0 maintains sliding profiles for /stream/topk
 	topK          int   // size of the live top-k view
 	retain        int64 // >0 bounds retained history in ticks
+	shards        int   // >1 shards the intake and serves scatter-gather
 	registry      *ipin.MetricsRegistry
 	tracer        *ipin.Tracer       // nil disables edge tracing
 	journal       *ipin.TraceJournal // nil disables the event journal
 }
 
-// app owns the ingester→server pair and the routes that expose them.
+// engine is what the routes need from the intake side — satisfied by
+// both the single-node *ipin.Ingester and the sharded
+// *ipin.ClusterIngester.
+type engine interface {
+	Push(ipin.Interaction) error
+	Checkpoint(context.Context) error
+	Close(context.Context) error
+	Stats() ipin.IngestStats
+	Health() map[string]any
+	TopK() *ipin.HotView
+	Handler() http.Handler
+}
+
+// app owns the intake→serving pair and the routes that expose them.
+// Exactly one of srv (single-node) or fe (cluster) is set.
 type app struct {
-	in  *ipin.Ingester
+	in  engine
 	srv *ipin.QueryServer
+	fe  *ipin.ClusterFrontend
 	reg *ipin.MetricsRegistry
 	tr  *ipin.Tracer
 	jr  *ipin.TraceJournal
 }
 
 func newApp(cfg appConfig) (*app, error) {
+	if cfg.shards > 1 {
+		// Sharded deployment: each shard keeps its own WAL and
+		// checkpoints under dir/shard-NNN, publishes into the gather
+		// store, and queries merge the per-shard sketches at answer time.
+		cl, err := ipin.NewClusterIngester(ipin.ClusterConfig{
+			Shards: cfg.shards,
+			Dir:    cfg.dir,
+			Stream: ipin.IngestConfig{
+				Omega:           cfg.omega,
+				NumNodes:        cfg.nodes,
+				Slack:           cfg.slack,
+				CheckpointEvery: cfg.every,
+				ProfileWindow:   cfg.profileWindow,
+				TopK:            cfg.topK,
+				Retain:          cfg.retain,
+				Registry:        cfg.registry,
+				Journal:         cfg.journal,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		fe := ipin.NewClusterFrontend(cl.Gather())
+		return &app{in: cl, fe: fe, reg: cfg.registry, jr: cfg.journal}, nil
+	}
 	// The tracer is shared: the ingester stamps intake through publish,
 	// the query server stamps serve-visible at its generation swap — the
 	// moment the traced edge actually becomes queryable.
@@ -266,6 +319,16 @@ func newApp(cfg appConfig) (*app, error) {
 	return &app{in: in, srv: srv, reg: cfg.registry, tr: cfg.tracer, jr: cfg.journal}, nil
 }
 
+// generation is the served checkpoint generation: the query server's
+// swap counter in single-node mode, the total shard publish count in
+// cluster mode.
+func (a *app) generation() uint64 {
+	if a.fe != nil {
+		return a.fe.Generation()
+	}
+	return a.srv.Generation()
+}
+
 // health builds the /debug/pipeline handler: trace and SLO state, the
 // lifecycle event tail, and the ingester's live status (watermark lag,
 // disk footprint) plus the served generation.
@@ -275,7 +338,7 @@ func (a *app) health() http.Handler {
 		Journal: a.jr,
 		Status: func() map[string]any {
 			st := a.in.Health()
-			st["generation"] = a.srv.Generation()
+			st["generation"] = a.generation()
 			return st
 		},
 	}
@@ -284,14 +347,21 @@ func (a *app) health() http.Handler {
 // handler mounts the query surface next to the intake surface.
 func (a *app) handler() http.Handler {
 	mux := http.NewServeMux()
-	a.srv.Register(mux)
+	var routes []string
+	if a.fe != nil {
+		a.fe.Register(mux)
+		routes = a.fe.Routes()
+	} else {
+		a.srv.Register(mux)
+		routes = a.srv.Routes()
+	}
 	mux.Handle("/ingest", a.in.Handler())
 	mux.HandleFunc("/admin/checkpoint", a.forceCheckpoint)
 	mux.HandleFunc("/stream/stats", a.streamStats)
 	mux.HandleFunc("/stream/topk", a.streamTopK)
 	mux.Handle("/metrics", ipin.MetricsHandler(a.reg))
 	mux.Handle("/debug/pipeline", a.health())
-	routes := append(a.srv.Routes(), "/ingest", "/stream/stats", "/stream/topk")
+	routes = append(routes, "/ingest", "/stream/stats", "/stream/topk")
 	return ipin.InstrumentHTTP(a.reg, routes, mux)
 }
 
@@ -308,11 +378,11 @@ func (a *app) forceCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeErrorJSON(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, map[string]any{"generation": a.srv.Generation(), "stats": a.in.Stats()})
+	writeJSON(w, map[string]any{"generation": a.generation(), "stats": a.in.Stats()})
 }
 
 func (a *app) streamStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"generation": a.srv.Generation(), "stats": a.in.Stats()})
+	writeJSON(w, map[string]any{"generation": a.generation(), "stats": a.in.Stats()})
 }
 
 // streamTopK serves the continuously-maintained top-k influencer view

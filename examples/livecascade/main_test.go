@@ -307,3 +307,62 @@ func TestIntakeSurvivesRestart(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterModeServesMergedQueries runs the app with -shards 2 over a
+// bipartite stream (sources and destinations disjoint, so scatter-gather
+// answers are byte-identical to a single table) and checks the merged
+// query surface against the offline reference, plus the cluster-only
+// routes.
+func TestClusterModeServesMergedQueries(t *testing.T) {
+	const omega = 500
+	edges := make([]ipin.Interaction, 600)
+	for i := range edges {
+		edges[i] = ipin.Interaction{
+			Src: ipin.NodeID(i % 100),
+			Dst: ipin.NodeID(100 + (i*7)%100),
+			At:  ipin.Time(i + 1),
+		}
+	}
+	reg := ipin.NewMetricsRegistry()
+	a, err := newApp(appConfig{
+		dir: t.TempDir(), omega: omega, nodes: 200, every: -1,
+		registry: reg, shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.close(context.Background()) })
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+
+	if code, body := post(t, ts, "/ingest", lines(edges)); code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	if code, body := post(t, ts, "/admin/checkpoint", ""); code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", code, body)
+	}
+
+	offline := offlineServer(t, edges, 200, omega)
+	for _, q := range []string{"/influence?node=3", "/spread?seeds=0,1,2", "/topk?k=3", "/stats"} {
+		liveCode, live := get(t, ts, q)
+		offCode, off := get(t, offline, q)
+		if liveCode != offCode || live != off {
+			t.Fatalf("%s:\n cluster %d %s offline %d %s", q, liveCode, live, offCode, off)
+		}
+	}
+
+	code, body := get(t, ts, "/cluster/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster/stats: %d %s", code, body)
+	}
+	var cs struct {
+		Shards int  `json:"shards"`
+		Ready  bool `json:"ready"`
+	}
+	if err := json.Unmarshal([]byte(body), &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Shards != 2 || !cs.Ready {
+		t.Fatalf("/cluster/stats = %s, want 2 ready shards", body)
+	}
+}

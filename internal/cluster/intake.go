@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ipin/internal/graph"
+	"ipin/internal/stream"
+)
+
+// Intake adapters: the cluster speaks the same one-edge-per-line wire
+// format as a single ingester ("src dst time", '#' comments and blanks
+// ignored), so a feed can be pointed at a cluster without changing a
+// byte — the router decides per line which shard the edge lands on.
+
+// readLines parses and routes every edge line from r. Malformed lines
+// are counted and skipped, never fatal, matching stream.ReadFrom.
+func readLines(r io.Reader, mx *metrics, push func(graph.Interaction) error) (int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var n int64
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := stream.ParseEdge(line)
+		if err != nil {
+			mx.parseErrors.Inc()
+			continue
+		}
+		if err := push(e); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// intakeHandler is the POST /ingest handler body, response-compatible
+// with stream.Ingester.Handler: {"accepted": N}, 503 with an error body
+// when a shard refuses the push.
+func intakeHandler(mx *metrics, push func(graph.Interaction) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, `{"error":"POST required"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		n, err := readLines(r.Body, mx, push)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"accepted":%d,"error":%q}`+"\n", n, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"accepted":%d}`+"\n", n)
+	})
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+// The documented staleness contract when one shard falls behind: a
+// lagging shard's nodes answer from its LAST published checkpoint —
+// older, never wrong for its substream — while fresh shards answer
+// current state, and the generation vector exposes the skew. This test
+// drives the contract end to end by checkpointing only one of two
+// shards after a second batch of edges.
+func TestOneShardLaggingStaleness(t *testing.T) {
+	const shards = 2
+	slots := DefaultSlotMap(shards)
+
+	// One distinguished source per shard.
+	var src0, src1 graph.NodeID = -1, -1
+	for u := graph.NodeID(0); u < testSrcs; u++ {
+		if slots.ShardOf(u) == 0 && src0 < 0 {
+			src0 = u
+		}
+		if slots.ShardOf(u) == 1 && src1 < 0 {
+			src1 = u
+		}
+	}
+	if src0 < 0 || src1 < 0 {
+		t.Fatal("test sources do not cover both shards")
+	}
+
+	c, err := New(Config{Shards: shards, Dir: t.TempDir(), Stream: testStreamConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(context.Background())
+	fe := NewFrontend(c.Gather())
+
+	var lastAt graph.Time
+	push := func(src graph.NodeID, dsts ...graph.NodeID) {
+		t.Helper()
+		for _, d := range dsts {
+			lastAt++
+			if err := c.Push(graph.Interaction{Src: src, Dst: testSrcs + d, At: lastAt}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Batch A: both sources influence two destinations; both shards
+	// checkpoint, so the cluster is aligned.
+	push(src0, 0, 1)
+	push(src1, 2, 3)
+	if err := c.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	influence := func(u graph.NodeID) float64 {
+		return c.Gather().View().Influence(u)
+	}
+	base0, base1 := influence(src0), influence(src1)
+	if base0 <= 0 || base1 <= 0 {
+		t.Fatalf("expected positive baseline influence, got %v / %v", base0, base1)
+	}
+
+	// Batch B: both sources reach new destinations — but only shard 0
+	// checkpoints. Shard 1 is now one generation behind.
+	push(src0, 4, 5, 6)
+	push(src1, 7, 8, 9)
+	if err := c.Shard(0).Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh shard: answers reflect batch B. Lagging shard: answers are
+	// exactly the batch-A state — stale, not wrong.
+	if got := influence(src0); got <= base0 {
+		t.Errorf("fresh shard should reflect batch B: influence(%d) = %v, batch-A baseline %v", src0, got, base0)
+	}
+	if got := influence(src1); got != base1 {
+		t.Errorf("lagging shard must serve its last checkpoint: influence(%d) = %v, want %v", src1, got, base1)
+	}
+
+	// The skew is observable: generation vector [2,1] on /cluster/stats.
+	gens := c.Gather().Generations()
+	if gens[0] != 2 || gens[1] != 1 {
+		t.Fatalf("generation vector = %v, want [2 1]", gens)
+	}
+	code, body := get(t, fe.Handler(), "/cluster/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster/stats: %d %s", code, body)
+	}
+	var doc struct {
+		Shards      int      `json:"shards"`
+		Ready       bool     `json:"ready"`
+		Generations []uint64 `json:"generations"`
+		Skew        uint64   `json:"generation_skew"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Shards != 2 || !doc.Ready || doc.Skew != 1 {
+		t.Errorf("/cluster/stats = %+v, want 2 shards, ready, skew 1", doc)
+	}
+
+	// The lagging shard catches up; skew returns to zero and its nodes
+	// go fresh.
+	if err := c.Shard(1).Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := influence(src1); got <= base1 {
+		t.Errorf("caught-up shard should reflect batch B: influence(%d) = %v", src1, got)
+	}
+	if skew := generationSkew(c.Gather().Generations()); skew != 0 {
+		t.Errorf("generation skew after catch-up = %d, want 0", skew)
+	}
+}

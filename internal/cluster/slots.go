@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"ipin/internal/graph"
+)
+
+// Slot-based shard routing, modeled on Redis Cluster's fixed keyspace
+// partition: the node-id space hashes onto a constant number of slots,
+// and a slot map assigns every slot to exactly one shard. Routing an
+// edge therefore never consults per-node state, shards can be counted on
+// one hand or in the hundreds without rehashing nodes, and resharding is
+// a slot-map edit (move slot ranges, replay the owners' substreams) —
+// never a per-node migration table.
+
+// Slots is the size of the routing keyspace. Every source node hashes
+// onto one slot; every slot belongs to exactly one shard.
+const Slots = 16384
+
+// castagnoli is the CRC-32C table, the same polynomial the WAL frames
+// use — one checksum implementation across the subsystem.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SlotOf hashes a node id onto its routing slot. The hash is CRC-32C
+// over the little-endian 64-bit id, reduced mod Slots; it is part of the
+// cluster contract (DESIGN.md "Cluster topology and shard routing") and
+// must not change, or existing shard directories would stop owning the
+// substreams they hold.
+func SlotOf(u graph.NodeID) int {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(u))
+	return int(crc32.Checksum(b[:], castagnoli) % Slots)
+}
+
+// SlotMap assigns every slot to a shard: m[slot] = shard index. A nil
+// map in Config selects DefaultSlotMap.
+type SlotMap []int
+
+// DefaultSlotMap deals the slot space to shards in contiguous ranges,
+// Redis-style: shard i owns slots [i·Slots/n, (i+1)·Slots/n).
+func DefaultSlotMap(shards int) SlotMap {
+	m := make(SlotMap, Slots)
+	for s := range m {
+		m[s] = s * shards / Slots
+	}
+	return m
+}
+
+// Validate checks that m covers exactly the slot space, references only
+// the given shard count, and leaves no shard without slots (a shard that
+// owns nothing would hold an empty WAL forever — almost certainly a
+// misconfigured map).
+func (m SlotMap) Validate(shards int) error {
+	if len(m) != Slots {
+		return fmt.Errorf("cluster: slot map has %d slots, want %d", len(m), Slots)
+	}
+	owned := make([]bool, shards)
+	for slot, sh := range m {
+		if sh < 0 || sh >= shards {
+			return fmt.Errorf("cluster: slot %d mapped to shard %d, outside [0,%d)", slot, sh, shards)
+		}
+		owned[sh] = true
+	}
+	for sh, ok := range owned {
+		if !ok {
+			return fmt.Errorf("cluster: shard %d owns no slots", sh)
+		}
+	}
+	return nil
+}
+
+// ShardOf returns the shard owning node u's slot.
+func (m SlotMap) ShardOf(u graph.NodeID) int { return m[SlotOf(u)] }
+
+// Counts returns how many slots each of the shards owns — the topology
+// summary /cluster/stats reports.
+func (m SlotMap) Counts(shards int) []int {
+	counts := make([]int, shards)
+	for _, sh := range m {
+		counts[sh]++
+	}
+	return counts
+}

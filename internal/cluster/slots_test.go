@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"ipin/internal/graph"
+)
+
+func TestSlotOfRangeAndDeterminism(t *testing.T) {
+	for u := graph.NodeID(0); u < 100_000; u++ {
+		s := SlotOf(u)
+		if s < 0 || s >= Slots {
+			t.Fatalf("SlotOf(%d) = %d outside [0,%d)", u, s, Slots)
+		}
+		if s != SlotOf(u) {
+			t.Fatalf("SlotOf(%d) not deterministic", u)
+		}
+	}
+}
+
+func TestDefaultSlotMap(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 7, 16, 128} {
+		m := DefaultSlotMap(shards)
+		if err := m.Validate(shards); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		// Contiguous ranges: the shard index never decreases along the
+		// slot space.
+		prev := 0
+		for slot, sh := range m {
+			if sh < prev {
+				t.Fatalf("shards=%d: shard index decreases at slot %d (%d after %d)", shards, slot, sh, prev)
+			}
+			prev = sh
+		}
+		// Balance: contiguous division leaves ranges within one slot of
+		// each other.
+		counts := m.Counts(shards)
+		lo, hi := counts[0], counts[0]
+		for _, c := range counts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("shards=%d: slot counts range %d..%d, want within 1", shards, lo, hi)
+		}
+	}
+}
+
+func TestSlotMapValidate(t *testing.T) {
+	if err := SlotMap(make([]int, 7)).Validate(2); err == nil || !strings.Contains(err.Error(), "slots") {
+		t.Errorf("short map: %v", err)
+	}
+	m := DefaultSlotMap(2)
+	m[0] = 5
+	if err := m.Validate(2); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-range shard: %v", err)
+	}
+	m = DefaultSlotMap(1) // every slot on shard 0
+	if err := m.Validate(2); err == nil || !strings.Contains(err.Error(), "owns no slots") {
+		t.Errorf("empty shard: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Shards: 2}); err == nil {
+		t.Error("missing Dir accepted")
+	}
+	cfg := Config{Shards: 2, Dir: t.TempDir(), Stream: testStreamConfig()}
+	cfg.Stream.Dir = "elsewhere"
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "not the shard template") {
+		t.Errorf("template Dir accepted: %v", err)
+	}
+	cfg.Stream.Dir = ""
+	cfg.Slots = SlotMap{0, 1}
+	if _, err := New(cfg); err == nil {
+		t.Error("truncated slot map accepted")
+	}
+}

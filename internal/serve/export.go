@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"net/http"
+
+	"ipin/internal/graph"
+)
+
+// Exports for the scatter-gather cluster frontend (internal/cluster),
+// which replicates this package's request parsing, response bodies, and
+// error shapes byte-for-byte so a merged K-shard answer is
+// indistinguishable from a single-node one on the wire.
+
+// ParseNode resolves a node-id query parameter exactly as the query
+// routes do: 400 when malformed, 404 when well-formed but outside the
+// node range.
+func ParseNode(raw string, numNodes int) (graph.NodeID, error) { return parseNode(raw, numNodes) }
+
+// ParseSeeds resolves a comma-separated seeds parameter into the
+// canonical (sorted, deduplicated) seed set the routes echo.
+func ParseSeeds(raw string, numNodes int) ([]graph.NodeID, error) { return parseSeeds(raw, numNodes) }
+
+// MarshalBody renders a response value in the exact byte shape the query
+// routes serve (json.Marshal plus a trailing newline).
+func MarshalBody(v any) ([]byte, error) { return marshalBody(v) }
+
+// WriteError writes the JSON error body with the status carried by err,
+// 500 for plain errors.
+func WriteError(w http.ResponseWriter, err error) { writeError(w, err) }
+
+// BadParam returns a 400 request error with a formatted message.
+func BadParam(format string, args ...any) error { return badParam(format, args...) }
+
+// ErrNoSnapshot is the 503 "no snapshot loaded" request error every
+// query route answers before the first snapshot install.
+func ErrNoSnapshot() error { return errNoSnapshot }
+
+// ErrWindowNeedsApprox is the 409 answer to a window query against an
+// exact snapshot.
+func ErrWindowNeedsApprox() error { return errWindowNeedsApprox }

@@ -36,6 +36,7 @@ import (
 	"net/http"
 
 	"ipin/internal/cascade"
+	"ipin/internal/cluster"
 	"ipin/internal/core"
 	"ipin/internal/gen"
 	"ipin/internal/graph"
@@ -279,6 +280,10 @@ type (
 	IngestConfig = stream.Config
 	// IngestStats is a point-in-time snapshot of ingestion progress.
 	IngestStats = stream.Stats
+	// HotView is the live top-k influencer view an Ingester (or a
+	// ClusterIngester, merged across shards) refreshes with every
+	// published checkpoint.
+	HotView = stream.HotView
 )
 
 // NewIngester opens (or recovers) the state directory and starts the
@@ -296,6 +301,54 @@ func NewIngester(cfg IngestConfig) (*Ingester, error) { return stream.New(cfg) }
 // ParseStreamEdge parses one "src dst time" wire-format line, the
 // format the Ingester sources and gennet -stream speak.
 func ParseStreamEdge(line string) (Interaction, error) { return stream.ParseEdge(line) }
+
+// Multi-node sharding (internal/cluster): partition the edge stream by
+// source node across independent Ingesters and answer queries by
+// scatter-gather union of the per-shard sketches. Capacity becomes a
+// shard count instead of a box size; see DESIGN.md "Cluster topology
+// and shard routing" for the normative contract.
+type (
+	// ClusterIngester routes edges to per-shard Ingesters by source-node
+	// slot (CRC-32C over 16384 slots) and fans forced checkpoints out to
+	// all shards.
+	ClusterIngester = cluster.Ingester
+	// ClusterConfig parameterizes a ClusterIngester: the shard count,
+	// the parent state directory, an optional slot map, and the
+	// per-shard IngestConfig template.
+	ClusterConfig = cluster.Config
+	// ClusterSlotMap assigns each of the 16384 routing slots to a shard.
+	ClusterSlotMap = cluster.SlotMap
+	// ClusterGather is the store shard checkpoints publish into and the
+	// scatter-gather query math over it.
+	ClusterGather = cluster.Gather
+	// ClusterFrontend serves the merged query surface over a
+	// ClusterGather with the exact routes and response bodies of a
+	// single-node QueryServer, plus /cluster/stats.
+	ClusterFrontend = cluster.Frontend
+)
+
+// ClusterSlots is the size of the routing keyspace every cluster uses.
+const ClusterSlots = cluster.Slots
+
+// NewClusterIngester opens (or recovers) every shard's state directory
+// under cfg.Dir and starts the per-shard pipelines:
+//
+//	cl, err := ipin.NewClusterIngester(ipin.ClusterConfig{
+//		Shards: 4, Dir: "state",
+//		Stream: ipin.IngestConfig{Omega: 3600, NumNodes: 100_000},
+//	})
+//	// cl.Push(edge) routes by source slot; queries go through
+//	// ipin.NewClusterFrontend(cl.Gather()).
+//	defer cl.Close(ctx)
+func NewClusterIngester(cfg ClusterConfig) (*ClusterIngester, error) { return cluster.New(cfg) }
+
+// NewClusterFrontend returns the merged HTTP query surface over a
+// cluster's gather store.
+func NewClusterFrontend(g *ClusterGather) *ClusterFrontend { return cluster.NewFrontend(g) }
+
+// DefaultClusterSlotMap deals the slot space to shards in contiguous
+// ranges, the routing a ClusterConfig with a nil Slots selects.
+func DefaultClusterSlotMap(shards int) ClusterSlotMap { return cluster.DefaultSlotMap(shards) }
 
 // Observability (internal/obs). Telemetry is off by default: every
 // instrument is a nil-safe no-op until InstallMetrics runs, so library
