@@ -64,6 +64,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -73,6 +74,7 @@ import (
 	"ipin/internal/gen"
 	"ipin/internal/graph"
 	"ipin/internal/obs"
+	"ipin/internal/repl"
 	"ipin/internal/serve"
 	"ipin/internal/stream"
 	"ipin/internal/trace"
@@ -187,6 +189,23 @@ type report struct {
 	ClusterQueryP50Ms float64 `json:"cluster_merge_query_p50_ms"`
 	ClusterQueryP99Ms float64 `json:"cluster_merge_query_p99_ms"`
 	IdentityCluster   bool    `json:"identity_cluster_scatter_gather"`
+
+	// Kill-the-primary phase (-replicas): 70% of the log streams through
+	// a replication primary into following replicas, the primary is
+	// killed, the failover controller promotes the most-caught-up
+	// replica, and the remaining 30% resumes on it. Gates: the promoted
+	// checkpoint is byte-identical to the offline scan over the acked
+	// prefix, the final checkpoint matches the full offline scan, and
+	// failover (kill → promoted replica answering queries from sealed
+	// state) completes within -failover-deadline.
+	ReplReplicas        int     `json:"repl_replicas"`
+	ReplFedEdges        int64   `json:"repl_fed_edges_at_kill"`
+	ReplPromotePosition int64   `json:"repl_promoted_position"`
+	ReplFailoverMs      float64 `json:"repl_failover_ms"`
+	ReplFailoverBudget  string  `json:"repl_failover_deadline"`
+	ReplResumedEdges    int64   `json:"repl_resumed_edges"`
+	IdentityReplPrefix  bool    `json:"identity_repl_promoted_prefix"`
+	IdentityReplFinal   bool    `json:"identity_repl_final"`
 }
 
 // boundedPhase is one measured quarter of the bounded-memory run, taken
@@ -227,6 +246,8 @@ func main() {
 		retainPct  = flag.Float64("retain", 4, "bounded-memory run: retained history as % of the time span (clamped up to -window)")
 		maxPlateau = flag.Float64("max-plateau", 1.5, "bounded-memory run: max sketch-RAM and on-disk growth from the second to the last quarter (gate)")
 		shards     = flag.Int("shards", 2, "shard count for the cluster phase (0 disables it)")
+		replicas   = flag.Int("replicas", 1, "replica count for the kill-the-primary phase (0 disables it)")
+		failoverBy = flag.Duration("failover-deadline", 5*time.Second, "kill-the-primary phase: max time from kill to the promoted replica answering queries from sealed state (gate)")
 		out        = flag.String("out", "BENCH_stream.json", "output JSON path")
 	)
 	flag.Parse()
@@ -980,6 +1001,159 @@ func main() {
 			rep.ClusterQueryP50Ms, rep.ClusterQueryP99Ms, rep.ClusterQueryCount)
 	}
 
+	// Phase 10: kill the primary. 70% of the log streams through a
+	// replication primary while -replicas replicas follow over TCP, each
+	// publishing read-only checkpoints into its own query server. The
+	// primary is then killed outright; the failover controller notices
+	// the silence, promotes the most-caught-up replica (sealing the
+	// replicated tail under a new epoch), and the remaining 30% of the
+	// log resumes on the promoted ingester. Three gates: the promoted
+	// checkpoint is byte-identical to the offline scan over exactly the
+	// replicated prefix, the failover (kill → promoted replica answering
+	// queries from sealed state) beats -failover-deadline, and the final
+	// checkpoint after the resumed feed matches the full offline scan.
+	if *replicas > 0 {
+		rep.ReplReplicas = *replicas
+		rep.ReplFailoverBudget = failoverBy.String()
+		cut := l.Len() * 7 / 10
+		in10, err := stream.New(stream.Config{
+			Dir:             filepath.Join(work, "repl-primary"),
+			Omega:           omega,
+			NumNodes:        l.NumNodes,
+			CheckpointEvery: -1,
+			IdleFlush:       -1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		prim, err := repl.NewPrimary(repl.PrimaryConfig{Ingester: in10, HeartbeatEvery: 50 * time.Millisecond})
+		if err != nil {
+			fatal(err)
+		}
+		followers := make([]*repl.Replica, *replicas)
+		servers := make([]*serve.Server, *replicas)
+		dirs := make([]string, *replicas)
+		for i := range followers {
+			srv := serve.New(serve.Config{ReadOnly: true})
+			dirs[i] = filepath.Join(work, fmt.Sprintf("repl-replica-%d", i))
+			// Followers checkpoint as they apply, like a real read-serving
+			// replica: the promote fold is then incremental over a warm
+			// cache, so the measured failover time is detection + sealing
+			// a bounded tail, not a cold refold of the whole replicated
+			// history. The cadence is edge-count based (every ~20% of the
+			// stream) rather than the run's wall-clock interval — a
+			// replica catching up over a fast local pipe applies edges far
+			// above the sustained rate, and an interval shorter than one
+			// fold would make it fold back to back instead of applying.
+			r, err := repl.NewReplica(repl.ReplicaConfig{
+				Dir:             dirs[i],
+				PrimaryAddr:     prim.Addr(),
+				CheckpointEvery: -1,
+				CheckpointEdges: max(l.Len()/5, 1),
+				Publish:         srv.LoadApprox,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			followers[i], servers[i] = r, srv
+		}
+		ctl, err := repl.NewController(repl.ControllerConfig{Replicas: followers, Timeout: 500 * time.Millisecond})
+		if err != nil {
+			fatal(err)
+		}
+
+		for _, e := range l.Interactions[:cut] {
+			if err := in10.Push(e); err != nil {
+				fatal(err)
+			}
+		}
+		if err := in10.Checkpoint(context.Background()); err != nil {
+			fatal(err)
+		}
+		fed := in10.Stats().Emitted
+		rep.ReplFedEdges = fed
+		catchup := time.Now().Add(120 * time.Second)
+		lastLog := time.Now()
+		for _, r := range followers {
+			for r.Position() < fed {
+				if time.Now().After(catchup) {
+					pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+					fatal(fmt.Errorf("replica stuck at %d/%d before the kill (sessions=%d, err=%v)", r.Position(), fed, prim.Sessions(), r.Err()))
+				}
+				if time.Since(lastLog) > 10*time.Second {
+					fmt.Fprintf(os.Stderr, "benchstream: replica catch-up %d/%d (sessions=%d)\n", r.Position(), fed, prim.Sessions())
+					lastLog = time.Now()
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+
+		// The kill: listener and ingester gone, sessions severed.
+		killAt := time.Now()
+		prim.Close()
+		if err := in10.Close(context.Background()); err != nil {
+			fatal(err)
+		}
+		var winner *repl.Replica
+		for winner == nil {
+			if time.Since(killAt) > 60*time.Second {
+				fatal(fmt.Errorf("failover controller never promoted"))
+			}
+			winner = ctl.Promoted()
+			time.Sleep(time.Millisecond)
+		}
+		ctl.Stop()
+		wi := 0
+		for i, r := range followers {
+			if r == winner {
+				wi = i
+			}
+		}
+		// Failover completes when the promoted replica answers a query
+		// from its sealed (post-promotion) state: Promote checkpoints,
+		// the checkpoint publishes, the server answers.
+		q := httptest.NewRequest("GET", "/influence?node=0", nil)
+		qRec := httptest.NewRecorder()
+		servers[wi].Handler().ServeHTTP(qRec, q)
+		if qRec.Code != http.StatusOK {
+			fatal(fmt.Errorf("promoted replica answered %d to the failover query", qRec.Code))
+		}
+		rep.ReplFailoverMs = float64(time.Since(killAt).Microseconds()) / 1e3
+		pos := winner.Position()
+		rep.ReplPromotePosition = pos
+
+		prefix := &graph.Log{NumNodes: l.NumNodes, Interactions: l.Interactions[:pos]}
+		offPrefix, err := core.ComputeApprox(prefix, omega, core.DefaultPrecision)
+		if err != nil {
+			fatal(err)
+		}
+		var offPrefixBuf bytes.Buffer
+		if _, err := offPrefix.WriteTo(&offPrefixBuf); err != nil {
+			fatal(err)
+		}
+		rep.IdentityReplPrefix = checkpointMatches(dirs[wi], offPrefixBuf.Bytes())
+
+		// Intake resumes on the promoted replica; the final state must
+		// match the offline scan over the whole log.
+		for _, e := range l.Interactions[cut:] {
+			if err := winner.Ingester().Push(e); err != nil {
+				fatal(err)
+			}
+		}
+		if err := winner.Ingester().Checkpoint(context.Background()); err != nil {
+			fatal(err)
+		}
+		rep.ReplResumedEdges = int64(l.Len() - cut)
+		rep.IdentityReplFinal = checkpointMatches(dirs[wi], offlineBuf.Bytes())
+		for _, r := range followers {
+			if err := r.Close(context.Background()); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchstream: kill-the-primary: %d replica(s), killed at %d edges, promoted at position %d in %.0fms (deadline %s); prefix identity %v, final identity %v\n",
+			*replicas, fed, pos, rep.ReplFailoverMs, *failoverBy, rep.IdentityReplPrefix, rep.IdentityReplFinal)
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -1042,6 +1216,12 @@ func main() {
 		fatal(fmt.Errorf("window-restricted spread disagrees between the bounded run and the offline suffix scan"))
 	case *shards > 0 && !rep.IdentityCluster:
 		fatal(fmt.Errorf("scatter-gather answers at %d shards differ from the single-node server", *shards))
+	case *replicas > 0 && !rep.IdentityReplPrefix:
+		fatal(fmt.Errorf("promoted replica checkpoint differs from the offline scan over the replicated prefix"))
+	case *replicas > 0 && !rep.IdentityReplFinal:
+		fatal(fmt.Errorf("post-failover final checkpoint differs from the full offline scan"))
+	case *replicas > 0 && rep.ReplFailoverMs > float64(failoverBy.Milliseconds()):
+		fatal(fmt.Errorf("failover took %.0fms, above the %s deadline", rep.ReplFailoverMs, *failoverBy))
 	}
 }
 

@@ -54,6 +54,13 @@
 // judged against, and -journal appends the lifecycle event log as JSON
 // lines to a file. The same health document is served on a separate
 // -health-addr listener when operators want it off the query port.
+//
+// Replication: -listen-repl accepts WAL-shipping replica sessions on the
+// primary, and -replica-of runs this process as a read-only replica of
+// another livecascade — it follows the primary's stream, serves the full
+// query surface from byte-identical state (mutating admin routes answer
+// 403), and fails over on POST /admin/promote, after which /ingest
+// accepts edges here. See DESIGN.md "Replication (IREP0001)".
 package main
 
 import (
@@ -89,8 +96,18 @@ func main() {
 		journalPath  = flag.String("journal", "", "append lifecycle events (rotations, seals, checkpoints, sheds) as JSON lines to this file")
 		healthAddr   = flag.String("health-addr", "", "serve /debug/pipeline and /metrics on this extra address too")
 		shards       = flag.Int("shards", 1, "route ingest across this many shards (each with its own WAL and checkpoints under -dir) and answer queries by scatter-gather merge; 1 = single-node")
+		listenRepl   = flag.String("listen-repl", "", "accept WAL-shipping replica sessions on this address (single-node only)")
+		replicaOf    = flag.String("replica-of", "", "run as a read-only replica of the primary at this address; promotes via POST /admin/promote")
 	)
 	flag.Parse()
+
+	if *replicaOf != "" {
+		if *shards > 1 {
+			log.Fatal("-replica-of is a single-node role; -shards must be 1")
+		}
+		runReplica(*addr, *dir, *replicaOf, *journalPath)
+		return
+	}
 
 	if *dir == "" {
 		tmp, err := os.MkdirTemp("", "livecascade-*")
@@ -174,6 +191,20 @@ func main() {
 		log.Printf("live oracle on %s (ω=%d, checkpoint every %s, state in %s)", *addr, omega, *every, *dir)
 	}
 
+	if *listenRepl != "" {
+		if app.ing == nil {
+			log.Fatal("-listen-repl is a single-node role; -shards must be 1")
+		}
+		prim, err := ipin.NewReplicationPrimary(ipin.ReplPrimaryConfig{
+			Ingester: app.ing, Addr: *listenRepl, Registry: reg, Journal: jr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer prim.Close()
+		log.Printf("replication primary on %s", prim.Addr())
+	}
+
 	if *healthAddr != "" {
 		hmux := http.NewServeMux()
 		hmux.Handle("/debug/pipeline", app.health())
@@ -254,9 +285,12 @@ type engine interface {
 }
 
 // app owns the intake→serving pair and the routes that expose them.
-// Exactly one of srv (single-node) or fe (cluster) is set.
+// Exactly one of srv (single-node) or fe (cluster) is set; ing is the
+// raw single-node ingester (nil in cluster mode), the handle a
+// replication primary attaches to.
 type app struct {
 	in  engine
+	ing *ipin.Ingester
 	srv *ipin.QueryServer
 	fe  *ipin.ClusterFrontend
 	reg *ipin.MetricsRegistry
@@ -316,7 +350,7 @@ func newApp(cfg appConfig) (*app, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &app{in: in, srv: srv, reg: cfg.registry, tr: cfg.tracer, jr: cfg.journal}, nil
+	return &app{in: in, ing: in, srv: srv, reg: cfg.registry, tr: cfg.tracer, jr: cfg.journal}, nil
 }
 
 // generation is the served checkpoint generation: the query server's
@@ -427,6 +461,151 @@ func (a *app) selfFeed(net *ipin.Network, eps float64) error {
 }
 
 func (a *app) close(ctx context.Context) error { return a.in.Close(ctx) }
+
+// replicaApp is the -replica-of role: a WAL-shipping replica feeding a
+// read-only query server, with POST /admin/promote as the failover
+// lever. Until promotion, /ingest answers 503 — intake belongs to the
+// primary; after promotion the replica's ingester accepts it.
+type replicaApp struct {
+	rep *ipin.Replica
+	srv *ipin.QueryServer
+	reg *ipin.MetricsRegistry
+	jr  *ipin.TraceJournal
+}
+
+type replicaConfig struct {
+	dir      string
+	primary  string
+	registry *ipin.MetricsRegistry
+	journal  *ipin.TraceJournal
+}
+
+func newReplicaApp(cfg replicaConfig) (*replicaApp, error) {
+	srv := ipin.NewQueryServer(ipin.ServeConfig{
+		CacheSize: 1024,
+		ReadOnly:  true,
+		Registry:  cfg.registry,
+		Journal:   cfg.journal,
+	})
+	rep, err := ipin.NewReplica(ipin.ReplicaConfig{
+		Dir:         cfg.dir,
+		PrimaryAddr: cfg.primary,
+		Publish:     srv.LoadApprox,
+		Registry:    cfg.registry,
+		Journal:     cfg.journal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &replicaApp{rep: rep, srv: srv, reg: cfg.registry, jr: cfg.journal}, nil
+}
+
+func (ra *replicaApp) handler() http.Handler {
+	mux := http.NewServeMux()
+	ra.srv.Register(mux)
+	mux.HandleFunc("/ingest", ra.ingest)
+	mux.HandleFunc("/admin/promote", ra.promote)
+	mux.HandleFunc("/stream/stats", ra.streamStats)
+	mux.Handle("/metrics", ipin.MetricsHandler(ra.reg))
+	routes := append(ra.srv.Routes(), "/ingest", "/stream/stats")
+	return ipin.InstrumentHTTP(ra.reg, routes, mux)
+}
+
+func (ra *replicaApp) ingest(w http.ResponseWriter, r *http.Request) {
+	if !ra.rep.Promoted() {
+		writeErrorJSON(w, http.StatusServiceUnavailable, "read-only replica: intake belongs to the primary until promotion")
+		return
+	}
+	ra.rep.Ingester().Handler().ServeHTTP(w, r)
+}
+
+// promote seals the replicated tail under a new epoch and opens intake
+// here. Idempotent: promoting a promoted replica reports the state.
+func (ra *replicaApp) promote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeErrorJSON(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if err := ra.rep.Promote(r.Context()); err != nil {
+		writeErrorJSON(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{
+		"promoted": true,
+		"epoch":    ra.rep.Ingester().Epoch(),
+		"position": ra.rep.Position(),
+	})
+}
+
+func (ra *replicaApp) streamStats(w http.ResponseWriter, r *http.Request) {
+	st := map[string]any{
+		"position":         ra.rep.Position(),
+		"primary_position": ra.rep.PrimaryPosition(),
+		"promoted":         ra.rep.Promoted(),
+		"generation":       ra.srv.Generation(),
+	}
+	if !ra.rep.LastContact().IsZero() {
+		st["last_contact"] = ra.rep.LastContact().UTC().Format(time.RFC3339Nano)
+	}
+	if err := ra.rep.Err(); err != nil {
+		st["error"] = err.Error()
+	}
+	writeJSON(w, st)
+}
+
+func (ra *replicaApp) close(ctx context.Context) error { return ra.rep.Close(ctx) }
+
+// runReplica is the -replica-of main: follow, serve read-only, promote
+// on demand.
+func runReplica(addr, dir, primary, journalPath string) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "livecascade-replica-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	reg := ipin.NewMetricsRegistry()
+	ipin.InstallMetrics(reg)
+	ipin.InstallRuntimeMetrics(reg)
+	var sink *os.File
+	if journalPath != "" {
+		var err error
+		if sink, err = os.OpenFile(journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		defer sink.Close()
+	}
+	jr := ipin.NewTraceJournal(ipin.TraceJournalConfig{Sink: sink, Registry: reg})
+
+	ra, err := newReplicaApp(replicaConfig{dir: dir, primary: primary, registry: reg, journal: jr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("read-only replica of %s on %s (state in %s); POST /admin/promote to fail over", primary, addr, dir)
+
+	httpSrv := &http.Server{Addr: addr, Handler: ra.handler(), ReadHeaderTimeout: 5 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	closeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ra.close(closeCtx); err != nil {
+		log.Printf("replica close: %v", err)
+	}
+	if err := httpSrv.Shutdown(closeCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")

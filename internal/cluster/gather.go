@@ -62,6 +62,28 @@ func (g *Gather) publish(i int, s *core.ApproxSummaries) {
 	g.mx.genSkew.Set(int64(skew))
 }
 
+// Publish installs shard i's latest checkpoint from outside the
+// in-process compactor path — the hook a replication replica uses to
+// feed its applied state into a gather store while the shard's primary
+// is elsewhere. Identical semantics to the internal publish.
+func (g *Gather) Publish(i int, s *core.ApproxSummaries) { g.publish(i, s) }
+
+// ResumeGeneration raises shard i's publish counter to at least gen
+// without installing a snapshot. A promoted replica calls this with the
+// generation it last observed from the failed primary, so the cluster
+// generation (and everything cached against it) stays monotonic across
+// the failover instead of restarting the shard's counter from zero.
+func (g *Gather) ResumeGeneration(i int, gen uint64) {
+	g.mu.Lock()
+	if gen > g.gens[i] {
+		g.total += gen - g.gens[i]
+		g.gens[i] = gen
+		g.mx.shardGen[i].Set(int64(gen))
+		g.mx.genSkew.Set(int64(generationSkew(g.gens)))
+	}
+	g.mu.Unlock()
+}
+
 // View returns one consistent snapshot of the per-shard tables: the
 // parts and generation vector as they stood at a single instant. All
 // query math runs on a View so a mid-query publish can never mix two

@@ -1,0 +1,152 @@
+package repl
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipin/internal/trace"
+)
+
+// ControllerConfig parameterizes a failover Controller.
+type ControllerConfig struct {
+	// Replicas is the candidate set the controller watches and promotes
+	// from; at least one is required.
+	Replicas []*Replica
+	// Timeout is primary-loss detection: no replica holds a live session
+	// and none heard a frame for this long (after at least one ever did)
+	// means the primary is gone. 0 selects 2s.
+	Timeout time.Duration
+	// Every is the poll interval; 0 selects Timeout/4, floored at 50ms.
+	Every time.Duration
+	// PromoteTimeout bounds the promotion itself (epoch advance + sealed
+	// checkpoint); 0 selects 30s.
+	PromoteTimeout time.Duration
+	// OnPromote fires (from the controller goroutine) after a promotion
+	// completes — the embedding layer re-points intake and serving there.
+	OnPromote func(*Replica)
+	// Journal, when non-nil, receives promote lifecycle events.
+	Journal *trace.Journal
+}
+
+// Controller is the quorum-free failover monitor: it watches the
+// replicas' session liveness and last-contact clocks and, once no
+// replica holds a live session and every one has been silent past the
+// timeout, promotes the most-caught-up one. A live session counts as
+// health on its own — a replica buried in a multi-second checkpoint
+// fold reads no frames (its last-contact clock stalls) yet still holds
+// an open connection a real primary completed the handshake on, and
+// promoting it mid-apply would abandon a living primary. Quorum-free means
+// the decision is local — the deployment must ensure only one
+// controller acts on a replica set (a second would be fenced by epochs,
+// not prevented; see DESIGN.md on dual-primary fencing).
+type Controller struct {
+	cfg      ControllerConfig
+	promoted atomic.Pointer[Replica]
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewController starts watching. The controller stops itself after a
+// successful promotion — one failover per controller lifetime.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errNoReplicas
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Every <= 0 {
+		cfg.Every = cfg.Timeout / 4
+		if cfg.Every < 50*time.Millisecond {
+			cfg.Every = 50 * time.Millisecond
+		}
+	}
+	if cfg.PromoteTimeout <= 0 {
+		cfg.PromoteTimeout = 30 * time.Second
+	}
+	c := &Controller{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	go c.watch()
+	return c, nil
+}
+
+var errNoReplicas = &refuseError{msg: "repl: Controller needs at least one replica"}
+
+// Promoted returns the replica this controller promoted, nil while the
+// primary is (believed) alive.
+func (c *Controller) Promoted() *Replica { return c.promoted.Load() }
+
+// Stop halts the watch loop and waits for it.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+func (c *Controller) watch() {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.Every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		// A manual promotion elsewhere ends the watch too.
+		for _, r := range c.cfg.Replicas {
+			if r.Promoted() {
+				c.promoted.Store(r)
+				return
+			}
+		}
+		anyContact, healthy := false, false
+		now := time.Now()
+		for _, r := range c.cfg.Replicas {
+			lc := r.LastContact()
+			if lc.IsZero() {
+				continue
+			}
+			anyContact = true
+			// An established session is evidence of a live primary even
+			// when the frame loop hasn't read for a while (it may be
+			// parked inside a checkpoint fold, not partitioned): the
+			// replica's keepalive writer clears liveness within seconds of
+			// a genuinely dead connection, so this cannot mask real loss.
+			if r.SessionLive() || now.Sub(lc) < c.cfg.Timeout {
+				healthy = true
+			}
+		}
+		// Never promote before the primary was ever seen: a replica set
+		// that cannot reach a primary that never existed has nothing
+		// worth promoting (and the operator may still be wiring it up).
+		if !anyContact || healthy {
+			continue
+		}
+		var pick *Replica
+		for _, r := range c.cfg.Replicas {
+			if r.Err() != nil {
+				continue
+			}
+			if pick == nil || r.Position() > pick.Position() {
+				pick = r
+			}
+		}
+		if pick == nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PromoteTimeout)
+		err := pick.Promote(ctx)
+		cancel()
+		if err != nil {
+			c.cfg.Journal.Record(trace.EventReplPromote, "failed", 0, map[string]any{"error": err.Error()})
+			continue
+		}
+		c.promoted.Store(pick)
+		if c.cfg.OnPromote != nil {
+			c.cfg.OnPromote(pick)
+		}
+		return
+	}
+}

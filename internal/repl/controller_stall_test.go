@@ -1,0 +1,164 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stallPrimary is a protocol-level fake primary: it completes the
+// handshake and sends an empty sync plan, then goes frame-silent while
+// holding the connection open. From a controller's point of view this
+// is indistinguishable from a replica parked inside a multi-second
+// checkpoint fold — the frame loop reads nothing, so LastContact goes
+// stale — except the session is demonstrably alive.
+type stallPrimary struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+	done  chan struct{}
+}
+
+func newStallPrimary(t *testing.T) *stallPrimary {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stallPrimary{ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, conn)
+			s.mu.Unlock()
+			go s.serve(conn)
+		}
+	}()
+	return s
+}
+
+func (s *stallPrimary) serve(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	if _, err := bw.WriteString(protoMagic); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var magic [len(protoMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return err
+	}
+	payload, err := readFrame(br)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 || payload[0] != frHello {
+		return fmt.Errorf("expected Hello, got %v", payload)
+	}
+	m := metaMsg{version: protoVersion, epoch: 1, omega: 20, precision: 4}
+	if err := writeFrame(bw, m.encode()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Silence from here: drain the replica's acks (frame-loop and
+	// keepalive) so nothing backs up, send nothing back.
+	for {
+		if _, err := readFrame(br); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *stallPrimary) kill() {
+	s.ln.Close()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// TestControllerIgnoresApplyStall pins the liveness-vs-progress split
+// on the failover side: a replica whose frame loop reads nothing for
+// far longer than the controller Timeout must NOT be promoted while its
+// session to the primary is still up (the stall is a fold, not a dead
+// primary), and MUST be promoted once the session actually dies.
+func TestControllerIgnoresApplyStall(t *testing.T) {
+	ctx := testCtx(t)
+	prim := newStallPrimary(t)
+
+	rep, err := NewReplica(ReplicaConfig{
+		Dir: t.TempDir(), PrimaryAddr: prim.ln.Addr().String(),
+		HeartbeatTimeout: time.Minute, CheckpointEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close(ctx)
+
+	attach := time.Now().Add(10 * time.Second)
+	for !rep.SessionLive() || rep.LastContact().IsZero() {
+		if err := rep.Err(); err != nil {
+			t.Fatalf("replica failed during attach: %v", err)
+		}
+		if time.Now().After(attach) {
+			t.Fatal("replica never attached to the fake primary")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const timeout = 300 * time.Millisecond
+	ctl, err := NewController(ControllerConfig{
+		Replicas: []*Replica{rep}, Timeout: timeout, Every: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Stop()
+
+	// Frame-silent stretch, many multiples of the controller Timeout:
+	// LastContact goes stale but the session stays up, so no promotion.
+	quiet := time.Now().Add(5 * timeout)
+	for time.Now().Before(quiet) {
+		if p := ctl.Promoted(); p != nil {
+			t.Fatalf("controller promoted during an apply stall with a live session (age %v)",
+				time.Since(rep.LastContact()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if age := time.Since(rep.LastContact()); age < timeout {
+		t.Fatalf("stall did not outlive the controller timeout (contact age %v)", age)
+	}
+	if !rep.SessionLive() {
+		t.Fatal("session dropped during the quiet stretch; the stall was not the only signal")
+	}
+
+	// Now the primary really dies: the session goes down, dials are
+	// refused, and the controller must promote.
+	prim.kill()
+	promoted := time.Now().Add(15 * time.Second)
+	for ctl.Promoted() == nil {
+		if time.Now().After(promoted) {
+			t.Fatalf("controller never promoted after the primary died (session live=%v, contact age %v)",
+				rep.SessionLive(), time.Since(rep.LastContact()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !rep.Promoted() {
+		t.Fatal("controller reports a promotion the replica does not")
+	}
+}

@@ -1,0 +1,234 @@
+package repl
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ipin/internal/stream"
+
+	"ipin/internal/graph"
+)
+
+// The crash matrix: sever the replication stream at a frame boundary,
+// mid-frame, and concurrently with a replica checkpoint, then promote.
+// In every case the promoted checkpoint must be byte-identical to the
+// offline scan over exactly the prefix the replica applied — a torn
+// frame is discarded by the CRC framing, never half-applied.
+
+// cutProxy relays one primary→replica session and severs both
+// directions abruptly once `limit` bytes have flowed toward the
+// replica. Further dials are refused, as a crashed primary's would be.
+type cutProxy struct {
+	ln   net.Listener
+	addr string
+}
+
+func newCutProxy(t *testing.T, target string, limit int64) *cutProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &cutProxy{ln: ln, addr: ln.Addr().String()}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		client, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		ln.Close()
+		upstream, err := net.Dial("tcp", target)
+		if err != nil {
+			client.Close()
+			return
+		}
+		go io.Copy(upstream, client)
+		io.Copy(client, io.LimitReader(upstream, limit))
+		upstream.Close()
+		client.Close()
+	}()
+	return cp
+}
+
+// feed pushes edges on a goroutine, pausing briefly between batches so
+// the kill lands mid-stream; it stops quietly once the ingester dies.
+func feed(ing *stream.Ingester, edges []graph.Interaction) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i, e := range edges {
+			if ing.Push(e) != nil {
+				return
+			}
+			if i%200 == 199 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	return done
+}
+
+// stablePos waits for the replica's applied position to stop moving.
+func stablePos(t *testing.T, r *Replica) int64 {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	last, since := r.Position(), time.Now()
+	for time.Since(since) < 300*time.Millisecond {
+		if time.Now().After(deadline) {
+			t.Fatal("replica position never settled")
+		}
+		time.Sleep(20 * time.Millisecond)
+		if p := r.Position(); p != last {
+			last, since = p, time.Now()
+		}
+	}
+	return last
+}
+
+// checkPromotedPrefix promotes the replica and asserts its sealed
+// checkpoint equals the offline scan over the applied prefix.
+func checkPromotedPrefix(t *testing.T, rep *Replica, rdir string, edges []graph.Interaction) {
+	t.Helper()
+	ctx := testCtx(t)
+	if err := rep.Promote(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Position()
+	if p <= 0 || p > int64(len(edges)) {
+		t.Fatalf("implausible applied prefix %d of %d", p, len(edges))
+	}
+	t.Logf("promoted at applied prefix %d/%d", p, len(edges))
+	if !bytes.Equal(ckptBytes(t, rdir), offlineBytes(t, edges[:p], 20, 4)) {
+		t.Fatal("promoted checkpoint differs from offline scan over the applied prefix")
+	}
+}
+
+// TestCrashFrameBoundary: the primary process dies mid-stream; open
+// TCP sessions flush at frame boundaries, so the replica holds a clean
+// prefix.
+func TestCrashFrameBoundary(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(81))
+	edges := testLog(rng, 40, 5000)
+	pdir, rdir := t.TempDir(), t.TempDir()
+
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, ChunkEdges: 100, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing, HeartbeatEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(ReplicaConfig{Dir: rdir, PrimaryAddr: p.Addr(), ChunkEdges: 100, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close(ctx)
+
+	fed := feed(ing, edges)
+	waitPos(t, rep, 500, 10*time.Second)
+	// Kill the primary while the feed is (likely) still in flight.
+	p.Close()
+	if err := ing.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-fed
+	stablePos(t, rep)
+	checkPromotedPrefix(t, rep, rdir, edges)
+}
+
+// TestCrashTornFrame: the stream is severed mid-frame. The partial
+// frame fails its checksum, is discarded whole, and the replica
+// promotes from the last complete frame.
+func TestCrashTornFrame(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(82))
+	edges := testLog(rng, 40, 5000)
+	pdir, rdir := t.TempDir(), t.TempDir()
+
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, ChunkEdges: 100, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close(ctx)
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing, HeartbeatEvery: 20 * time.Millisecond, BatchEdges: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// An odd byte budget: the cut cannot land on a frame boundary for
+	// every frame, and with 64-edge batches it lands inside one.
+	proxy := newCutProxy(t, p.Addr(), 40<<10+7)
+	rep, err := NewReplica(ReplicaConfig{Dir: rdir, PrimaryAddr: proxy.addr, ChunkEdges: 100, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close(ctx)
+
+	<-feed(ing, edges)
+	stablePos(t, rep)
+	checkPromotedPrefix(t, rep, rdir, edges)
+}
+
+// TestCrashDuringReplicaCheckpoint: the primary dies while the replica
+// is checkpointing its own fold cache; promotion seals a consistent
+// state regardless.
+func TestCrashDuringReplicaCheckpoint(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(83))
+	edges := testLog(rng, 40, 5000)
+	pdir, rdir := t.TempDir(), t.TempDir()
+
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, ChunkEdges: 100, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing, HeartbeatEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(ReplicaConfig{Dir: rdir, PrimaryAddr: p.Addr(), ChunkEdges: 100, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close(ctx)
+	if err := rep.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer replica checkpoints concurrently with apply and the kill.
+	ckptStop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ckptStop:
+				return
+			default:
+			}
+			if in := rep.Ingester(); in != nil {
+				in.Checkpoint(ctx)
+			}
+		}
+	}()
+
+	fed := feed(ing, edges)
+	waitPos(t, rep, 500, 10*time.Second)
+	p.Close()
+	if err := ing.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-fed
+	stablePos(t, rep)
+	close(ckptStop)
+	wg.Wait()
+	checkPromotedPrefix(t, rep, rdir, edges)
+}

@@ -1,0 +1,107 @@
+package repl
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipin/internal/stream"
+)
+
+// countingListener counts accepted connections: each replica attach is
+// one accept, so the counter distinguishes a session that survived from
+// one that was dropped and quietly re-established.
+type countingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}
+
+// TestKeepaliveOutlivesAckTimeout pins the liveness/progress split: a
+// replica that processes no frames for longer than the primary's
+// AckTimeout (here: an idle stream with heartbeats far apart, standing
+// in for a replica parked inside a multi-second checkpoint fold) must
+// keep its session alive through timer-driven keepalive acks. Before
+// keepalives, the primary read the silence as a dead replica, dropped
+// the session, and the replica thrashed through re-attach cycles — each
+// one re-shipping backlog — exactly when it could least afford to.
+func TestKeepaliveOutlivesAckTimeout(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edges := testLog(rng, 200, 2_000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	ing, err := stream.New(stream.Config{
+		Dir: t.TempDir(), Omega: 50, Precision: 4, NumNodes: 200,
+		CheckpointEvery: -1, IdleFlush: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close(ctx)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &countingListener{Listener: ln}
+	p, err := NewPrimary(PrimaryConfig{
+		Ingester: ing,
+		Listener: cl,
+		// Heartbeats far apart so nothing but the keepalive ticker can
+		// generate acks during the quiet stretch; AckTimeout at twice
+		// the keepalive cadence so only timer acks keep the session up.
+		HeartbeatEvery: time.Minute,
+		AckTimeout:     2 * ackKeepaliveEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rep, err := NewReplica(ReplicaConfig{
+		Dir: t.TempDir(), PrimaryAddr: p.Addr(),
+		CheckpointEvery: -1,
+		// The replica tolerates the frame gap; it is the primary's
+		// patience under ack silence that is being measured.
+		HeartbeatTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close(ctx)
+
+	pushAll(t, ing, edges)
+	if err := ing.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fed := ing.Stats().Emitted
+	if fed == 0 {
+		t.Fatal("nothing emitted")
+	}
+	waitPos(t, rep, fed, 15*time.Second)
+
+	// Quiet stretch: several AckTimeout windows with no frames flowing.
+	quiet := 5 * ackKeepaliveEvery
+	deadline := time.Now().Add(quiet)
+	for time.Now().Before(deadline) {
+		if n := p.Sessions(); n != 1 {
+			t.Fatalf("session dropped during ack-silent stretch (sessions=%d, attaches=%d)", n, cl.accepts.Load())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := cl.accepts.Load(); n != 1 {
+		t.Fatalf("replica re-attached %d times during a quiet stretch; keepalive acks should have held one session", n)
+	}
+	if pos := rep.Position(); pos != fed {
+		t.Fatalf("replica at %d, want %d", pos, fed)
+	}
+}

@@ -1,0 +1,69 @@
+package repl
+
+import "ipin/internal/obs"
+
+// Replication metric names. The primary-side series measure how far the
+// attached replicas trail the emit clock (the numbers a failover
+// decision is made on); the replica-side series measure apply progress
+// and lifecycle transitions.
+const (
+	MetricSessions        = "repl_sessions"
+	MetricAttaches        = "repl_attaches_total"
+	MetricResyncs         = "repl_resyncs_total"
+	MetricFramesSent      = "repl_frames_sent_total"
+	MetricBytesSent       = "repl_bytes_sent_total"
+	MetricAcks            = "repl_acks_total"
+	MetricSessionsDropped = "repl_sessions_dropped_total"
+	MetricFenced          = "repl_fenced_total"
+	MetricLagEdges        = "repl_lag_edges"
+	MetricLagBytes        = "repl_lag_bytes"
+	MetricLagSegments     = "repl_lag_segments"
+	MetricLastAckAge      = "repl_last_ack_age_seconds"
+
+	MetricAppliedEdges   = "repl_applied_edges_total"
+	MetricReplicaLag     = "repl_replica_lag_edges"
+	MetricReplicaResyncs = "repl_replica_resyncs_total"
+	MetricPrimaryLost    = "repl_primary_lost_total"
+	MetricPromotions     = "repl_promotions_total"
+)
+
+// primaryMetrics bundles the primary-side instruments; over a nil
+// registry every field is a nil no-op instrument. The lag gauges are
+// GaugeFuncs registered by NewPrimary, because they are functions of
+// session state and the clock, not push targets.
+type primaryMetrics struct {
+	sessions                    *obs.Gauge
+	attaches, resyncs           *obs.Counter
+	framesSent, bytesSent, acks *obs.Counter
+	dropped, fenced             *obs.Counter
+}
+
+func newPrimaryMetrics(reg *obs.Registry) *primaryMetrics {
+	return &primaryMetrics{
+		sessions:   reg.Gauge(MetricSessions, "Replication sessions currently attached to this primary."),
+		attaches:   reg.Counter(MetricAttaches, "Replication sessions that completed the attach handshake."),
+		resyncs:    reg.Counter(MetricResyncs, "Attach attempts refused with a resync demand (position below the retained base, or epoch mismatch)."),
+		framesSent: reg.Counter(MetricFramesSent, "IREP0001 frames sent to replicas."),
+		bytesSent:  reg.Counter(MetricBytesSent, "Bytes sent to replicas, frame headers included."),
+		acks:       reg.Counter(MetricAcks, "Position acknowledgements received from replicas."),
+		dropped:    reg.Counter(MetricSessionsDropped, "Sessions dropped for falling behind the tap queue or going silent past the ack timeout."),
+		fenced:     reg.Counter(MetricFenced, "Attach attempts that presented a newer epoch — this primary is fenced."),
+	}
+}
+
+// replicaMetrics bundles the replica-side instruments.
+type replicaMetrics struct {
+	applied     *obs.Counter
+	resyncs     *obs.Counter
+	primaryLost *obs.Counter
+	promotions  *obs.Counter
+}
+
+func newReplicaMetrics(reg *obs.Registry) *replicaMetrics {
+	return &replicaMetrics{
+		applied:     reg.Counter(MetricAppliedEdges, "Edges applied from the replication stream into the local ingester."),
+		resyncs:     reg.Counter(MetricReplicaResyncs, "Full resyncs performed after the primary refused the replica's position."),
+		primaryLost: reg.Counter(MetricPrimaryLost, "Connected-to-lost transitions observed against the primary."),
+		promotions:  reg.Counter(MetricPromotions, "Promotions of this replica to primary."),
+	}
+}

@@ -1,0 +1,674 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipin/internal/graph"
+	"ipin/internal/obs"
+	"ipin/internal/stream"
+	"ipin/internal/trace"
+)
+
+// PrimaryConfig parameterizes a Primary. Ingester is required; every
+// other field has a usable zero value (Addr defaults to a random port,
+// read back with Addr()).
+type PrimaryConfig struct {
+	// Ingester is the live pipeline this primary replicates. NewPrimary
+	// installs the emit tap and the WAL retention floor on it; Close
+	// removes them.
+	Ingester *stream.Ingester
+	// Addr is the TCP listen address for replica attachments; empty
+	// selects "127.0.0.1:0". Ignored when Listener is set.
+	Addr string
+	// Listener, when non-nil, is used instead of binding Addr — for tests
+	// and for processes that manage their own sockets.
+	Listener net.Listener
+	// HeartbeatEvery is the idle-stream heartbeat interval; 0 selects
+	// 500ms. Replicas ack every heartbeat, so this also bounds how stale
+	// the primary's view of replica positions can get.
+	HeartbeatEvery time.Duration
+	// AckTimeout drops a session that has not acknowledged anything for
+	// this long — a dead replica must not hold the WAL retention floor
+	// forever. 0 selects 5s, negative disables.
+	AckTimeout time.Duration
+	// SessionQueue bounds the per-session tap queue in frames; a session
+	// that falls this far behind the emit stream is dropped (it re-attaches
+	// and delta-syncs from its acknowledged position). 0 selects 1024.
+	SessionQueue int
+	// BatchEdges caps the edges per Edges frame; 0 selects 16384.
+	BatchEdges int
+	// Registry receives the repl_* primary metrics; nil disables them.
+	Registry *obs.Registry
+	// Journal, when non-nil, receives attach/sync lifecycle events.
+	Journal *trace.Journal
+}
+
+// Primary accepts replica attachments and streams the ingester's
+// emitted edge sequence to them: a directory snapshot (or the suffix
+// past the replica's acknowledged position) at attach, then the live
+// tap. It never blocks the ingester — slow sessions are dropped, not
+// waited on.
+type Primary struct {
+	cfg PrimaryConfig
+	ing *stream.Ingester
+	ln  net.Listener
+	mx  *primaryMetrics
+	jr  *trace.Journal
+
+	// fenced is set when a replica presented a NEWER epoch than the
+	// ingester holds: somewhere a replica was promoted, and this process
+	// is a stale primary that must stop acting as one.
+	fenced atomic.Bool
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	closed   bool
+	closing  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// queued is one tap batch staged on a session queue: the encoded Edges
+// frame plus the emit range it covers, so the writer can skip or split
+// frames that overlap the attach snapshot.
+type queued struct {
+	base, end int64
+	payload   []byte
+}
+
+// session is one attached replica connection.
+type session struct {
+	conn   net.Conn
+	queue  chan queued
+	kicked chan struct{} // closed by the tap on queue overflow
+	dead   chan struct{} // closed by the reader on ack-path failure
+
+	kickOnce sync.Once
+	deadOnce sync.Once
+
+	// sentPos is writer-goroutine local after the handshake: the emit
+	// index one past the last edge sent on this session.
+	sentPos int64
+
+	sentBytes  atomic.Int64
+	ackedBytes atomic.Int64
+	ackPos     atomic.Int64
+	ackAt      atomic.Int64 // newest acknowledged timestamp: the WAL floor unit
+	ackTime    atomic.Int64 // unix nanos of the last ack (or the handshake)
+
+	// ring maps sent emit positions to the cumulative byte counter, so
+	// acks (which carry positions) can settle the byte-lag gauge.
+	ringMu sync.Mutex
+	ring   []posBytes
+}
+
+type posBytes struct{ end, bytes int64 }
+
+func (s *session) kick() { s.kickOnce.Do(func() { close(s.kicked) }) }
+func (s *session) die()  { s.deadOnce.Do(func() { close(s.dead) }) }
+
+// noteSent records that everything below end is on the wire.
+func (s *session) noteSent(end int64) {
+	s.ringMu.Lock()
+	s.ring = append(s.ring, posBytes{end: end, bytes: s.sentBytes.Load()})
+	s.ringMu.Unlock()
+}
+
+// settle consumes ring entries covered by an ack.
+func (s *session) settle(pos int64) {
+	s.ringMu.Lock()
+	i := 0
+	for i < len(s.ring) && s.ring[i].end <= pos {
+		i++
+	}
+	if i > 0 {
+		s.ackedBytes.Store(s.ring[i-1].bytes)
+		s.ring = append(s.ring[:0], s.ring[i:]...)
+	}
+	s.ringMu.Unlock()
+}
+
+const handshakeTimeout = 10 * time.Second
+
+// NewPrimary wires the replication tap and the WAL retention floor into
+// the ingester and starts accepting replica attachments.
+func NewPrimary(cfg PrimaryConfig) (*Primary, error) {
+	if cfg.Ingester == nil {
+		return nil, fmt.Errorf("repl: PrimaryConfig.Ingester is required")
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.AckTimeout == 0 {
+		cfg.AckTimeout = 5 * time.Second
+	}
+	if cfg.SessionQueue <= 0 {
+		cfg.SessionQueue = 1024
+	}
+	if cfg.BatchEdges <= 0 {
+		cfg.BatchEdges = 16384
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		addr := cfg.Addr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var err error
+		if ln, err = net.Listen("tcp", addr); err != nil {
+			return nil, err
+		}
+	}
+	p := &Primary{
+		cfg:      cfg,
+		ing:      cfg.Ingester,
+		ln:       ln,
+		mx:       newPrimaryMetrics(cfg.Registry),
+		jr:       cfg.Journal,
+		sessions: make(map[*session]struct{}),
+		closing:  make(chan struct{}),
+	}
+	cfg.Registry.GaugeFunc(MetricLagEdges, "Edges the furthest-behind attached replica trails the emit clock by.", p.lagEdges)
+	cfg.Registry.GaugeFunc(MetricLagBytes, "Sent-but-unacknowledged replication bytes across attached sessions.", p.lagBytes)
+	cfg.Registry.GaugeFunc(MetricLagSegments, "WAL segments beyond the first still on disk — the replication backlog in segment units.", p.lagSegments)
+	cfg.Registry.GaugeFunc(MetricLastAckAge, "Seconds since the stalest attached replica last acknowledged.", p.lastAckAge)
+	// Floor first, tap second: once the tap is live a session may attach,
+	// and its unacknowledged position must already be holding compaction.
+	p.ing.SetWALFloor(p.ackFloorAt)
+	p.ing.SetEmitSink(p.tap)
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the address replicas dial.
+func (p *Primary) Addr() string { return p.ln.Addr().String() }
+
+// Fenced reports whether a replica presented a newer epoch: this
+// process is a stale primary and the embedding layer should stop
+// routing writes to it.
+func (p *Primary) Fenced() bool { return p.fenced.Load() }
+
+// Sessions returns the number of currently attached replicas.
+func (p *Primary) Sessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.sessions)
+}
+
+// Close detaches from the ingester (tap and retention floor), stops the
+// listener, closes every session, and waits for the goroutines.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.closing)
+	open := make([]*session, 0, len(p.sessions))
+	for s := range p.sessions {
+		open = append(open, s)
+	}
+	p.mu.Unlock()
+	p.ing.SetEmitSink(nil)
+	p.ing.SetWALFloor(nil)
+	err := p.ln.Close()
+	for _, s := range open {
+		s.conn.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// tap is the emit sink: it runs on the ingester's run loop, encodes
+// each emitted batch once, and fans the frames out to every session
+// without blocking — a full queue drops the session, never the run loop.
+func (p *Primary) tap(base int64, batch []graph.Interaction) {
+	for lo := 0; lo < len(batch); lo += p.cfg.BatchEdges {
+		hi := min(lo+p.cfg.BatchEdges, len(batch))
+		q := queued{
+			base:    base + int64(lo),
+			end:     base + int64(hi),
+			payload: edgesMsg{base: uint64(base + int64(lo)), record: stream.EncodeBatch(batch[lo:hi])}.encode(),
+		}
+		p.mu.Lock()
+		for s := range p.sessions {
+			select {
+			case s.queue <- q:
+			default:
+				delete(p.sessions, s)
+				p.mx.sessions.Dec()
+				p.mx.dropped.Inc()
+				s.kick()
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// ackFloorAt is the WAL retention floor: the minimum acknowledged
+// timestamp across attached sessions. With no sessions there is no
+// replication constraint. Runs on the ingester's run loop.
+func (p *Primary) ackFloorAt() int64 {
+	floor := int64(math.MaxInt64)
+	p.mu.Lock()
+	for s := range p.sessions {
+		if at := s.ackAt.Load(); at < floor {
+			floor = at
+		}
+	}
+	p.mu.Unlock()
+	return floor
+}
+
+func (p *Primary) lagEdges() int64 {
+	emitted := p.ing.Stats().Emitted
+	var lag int64
+	p.mu.Lock()
+	for s := range p.sessions {
+		if l := emitted - s.ackPos.Load(); l > lag {
+			lag = l
+		}
+	}
+	p.mu.Unlock()
+	return lag
+}
+
+func (p *Primary) lagBytes() int64 {
+	var lag int64
+	p.mu.Lock()
+	for s := range p.sessions {
+		lag += s.sentBytes.Load() - s.ackedBytes.Load()
+	}
+	p.mu.Unlock()
+	return lag
+}
+
+func (p *Primary) lagSegments() int64 {
+	names, _ := filepath.Glob(filepath.Join(p.ing.Dir(), "wal-*.seg"))
+	if len(names) <= 1 {
+		return 0
+	}
+	return int64(len(names) - 1)
+}
+
+func (p *Primary) lastAckAge() int64 {
+	oldest := int64(0)
+	p.mu.Lock()
+	for s := range p.sessions {
+		if at := s.ackTime.Load(); oldest == 0 || at < oldest {
+			oldest = at
+		}
+	}
+	p.mu.Unlock()
+	if oldest == 0 {
+		return 0
+	}
+	return int64(time.Since(time.Unix(0, oldest)).Seconds())
+}
+
+func (p *Primary) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+func (p *Primary) serve(conn net.Conn) {
+	defer p.wg.Done()
+	defer conn.Close()
+	s := &session{
+		conn:   conn,
+		queue:  make(chan queued, p.cfg.SessionQueue),
+		kicked: make(chan struct{}),
+		dead:   make(chan struct{}),
+	}
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	if err := p.handshake(s, br, bw); err != nil {
+		p.unregister(s)
+		return
+	}
+	p.wg.Add(1)
+	go p.readAcks(s, br)
+	p.writer(s, bw)
+	p.unregister(s)
+}
+
+// refuseError marks a handshake that was answered with an Error frame
+// (the session then ends cleanly, from the primary's point of view).
+type refuseError struct{ msg string }
+
+func (e *refuseError) Error() string { return e.msg }
+
+func (p *Primary) refuse(bw *bufio.Writer, code uint64, msg string) error {
+	if code == ErrCodeResync {
+		p.mx.resyncs.Inc()
+	}
+	if err := writeFrame(bw, errorMsg{code: code, msg: msg}.encode()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return &refuseError{msg: msg}
+}
+
+// handshake validates the replica's Hello, registers the live tap,
+// reads a directory snapshot, and ships the sync plan: Meta (+ raw
+// chunk sidecars when the replica is fresh) followed by the backlog of
+// Edges frames up to the snapshot end. The tap is registered BEFORE the
+// snapshot read, so the two sources overlap rather than gap; the writer
+// resolves the overlap by emit positions.
+func (p *Primary) handshake(s *session, br *bufio.Reader, bw *bufio.Writer) error {
+	s.conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	var magic [len(protoMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return err
+	}
+	if string(magic[:]) != protoMagic {
+		return fmt.Errorf("repl: bad connection magic %q", magic)
+	}
+	if _, err := bw.WriteString(protoMagic); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	payload, err := readFrame(br)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 || payload[0] != frHello {
+		return fmt.Errorf("repl: expected Hello, got frame type %d", payload[0])
+	}
+	hello, err := decodeHello(payload[1:])
+	if err != nil {
+		return err
+	}
+	myEpoch := p.ing.Epoch()
+	if hello.version != protoVersion {
+		return p.refuse(bw, ErrCodeConfig, fmt.Sprintf("protocol version %d not supported", hello.version))
+	}
+	if hello.epoch > myEpoch {
+		// The replica lived through a promotion this primary missed: we
+		// are the stale side. Refuse AND remember — the embedding layer
+		// reads Fenced() to stop routing writes here.
+		p.fenced.Store(true)
+		p.mx.fenced.Inc()
+		p.jr.Record(trace.EventReplLost, "fenced", 0, map[string]any{
+			"peer_epoch": hello.epoch, "epoch": myEpoch,
+		})
+		return p.refuse(bw, ErrCodeFenced, fmt.Sprintf("peer epoch %d is newer than primary epoch %d", hello.epoch, myEpoch))
+	}
+	if !hello.fresh {
+		if hello.epoch != myEpoch {
+			return p.refuse(bw, ErrCodeResync, fmt.Sprintf("replica epoch %d does not match primary epoch %d", hello.epoch, myEpoch))
+		}
+		if hello.omega != uint64(p.ing.Omega()) || hello.precision != uint64(p.ing.Precision()) {
+			return p.refuse(bw, ErrCodeConfig, fmt.Sprintf("replica omega/precision %d/%d does not match primary %d/%d",
+				hello.omega, hello.precision, p.ing.Omega(), p.ing.Precision()))
+		}
+	}
+	if err := p.register(s); err != nil {
+		return err
+	}
+	snap, err := stream.ReadSnapshot(p.ing.Dir())
+	if err != nil {
+		return err
+	}
+	startPos := int64(hello.pos)
+	if hello.fresh {
+		startPos = snap.Base + snap.ChunkEdges
+	} else if startPos < snap.Base {
+		return p.refuse(bw, ErrCodeResync, fmt.Sprintf("position %d is below the retained base %d", startPos, snap.Base))
+	}
+	meta := metaMsg{
+		version:   protoVersion,
+		epoch:     myEpoch,
+		omega:     uint64(p.ing.Omega()),
+		precision: uint64(p.ing.Precision()),
+		startPos:  uint64(startPos),
+	}
+	if hello.fresh {
+		meta.firstChunk = uint64(snap.FirstChunk)
+		meta.chunkCount = uint64(len(snap.ChunkFiles))
+		meta.metaJSON = snap.MetaJSON
+	}
+	// From here the handshake only writes, and the volume scales with
+	// the replica's lag — a fresh attach ships every sidecar plus the
+	// whole retained backlog. The deadline therefore rolls per frame:
+	// it bounds how long any single write may stall (a wedged replica),
+	// not the total transfer, so a large but steadily-draining sync
+	// cannot be killed by its own size.
+	s.conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	if err := p.send(s, bw, meta.encode()); err != nil {
+		return err
+	}
+	if hello.fresh {
+		for i, name := range snap.ChunkFiles {
+			// A sidecar retired between the snapshot and this read kills
+			// the session; the replica retries and gets a fresh snapshot.
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return err
+			}
+			s.conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+			if err := p.send(s, bw, chunkMsg{index: uint64(snap.FirstChunk + i), data: data}.encode()); err != nil {
+				return err
+			}
+		}
+	}
+	// Everything below startPos is on the replica already — that is the
+	// session's implicit first ack, and it holds the WAL floor from the
+	// moment of attach.
+	s.ackPos.Store(startPos)
+	s.ackAt.Store(snapTimestampAt(snap, startPos))
+	s.ackTime.Store(time.Now().UnixNano())
+	s.sentPos = startPos
+	if startPos < snap.End() {
+		edges := snap.Edges[startPos-snap.Base:]
+		for lo := 0; lo < len(edges); lo += p.cfg.BatchEdges {
+			hi := min(lo+p.cfg.BatchEdges, len(edges))
+			base := startPos + int64(lo)
+			s.conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+			if err := p.send(s, bw, edgesMsg{base: uint64(base), record: stream.EncodeBatch(edges[lo:hi])}.encode()); err != nil {
+				return err
+			}
+			s.noteSent(base + int64(hi-lo))
+		}
+		s.sentPos = snap.End()
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	s.conn.SetDeadline(time.Time{})
+	p.mx.attaches.Inc()
+	p.jr.Record(trace.EventReplAttach, map[bool]string{true: "fresh", false: "delta"}[hello.fresh], 0, map[string]any{
+		"start_pos": startPos, "end_pos": s.sentPos, "chunks": len(snap.ChunkFiles),
+	})
+	return nil
+}
+
+// snapTimestampAt returns the timestamp of the last edge at or below
+// emit position pos, in snapshot coordinates — math.MinInt64 when the
+// position precedes everything the directory retains a clock for.
+func snapTimestampAt(snap *stream.Snapshot, pos int64) int64 {
+	if i := pos - snap.Base; i > 0 {
+		if i > int64(len(snap.Edges)) {
+			i = int64(len(snap.Edges))
+		}
+		if i > 0 {
+			return int64(snap.Edges[i-1].At)
+		}
+	}
+	return snap.BaseLastAt
+}
+
+func (p *Primary) register(s *session) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("repl: primary closed")
+	}
+	p.sessions[s] = struct{}{}
+	p.mx.sessions.Inc()
+	return nil
+}
+
+func (p *Primary) unregister(s *session) {
+	p.mu.Lock()
+	if _, ok := p.sessions[s]; ok {
+		delete(p.sessions, s)
+		p.mx.sessions.Dec()
+	}
+	p.mu.Unlock()
+}
+
+// send frames one payload and counts it; the caller flushes.
+func (p *Primary) send(s *session, bw *bufio.Writer, payload []byte) error {
+	if err := writeFrame(bw, payload); err != nil {
+		return err
+	}
+	n := int64(len(payload)) + frameHeader
+	s.sentBytes.Add(n)
+	p.mx.framesSent.Inc()
+	p.mx.bytesSent.Add(n)
+	return nil
+}
+
+// readAcks is the session's reader half: it consumes Ack frames and
+// publishes the replica's position. A silent replica (no ack within
+// AckTimeout) is dropped so it cannot hold the WAL floor indefinitely.
+func (p *Primary) readAcks(s *session, br *bufio.Reader) {
+	defer p.wg.Done()
+	defer s.die()
+	for {
+		if p.cfg.AckTimeout > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(p.cfg.AckTimeout))
+		}
+		payload, err := readFrame(br)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				p.mx.dropped.Inc()
+			}
+			return
+		}
+		if len(payload) == 0 || payload[0] != frAck {
+			return
+		}
+		ack, err := decodeAck(payload[1:])
+		if err != nil {
+			return
+		}
+		// Positions only move forward: a liveness re-ack of an already
+		// acknowledged position refreshes the timer but must never drag
+		// the WAL retention floor backwards.
+		if pos := int64(ack.pos); pos >= s.ackPos.Load() {
+			s.ackPos.Store(pos)
+			s.ackAt.Store(ack.lastAt)
+			s.settle(pos)
+		}
+		s.ackTime.Store(time.Now().UnixNano())
+		p.mx.acks.Inc()
+	}
+}
+
+// writer is the session's writer half after the handshake: it forwards
+// tap frames (skipping or splitting any overlap with the snapshot it
+// already sent) and heartbeats the stream when idle.
+func (p *Primary) writer(s *session, bw *bufio.Writer) {
+	hb := time.NewTicker(p.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	for {
+		select {
+		case q := <-s.queue:
+			if err := p.forward(s, bw, q); err != nil {
+				s.die()
+				return
+			}
+		drain:
+			for {
+				select {
+				case q := <-s.queue:
+					if err := p.forward(s, bw, q); err != nil {
+						s.die()
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if err := p.flush(s, bw); err != nil {
+				s.die()
+				return
+			}
+		case <-hb.C:
+			msg := heartbeatMsg{epoch: p.ing.Epoch(), pos: uint64(p.ing.Stats().Emitted)}
+			if err := p.send(s, bw, msg.encode()); err != nil {
+				s.die()
+				return
+			}
+			if err := p.flush(s, bw); err != nil {
+				s.die()
+				return
+			}
+		case <-s.kicked:
+			return
+		case <-s.dead:
+			return
+		case <-p.closing:
+			return
+		}
+	}
+}
+
+func (p *Primary) flush(s *session, bw *bufio.Writer) error {
+	s.conn.SetWriteDeadline(time.Now().Add(max(10*p.cfg.HeartbeatEvery, 5*time.Second)))
+	return bw.Flush()
+}
+
+// forward sends one tap batch, resolving overlap with what the session
+// already has: frames fully below sentPos are skipped (the snapshot
+// covered them), a frame straddling the boundary is split and re-based.
+func (p *Primary) forward(s *session, bw *bufio.Writer, q queued) error {
+	if q.end <= s.sentPos {
+		return nil
+	}
+	if q.base > s.sentPos {
+		return fmt.Errorf("repl: tap gap: session at %d, batch starts at %d", s.sentPos, q.base)
+	}
+	payload := q.payload
+	if q.base < s.sentPos {
+		em, err := decodeEdges(q.payload[1:])
+		if err != nil {
+			return err
+		}
+		edges, err := stream.DecodeBatch(em.record)
+		if err != nil {
+			return err
+		}
+		payload = edgesMsg{base: uint64(s.sentPos), record: stream.EncodeBatch(edges[s.sentPos-q.base:])}.encode()
+	}
+	if err := p.send(s, bw, payload); err != nil {
+		return err
+	}
+	s.sentPos = q.end
+	s.noteSent(q.end)
+	return nil
+}

@@ -1,0 +1,379 @@
+// Package repl is the replication subsystem: a primary streams its
+// emitted edge sequence — full-sync of chunk sidecars and the WAL
+// suffix on attach, then a live tail of framed batches — over TCP to
+// replicas that rebuild byte-identical sketch state through their own
+// stream.Ingester and serve read traffic from their own checkpoints. On
+// primary loss a Controller promotes the most-caught-up replica, which
+// fences the old primary by advancing the WAL epoch and resumes intake
+// at the replicated position.
+//
+// The wire protocol IREP0001 is normatively specified in DESIGN.md.
+// Both sides open with the 8-byte magic "IREP0001"; every message after
+// that is one frame, CRC-framed exactly like a WAL record:
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// payload[0] is the frame type; the body is uvarint/varint fields in
+// fixed order (see the encode/decode pairs below). The edge payload of
+// an Edges frame reuses the WAL record encoding byte for byte, so a
+// replica applies exactly the batches the primary logged.
+//
+// Identity argument: the emitted sequence has strictly increasing
+// timestamps and chunk boundaries do not affect fold output (the
+// internal/stream recovery property), so a replica pushing the
+// replicated sequence through its own zero-slack Ingester reaches
+// checkpoints byte-identical to the primary's over the same prefix.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// protoMagic opens every connection, in both directions.
+const protoMagic = "IREP0001"
+
+// protoVersion is carried in Hello and Meta; a peer speaking a version
+// this code does not know is rejected.
+const protoVersion = 1
+
+// Frame types.
+const (
+	frHello     byte = 1 // replica → primary: who I am, where I am
+	frMeta      byte = 2 // primary → replica: sync plan for this session
+	frChunk     byte = 3 // primary → replica: one raw chunk sidecar file
+	frEdges     byte = 4 // primary → replica: one WAL-encoded edge batch
+	frHeartbeat byte = 5 // primary → replica: liveness + position
+	frAck       byte = 6 // replica → primary: applied position
+	frError     byte = 7 // primary → replica: refusal, with code
+)
+
+// Error codes carried by frError.
+const (
+	// ErrCodeResync: the replica's position or epoch cannot be served
+	// from the primary's retained state; it must discard its directory
+	// and re-attach fresh.
+	ErrCodeResync uint64 = 1
+	// ErrCodeFenced: the replica presented a NEWER epoch than the
+	// primary holds — the primary is stale and must stop acting as one.
+	ErrCodeFenced uint64 = 2
+	// ErrCodeConfig: omega/precision mismatch; no amount of syncing fixes
+	// a differently-configured replica.
+	ErrCodeConfig uint64 = 3
+)
+
+var replCRC = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	frameHeader = 8 // length + checksum
+	// maxFrameBytes caps a frame payload, matching the WAL's record cap:
+	// anything longer is a torn or hostile frame, not a real message.
+	maxFrameBytes = 64 << 20
+)
+
+// writeFrame writes one CRC frame. The caller flushes the writer.
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, replCRC))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one CRC frame, failing on damage — a torn or
+// corrupted frame ends the session (the position handshake on
+// re-attach resumes cleanly), it is never "skipped".
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[:])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if plen > maxFrameBytes {
+		return nil, fmt.Errorf("repl: implausible frame length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, replCRC) != sum {
+		return nil, fmt.Errorf("repl: frame checksum mismatch")
+	}
+	return payload, nil
+}
+
+// fields is a uvarint-field appender.
+type fields struct{ buf []byte }
+
+func (f *fields) typ(t byte)   { f.buf = append(f.buf, t) }
+func (f *fields) u(v uint64)   { f.buf = binary.AppendUvarint(f.buf, v) }
+func (f *fields) i(v int64)    { f.buf = binary.AppendVarint(f.buf, v) }
+func (f *fields) b(v bool)     { f.u(map[bool]uint64{false: 0, true: 1}[v]) }
+func (f *fields) raw(v []byte) { f.u(uint64(len(v))); f.buf = append(f.buf, v...) }
+
+// reader is the matching field reader.
+type reader struct{ buf []byte }
+
+func (r *reader) u(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("repl: bad %s field", what)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *reader) i(what string) (int64, error) {
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("repl: bad %s field", what)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *reader) b(what string) (bool, error) {
+	v, err := r.u(what)
+	return v != 0, err
+}
+
+func (r *reader) raw(what string) ([]byte, error) {
+	n, err := r.u(what + " length")
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)) {
+		return nil, fmt.Errorf("repl: %s length %d exceeds payload", what, n)
+	}
+	v := r.buf[:n]
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+// helloMsg is the replica's opening statement.
+type helloMsg struct {
+	version   uint64
+	epoch     uint64 // replica's WAL epoch, 0 when fresh
+	pos       uint64 // applied emit position, 0 when fresh
+	omega     uint64 // 0 when fresh (adopt the primary's)
+	precision uint64
+	fresh     bool // directory empty: ship metadata + chunk sidecars
+}
+
+func (m helloMsg) encode() []byte {
+	f := fields{}
+	f.typ(frHello)
+	f.u(m.version)
+	f.u(m.epoch)
+	f.u(m.pos)
+	f.u(m.omega)
+	f.u(m.precision)
+	f.b(m.fresh)
+	return f.buf
+}
+
+func decodeHello(body []byte) (m helloMsg, err error) {
+	r := reader{body}
+	if m.version, err = r.u("version"); err != nil {
+		return
+	}
+	if m.epoch, err = r.u("epoch"); err != nil {
+		return
+	}
+	if m.pos, err = r.u("pos"); err != nil {
+		return
+	}
+	if m.omega, err = r.u("omega"); err != nil {
+		return
+	}
+	if m.precision, err = r.u("precision"); err != nil {
+		return
+	}
+	m.fresh, err = r.b("fresh")
+	return
+}
+
+// metaMsg is the primary's sync plan: what follows (chunkCount Chunk
+// frames, then Edges frames starting at startPos), and the coordinates
+// the replica validates or adopts.
+type metaMsg struct {
+	version    uint64
+	epoch      uint64
+	omega      uint64
+	precision  uint64
+	startPos   uint64 // emit index of the first Edges frame to follow
+	firstChunk uint64
+	chunkCount uint64
+	metaJSON   []byte // primary's checkpoint.meta.json, empty when none
+}
+
+func (m metaMsg) encode() []byte {
+	f := fields{}
+	f.typ(frMeta)
+	f.u(m.version)
+	f.u(m.epoch)
+	f.u(m.omega)
+	f.u(m.precision)
+	f.u(m.startPos)
+	f.u(m.firstChunk)
+	f.u(m.chunkCount)
+	f.raw(m.metaJSON)
+	return f.buf
+}
+
+func decodeMeta(body []byte) (m metaMsg, err error) {
+	r := reader{body}
+	if m.version, err = r.u("version"); err != nil {
+		return
+	}
+	if m.epoch, err = r.u("epoch"); err != nil {
+		return
+	}
+	if m.omega, err = r.u("omega"); err != nil {
+		return
+	}
+	if m.precision, err = r.u("precision"); err != nil {
+		return
+	}
+	if m.startPos, err = r.u("startPos"); err != nil {
+		return
+	}
+	if m.firstChunk, err = r.u("firstChunk"); err != nil {
+		return
+	}
+	if m.chunkCount, err = r.u("chunkCount"); err != nil {
+		return
+	}
+	m.metaJSON, err = r.raw("metaJSON")
+	return
+}
+
+// chunkMsg carries one raw sidecar file, exactly as it sits on the
+// primary's disk (the replica re-validates framing and checksum before
+// writing it).
+type chunkMsg struct {
+	index uint64
+	data  []byte
+}
+
+func (m chunkMsg) encode() []byte {
+	f := fields{}
+	f.typ(frChunk)
+	f.u(m.index)
+	f.raw(m.data)
+	return f.buf
+}
+
+func decodeChunk(body []byte) (m chunkMsg, err error) {
+	r := reader{body}
+	if m.index, err = r.u("index"); err != nil {
+		return
+	}
+	m.data, err = r.raw("data")
+	return
+}
+
+// edgesMsg carries one emitted batch: base is the emit index of the
+// first edge, record is the batch in WAL record encoding.
+type edgesMsg struct {
+	base   uint64
+	record []byte
+}
+
+func (m edgesMsg) encode() []byte {
+	f := fields{}
+	f.typ(frEdges)
+	f.u(m.base)
+	f.raw(m.record)
+	return f.buf
+}
+
+func decodeEdges(body []byte) (m edgesMsg, err error) {
+	r := reader{body}
+	if m.base, err = r.u("base"); err != nil {
+		return
+	}
+	m.record, err = r.raw("record")
+	return
+}
+
+// heartbeatMsg keeps an idle session alive and tells the replica where
+// the primary's emit clock stands (the replica's lag gauge).
+type heartbeatMsg struct {
+	epoch uint64
+	pos   uint64
+}
+
+func (m heartbeatMsg) encode() []byte {
+	f := fields{}
+	f.typ(frHeartbeat)
+	f.u(m.epoch)
+	f.u(m.pos)
+	return f.buf
+}
+
+func decodeHeartbeat(body []byte) (m heartbeatMsg, err error) {
+	r := reader{body}
+	if m.epoch, err = r.u("epoch"); err != nil {
+		return
+	}
+	m.pos, err = r.u("pos")
+	return
+}
+
+// ackMsg acknowledges the applied position: every edge below pos is in
+// the replica's own WAL. lastAt is the applied timestamp — the unit the
+// primary's WAL retention floor works in.
+type ackMsg struct {
+	pos    uint64
+	lastAt int64
+}
+
+func (m ackMsg) encode() []byte {
+	f := fields{}
+	f.typ(frAck)
+	f.u(m.pos)
+	f.i(m.lastAt)
+	return f.buf
+}
+
+func decodeAck(body []byte) (m ackMsg, err error) {
+	r := reader{body}
+	if m.pos, err = r.u("pos"); err != nil {
+		return
+	}
+	m.lastAt, err = r.i("lastAt")
+	return
+}
+
+// errorMsg is a refusal: the code tells the replica whether to resync,
+// stand down, or give up.
+type errorMsg struct {
+	code uint64
+	msg  string
+}
+
+func (m errorMsg) encode() []byte {
+	f := fields{}
+	f.typ(frError)
+	f.u(m.code)
+	f.raw([]byte(m.msg))
+	return f.buf
+}
+
+func decodeError(body []byte) (m errorMsg, err error) {
+	r := reader{body}
+	if m.code, err = r.u("code"); err != nil {
+		return
+	}
+	raw, err := r.raw("msg")
+	m.msg = string(raw)
+	return
+}

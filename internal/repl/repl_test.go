@@ -1,0 +1,679 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ipin/internal/core"
+	"ipin/internal/graph"
+	"ipin/internal/stream"
+)
+
+// testLog builds a deterministic interaction stream with strictly
+// increasing timestamps (the shape the live pipeline emits).
+func testLog(rng *rand.Rand, n, m int) []graph.Interaction {
+	edges := make([]graph.Interaction, m)
+	at := graph.Time(0)
+	for i := range edges {
+		at += graph.Time(1 + rng.Int63n(3))
+		edges[i] = graph.Interaction{
+			Src: graph.NodeID(rng.Intn(n)),
+			Dst: graph.NodeID(rng.Intn(n)),
+			At:  at,
+		}
+	}
+	return edges
+}
+
+// offlineBytes is the ground truth: the offline one-pass scan over the
+// edges, in canonical IRX1 encoding.
+func offlineBytes(t *testing.T, edges []graph.Interaction, omega int64, precision int) []byte {
+	t.Helper()
+	n := 0
+	for _, e := range edges {
+		if m := int(max(e.Src, e.Dst)) + 1; m > n {
+			n = m
+		}
+	}
+	l := &graph.Log{NumNodes: n, Interactions: edges}
+	s, err := core.ComputeApprox(l, omega, precision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// ckptBytes reads a state directory's checkpoint.irx.
+func ckptBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, stream.CheckpointName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// waitPos polls until the replica applied at least pos edges.
+func waitPos(t *testing.T, r *Replica, pos int64, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for r.Position() < pos {
+		if err := r.Err(); err != nil {
+			t.Fatalf("replica failed at position %d: %v", r.Position(), err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at position %d, want %d", r.Position(), pos)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func pushAll(t *testing.T, ing *stream.Ingester, edges []graph.Interaction) {
+	t.Helper()
+	for _, e := range edges {
+		if err := ing.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFreshReplicaFullSyncIdentity: a replica attaching to a primary
+// that already checkpointed bootstraps from the shipped snapshot (meta
+// bytes + raw sidecars), tails the live stream, and its own checkpoint
+// is byte-identical to the primary's and to the offline scan.
+func TestFreshReplicaFullSyncIdentity(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(71))
+	edges := testLog(rng, 30, 600)
+	pdir, rdir := t.TempDir(), t.TempDir()
+
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close(ctx)
+	pushAll(t, ing, edges[:300])
+	if err := ing.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing, HeartbeatEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rep, err := NewReplica(ReplicaConfig{
+		Dir: rdir, PrimaryAddr: p.Addr(), ChunkEdges: 50, CheckpointEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close(ctx)
+	if err := rep.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Ingester().Omega(); got != 20 {
+		t.Fatalf("replica adopted omega %d, want 20", got)
+	}
+	waitPos(t, rep, 300, 10*time.Second)
+
+	pushAll(t, ing, edges[300:])
+	waitPos(t, rep, 600, 10*time.Second)
+	if err := ing.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Ingester().Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	want := offlineBytes(t, edges, 20, 4)
+	if !bytes.Equal(ckptBytes(t, pdir), want) {
+		t.Fatal("primary checkpoint differs from offline scan")
+	}
+	if !bytes.Equal(ckptBytes(t, rdir), want) {
+		t.Fatal("replica checkpoint differs from offline scan")
+	}
+	if p.Sessions() != 1 {
+		t.Fatalf("primary reports %d sessions, want 1", p.Sessions())
+	}
+}
+
+// TestReplicaDeltaSyncReattach: a replica that disconnects with durable
+// local state re-attaches at its recovered position and receives only
+// the suffix — and still converges byte-identically.
+func TestReplicaDeltaSyncReattach(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(72))
+	edges := testLog(rng, 30, 600)
+	pdir, rdir := t.TempDir(), t.TempDir()
+
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close(ctx)
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing, HeartbeatEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	rep, err := NewReplica(ReplicaConfig{Dir: rdir, PrimaryAddr: p.Addr(), ChunkEdges: 50, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, ing, edges[:300])
+	waitPos(t, rep, 300, 10*time.Second)
+	if err := rep.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica is away; the primary keeps emitting.
+	pushAll(t, ing, edges[300:450])
+
+	rep2, err := NewReplica(ReplicaConfig{Dir: rdir, PrimaryAddr: p.Addr(), Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep2.Close(ctx)
+	if rep2.Position() != 300 {
+		t.Fatalf("re-opened replica recovered position %d, want 300", rep2.Position())
+	}
+	waitPos(t, rep2, 450, 10*time.Second)
+	pushAll(t, ing, edges[450:])
+	waitPos(t, rep2, 600, 10*time.Second)
+	if err := rep2.Ingester().Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckptBytes(t, rdir), offlineBytes(t, edges, 20, 4)) {
+		t.Fatal("re-attached replica checkpoint differs from offline scan")
+	}
+}
+
+// fakeReplica speaks just enough IREP0001 to attach and then misbehave
+// on purpose: it acknowledges only when the test says so.
+type fakeReplica struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	pos  int64
+	at   int64
+}
+
+func attachFake(t *testing.T, addr string, epoch uint64) *fakeReplica {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeReplica{t: t, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn), at: math.MinInt64}
+	if _, err := f.bw.WriteString(protoMagic); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var magic [len(protoMagic)]byte
+	if _, err := io.ReadFull(f.br, magic[:]); err != nil {
+		t.Fatal(err)
+	}
+	hello := helloMsg{version: protoVersion, epoch: epoch, fresh: epoch == 0}
+	if epoch > 0 {
+		// A non-fresh peer from a later epoch: the fencing probe.
+		hello.fresh = false
+		hello.pos = 1
+		hello.omega = 20
+		hello.precision = 4
+	}
+	if err := writeFrame(f.bw, hello.encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// readUntil consumes frames until the observed stream position reaches
+// pos, returning the last applied timestamp.
+func (f *fakeReplica) readUntil(pos int64) {
+	f.t.Helper()
+	f.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for f.pos < pos {
+		payload, err := readFrame(f.br)
+		if err != nil {
+			f.t.Fatalf("fake replica read at %d: %v", f.pos, err)
+		}
+		switch payload[0] {
+		case frEdges:
+			em, err := decodeEdges(payload[1:])
+			if err != nil {
+				f.t.Fatal(err)
+			}
+			edges, err := stream.DecodeBatch(em.record)
+			if err != nil {
+				f.t.Fatal(err)
+			}
+			f.pos = int64(em.base) + int64(len(edges))
+			f.at = int64(edges[len(edges)-1].At)
+		case frMeta, frChunk, frHeartbeat:
+		case frError:
+			em, _ := decodeError(payload[1:])
+			f.t.Fatalf("fake replica refused: code %d: %s", em.code, em.msg)
+		}
+	}
+}
+
+func (f *fakeReplica) ack() {
+	f.t.Helper()
+	if err := writeFrame(f.bw, ackMsg{pos: uint64(f.pos), lastAt: f.at}.encode()); err != nil {
+		f.t.Fatal(err)
+	}
+	if err := f.bw.Flush(); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+func segCount(t *testing.T, dir string) int {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(names)
+}
+
+// TestWALRetentionFloorHeldByUnackedReplica: WAL compaction must not
+// delete segments an attached replica has not acknowledged, even when
+// chunk sidecars fully cover them — the floor is min(durable frontier,
+// replica ack). Once the replica acks, the backlog compacts away.
+func TestWALRetentionFloorHeldByUnackedReplica(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(73))
+	edges := testLog(rng, 30, 400)
+	pdir := t.TempDir()
+
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close(ctx)
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing, HeartbeatEvery: 50 * time.Millisecond, AckTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	fake := attachFake(t, p.Addr(), 0)
+	defer fake.conn.Close()
+	// The session must be registered before edges flow, or the floor has
+	// nothing to hold. Attach is complete once the sync plan arrives.
+	fake.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	payload, err := readFrame(fake.br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != frMeta {
+		t.Fatalf("expected Meta, got frame type %d", payload[0])
+	}
+
+	pushAll(t, ing, edges[:300])
+	if err := ing.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Sidecars now cover all 300 edges; without the replication floor the
+	// covered segments would be gone. The unacked session holds them.
+	held := segCount(t, pdir)
+	if held < 2 {
+		t.Fatalf("expected several retained WAL segments under an unacked session, got %d", held)
+	}
+
+	fake.readUntil(300)
+	fake.ack()
+	// The ack lands asynchronously. Wait until the primary has seen it
+	// before feeding more edges: segments created past the acked
+	// timestamp stay retained (the fake never acks again), so pushing
+	// first can bury the compaction signal under fresh unacked segments.
+	ackSeen := time.Now().Add(10 * time.Second)
+	for {
+		acked := int64(-1)
+		p.mu.Lock()
+		for s := range p.sessions {
+			acked = s.ackPos.Load()
+		}
+		p.mu.Unlock()
+		if acked >= 300 {
+			break
+		}
+		if time.Now().After(ackSeen) {
+			t.Fatalf("primary never registered the ack (at %d)", acked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Compaction runs on the run loop at the next checkpoint. Poll until
+	// the backlog shrinks.
+	deadline := time.Now().Add(10 * time.Second)
+	i := 300
+	for segCount(t, pdir) >= held {
+		if time.Now().After(deadline) {
+			t.Fatalf("WAL backlog never compacted after ack: still %d segments", segCount(t, pdir))
+		}
+		if i < len(edges) {
+			pushAll(t, ing, edges[i:i+1])
+			i++
+		}
+		if err := ing.Checkpoint(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPromoteResumesIntake: after primary loss the promoted replica
+// seals the replicated tail under a new epoch, keeps accepting edges,
+// and the final state over replicated-prefix + post-promotion suffix is
+// byte-identical to the offline scan over the whole sequence.
+func TestPromoteResumesIntake(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(74))
+	edges := testLog(rng, 30, 600)
+	pdir, rdir := t.TempDir(), t.TempDir()
+
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing, HeartbeatEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := make(chan struct{}, 1)
+	rep, err := NewReplica(ReplicaConfig{
+		Dir: rdir, PrimaryAddr: p.Addr(), ChunkEdges: 50, CheckpointEvery: -1,
+		OnPrimaryLost: func() {
+			select {
+			case lost <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close(ctx)
+	pushAll(t, ing, edges[:300])
+	waitPos(t, rep, 300, 10*time.Second)
+
+	// Primary dies.
+	p.Close()
+	if err := ing.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-lost:
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnPrimaryLost never fired")
+	}
+
+	if err := rep.Promote(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Promoted() {
+		t.Fatal("Promoted() false after Promote")
+	}
+	if got := rep.Ingester().Epoch(); got != 1 {
+		t.Fatalf("promoted epoch %d, want 1", got)
+	}
+	// The sealed promotion checkpoint covers exactly the replicated
+	// prefix.
+	if !bytes.Equal(ckptBytes(t, rdir), offlineBytes(t, edges[:300], 20, 4)) {
+		t.Fatal("promotion checkpoint differs from offline scan over the replicated prefix")
+	}
+
+	// Intake resumes on the promoted replica.
+	pushAll(t, rep.Ingester(), edges[300:])
+	if err := rep.Ingester().Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckptBytes(t, rdir), offlineBytes(t, edges, 20, 4)) {
+		t.Fatal("post-promotion state differs from offline scan over the full sequence")
+	}
+}
+
+// TestFencedStalePrimary: a peer presenting a newer epoch fences the
+// primary — it answers Fenced and flags itself so the embedding layer
+// stops routing writes to it.
+func TestFencedStalePrimary(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(75))
+	pdir := t.TempDir()
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close(ctx)
+	pushAll(t, ing, testLog(rng, 30, 50))
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	fake := attachFake(t, p.Addr(), 3)
+	defer fake.conn.Close()
+	fake.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	payload, err := readFrame(fake.br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != frError {
+		t.Fatalf("expected Error frame, got type %d", payload[0])
+	}
+	em, err := decodeError(payload[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.code != ErrCodeFenced {
+		t.Fatalf("error code %d, want Fenced (%d)", em.code, ErrCodeFenced)
+	}
+	if !p.Fenced() {
+		t.Fatal("primary did not flag itself fenced")
+	}
+}
+
+// TestOldPrimaryReattachesViaResync: a stale primary's directory (old
+// epoch, possibly divergent tail) attached as a replica to the promoted
+// lineage is refused delta-sync and rebuilt from scratch — the safe
+// answer to divergence — and converges byte-identically.
+func TestOldPrimaryReattachesViaResync(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(76))
+	edges := testLog(rng, 30, 600)
+	pdir, rdir := t.TempDir(), t.TempDir()
+
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing, HeartbeatEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(ReplicaConfig{Dir: rdir, PrimaryAddr: p.Addr(), ChunkEdges: 50, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close(ctx)
+	pushAll(t, ing, edges[:300])
+	waitPos(t, rep, 300, 10*time.Second)
+	p.Close()
+	if err := ing.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Promote(ctx); err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, rep.Ingester(), edges[300:])
+
+	// The promoted replica now serves as primary; the old primary's
+	// directory re-attaches as a replica of the new lineage.
+	p2, err := NewPrimary(PrimaryConfig{Ingester: rep.Ingester(), HeartbeatEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	old, err := NewReplica(ReplicaConfig{Dir: pdir, PrimaryAddr: p2.Addr(), Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close(ctx)
+	// Epoch 0 state against an epoch-1 primary: resync, then full sync.
+	waitPos(t, old, 600, 15*time.Second)
+	if err := old.Ingester().Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckptBytes(t, pdir), offlineBytes(t, edges, 20, 4)) {
+		t.Fatal("re-attached old primary differs from offline scan")
+	}
+	if old.Ingester().Epoch() != 1 {
+		t.Fatalf("re-synced old primary runs epoch %d, want 1", old.Ingester().Epoch())
+	}
+}
+
+// TestControllerPromotesMostCaughtUp: on primary loss the controller
+// waits out the timeout, then promotes the replica with the highest
+// applied position; the promoted checkpoint matches the offline scan
+// over its prefix.
+func TestControllerPromotesMostCaughtUp(t *testing.T) {
+	ctx := testCtx(t)
+	rng := rand.New(rand.NewSource(77))
+	edges := testLog(rng, 30, 400)
+	pdir := t.TempDir()
+
+	ing, err := stream.New(stream.Config{Dir: pdir, Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPrimary(PrimaryConfig{Ingester: ing, HeartbeatEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := make([]*Replica, 2)
+	dirs := make([]string, 2)
+	for i := range reps {
+		dirs[i] = t.TempDir()
+		reps[i], err = NewReplica(ReplicaConfig{Dir: dirs[i], PrimaryAddr: p.Addr(), ChunkEdges: 50, CheckpointEvery: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reps[i].Close(ctx)
+	}
+	ctl, err := NewController(ControllerConfig{Replicas: reps, Timeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Stop()
+
+	pushAll(t, ing, edges)
+	for _, r := range reps {
+		waitPos(t, r, 400, 10*time.Second)
+	}
+	if ctl.Promoted() != nil {
+		t.Fatal("controller promoted while the primary was alive")
+	}
+
+	// Primary loss; the controller must fail over within its timeout
+	// plus promotion time.
+	p.Close()
+	if err := ing.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ctl.Promoted() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("controller never promoted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	winner := ctl.Promoted()
+	if winner.Position() != 400 {
+		t.Fatalf("promoted replica at position %d, want 400", winner.Position())
+	}
+	var wdir string
+	for i, r := range reps {
+		if r == winner {
+			wdir = dirs[i]
+		}
+	}
+	if !bytes.Equal(ckptBytes(t, wdir), offlineBytes(t, edges, 20, 4)) {
+		t.Fatal("promoted checkpoint differs from offline scan")
+	}
+}
+
+// TestProtoRoundTrip pins the frame codec: every message survives
+// encode/decode, and a corrupted frame is rejected by checksum.
+func TestProtoRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	msgs := [][]byte{
+		helloMsg{version: 1, epoch: 7, pos: 12345, omega: 20, precision: 4, fresh: true}.encode(),
+		metaMsg{version: 1, epoch: 7, omega: 20, precision: 4, startPos: 99, firstChunk: 2, chunkCount: 3, metaJSON: []byte(`{"edges":9}`)}.encode(),
+		chunkMsg{index: 5, data: []byte("sidecar-bytes")}.encode(),
+		edgesMsg{base: 42, record: []byte{1, 2, 3}}.encode(),
+		heartbeatMsg{epoch: 7, pos: 10000}.encode(),
+		ackMsg{pos: 9999, lastAt: -5}.encode(),
+		errorMsg{code: ErrCodeResync, msg: "go resync"}.encode(),
+	}
+	for _, m := range msgs {
+		if err := writeFrame(bw, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range msgs {
+		got, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d corrupted in transit", i)
+		}
+	}
+	h, err := decodeHello(msgs[0][1:])
+	if err != nil || h.epoch != 7 || h.pos != 12345 || !h.fresh {
+		t.Fatalf("hello round trip: %+v, %v", h, err)
+	}
+	a, err := decodeAck(msgs[5][1:])
+	if err != nil || a.pos != 9999 || a.lastAt != -5 {
+		t.Fatalf("ack round trip: %+v, %v", a, err)
+	}
+	// Flip one payload byte: the checksum must catch it.
+	raw := buf.Bytes()
+	raw[frameHeader+1] ^= 0x40
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}

@@ -1,0 +1,742 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipin/internal/core"
+	"ipin/internal/obs"
+	"ipin/internal/stream"
+	"ipin/internal/trace"
+)
+
+// ReplicaConfig parameterizes a Replica. Dir and PrimaryAddr are
+// required. The sketch coordinates (Omega, Precision) and pipeline
+// shape are adopted from the primary's Meta frame when the directory is
+// empty; when set they are validated against it instead. For
+// byte-identical checkpoints under retention, ChunkEdges and Retain
+// must match the primary's (chunk boundaries decide what retires).
+type ReplicaConfig struct {
+	// Dir is the replica's own state directory: it keeps its own WAL,
+	// sidecars, and checkpoints, so a promoted replica is a fully
+	// recoverable primary with no further copying.
+	Dir string
+	// PrimaryAddr is the primary's replication listen address.
+	PrimaryAddr string
+
+	// Omega, Precision, NumNodes, ChunkEdges, CheckpointEvery,
+	// CheckpointEdges, SegmentBytes, SyncEvery, Retain, ProfileWindow and
+	// TopK mirror stream.Config; zero values adopt the primary's
+	// coordinates (Omega, Precision) or the stream defaults.
+	Omega           int64
+	Precision       int
+	NumNodes        int
+	ChunkEdges      int
+	CheckpointEvery time.Duration
+	CheckpointEdges int
+	SegmentBytes    int64
+	SyncEvery       int
+	Retain          int64
+	ProfileWindow   int64
+	TopK            int
+
+	// HeartbeatTimeout is the read deadline per frame: with the primary
+	// heartbeating every 500ms, no frame for this long means the primary
+	// is gone. 0 selects 2s.
+	HeartbeatTimeout time.Duration
+	// ReconnectEvery is the pause between attach attempts; 0 selects 250ms.
+	ReconnectEvery time.Duration
+	// DialTimeout bounds each dial; 0 selects 1s.
+	DialTimeout time.Duration
+
+	// Publish receives each folded checkpoint of the replica's own
+	// ingester — wire it to a read-only serve.Server for replica reads.
+	Publish func(*core.ApproxSummaries)
+	// Registry receives the repl_* replica metrics; nil disables them.
+	Registry *obs.Registry
+	// Journal, when non-nil, receives sync/lost/promote lifecycle events.
+	Journal *trace.Journal
+	// OnPrimaryLost fires (from the tailer goroutine) once per
+	// connected-to-lost transition — the hook a failover controller or an
+	// alerting layer attaches to.
+	OnPrimaryLost func()
+}
+
+// Replica tails a primary: it bootstraps its state directory from the
+// shipped snapshot (or recovers its own), applies the replicated edge
+// sequence through its own zero-slack ingester, acknowledges positions,
+// and keeps reconnecting until promoted or closed.
+type Replica struct {
+	cfg ReplicaConfig
+	mx  *replicaMetrics
+	jr  *trace.Journal
+
+	ing       atomic.Pointer[stream.Ingester]
+	ready     chan struct{} // closed once the ingester exists
+	readyOnce sync.Once
+
+	pos       atomic.Int64 // edges applied into the local pipeline (emit index)
+	appliedAt atomic.Int64 // timestamp of the last applied edge
+
+	lastContact  atomic.Int64 // unix nanos of the last frame from the primary; 0 = never
+	sessionLive  atomic.Bool  // an established connection to the primary exists right now
+	primaryPos   atomic.Int64
+	primaryEpoch atomic.Uint64
+
+	promoted atomic.Bool
+	failErr  atomic.Pointer[error]
+
+	connMu sync.Mutex
+	conn   net.Conn
+
+	// wmu serializes frame writes on the current session's connection:
+	// the frame loop's applied acks and the keepalive ticker's liveness
+	// acks share one bufio.Writer.
+	wmu sync.Mutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	// connected is tailer-goroutine local: whether the current session
+	// completed its sync plan (drives the once-per-transition lost hook).
+	connected bool
+}
+
+// NewReplica opens (or prepares to bootstrap) the replica state
+// directory and starts the tailer. When Dir already holds state the
+// local ingester recovers immediately — the replica serves its
+// pre-crash coverage while it delta-syncs; an empty Dir waits for the
+// primary's snapshot.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("repl: ReplicaConfig.Dir is required")
+	}
+	if cfg.PrimaryAddr == "" {
+		return nil, fmt.Errorf("repl: ReplicaConfig.PrimaryAddr is required")
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 2 * time.Second
+	}
+	if cfg.ReconnectEvery <= 0 {
+		cfg.ReconnectEvery = 250 * time.Millisecond
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Second
+	}
+	r := &Replica{
+		cfg:   cfg,
+		mx:    newReplicaMetrics(cfg.Registry),
+		jr:    cfg.Journal,
+		ready: make(chan struct{}),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	r.appliedAt.Store(math.MinInt64)
+	cfg.Registry.GaugeFunc(MetricReplicaLag, "Edges the replica trails the primary's emit clock by.", func() int64 {
+		if lag := r.primaryPos.Load() - r.pos.Load(); lag > 0 {
+			return lag
+		}
+		return 0
+	})
+	if hasState(cfg.Dir) {
+		ing, err := r.openIngester(cfg.Omega, cfg.Precision, 0)
+		if err != nil {
+			return nil, err
+		}
+		r.adopt(ing)
+	}
+	go r.tail()
+	return r, nil
+}
+
+// hasState reports whether a directory holds recoverable pipeline state.
+func hasState(dir string) bool {
+	if _, err := os.Stat(filepath.Join(dir, stream.CheckpointMetaName)); err == nil {
+		return true
+	}
+	for _, pat := range []string{"wal-*.seg", "chunk-*.blk"} {
+		if names, _ := filepath.Glob(filepath.Join(dir, pat)); len(names) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// openIngester opens the replica's own pipeline over Dir. Slack is
+// always zero: the replicated sequence is the primary's emitted order,
+// strictly increasing by construction.
+func (r *Replica) openIngester(omega int64, precision int, epoch uint64) (*stream.Ingester, error) {
+	if info, ok := stream.ReadCheckpointInfo(r.cfg.Dir); ok {
+		if omega == 0 {
+			omega = info.Omega
+		}
+		if precision == 0 {
+			precision = info.Precision
+		}
+	}
+	if omega == 0 {
+		return nil, fmt.Errorf("repl: Omega unknown: directory %s has no checkpoint and ReplicaConfig.Omega is zero", r.cfg.Dir)
+	}
+	return stream.New(stream.Config{
+		Dir:             r.cfg.Dir,
+		Omega:           omega,
+		Precision:       precision,
+		NumNodes:        r.cfg.NumNodes,
+		Slack:           0,
+		ChunkEdges:      r.cfg.ChunkEdges,
+		CheckpointEvery: r.cfg.CheckpointEvery,
+		CheckpointEdges: r.cfg.CheckpointEdges,
+		SegmentBytes:    r.cfg.SegmentBytes,
+		SyncEvery:       r.cfg.SyncEvery,
+		Retain:          r.cfg.Retain,
+		ProfileWindow:   r.cfg.ProfileWindow,
+		TopK:            r.cfg.TopK,
+		Epoch:           epoch,
+		Publish:         r.cfg.Publish,
+		Registry:        r.cfg.Registry,
+		Journal:         r.cfg.Journal,
+	})
+}
+
+// adopt installs a freshly opened ingester and aligns the apply clock
+// with what it recovered.
+func (r *Replica) adopt(ing *stream.Ingester) {
+	st := ing.Stats()
+	r.pos.Store(st.Emitted)
+	if st.Emitted > 0 {
+		r.appliedAt.Store(st.LastAt)
+	} else {
+		r.appliedAt.Store(math.MinInt64)
+	}
+	r.ing.Store(ing)
+	r.readyOnce.Do(func() { close(r.ready) })
+}
+
+// Ingester returns the replica's local pipeline, nil until the first
+// sync plan lands (WaitReady blocks for it). After Promote it is the
+// new primary's intake.
+func (r *Replica) Ingester() *stream.Ingester { return r.ing.Load() }
+
+// WaitReady blocks until the replica has a local ingester (recovered or
+// bootstrapped), the tailer died on a terminal error, or ctx expires.
+func (r *Replica) WaitReady(ctx context.Context) error {
+	select {
+	case <-r.ready:
+		return nil
+	case <-r.done:
+		if err := r.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("repl: replica stopped before syncing")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Position returns the number of replicated edges applied into the
+// local pipeline — the replica's emit clock, comparable across replicas
+// to pick the most caught-up one.
+func (r *Replica) Position() int64 { return r.pos.Load() }
+
+// PrimaryPosition returns the primary's emit clock as of the last
+// heartbeat (0 before the first).
+func (r *Replica) PrimaryPosition() int64 { return r.primaryPos.Load() }
+
+// LastContact returns when the last frame arrived from the primary, the
+// zero time if no session ever delivered one.
+func (r *Replica) LastContact() time.Time {
+	at := r.lastContact.Load()
+	if at == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, at)
+}
+
+// SessionLive reports whether the replica currently holds an
+// established connection to the primary. It is the liveness complement
+// to LastContact: LastContact only advances when the frame loop reads a
+// frame, so it goes stale whenever the replica is busy applying (a
+// checkpoint fold can park the loop for seconds). A live session means
+// a primary completed the handshake on the other end and the keepalive
+// writer has not seen the connection fail — evidence the primary is up
+// even when no frame has been read recently.
+func (r *Replica) SessionLive() bool { return r.sessionLive.Load() }
+
+// Promoted reports whether Promote completed on this replica.
+func (r *Replica) Promoted() bool { return r.promoted.Load() }
+
+// Err returns the tailer's terminal error, nil while it keeps retrying.
+func (r *Replica) Err() error {
+	if p := r.failErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Promote turns this replica into a primary: it stops the tailer,
+// advances the local WAL epoch past everything seen (sealing the
+// replicated tail and fencing the old primary out of this lineage), and
+// cuts a checkpoint so the promoted coverage is published before the
+// first post-promotion write. The ingester keeps running — intake
+// resumes at the replicated position by pushing into Ingester().
+func (r *Replica) Promote(ctx context.Context) error {
+	if r.promoted.Load() {
+		return nil
+	}
+	r.stopTail()
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	ing := r.ing.Load()
+	if ing == nil {
+		return fmt.Errorf("repl: cannot promote a replica that never synced")
+	}
+	start := time.Now()
+	epoch := r.primaryEpoch.Load()
+	if e := ing.Epoch(); e > epoch {
+		epoch = e
+	}
+	if err := ing.AdvanceEpoch(ctx, epoch+1); err != nil {
+		return err
+	}
+	if err := ing.Checkpoint(ctx); err != nil {
+		return err
+	}
+	r.promoted.Store(true)
+	r.mx.promotions.Inc()
+	r.jr.Record(trace.EventReplPromote, "", time.Since(start), map[string]any{
+		"epoch": epoch + 1, "pos": r.pos.Load(), "last_at": r.appliedAt.Load(),
+	})
+	return nil
+}
+
+// Close stops the tailer and shuts the local ingester down (final
+// checkpoint included). A promoted replica's ingester is closed too —
+// callers that handed it to a Primary close that first.
+func (r *Replica) Close(ctx context.Context) error {
+	r.stopTail()
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if ing := r.ing.Load(); ing != nil {
+		return ing.Close(ctx)
+	}
+	return nil
+}
+
+func (r *Replica) stopTail() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.connMu.Lock()
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.connMu.Unlock()
+}
+
+func (r *Replica) setConn(c net.Conn) {
+	r.connMu.Lock()
+	r.conn = c
+	r.connMu.Unlock()
+}
+
+// terminal marks an unrecoverable error: retrying cannot fix a config
+// mismatch or a corrupt local state, so the tailer stops.
+func (r *Replica) terminal(err error) error {
+	r.failErr.Store(&err)
+	return err
+}
+
+// lost records a connected-to-lost transition, once per transition.
+func (r *Replica) lost(cause string, err error) {
+	if !r.connected {
+		return
+	}
+	r.connected = false
+	r.mx.primaryLost.Inc()
+	fieldsMap := map[string]any{"pos": r.pos.Load()}
+	if err != nil {
+		fieldsMap["error"] = err.Error()
+	}
+	r.jr.Record(trace.EventReplLost, cause, 0, fieldsMap)
+	if r.cfg.OnPrimaryLost != nil {
+		r.cfg.OnPrimaryLost()
+	}
+}
+
+// tail is the reconnect loop: one session at a time, a fixed pause
+// between attempts, until stopped or terminally failed.
+func (r *Replica) tail() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		r.session()
+		if r.Err() != nil {
+			return
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(r.cfg.ReconnectEvery):
+		}
+	}
+}
+
+// session runs one attach: handshake, sync plan, then the frame loop
+// until the connection dies, the primary refuses, or the replica stops.
+func (r *Replica) session() {
+	conn, err := net.DialTimeout("tcp", r.cfg.PrimaryAddr, r.cfg.DialTimeout)
+	if err != nil {
+		r.lost("dial", err)
+		return
+	}
+	r.setConn(conn)
+	defer func() {
+		r.sessionLive.Store(false)
+		conn.Close()
+		r.setConn(nil)
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := bw.WriteString(protoMagic); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	var magic [len(protoMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		r.lost("handshake", err)
+		return
+	}
+	if string(magic[:]) != protoMagic {
+		r.terminal(fmt.Errorf("repl: %s is not a replication primary (magic %q)", r.cfg.PrimaryAddr, magic))
+		return
+	}
+	// The primary's magic arrived, so a live primary is on the other end
+	// of this connection. Session liveness is a separate signal from
+	// LastContact: the frame loop stamps LastContact only when it reads,
+	// and a replica buried in a multi-second checkpoint fold reads
+	// nothing — a failover controller must not mistake that for primary
+	// loss while the session is still up.
+	r.sessionLive.Store(true)
+	hello := helloMsg{version: protoVersion}
+	if ing := r.ing.Load(); ing != nil {
+		hello.epoch = ing.Epoch()
+		hello.pos = uint64(r.pos.Load())
+		hello.omega = uint64(ing.Omega())
+		hello.precision = uint64(ing.Precision())
+	} else {
+		hello.fresh = true
+		hello.omega = uint64(r.cfg.Omega)
+		hello.precision = uint64(r.cfg.Precision)
+	}
+	if err := writeFrame(bw, hello.encode()); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	// Liveness acks flow on their own clock from here: applying a frame
+	// can disappear into a multi-second checkpoint fold, and the primary
+	// must not read that as a dead replica.
+	kaStop := make(chan struct{})
+	kaDone := make(chan struct{})
+	go func() {
+		defer close(kaDone)
+		r.keepalive(conn, bw, kaStop)
+	}()
+	defer func() {
+		close(kaStop)
+		<-kaDone
+	}()
+
+	// Bootstrap state for a fresh session: the Meta frame's plan and how
+	// many Chunk frames it still owes before the ingester can open.
+	var bootstrap *metaMsg
+	pendingChunks := 0
+	syncStart := time.Now()
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(r.cfg.HeartbeatTimeout))
+		payload, err := readFrame(br)
+		if err != nil {
+			select {
+			case <-r.stop:
+			default:
+				r.lost("read", err)
+			}
+			return
+		}
+		if len(payload) == 0 {
+			r.lost("frame", fmt.Errorf("empty frame"))
+			return
+		}
+		r.lastContact.Store(time.Now().UnixNano())
+		switch payload[0] {
+		case frMeta:
+			m, err := decodeMeta(payload[1:])
+			if err != nil {
+				r.lost("frame", err)
+				return
+			}
+			if m.version != protoVersion {
+				r.terminal(fmt.Errorf("repl: primary speaks protocol version %d", m.version))
+				return
+			}
+			r.primaryEpoch.Store(m.epoch)
+			if ing := r.ing.Load(); ing != nil {
+				if int64(m.startPos) != r.pos.Load() {
+					r.lost("frame", fmt.Errorf("sync plan resumes at %d, replica is at %d", m.startPos, r.pos.Load()))
+					return
+				}
+				r.connected = true
+				r.jr.Record(trace.EventReplSync, "delta", time.Since(syncStart), map[string]any{
+					"pos": r.pos.Load(), "epoch": m.epoch,
+				})
+				continue
+			}
+			if len(m.metaJSON) > 0 {
+				if err := stream.WriteShippedMeta(r.cfg.Dir, m.metaJSON); err != nil {
+					r.terminal(err)
+					return
+				}
+			}
+			pendingChunks = int(m.chunkCount)
+			bootstrap = &m
+			if pendingChunks == 0 {
+				if !r.finishBootstrap(bootstrap, syncStart) {
+					return
+				}
+				bootstrap = nil
+			}
+		case frChunk:
+			if bootstrap == nil || pendingChunks <= 0 {
+				r.lost("frame", fmt.Errorf("unexpected Chunk frame"))
+				return
+			}
+			c, err := decodeChunk(payload[1:])
+			if err != nil {
+				r.lost("frame", err)
+				return
+			}
+			if err := stream.WriteShippedChunk(r.cfg.Dir, int(c.index), c.data); err != nil {
+				r.terminal(err)
+				return
+			}
+			pendingChunks--
+			if pendingChunks == 0 {
+				if !r.finishBootstrap(bootstrap, syncStart) {
+					return
+				}
+				bootstrap = nil
+			}
+		case frEdges:
+			ing := r.ing.Load()
+			if ing == nil {
+				r.lost("frame", fmt.Errorf("Edges frame before the sync plan completed"))
+				return
+			}
+			em, err := decodeEdges(payload[1:])
+			if err != nil {
+				r.lost("frame", err)
+				return
+			}
+			edges, err := stream.DecodeBatch(em.record)
+			if err != nil {
+				r.lost("frame", err)
+				return
+			}
+			base := int64(em.base)
+			pos := r.pos.Load()
+			if base+int64(len(edges)) <= pos {
+				continue // overlap with what the snapshot already covered
+			}
+			if base > pos {
+				r.lost("frame", fmt.Errorf("edge gap: replica at %d, frame starts at %d", pos, base))
+				return
+			}
+			fresh := edges[pos-base:]
+			for _, e := range fresh {
+				if err := ing.Push(e); err != nil {
+					r.terminal(err)
+					return
+				}
+				pos++
+				r.appliedAt.Store(int64(e.At))
+			}
+			r.pos.Store(pos)
+			r.mx.applied.Add(int64(len(fresh)))
+			if !r.ack(conn, bw) {
+				return
+			}
+		case frHeartbeat:
+			hb, err := decodeHeartbeat(payload[1:])
+			if err != nil {
+				r.lost("frame", err)
+				return
+			}
+			r.primaryEpoch.Store(hb.epoch)
+			r.primaryPos.Store(int64(hb.pos))
+			if !r.ack(conn, bw) {
+				return
+			}
+		case frError:
+			em, err := decodeError(payload[1:])
+			if err != nil {
+				r.lost("frame", err)
+				return
+			}
+			switch em.code {
+			case ErrCodeResync:
+				r.mx.resyncs.Inc()
+				if err := r.resync(); err != nil {
+					r.terminal(err)
+				}
+				return
+			case ErrCodeFenced:
+				// The primary thinks WE are ahead — nothing to tail there.
+				// Keep retrying quietly: either it catches up (re-attached
+				// old primary) or the operator re-points us.
+				return
+			default:
+				r.terminal(fmt.Errorf("repl: primary refused: %s", em.msg))
+				return
+			}
+		default:
+			r.lost("frame", fmt.Errorf("unknown frame type %d", payload[0]))
+			return
+		}
+	}
+}
+
+// finishBootstrap opens the local ingester over the shipped files and
+// verifies recovery landed exactly at the plan's resume position.
+func (r *Replica) finishBootstrap(m *metaMsg, syncStart time.Time) bool {
+	ing, err := r.openIngester(int64(m.omega), int(m.precision), m.epoch)
+	if err != nil {
+		r.terminal(err)
+		return false
+	}
+	if got := ing.Stats().Emitted; got != int64(m.startPos) {
+		ing.Close(context.Background())
+		r.terminal(fmt.Errorf("repl: bootstrap recovered %d edges, sync plan resumes at %d", got, m.startPos))
+		return false
+	}
+	if r.cfg.Omega != 0 && r.cfg.Omega != int64(m.omega) {
+		ing.Close(context.Background())
+		r.terminal(fmt.Errorf("repl: configured Omega %d, primary runs %d", r.cfg.Omega, m.omega))
+		return false
+	}
+	r.adopt(ing)
+	r.connected = true
+	r.jr.Record(trace.EventReplSync, "bootstrap", time.Since(syncStart), map[string]any{
+		"pos": r.pos.Load(), "epoch": m.epoch, "chunks": m.chunkCount,
+	})
+	return true
+}
+
+// ack reports the applied position; false ends the session. The write
+// deadline bounds a wedged peer: an ack that cannot drain within the
+// handshake budget means the connection is dead, not slow.
+func (r *Replica) ack(conn net.Conn, bw *bufio.Writer) bool {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	msg := ackMsg{pos: uint64(r.pos.Load()), lastAt: r.appliedAt.Load()}
+	if err := writeFrame(bw, msg.encode()); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+// ackKeepaliveEvery is the cadence of the session's liveness acks: the
+// keepalive goroutine re-acknowledges the current position this often
+// even when the frame loop is parked inside a long Push (a checkpoint
+// fold), so the primary's AckTimeout measures whether the replica
+// process is alive — not whether its current fold is shorter than the
+// timeout. Must stay comfortably under the smallest sane AckTimeout.
+const ackKeepaliveEvery = time.Second
+
+// keepalive re-acks the applied position on a timer until stopped. A
+// failed write closes the connection so the frame loop (possibly deep
+// inside a fold) observes the loss on its next read instead of applying
+// into a session the primary has already dropped.
+func (r *Replica) keepalive(conn net.Conn, bw *bufio.Writer, stop <-chan struct{}) {
+	tick := time.NewTicker(ackKeepaliveEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if r.ing.Load() == nil {
+				continue // mid-bootstrap: no position to vouch for yet
+			}
+			if !r.ack(conn, bw) {
+				// The conn is gone even though the frame loop may be deep
+				// inside a fold and unable to notice for a while: clear
+				// session liveness here so a failover controller sees the
+				// loss on the keepalive clock, not the fold's.
+				r.sessionLive.Store(false)
+				conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// resync discards the local state so the next attach bootstraps fresh:
+// the primary retained nothing that can bridge our position (retention
+// outran us, or an epoch we never saw fenced our lineage).
+func (r *Replica) resync() error {
+	if ing := r.ing.Load(); ing != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := ing.Close(ctx)
+		cancel()
+		r.ing.Store(nil)
+		if err != nil {
+			return err
+		}
+	}
+	for _, pat := range []string{"wal-*.seg", "chunk-*.blk", "*.tmp"} {
+		names, err := filepath.Glob(filepath.Join(r.cfg.Dir, pat))
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			if err := os.Remove(name); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	for _, name := range []string{stream.CheckpointName, stream.CheckpointMetaName} {
+		if err := os.Remove(filepath.Join(r.cfg.Dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	r.pos.Store(0)
+	r.appliedAt.Store(math.MinInt64)
+	r.jr.Record(trace.EventReplSync, "resync", 0, map[string]any{"dir": r.cfg.Dir})
+	return nil
+}

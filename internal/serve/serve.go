@@ -82,6 +82,12 @@ type Config struct {
 	// SnapshotPath, when set, is the IRX1 summary file Reload and the
 	// /admin/reload route re-read.
 	SnapshotPath string
+	// ReadOnly marks this server as a replica's read-only view: snapshots
+	// arrive only through the in-process publish path (LoadApprox from
+	// the replication apply loop), and the mutating admin surface
+	// (/admin/reload) answers 403 instead of swapping state underneath
+	// the replicated lineage.
+	ReadOnly bool
 	// Registry receives the serving metrics; nil disables them.
 	Registry *obs.Registry
 	// Tracer, when non-nil, is stamped serve-visible after every snapshot
@@ -432,6 +438,10 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) reload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, &requestError{status: http.StatusMethodNotAllowed, msg: "POST required"})
+		return
+	}
+	if s.cfg.ReadOnly {
+		writeError(w, &requestError{status: http.StatusForbidden, msg: "read-only replica: snapshots arrive via replication"})
 		return
 	}
 	if err := s.Reload(); err != nil {

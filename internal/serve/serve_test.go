@@ -439,3 +439,25 @@ func TestShardedStoreMatchesOracle(t *testing.T) {
 		}
 	}
 }
+
+// TestReadOnlyRefusesReload: a replica's read-only view refuses the
+// mutating admin surface — snapshots arrive only through the in-process
+// publish path — while query routes keep answering.
+func TestReadOnlyRefusesReload(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: 4, SnapshotPath: "/nonexistent/irs.bin", ReadOnly: true})
+	h := s.Handler()
+	req := httptest.NewRequest(http.MethodPost, "/admin/reload", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("/admin/reload on a read-only server: %d, want 403", rec.Code)
+	}
+	if code, _, _ := get(t, h, "/influence?node=0"); code != http.StatusOK {
+		t.Fatal("read-only server stopped answering queries")
+	}
+	// The publish path still works: that is how replication feeds it.
+	s.LoadApprox(testApprox(t))
+	if g := s.Generation(); g != 2 {
+		t.Fatalf("generation after publish = %d, want 2", g)
+	}
+}

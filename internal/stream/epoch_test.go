@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestFutureEpochErrorOnStaleOpen: a writer asserting an epoch older
+// than what the directory's WAL headers carry must be refused with the
+// typed *FutureEpochError — never silently truncated or appended over —
+// while adopting (Epoch 0) or asserting the current/newer epoch works.
+func TestFutureEpochErrorOnStaleOpen(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rng := rand.New(rand.NewSource(61))
+	edges := testLog(rng, 30, 200)
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1}
+
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := in.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.AdvanceEpoch(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stale writer asserting epoch 1 against an epoch-2 directory.
+	stale := cfg
+	stale.Epoch = 1
+	if _, err := New(stale); err == nil {
+		t.Fatal("stale-epoch open succeeded; want *FutureEpochError")
+	} else {
+		var fe *FutureEpochError
+		if !errors.As(err, &fe) {
+			t.Fatalf("stale-epoch open failed with %T (%v); want *FutureEpochError", err, err)
+		}
+		if fe.Epoch != 2 || fe.Asserted != 1 || fe.Segment == "" {
+			t.Fatalf("FutureEpochError fields: %+v", fe)
+		}
+	}
+
+	// Epoch 0 adopts the directory's epoch; no data is lost.
+	in, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Epoch(); got != 2 {
+		t.Fatalf("adopted epoch %d, want 2", got)
+	}
+	if got := in.Stats().Emitted; got != int64(len(edges)) {
+		t.Fatalf("recovered %d edges, want %d", got, len(edges))
+	}
+	if err := in.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Asserting an epoch ahead of the directory rotates it forward.
+	ahead := cfg
+	ahead.Epoch = 5
+	in, err = New(ahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Epoch(); got != 5 {
+		t.Fatalf("asserted-ahead epoch %d, want 5", got)
+	}
+	if err := in.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvanceEpochPreservesFold: an epoch advance mid-stream is a pure
+// fencing event — the fold over edges before and after it recovers
+// byte-identically to the offline scan, and the epoch survives both
+// recovery and the checkpoint metadata.
+func TestAdvanceEpochPreservesFold(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rng := rand.New(rand.NewSource(62))
+	edges := testLog(rng, 30, 600)
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Omega: 20, Precision: 4, ChunkEdges: 50, CheckpointEvery: -1}
+
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges[:300] {
+		if err := in.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.AdvanceEpoch(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AdvanceEpoch(ctx, 1); err == nil {
+		t.Fatal("non-advancing epoch accepted")
+	}
+	for _, e := range edges[300:] {
+		if err := in.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	published, in2 := recoverPublished(t, dir, cfg)
+	defer in2.Close(ctx)
+	if got := in2.Epoch(); got != 1 {
+		t.Fatalf("recovered epoch %d, want 1", got)
+	}
+	if !bytes.Equal(summaryBytes(t, published), offlineBytes(t, edges, 0, 20, 4)) {
+		t.Fatal("fold across an epoch advance differs from offline scan")
+	}
+	info, ok := ReadCheckpointInfo(dir)
+	if !ok {
+		t.Fatal("no checkpoint meta after close")
+	}
+	if info.Epoch != 1 {
+		t.Fatalf("checkpoint meta epoch %d, want 1", info.Epoch)
+	}
+}

@@ -32,7 +32,6 @@ package stream
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -89,6 +88,12 @@ type Config struct {
 	// SegmentBytes and SyncEvery configure the WAL (see WALConfig).
 	SegmentBytes int64
 	SyncEvery    int
+	// Epoch, when > 0, asserts the replication fencing epoch this
+	// ingester believes it owns: New fails with *FutureEpochError if the
+	// directory holds WAL segments from a later epoch (it was taken over
+	// by a promoted replica), and rotates the directory up to Epoch if it
+	// is behind. 0 adopts the directory's epoch. See WALConfig.Epoch.
+	Epoch uint64
 	// ProfileWindow, when > 0, additionally maintains sliding-window
 	// out-neighborhood profiles (internal/swhll) over the emitted stream,
 	// exposed through the live Hot/TopK view and, exactly, after Close.
@@ -186,11 +191,19 @@ type Ingester struct {
 
 	intake  chan graph.Interaction
 	force   chan chan error // forced Checkpoint requests
+	advance chan advanceReq // AdvanceEpoch requests (replica promotion)
 	stopped chan struct{}   // closed when the run loop must exit
 	done    chan struct{}   // closed when the run loop has exited
 	stopMu  sync.Mutex
 	closed  bool
 	runErr  atomic.Pointer[error]
+
+	// Replication hooks, set by internal/repl. emitSink observes every
+	// emitted batch on the run loop; walFloor caps WAL compaction at the
+	// replicas' acknowledged position.
+	emitSink atomic.Pointer[func(base int64, batch []graph.Interaction)]
+	walFloor atomic.Pointer[func() int64]
+	epoch    atomic.Uint64
 
 	// Owned by the run loop.
 	buf            *reorder
@@ -241,6 +254,14 @@ type foldJob struct {
 	view  core.ChunkView
 	hot   []swhll.TopEntry
 	cause string
+	done  chan error
+}
+
+// advanceReq asks the run loop to advance the WAL fencing epoch — the
+// sealing step of replica promotion. done receives the result exactly
+// once.
+type advanceReq struct {
+	epoch uint64
 	done  chan error
 }
 
@@ -295,6 +316,7 @@ func New(cfg Config) (*Ingester, error) {
 		jr:      cfg.Journal,
 		intake:  make(chan graph.Interaction, cfg.QueueDepth),
 		force:   make(chan chan error),
+		advance: make(chan advanceReq),
 		stopped: make(chan struct{}),
 		done:    make(chan struct{}),
 		folds:   make(chan foldJob),
@@ -376,11 +398,12 @@ func New(cfg Config) (*Ingester, error) {
 	// only the suffix past the sidecar coverage is new — the overlap (the
 	// segment that was active when the last sidecar batch landed) is
 	// skipped, and fully covered segments were already deleted.
-	wal, recovered, err := OpenWAL(cfg.Dir, WALConfig{SegmentBytes: cfg.SegmentBytes, SyncEvery: cfg.SyncEvery, Journal: cfg.Journal}, mx)
+	wal, recovered, err := OpenWAL(cfg.Dir, WALConfig{SegmentBytes: cfg.SegmentBytes, SyncEvery: cfg.SyncEvery, Journal: cfg.Journal, Epoch: cfg.Epoch}, mx)
 	if err != nil {
 		return nil, err
 	}
 	in.wal = wal
+	in.epoch.Store(wal.Epoch())
 	suffix := recovered
 	// The replay skip threshold is normally the last sidecar timestamp.
 	// When retirement deleted EVERY sidecar (the retained range is empty
@@ -498,13 +521,14 @@ func New(cfg Config) (*Ingester, error) {
 // RetiredEdges decode as zero from pre-retirement metadata, which reads
 // exactly as "nothing retired".
 type ckptMeta struct {
-	Edges        int64 `json:"edges"`
-	LastAt       int64 `json:"last_at"`
-	Chunks       int   `json:"chunks"`
-	FirstChunk   int   `json:"first_chunk"`
-	RetiredEdges int   `json:"retired_edges"`
-	Omega        int64 `json:"omega"`
-	Precision    int   `json:"precision"`
+	Edges        int64  `json:"edges"`
+	LastAt       int64  `json:"last_at"`
+	Chunks       int    `json:"chunks"`
+	FirstChunk   int    `json:"first_chunk"`
+	RetiredEdges int    `json:"retired_edges"`
+	Omega        int64  `json:"omega"`
+	Precision    int    `json:"precision"`
+	Epoch        uint64 `json:"epoch,omitempty"`
 }
 
 // readCheckpointMeta loads the checkpoint metadata sidecar, nil when it
@@ -516,14 +540,7 @@ func readCheckpointMeta(dir string) *ckptMeta {
 	if err != nil {
 		return nil
 	}
-	var meta ckptMeta
-	if json.Unmarshal(raw, &meta) != nil {
-		return nil
-	}
-	if meta.FirstChunk < 0 || meta.RetiredEdges < 0 || meta.Chunks < meta.FirstChunk {
-		return nil
-	}
-	return &meta
+	return decodeCkptMeta(raw)
 }
 
 // seedFoldCache primes the incremental fold cache from checkpoint.irx
@@ -639,11 +656,19 @@ func (in *Ingester) retireSidecars(view core.ChunkView) error {
 }
 
 // compactWAL deletes WAL segments whose edges are all covered by durable
-// chunk sidecars. Runs on the WAL's owning goroutine (the run loop, or
+// chunk sidecars — capped at the replication floor, so a segment a
+// connected replica has not yet acknowledged is never deleted even when
+// sidecars cover it (the retention floor is min(durable frontier,
+// replica ack)). Runs on the WAL's owning goroutine (the run loop, or
 // New before the loop starts); the compactor only publishes the covered
 // timestamp.
 func (in *Ingester) compactWAL() error {
 	at := in.durableAt.Load()
+	if fn := in.walFloor.Load(); fn != nil {
+		if f := (*fn)(); f < at {
+			at = f
+		}
+	}
 	if at <= in.walCompactedAt {
 		return nil
 	}
@@ -786,6 +811,37 @@ func (in *Ingester) run() {
 				fail(err)
 				return
 			}
+		case req := <-in.advance:
+			if req.epoch <= in.wal.Epoch() {
+				// A caller error, not a pipeline failure: refuse without
+				// killing the run loop.
+				req.done <- fmt.Errorf("stream: epoch %d does not advance past %d", req.epoch, in.wal.Epoch())
+				continue
+			}
+			// Absorb everything already queued so the sealed tail covers
+			// every edge accepted under the old epoch, then rotate into a
+			// segment stamped with the new one.
+		adv:
+			for {
+				select {
+				case e := <-in.intake:
+					in.take(e, &out)
+				default:
+					break adv
+				}
+			}
+			err := in.absorb(out)
+			if err == nil {
+				err = in.wal.AdvanceEpoch(req.epoch)
+			}
+			if err == nil {
+				in.epoch.Store(req.epoch)
+			}
+			req.done <- err
+			if err != nil {
+				fail(err)
+				return
+			}
 		case <-in.stopped:
 			// Final drain: edges already queued are accepted; then flush
 			// the buffer, seal, checkpoint, and stop the compactor.
@@ -865,6 +921,13 @@ func (in *Ingester) absorb(out []graph.Interaction) error {
 	in.emitted.Add(int64(len(out)))
 	in.mx.emitted.Add(int64(len(out)))
 	in.lastAt.Store(int64(out[len(out)-1].At))
+	if sink := in.emitSink.Load(); sink != nil {
+		// The batch is logged (appended, possibly not yet fsynced) before
+		// the sink sees it, so a replica can never apply an edge the
+		// primary's WAL has no record of. The sink runs on the run loop
+		// and must not retain the slice.
+		(*sink)(base, out)
+	}
 	if in.profiles != nil {
 		if err := in.profiles.ObserveBatch(out); err != nil {
 			return fmt.Errorf("stream: profiles: %w", err)
@@ -1125,9 +1188,9 @@ func (in *Ingester) writeCheckpoint(sum *core.ApproxSummaries, view core.ChunkVi
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
-	meta := fmt.Sprintf(`{"edges":%d,"last_at":%d,"nodes":%d,"omega":%d,"precision":%d,"chunks":%d,"first_chunk":%d,"retired_edges":%d,"fold_seconds":%.6f,"write_seconds":%.6f}`+"\n",
+	meta := fmt.Sprintf(`{"edges":%d,"last_at":%d,"nodes":%d,"omega":%d,"precision":%d,"chunks":%d,"first_chunk":%d,"retired_edges":%d,"epoch":%d,"fold_seconds":%.6f,"write_seconds":%.6f}`+"\n",
 		view.EdgeCount(), view.LastAt(), view.NumNodes(), in.cfg.Omega, in.cfg.Precision,
-		view.NumChunks(), view.FirstChunk(), view.RetiredEdges(), foldDur.Seconds(), time.Since(start).Seconds())
+		view.NumChunks(), view.FirstChunk(), view.RetiredEdges(), in.epoch.Load(), foldDur.Seconds(), time.Since(start).Seconds())
 	metaPath := filepath.Join(in.cfg.Dir, CheckpointMetaName)
 	if err := os.WriteFile(metaPath+".tmp", []byte(meta), 0o644); err != nil {
 		return err
@@ -1161,6 +1224,71 @@ func (in *Ingester) Checkpoint(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Omega returns the influence window the ingester folds under.
+func (in *Ingester) Omega() int64 { return in.cfg.Omega }
+
+// Precision returns the vHLL sketch precision (after defaulting).
+func (in *Ingester) Precision() int { return in.cfg.Precision }
+
+// Dir returns the ingester's state directory.
+func (in *Ingester) Dir() string { return in.cfg.Dir }
+
+// Epoch returns the replication fencing epoch the WAL is writing under:
+// 0 until a promotion ever touched this directory, and thereafter the
+// epoch asserted at open or set by the latest AdvanceEpoch.
+func (in *Ingester) Epoch() uint64 { return in.epoch.Load() }
+
+// AdvanceEpoch absorbs every edge accepted so far, seals the active WAL
+// segment, and starts a new one stamped with the given (strictly
+// greater) epoch. This is the fencing half of replica promotion: once it
+// returns, a writer still asserting the old epoch fails its next open of
+// this directory with *FutureEpochError, and the ingester keeps
+// accepting edges — now as the epoch's owner. ctx bounds the wait.
+func (in *Ingester) AdvanceEpoch(ctx context.Context, epoch uint64) error {
+	req := advanceReq{epoch: epoch, done: make(chan error, 1)}
+	select {
+	case in.advance <- req:
+	case <-in.done:
+		return errClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SetEmitSink installs (or, with nil, removes) the replication tap: fn
+// observes every emitted batch, on the run loop, with base the emit
+// index of batch[0], immediately after the batch was appended to the
+// WAL. fn must be fast and must not retain the slice — encode and hand
+// off. Batches emitted before the sink was installed are not replayed;
+// internal/repl bridges the gap by reading the state directory.
+func (in *Ingester) SetEmitSink(fn func(base int64, batch []graph.Interaction)) {
+	if fn == nil {
+		in.emitSink.Store(nil)
+		return
+	}
+	in.emitSink.Store(&fn)
+}
+
+// SetWALFloor installs (or, with nil, removes) the replication retention
+// floor: WAL compaction deletes a sealed segment only when every edge in
+// it is at or below BOTH the durable-sidecar frontier and fn(). fn is
+// called on the run loop and must be cheap; internal/repl wires it to
+// the minimum acknowledged timestamp across connected replicas, so a
+// lagging replica can always delta-sync from the primary's log.
+func (in *Ingester) SetWALFloor(fn func() int64) {
+	if fn == nil {
+		in.walFloor.Store(nil)
+		return
+	}
+	in.walFloor.Store(&fn)
 }
 
 // Close stops intake, drains queued edges, flushes the reorder buffer,

@@ -40,8 +40,30 @@ import (
 // incomplete or CRC-failing record and resumes appending there; the same
 // damage in any earlier segment is real corruption and fails the open.
 
-// walMagic is the segment header.
+// walMagic is the epoch-zero segment header. Segments written before
+// replication existed carry it, and epoch-zero writers keep using it so
+// their files stay readable by older code.
 var walMagic = [8]byte{'I', 'W', 'A', 'L', '0', '0', '0', '1'}
+
+// walMagicV2 is the epoched segment header: the 8-byte magic followed by
+// a uint64 LE epoch number. Epochs fence writers across failovers — a
+// promoted replica bumps the epoch, so a demoted primary reopening old
+// state sees segments from the future and refuses instead of appending.
+var walMagicV2 = [8]byte{'I', 'W', 'A', 'L', '0', '0', '0', '2'}
+
+// FutureEpochError reports a WAL segment stamped with a later epoch than
+// the caller asserted: the directory was taken over by a newer writer (a
+// promoted replica), and appending under the stale epoch would clobber
+// replicated history. Callers match it with errors.As.
+type FutureEpochError struct {
+	Segment  string // offending segment file
+	Epoch    uint64 // epoch found in its header
+	Asserted uint64 // epoch the opener asserted
+}
+
+func (e *FutureEpochError) Error() string {
+	return fmt.Sprintf("stream: wal segment %s carries epoch %d, newer than asserted epoch %d: directory was fenced by a newer writer", e.Segment, e.Epoch, e.Asserted)
+}
 
 // walCRC is the Castagnoli table used for record checksums.
 var walCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -66,6 +88,12 @@ type WALConfig struct {
 	// Journal, when non-nil, receives lifecycle events: segment
 	// rotations, torn-tail truncations, compaction deletions.
 	Journal *trace.Journal
+	// Epoch, when > 0, asserts the fencing epoch this writer believes it
+	// owns: opening fails with *FutureEpochError if any segment carries a
+	// later epoch, and the directory is rotated up to Epoch if it is
+	// behind. 0 adopts whatever epoch the directory holds (0 for fresh or
+	// pre-replication directories).
+	Epoch uint64
 }
 
 // WAL is an append-only segmented edge log. Not goroutine-safe: the
@@ -83,6 +111,7 @@ type WAL struct {
 	bytes     int64
 	lastAt    int64    // timestamp of the newest appended/replayed edge
 	sealed    []walSeg // rotated-out segments still on disk, oldest first
+	epoch     uint64   // fencing epoch stamped into new segment headers
 }
 
 // walSeg describes one sealed (fsynced and closed) segment awaiting
@@ -130,11 +159,19 @@ func OpenWAL(dir string, cfg WALConfig, mx *metrics) (*WAL, []graph.Interaction,
 	sort.Sort(&segOrder{seqs: seqs, names: names})
 	var edges []graph.Interaction
 	lastAt := int64(math.MinInt64)
+	var dirEpoch uint64
+	epochSeg := ""
 	for i, name := range names {
 		final := i == len(names)-1
-		n, err := w.replaySegment(name, final, &edges, &lastAt)
+		n, epoch, err := w.replaySegment(name, final, &edges, &lastAt)
 		if err != nil {
 			return nil, nil, err
+		}
+		if epoch < dirEpoch {
+			return nil, nil, fmt.Errorf("stream: wal segment %s: epoch %d regressed below %d (%s)", name, epoch, dirEpoch, epochSeg)
+		}
+		if epoch > dirEpoch {
+			dirEpoch, epochSeg = epoch, name
 		}
 		if final {
 			w.seq = seqs[i]
@@ -143,6 +180,14 @@ func OpenWAL(dir string, cfg WALConfig, mx *metrics) (*WAL, []graph.Interaction,
 			w.sealed = append(w.sealed, walSeg{seq: seqs[i], lastAt: lastAt, bytes: n})
 		}
 	}
+	// Fencing: a segment from a later epoch means a newer writer (a
+	// promoted replica) owns this history now. Surfacing the typed error
+	// here — before any truncation or append — is what keeps a demoted
+	// primary from clobbering replicated state.
+	if cfg.Epoch > 0 && dirEpoch > cfg.Epoch {
+		return nil, nil, &FutureEpochError{Segment: filepath.Base(epochSeg), Epoch: dirEpoch, Asserted: cfg.Epoch}
+	}
+	w.epoch = max(dirEpoch, cfg.Epoch)
 	w.lastAt = lastAt
 	w.segments = int64(len(names))
 	if len(names) == 0 {
@@ -153,24 +198,46 @@ func OpenWAL(dir string, cfg WALConfig, mx *metrics) (*WAL, []graph.Interaction,
 		// The final segment was truncated all the way into its header
 		// (a crash during segment creation); rebuild it empty so the
 		// next replay sees a well-formed file.
+		header := walHeader(w.epoch)
 		f, err := os.OpenFile(names[len(names)-1], os.O_WRONLY|os.O_TRUNC, 0o644)
 		if err != nil {
 			return nil, nil, err
 		}
-		if _, err := f.Write(walMagic[:]); err != nil {
+		if _, err := f.Write(header); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
 		w.f = f
-		w.segBytes = int64(len(walMagic))
+		w.segBytes = int64(len(header))
 	} else {
 		f, err := os.OpenFile(names[len(names)-1], os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, nil, err
 		}
 		w.f = f
+		if w.epoch > dirEpoch {
+			// The asserted epoch is ahead of the directory: rotate so the
+			// active segment's header carries it — epoch ownership must be
+			// durable before any record is appended under it.
+			if err := w.rotate(); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
 	return w, edges, nil
+}
+
+// walHeader renders the segment header for epoch e: the legacy 8-byte
+// magic at epoch zero (readable by pre-replication code), the epoched
+// 16-byte header otherwise.
+func walHeader(e uint64) []byte {
+	if e == 0 {
+		return walMagic[:]
+	}
+	h := make([]byte, len(walMagicV2)+8)
+	copy(h, walMagicV2[:])
+	binary.LittleEndian.PutUint64(h[len(walMagicV2):], e)
+	return h
 }
 
 // segOrder sorts segment names and their parsed sequence numbers in
@@ -223,13 +290,14 @@ func segmentSeq(name string) (int, error) {
 	return seq, nil
 }
 
-// replaySegment reads one segment, appending decoded edges. For the
-// final segment it truncates at the first torn record and returns the
-// resulting (valid) size; for earlier segments any damage is fatal.
-func (w *WAL) replaySegment(name string, final bool, edges *[]graph.Interaction, lastAt *int64) (int64, error) {
+// replaySegment reads one segment, appending decoded edges, and returns
+// the segment's epoch. For the final segment it truncates at the first
+// torn record and returns the resulting (valid) size; for earlier
+// segments any damage is fatal.
+func (w *WAL) replaySegment(name string, final bool, edges *[]graph.Interaction, lastAt *int64) (int64, uint64, error) {
 	data, err := os.ReadFile(name)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	torn := func(off int64, why string) (int64, error) {
 		if !final {
@@ -244,38 +312,69 @@ func (w *WAL) replaySegment(name string, final bool, edges *[]graph.Interaction,
 		})
 		return off, nil
 	}
-	if len(data) < len(walMagic) {
-		return torn(0, "short header")
+	hdr, epoch, err := parseSegmentHeader(data)
+	if err != nil {
+		if hdr < 0 {
+			return 0, 0, fmt.Errorf("stream: wal segment %s: %v", name, err)
+		}
+		n, terr := torn(0, err.Error())
+		return n, 0, terr
 	}
-	if string(data[:len(walMagic)]) != string(walMagic[:]) {
-		return 0, fmt.Errorf("stream: wal segment %s: bad magic", name)
-	}
-	off := int64(len(walMagic))
+	off := int64(hdr)
 	for off < int64(len(data)) {
 		rest := data[off:]
 		if len(rest) < walFrameBytes {
-			return torn(off, "short frame")
+			n, err := torn(off, "short frame")
+			return n, epoch, err
 		}
 		plen := int64(binary.LittleEndian.Uint32(rest))
 		sum := binary.LittleEndian.Uint32(rest[4:])
 		if plen > maxRecordBytes {
-			return torn(off, "implausible record length")
+			n, err := torn(off, "implausible record length")
+			return n, epoch, err
 		}
 		if int64(len(rest)) < walFrameBytes+plen {
-			return torn(off, "short payload")
+			n, err := torn(off, "short payload")
+			return n, epoch, err
 		}
 		payload := rest[walFrameBytes : walFrameBytes+plen]
 		if crc32.Checksum(payload, walCRC) != sum {
-			return torn(off, "checksum mismatch")
+			n, err := torn(off, "checksum mismatch")
+			return n, epoch, err
 		}
 		// The checksum held, so a decode failure is not a torn write —
 		// it is corruption (or a writer bug) and always fatal.
 		if err := decodeRecord(payload, edges, lastAt); err != nil {
-			return 0, fmt.Errorf("stream: wal segment %s record at %d: %v", name, off, err)
+			return 0, epoch, fmt.Errorf("stream: wal segment %s record at %d: %v", name, off, err)
 		}
 		off += walFrameBytes + plen
 	}
-	return off, nil
+	return off, epoch, nil
+}
+
+// parseSegmentHeader recognizes either header variant and returns its
+// length and the segment epoch. A short header is reported with a
+// non-negative length (a torn write, repairable in the final segment);
+// an unrecognized magic is reported with length −1 (real corruption).
+func parseSegmentHeader(data []byte) (int, uint64, error) {
+	if len(data) < len(walMagic) {
+		return 0, 0, errors.New("short header")
+	}
+	switch {
+	case string(data[:len(walMagic)]) == string(walMagic[:]):
+		return len(walMagic), 0, nil
+	case string(data[:len(walMagicV2)]) == string(walMagicV2[:]):
+		if len(data) < len(walMagicV2)+8 {
+			return 0, 0, errors.New("short header")
+		}
+		epoch := binary.LittleEndian.Uint64(data[len(walMagicV2):])
+		if epoch == 0 {
+			return -1, 0, errors.New("epoched header with epoch 0")
+		}
+		return len(walMagicV2) + 8, epoch, nil
+	default:
+		return -1, 0, errors.New("bad magic")
+	}
 }
 
 // decodeRecord appends one record's edges, enforcing the strictly
@@ -426,11 +525,12 @@ func (w *WAL) rotate() error {
 	} else if w.seq == 0 {
 		w.seq = 1
 	}
+	header := walHeader(w.epoch)
 	f, err := os.OpenFile(w.segmentName(w.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(walMagic[:]); err != nil {
+	if _, err := f.Write(header); err != nil {
 		f.Close()
 		return err
 	}
@@ -444,7 +544,7 @@ func (w *WAL) rotate() error {
 		cause = "open"
 	}
 	w.f = f
-	w.segBytes = int64(len(walMagic))
+	w.segBytes = int64(len(header))
 	w.segments++
 	w.mx.walSegments.Inc()
 	w.cfg.Journal.Record(trace.EventSegmentRotate, cause, 0, map[string]any{"segment": w.seq})
@@ -486,6 +586,21 @@ func (w *WAL) DeleteCovered(coveredAt int64) (int, error) {
 		})
 	}
 	return removed, nil
+}
+
+// Epoch returns the fencing epoch stamped into new segment headers.
+func (w *WAL) Epoch() uint64 { return w.epoch }
+
+// AdvanceEpoch seals the active segment and starts a new one under the
+// given (strictly greater) epoch. This is promotion's fencing step: once
+// the rotation's directory fsync lands, any writer still asserting the
+// old epoch fails its next open with *FutureEpochError.
+func (w *WAL) AdvanceEpoch(epoch uint64) error {
+	if epoch <= w.epoch {
+		return fmt.Errorf("stream: epoch %d does not advance past %d", epoch, w.epoch)
+	}
+	w.epoch = epoch
+	return w.rotate()
 }
 
 // SealedSegments returns the number of rotated-out segments still on

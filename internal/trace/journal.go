@@ -39,6 +39,14 @@ const (
 	EventRecovery         = "recovery"
 	EventSnapshotReload   = "snapshot_reload"
 	EventShed             = "shed"
+
+	// Replication lifecycle (internal/repl): a replica session attached
+	// to the primary, a replica finished syncing to the primary's
+	// position, a replica lost its primary, and a replica was promoted.
+	EventReplAttach  = "repl_attach"
+	EventReplSync    = "repl_sync"
+	EventReplLost    = "repl_lost"
+	EventReplPromote = "repl_promote"
 )
 
 // JournalConfig parameterizes a Journal.

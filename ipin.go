@@ -42,6 +42,7 @@ import (
 	"ipin/internal/graph"
 	"ipin/internal/hll"
 	"ipin/internal/obs"
+	"ipin/internal/repl"
 	"ipin/internal/serve"
 	"ipin/internal/stream"
 	"ipin/internal/swhll"
@@ -349,6 +350,63 @@ func NewClusterFrontend(g *ClusterGather) *ClusterFrontend { return cluster.NewF
 // DefaultClusterSlotMap deals the slot space to shards in contiguous
 // ranges, the routing a ClusterConfig with a nil Slots selects.
 func DefaultClusterSlotMap(shards int) ClusterSlotMap { return cluster.DefaultSlotMap(shards) }
+
+// Replication and failover (internal/repl): a primary streams its WAL
+// content over TCP (IREP0001 framing) to replicas that maintain their
+// own fold caches and publish read-only checkpoints byte-identical to
+// the primary's; on primary loss a controller promotes the most
+// caught-up replica, which fences the old lineage by epoch and resumes
+// intake at the replicated position. DESIGN.md "Replication and
+// failover" (IREP0001) is the normative protocol statement.
+type (
+	// ReplPrimary accepts replica sessions against a live Ingester: full
+	// sync of the sealed checkpoint on attach, then a live tail of framed
+	// edge batches with acked positions holding the WAL retention floor.
+	ReplPrimary = repl.Primary
+	// ReplPrimaryConfig parameterizes a ReplPrimary; Ingester is
+	// required.
+	ReplPrimaryConfig = repl.PrimaryConfig
+	// Replica follows a primary and keeps a byte-identical fold cache;
+	// Promote fences the old primary and turns it into a live Ingester.
+	Replica = repl.Replica
+	// ReplicaConfig parameterizes a Replica; Dir and PrimaryAddr are
+	// required.
+	ReplicaConfig = repl.ReplicaConfig
+	// FailoverController watches a replica set's contact clocks and
+	// promotes the most caught-up replica after the primary goes silent.
+	FailoverController = repl.Controller
+	// FailoverConfig parameterizes a FailoverController; Replicas is
+	// required.
+	FailoverConfig = repl.ControllerConfig
+)
+
+// NewReplicationPrimary starts accepting replica sessions against a
+// running Ingester:
+//
+//	p, err := ipin.NewReplicationPrimary(ipin.ReplPrimaryConfig{
+//		Ingester: ing, Addr: ":7070",
+//	})
+func NewReplicationPrimary(cfg ReplPrimaryConfig) (*ReplPrimary, error) {
+	return repl.NewPrimary(cfg)
+}
+
+// NewReplica attaches to a primary and follows its stream; wire
+// cfg.Publish to a read-only QueryServer so the replica serves while it
+// follows:
+//
+//	rep, err := ipin.NewReplica(ipin.ReplicaConfig{
+//		Dir: "replica-state", PrimaryAddr: "primary:7070",
+//		Publish: srv.LoadApprox,
+//	})
+//	// ... on primary loss: rep.Promote(ctx), then rep.Ingester() is
+//	// the new intake.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) { return repl.NewReplica(cfg) }
+
+// NewFailoverController watches replicas and performs one promotion
+// when the primary goes silent past the configured timeout.
+func NewFailoverController(cfg FailoverConfig) (*FailoverController, error) {
+	return repl.NewController(cfg)
+}
 
 // Observability (internal/obs). Telemetry is off by default: every
 // instrument is a nil-safe no-op until InstallMetrics runs, so library
