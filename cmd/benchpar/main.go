@@ -38,14 +38,17 @@ type phase struct {
 }
 
 type report struct {
-	Edges      int     `json:"edges"`
-	Nodes      int     `json:"nodes"`
-	OmegaTicks int64   `json:"omega_ticks"`
-	Workers    int     `json:"workers"`
-	NumCPU     int     `json:"num_cpu"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Note       string  `json:"note"`
-	Phases     []phase `json:"phases"`
+	Edges      int    `json:"edges"`
+	Nodes      int    `json:"nodes"`
+	OmegaTicks int64  `json:"omega_ticks"`
+	Workers    int    `json:"workers"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note"`
+	// ApproxEdgesPerSec is the sequential approx scan's sustained rate —
+	// the raw-speed number the -min-approx-eps floor gates in CI.
+	ApproxEdgesPerSec float64 `json:"approx_edges_per_sec"`
+	Phases            []phase `json:"phases"`
 }
 
 func main() {
@@ -55,6 +58,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 		window  = flag.Float64("window", 1, "window as % of the time span")
 		out     = flag.String("out", "BENCH_parallel.json", "output JSON path")
+		minEPS  = flag.Float64("min-approx-eps", 0, "fail unless the sequential approx scan sustains at least this many edges/sec (0 = no gate)")
 	)
 	flag.Parse()
 	w := *workers
@@ -113,6 +117,7 @@ func main() {
 	parApproxD := time.Since(t0)
 	rep.Phases = append(rep.Phases, mkPhase("scan/approx", seqApproxD, parApproxD,
 		sameBytes(seqApprox, parApprox)))
+	rep.ApproxEdgesPerSec = float64(l.Len()) / seqApproxD.Seconds()
 
 	// Oracle collapse.
 	core.SetParallelism(1)
@@ -177,9 +182,13 @@ func main() {
 			p.Name, p.Sequential, p.Parallel, p.Speedup, p.Identical)
 		broken = broken || !p.Identical
 	}
+	fmt.Fprintf(os.Stderr, "benchpar: approx scan %.0f edges/sec sequential\n", rep.ApproxEdgesPerSec)
 	fmt.Fprintf(os.Stderr, "benchpar: wrote %s\n", *out)
 	if broken {
 		fatal(fmt.Errorf("parallel output diverged from sequential (see identical_output above)"))
+	}
+	if *minEPS > 0 && rep.ApproxEdgesPerSec < *minEPS {
+		fatal(fmt.Errorf("approx scan sustained %.0f edges/sec, below the %.0f floor", rep.ApproxEdgesPerSec, *minEPS))
 	}
 }
 

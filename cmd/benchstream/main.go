@@ -229,26 +229,27 @@ type ckptMeta struct {
 
 func main() {
 	var (
-		edges      = flag.Int("edges", 500_000, "interactions in the generated log")
-		nodes      = flag.Int("nodes", 20_000, "nodes in the generated log")
-		window     = flag.Float64("window", 1, "window as % of the time span")
-		every      = flag.Duration("checkpoint-every", 250*time.Millisecond, "interval between automatic checkpoints during the sustained run")
-		sampleEv   = flag.Int("sample-every", 512, "freshness sample cadence in edges")
-		skew       = flag.Int("skew", 64, "out-of-order displacement (positions) for the skewed replay")
-		segBytes   = flag.Int64("segment-bytes", 256<<10, "WAL segment size for the sustained run (small enough to exercise compaction)")
-		minSpeedup = flag.Float64("min-speedup", 5, "minimum incremental-vs-full fold speedup (gate)")
-		traceEvery = flag.Int("trace-every", 256, "edge-trace sampling cadence for the traced run")
-		sloObj     = flag.Duration("slo-objective", 2*time.Second, "freshness SLO objective for the traced run")
-		sloTarget  = flag.Float64("slo-target", 0.99, "freshness SLO target fraction")
-		maxAttrGap = flag.Float64("max-attr-gap", 0.15, "max relative gap between the stage-p50 sum and the independent e2e p50 (gate)")
-		maxTraceOv = flag.Float64("max-trace-overhead", 0.05, "max sustained-intake regression with 1/1024 tracing (gate)")
-		ovPairs    = flag.Int("overhead-pairs", 3, "interleaved off/on ingest pairs for the overhead A/B")
-		retainPct  = flag.Float64("retain", 4, "bounded-memory run: retained history as % of the time span (clamped up to -window)")
-		maxPlateau = flag.Float64("max-plateau", 1.5, "bounded-memory run: max sketch-RAM and on-disk growth from the second to the last quarter (gate)")
-		shards     = flag.Int("shards", 2, "shard count for the cluster phase (0 disables it)")
-		replicas   = flag.Int("replicas", 1, "replica count for the kill-the-primary phase (0 disables it)")
-		failoverBy = flag.Duration("failover-deadline", 5*time.Second, "kill-the-primary phase: max time from kill to the promoted replica answering queries from sealed state (gate)")
-		out        = flag.String("out", "BENCH_stream.json", "output JSON path")
+		edges        = flag.Int("edges", 500_000, "interactions in the generated log")
+		nodes        = flag.Int("nodes", 20_000, "nodes in the generated log")
+		window       = flag.Float64("window", 1, "window as % of the time span")
+		every        = flag.Duration("checkpoint-every", 250*time.Millisecond, "interval between automatic checkpoints during the sustained run")
+		sampleEv     = flag.Int("sample-every", 512, "freshness sample cadence in edges")
+		skew         = flag.Int("skew", 64, "out-of-order displacement (positions) for the skewed replay")
+		segBytes     = flag.Int64("segment-bytes", 256<<10, "WAL segment size for the sustained run (small enough to exercise compaction)")
+		minSpeedup   = flag.Float64("min-speedup", 5, "minimum incremental-vs-full fold speedup (gate)")
+		minIntakeEPS = flag.Float64("min-intake-eps", 0, "fail unless sustained intake reaches this many edges/sec (0 = no gate)")
+		traceEvery   = flag.Int("trace-every", 256, "edge-trace sampling cadence for the traced run")
+		sloObj       = flag.Duration("slo-objective", 2*time.Second, "freshness SLO objective for the traced run")
+		sloTarget    = flag.Float64("slo-target", 0.99, "freshness SLO target fraction")
+		maxAttrGap   = flag.Float64("max-attr-gap", 0.15, "max relative gap between the stage-p50 sum and the independent e2e p50 (gate)")
+		maxTraceOv   = flag.Float64("max-trace-overhead", 0.05, "max sustained-intake regression with 1/1024 tracing (gate)")
+		ovPairs      = flag.Int("overhead-pairs", 3, "interleaved off/on ingest pairs for the overhead A/B")
+		retainPct    = flag.Float64("retain", 4, "bounded-memory run: retained history as % of the time span (clamped up to -window)")
+		maxPlateau   = flag.Float64("max-plateau", 1.5, "bounded-memory run: max sketch-RAM and on-disk growth from the second to the last quarter (gate)")
+		shards       = flag.Int("shards", 2, "shard count for the cluster phase (0 disables it)")
+		replicas     = flag.Int("replicas", 1, "replica count for the kill-the-primary phase (0 disables it)")
+		failoverBy   = flag.Duration("failover-deadline", 5*time.Second, "kill-the-primary phase: max time from kill to the promoted replica answering queries from sealed state (gate)")
+		out          = flag.String("out", "BENCH_stream.json", "output JSON path")
 	)
 	flag.Parse()
 
@@ -1179,6 +1180,8 @@ func main() {
 		fatal(fmt.Errorf("suffix-replay recovery diverged"))
 	case rep.Checkpoints < 1:
 		fatal(fmt.Errorf("sustained run published no checkpoints"))
+	case *minIntakeEPS > 0 && rep.SustainedEPS < *minIntakeEPS:
+		fatal(fmt.Errorf("sustained intake %.0f edges/s below the %.0f floor", rep.SustainedEPS, *minIntakeEPS))
 	case rep.FoldSpeedup < *minSpeedup:
 		fatal(fmt.Errorf("fold speedup %.2fx below the %.2fx gate", rep.FoldSpeedup, *minSpeedup))
 	case rep.RecoveredWALEdges != 0 || rep.RecoveredChunkEdges != int64(l.Len()):

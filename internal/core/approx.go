@@ -131,12 +131,14 @@ func (s *ApproxSummaries) EntryCount() int {
 }
 
 // MemoryBytes returns the payload size of all sketches (Table 4's
-// quantity).
+// quantity: EntryBytes per stored pair, independent of how a sketch lays
+// entries out in RAM). For actual retained bytes see vhll.MemoryBytes on
+// the individual sketches.
 func (s *ApproxSummaries) MemoryBytes() int {
 	n := 0
 	for _, sk := range s.Sketches {
 		if sk != nil {
-			n += sk.MemoryBytes()
+			n += sk.PayloadBytes()
 		}
 	}
 	return n

@@ -5,7 +5,19 @@ import (
 	"testing"
 
 	"ipin/internal/graph"
+	"ipin/internal/vhll"
 )
+
+// mkRankHash builds a hash landing in cell with the given rank under
+// precision p, tolerating the capped rank 64−p+1 (all remaining bits
+// zero).
+func mkRankHash(p int, cell uint32, rank uint8) uint64 {
+	h := uint64(cell) << (64 - p)
+	if max := uint8(64 - p + 1); rank < max {
+		h |= uint64(1) << (64 - int(rank) - p)
+	}
+	return h
+}
 
 // FuzzReadExactSummaries: arbitrary bytes either fail cleanly or decode
 // to structurally valid summaries.
@@ -57,6 +69,28 @@ func FuzzReadSummaries(f *testing.F) {
 	}
 	f.Add(abuf.Bytes())
 	f.Add([]byte("IRX1Z"))
+	// Arena-shaped sketch payloads: summaries whose embedded VHL1 sketches
+	// hit the flat layout's boundaries — a node with an empty sketch next
+	// to one whose single cell holds a maximal staircase, and cells pinned
+	// at the rank cap.
+	{
+		s := &ApproxSummaries{Omega: 10, Precision: 4, Sketches: make([]*vhll.Sketch, 3)}
+		full := vhll.MustNew(4)
+		for r := 1; r <= 61; r++ {
+			full.AddHash(mkRankHash(4, 7, uint8(r)), int64(r))
+		}
+		capped := vhll.MustNew(4)
+		for c := uint32(0); c < 16; c += 2 {
+			capped.AddHash(mkRankHash(4, c, 61), int64(100-int64(c)))
+		}
+		s.Sketches[0] = full
+		s.Sketches[2] = capped
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 	// Hostile headers: a huge declared node count over a tiny input must
 	// fail fast without allocating what the header promises.
 	f.Add([]byte{'I', 'R', 'X', '1', 'E', 6, 0xFF, 0xFF, 0xFF, 0xFF, 0x07})

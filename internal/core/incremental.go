@@ -395,9 +395,10 @@ func (v ChunkView) EachEdge(fn func(graph.Interaction)) {
 	}
 }
 
-// MemoryBytes returns the payload size of the retained chunks' cached
-// block-local sketches — the resident sketch state the retention horizon
-// bounds (fold outputs and caches are shared snapshots on top of it).
+// MemoryBytes returns the bytes actually retained by the chunks' cached
+// block-local sketches (arena capacity plus indexes, vhll.MemoryBytes) —
+// the resident sketch state the retention horizon bounds (fold outputs
+// and caches are shared snapshots on top of it).
 func (v ChunkView) MemoryBytes() int {
 	n := 0
 	for i := range v.chunks {

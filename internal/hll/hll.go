@@ -134,6 +134,17 @@ func (s *Sketch) Estimate() float64 {
 	return EstimateRegisters(s.registers)
 }
 
+// exp2neg[r] = 2^−r for every possible register value. Ranks are exact
+// binary exponents, so the table entries are the same float64s math.Exp2
+// produces call by call — estimates are bit-identical, minus a ~10 ns
+// transcendental call per register on the summation hot path.
+var exp2neg = func() (t [256]float64) {
+	for i := range t {
+		t[i] = math.Exp2(-float64(i))
+	}
+	return t
+}()
+
 // EstimateRegisters runs the HyperLogLog estimator over a raw register
 // array (whose length must be a power of two). It is shared with the
 // versioned sketch, which materializes windowed register arrays.
@@ -142,7 +153,7 @@ func EstimateRegisters(registers []uint8) float64 {
 	var sum float64
 	zeros := 0
 	for _, r := range registers {
-		sum += math.Exp2(-float64(r))
+		sum += exp2neg[r]
 		if r == 0 {
 			zeros++
 		}

@@ -18,8 +18,12 @@ type Profiles struct {
 	precision int
 	window    int64
 	counters  []*Counter // lazily allocated per node
-	last      int64
-	seen      bool
+	// hashes caches hll.Hash64 of each node ID (a pure function of the
+	// index), so the batch intake hashes each node once ever instead of
+	// once per observed edge.
+	hashes []uint64
+	last   int64
+	seen   bool
 	// sinceProne counts observations since the last amortized prune.
 	sincePrune int
 }
@@ -36,23 +40,43 @@ func NewProfiles(n, precision int, window int64) (*Profiles, error) {
 	if precision < hll.MinPrecision || precision > hll.MaxPrecision {
 		return nil, fmt.Errorf("swhll: precision %d outside [%d,%d]", precision, hll.MinPrecision, hll.MaxPrecision)
 	}
-	return &Profiles{precision: precision, window: window, counters: make([]*Counter, n)}, nil
+	p := &Profiles{precision: precision, window: window, counters: make([]*Counter, n)}
+	p.fillHashes(n)
+	return p, nil
+}
+
+// fillHashes extends the node-hash cache to cover n nodes.
+func (p *Profiles) fillHashes(n int) {
+	for u := len(p.hashes); u < n; u++ {
+		p.hashes = append(p.hashes, hll.Hash64(uint64(u)))
+	}
 }
 
 // Observe records interaction (src, dst, t). Timestamps must be
 // non-decreasing across calls.
 func (p *Profiles) Observe(src, dst graph.NodeID, t graph.Time) error {
-	if p.seen && int64(t) < p.last {
+	// Destinations beyond the node table are legal (only sources need a
+	// counter); hash those directly instead of through the cache.
+	if int(dst) < len(p.hashes) {
+		return p.observeHashed(src, p.hashes[dst], int64(t))
+	}
+	return p.observeHashed(src, hll.Hash64(uint64(dst)), int64(t))
+}
+
+// observeHashed is Observe with the destination already hashed; the batch
+// intake resolves hashes through the node cache before calling it.
+func (p *Profiles) observeHashed(src graph.NodeID, dstHash uint64, t int64) error {
+	if p.seen && t < p.last {
 		return fmt.Errorf("swhll: time regressed from %d to %d", p.last, t)
 	}
-	p.last = int64(t)
+	p.last = t
 	p.seen = true
 	c := p.counters[src]
 	if c == nil {
 		c = MustNew(p.precision, p.window)
 		p.counters[src] = c
 	}
-	if err := c.AddHash(hll.Hash64(uint64(dst)), int64(t)); err != nil {
+	if err := c.AddHash(dstHash, t); err != nil {
 		return err
 	}
 	// Amortized cleanup: every ~4096 observations, drop entries that have
@@ -76,6 +100,7 @@ func (p *Profiles) Grow(n int) {
 	for len(p.counters) < n {
 		p.counters = append(p.counters, nil)
 	}
+	p.fillHashes(n)
 }
 
 // ObserveBatch records a time-ordered batch of interactions, growing the
@@ -83,11 +108,18 @@ func (p *Profiles) Grow(n int) {
 // streaming ingester feeds with each drained watermark batch; one call
 // amortizes the per-edge bookkeeping of Observe over the batch.
 func (p *Profiles) ObserveBatch(edges []graph.Interaction) error {
+	// Size the node table for the whole batch up front: the hash cache
+	// then covers every destination, and the per-edge loop is pure insert
+	// work with no growth checks.
+	n := len(p.counters)
 	for _, e := range edges {
-		if n := int(max(e.Src, e.Dst)) + 1; n > len(p.counters) {
-			p.Grow(n)
+		if m := int(max(e.Src, e.Dst)) + 1; m > n {
+			n = m
 		}
-		if err := p.Observe(e.Src, e.Dst, e.At); err != nil {
+	}
+	p.Grow(n)
+	for _, e := range edges {
+		if err := p.observeHashed(e.Src, p.hashes[e.Dst], int64(e.At)); err != nil {
 			return err
 		}
 	}
@@ -165,9 +197,10 @@ func (p *Profiles) Top(k int) []graph.NodeID {
 	return out
 }
 
-// MemoryBytes returns the total payload size of all counters.
+// MemoryBytes returns the bytes the profile table actually retains: every
+// counter's retained footprint plus the node table and hash cache.
 func (p *Profiles) MemoryBytes() int {
-	n := 0
+	n := cap(p.counters)*8 + cap(p.hashes)*8
 	for _, c := range p.counters {
 		if c != nil {
 			n += c.MemoryBytes()

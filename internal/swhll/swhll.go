@@ -82,6 +82,39 @@ func (c *Counter) AddHash(hash uint64, t int64) error {
 	return nil
 }
 
+// AddHashBatch records pre-hashed items, hashes[i] at ats[i]. Timestamps
+// must be non-decreasing within the batch and against earlier adds; the
+// whole batch is validated before any item lands, so a regression
+// mid-batch rejects it atomically (unlike a caller loop over AddHash,
+// which would apply a prefix).
+func (c *Counter) AddHashBatch(hashes []uint64, ats []int64) error {
+	if len(hashes) != len(ats) {
+		return fmt.Errorf("swhll: batch of %d hashes with %d timestamps", len(hashes), len(ats))
+	}
+	if len(ats) == 0 {
+		return nil
+	}
+	prev := ats[0]
+	if c.seen && prev < c.last {
+		m().regressions.Inc()
+		return fmt.Errorf("swhll: time regressed from %d to %d", c.last, prev)
+	}
+	for _, t := range ats[1:] {
+		if t < prev {
+			m().regressions.Inc()
+			return fmt.Errorf("swhll: time regressed from %d to %d", prev, t)
+		}
+		prev = t
+	}
+	m().adds.Add(int64(len(hashes)))
+	c.last = prev
+	c.seen = true
+	for i, h := range hashes {
+		c.inner.AddHash(h, -ats[i])
+	}
+	return nil
+}
+
 // Estimate approximates the number of distinct items observed in
 // (now−window, now], evaluated at the time of the latest Add.
 func (c *Counter) Estimate() float64 {
@@ -139,8 +172,13 @@ func (c *Counter) Merge(other *Counter) error {
 	return nil
 }
 
-// MemoryBytes returns the payload size of the counter.
+// MemoryBytes returns the bytes the counter actually retains (arena
+// capacity, cell index, slot map), mirroring vhll.MemoryBytes.
 func (c *Counter) MemoryBytes() int { return c.inner.MemoryBytes() }
+
+// PayloadBytes returns the implementation-neutral payload size —
+// vhll.EntryBytes per stored pair.
+func (c *Counter) PayloadBytes() int { return c.inner.PayloadBytes() }
 
 // EntryCount returns the number of stored (rank, timestamp) pairs.
 func (c *Counter) EntryCount() int { return c.inner.EntryCount() }

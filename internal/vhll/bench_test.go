@@ -30,6 +30,47 @@ func BenchmarkMergeWindow(b *testing.B) {
 	}
 }
 
+func BenchmarkAddHashBatch(b *testing.B) {
+	s := MustNew(9)
+	const batch = 256
+	hashes := make([]uint64, batch)
+	ats := make([]int64, batch)
+	for i := range hashes {
+		hashes[i] = hll.Hash64(uint64(i % 65536))
+	}
+	at := int64(1 << 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := range ats {
+			at--
+			ats[j] = at
+		}
+		s.AddHashBatch(hashes, ats)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	// Steady-state union: dst has already adopted src's content, so every
+	// iteration re-merges in place — the shape of the incremental fold's
+	// repeated block stitching.
+	src := MustNew(9)
+	for i := 0; i < 4096; i++ {
+		src.AddHash(hll.Hash64(uint64(i)), int64(1000000-i))
+	}
+	dst := MustNew(9)
+	if err := dst.Merge(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.Merge(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEstimateWindow(b *testing.B) {
 	s := MustNew(9)
 	for i := 0; i < 100000; i++ {

@@ -12,6 +12,11 @@ import (
 // uvarint entry count followed by the entries as (zigzag-varint timestamp
 // delta, rank byte) pairs. Timestamps within a cell ascend, so deltas
 // against the previous entry compress well.
+//
+// The encoder walks cells in index order 0..β−1 through the slot map, so
+// the bytes depend only on per-cell staircase CONTENT — the arena's
+// first-touch region order, capacities, and garbage are invisible, which
+// is what keeps the format bit-identical across the flat-layout refactor.
 var vhllMagic = [4]byte{'V', 'H', 'L', '1'}
 
 // MarshalBinary implements encoding.BinaryMarshaler.
@@ -20,7 +25,11 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 	buf.Write(vhllMagic[:])
 	buf.WriteByte(s.precision)
 	var tmp [binary.MaxVarintLen64]byte
-	for _, list := range s.cells {
+	for i := 0; i < s.NumCells(); i++ {
+		var list []Entry
+		if si := s.slot[i]; si != 0 {
+			list = s.cellEntries(int(si - 1))
+		}
 		n := binary.PutUvarint(tmp[:], uint64(len(list)))
 		buf.Write(tmp[:n])
 		prev := int64(0)
@@ -36,7 +45,9 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. The decoded
 // sketch is verified against the staircase invariant, so corrupted or
-// adversarial input is rejected rather than silently accepted.
+// adversarial input is rejected rather than silently accepted. Cell
+// regions are built tight (capacity = length) in cell order; later
+// inserts regrow them on demand.
 func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if len(data) < 5 || !bytes.Equal(data[:4], vhllMagic[:]) {
 		return fmt.Errorf("vhll: bad magic")
@@ -46,8 +57,8 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("vhll: bad precision %d", p)
 	}
 	r := bytes.NewReader(data[5:])
-	cells := make([][]Entry, 1<<p)
-	for i := range cells {
+	decoded := &Sketch{precision: uint8(p), slot: make([]uint32, 1<<p)}
+	for i := 0; i < 1<<p; i++ {
 		count, err := binary.ReadUvarint(r)
 		if err != nil {
 			return fmt.Errorf("vhll: cell %d count: %v", i, err)
@@ -58,10 +69,18 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		if count > uint64(r.Len())/2 {
 			return fmt.Errorf("vhll: cell %d count %d exceeds remaining input", i, count)
 		}
+		// Ranks are strictly ascending uint8s, so no valid cell can exceed
+		// maxCellEntries; reject before allocating rather than after via
+		// the invariant check.
+		if count > maxCellEntries {
+			return fmt.Errorf("vhll: cell %d count %d exceeds max staircase length %d", i, count, maxCellEntries)
+		}
 		if count == 0 {
 			continue
 		}
-		list := make([]Entry, count)
+		off := len(decoded.arena)
+		decoded.arena = append(decoded.arena, make([]Entry, count)...)
+		list := decoded.arena[off:]
 		prev := int64(0)
 		for j := range list {
 			delta, err := binary.ReadVarint(r)
@@ -75,16 +94,13 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 			prev += delta
 			list[j] = Entry{At: prev, Rank: rank}
 		}
-		cells[i] = list
+		decoded.regs = append(decoded.regs, region{off: uint32(off), n: uint16(count), c: uint16(count)})
+		decoded.occupied = append(decoded.occupied, uint32(i))
+		decoded.slot[i] = uint32(len(decoded.occupied))
+		decoded.live += int(count)
 	}
 	if r.Len() != 0 {
 		return fmt.Errorf("vhll: %d trailing bytes", r.Len())
-	}
-	decoded := &Sketch{precision: uint8(p), cells: cells}
-	for i := range cells {
-		if len(cells[i]) > 0 {
-			decoded.occupied = append(decoded.occupied, uint32(i))
-		}
 	}
 	if err := decoded.CheckInvariant(); err != nil {
 		return fmt.Errorf("vhll: corrupt payload: %v", err)

@@ -23,6 +23,38 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		}
 		f.Add(data)
 	}
+	// Arena-shaped edge cases: the flat layout's interesting boundaries
+	// are long empty-cell runs, one cell holding a maximal staircase, and
+	// runs of rank-capped entries.
+	{
+		// Single full cell: ascending time + ascending rank never
+		// dominates, building the longest legal staircase (ranks
+		// 1..64−p+1), with every other cell empty.
+		s := MustNew(4)
+		for r := 1; r <= 61; r++ {
+			s.AddHash(goldenHash(4, 7, uint8(r)), int64(r))
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	{
+		// Max-rank runs: several cells pinned at the rank cap.
+		s := MustNew(4)
+		for c := uint32(0); c < 16; c += 2 {
+			s.AddHash(goldenHash(4, c, 61), int64(100-c))
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Hostile cell count just above the staircase maximum: must be
+	// rejected before the decoder materializes it.
+	f.Add(append([]byte{'V', 'H', 'L', '1', 4}, 0x81, 0x02)) // cell 0 count = 257
 	f.Add([]byte("VHL1"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

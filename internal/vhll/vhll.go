@@ -12,14 +12,34 @@
 // (r', t') with t' ≤ t and r' ≥ r: every admissible window containing t
 // also contains t', so (r, t) can never determine a cell's maximum.
 //
-// Each cell list is therefore kept sorted by ascending timestamp with
-// strictly ascending ranks — a monotonic staircase. Its expected length is
-// O(log ω) (paper Lemma 4), which is what makes the whole IRS sketch of a
-// node cost O(β·log²ω) expected space (Lemma 6).
+// Each cell list is therefore kept sorted by strictly ascending timestamp
+// with strictly ascending ranks — a monotonic staircase. Its expected
+// length is O(log ω) (paper Lemma 4), which is what makes the whole IRS
+// sketch of a node cost O(β·log²ω) expected space (Lemma 6).
+//
+// # Flat arena layout
+//
+// Cell lists live in ONE contiguous []Entry arena per sketch instead of a
+// per-cell slice each. A compact region table (offset, length, capacity —
+// 8 bytes per populated cell) indexes the arena in first-touch order, and
+// a per-cell slot map resolves cell → region in O(1). Staircase walks,
+// Prune, Merge and CollapseWindow therefore scan adjacent memory, and the
+// mutating hot paths are allocation-free at steady state: an insert that
+// fits its region's capacity shifts in place; one that does not relocates
+// the region to the arena frontier (amortized by capacity doubling);
+// merge unions are written two-pointer style into reserved frontier space
+// and copied back when they fit. Dead space left by relocation is tracked
+// and squeezed out by an in-place generation of the arena once it exceeds
+// half the allocation. None of this changes observable state: the codec,
+// the estimators, and every collapse see exactly the per-cell staircases,
+// and the representation-identity suite (golden_test.go) pins all of it
+// byte for byte against the previous cells [][]Entry layout.
 package vhll
 
 import (
 	"fmt"
+	"slices"
+	"unsafe"
 
 	"ipin/internal/hll"
 )
@@ -30,25 +50,50 @@ type Entry struct {
 	Rank uint8
 }
 
-// EntryBytes is the payload size of one entry used for memory accounting:
-// an 8-byte timestamp plus a 1-byte rank. Go's in-memory representation
-// pads this to 16 bytes; the accounting deliberately counts payload so
-// Table 4 is implementation-neutral (see DESIGN.md).
+// EntryBytes is the payload size of one entry used for the paper-
+// comparable accounting (PayloadBytes): an 8-byte timestamp plus a 1-byte
+// rank. Go's in-memory representation pads this to 16 bytes; PayloadBytes
+// deliberately counts payload so Table 4 is implementation-neutral, while
+// MemoryBytes reports what the process actually retains (see DESIGN.md).
 const EntryBytes = 9
+
+// maxCellEntries bounds one cell's staircase: ranks are uint8 and
+// strictly ascending, so no valid cell can hold more than 256 entries.
+// The decoder enforces it up front instead of allocating first and
+// rejecting through the invariant check afterwards.
+const maxCellEntries = 256
+
+// regionInitCap is the capacity of a freshly allocated cell region.
+const regionInitCap = 4
+
+// region locates one populated cell's staircase inside the arena:
+// arena[off : off+n] holds the entries, arena[off : off+c] is the space
+// the cell owns (n ≤ c). Relocation abandons the owned space to garbage.
+type region struct {
+	off uint32
+	n   uint16
+	c   uint16
+}
 
 // Sketch is a versioned HyperLogLog. The zero value is unusable; construct
 // with New.
 type Sketch struct {
 	precision uint8
-	cells     [][]Entry
-	// occupied lists the indices of cells that have (or once had) entries,
-	// so merges and counts touch only populated cells. In the IRS scan
-	// most nodes populate a handful of the β cells, and the merge step
-	// runs once per interaction — skipping empty cells is the difference
-	// between O(β) and O(populated) per edge. A cell index may appear
-	// twice only if Prune emptied the cell and a later insert refilled
-	// it; iteration skips empty cells, so duplicates are harmless.
+	live      int // total stored entries, Σ region.n
+	// garbage counts arena slots owned by no region — space abandoned by
+	// relocations and prunes. Invariant: Σ region.c + garbage == len(arena).
+	garbage int
+	arena   []Entry
+	// regs and occupied are parallel: occupied[k] is the cell whose
+	// staircase regs[k] locates. First-touch order; merges and counts
+	// touch only populated cells, which in the IRS scan is a handful of
+	// the β cells — the difference between O(β) and O(populated) per edge.
+	regs     []region
 	occupied []uint32
+	// slot maps cell → 1+index into occupied/regs, 0 = unpopulated. The
+	// index is exact: a cell pruned empty leaves it (and occupied), so
+	// iteration cost always equals the populated-cell count.
+	slot []uint32
 }
 
 // New returns an empty sketch with 2^precision cells. Precision bounds are
@@ -57,7 +102,7 @@ func New(precision int) (*Sketch, error) {
 	if precision < hll.MinPrecision || precision > hll.MaxPrecision {
 		return nil, fmt.Errorf("vhll: precision %d outside [%d,%d]", precision, hll.MinPrecision, hll.MaxPrecision)
 	}
-	return &Sketch{precision: uint8(precision), cells: make([][]Entry, 1<<precision)}, nil
+	return &Sketch{precision: uint8(precision), slot: make([]uint32, 1<<precision)}, nil
 }
 
 // MustNew is New for statically known precisions; it panics on error.
@@ -73,13 +118,10 @@ func MustNew(precision int) *Sketch {
 func (s *Sketch) Precision() int { return int(s.precision) }
 
 // NumCells returns β.
-func (s *Sketch) NumCells() int { return len(s.cells) }
+func (s *Sketch) NumCells() int { return 1 << s.precision }
 
-// Empty reports whether the sketch has never held an entry. After Prune
-// a drained sketch may still report false (occupied keeps once-filled
-// cells), so callers may use a true result as a no-content fast path
-// but must not read anything into false.
-func (s *Sketch) Empty() bool { return len(s.occupied) == 0 }
+// Empty reports whether the sketch currently holds no entries.
+func (s *Sketch) Empty() bool { return s.live == 0 }
 
 // AddHash inserts a pre-hashed item observed at time t. This is the
 // ApproxAdd of the paper's Algorithm 3: the pair is ignored when
@@ -92,17 +134,47 @@ func (s *Sketch) AddHash(hash uint64, t int64) {
 // Add inserts an item identified by a 64-bit value at time t.
 func (s *Sketch) Add(item uint64, t int64) { s.AddHash(hll.Hash64(item), t) }
 
+// AddHashBatch inserts a batch of pre-hashed items, hashes[i] observed at
+// ats[i]. Ingest paths hash a whole edge batch first (a tight, cache-
+// friendly loop) and then touch cells once per item; both slices must
+// have equal length.
+func (s *Sketch) AddHashBatch(hashes []uint64, ats []int64) {
+	if len(hashes) != len(ats) {
+		panic(fmt.Sprintf("vhll: AddHashBatch with %d hashes, %d timestamps", len(hashes), len(ats)))
+	}
+	p := int(s.precision)
+	for i, h := range hashes {
+		cell, rank := hll.Split(h, p)
+		s.insert(cell, Entry{At: ats[i], Rank: rank})
+	}
+}
+
+// cellEntries returns the live staircase of region k.
+func (s *Sketch) cellEntries(k int) []Entry {
+	r := s.regs[k]
+	return s.arena[r.off : uint32(r.off)+uint32(r.n)]
+}
+
 // insert places e into cell, maintaining the staircase invariant:
-// ascending At, strictly ascending Rank, no dominated pairs.
+// strictly ascending At, strictly ascending Rank, no dominated pairs.
 func (s *Sketch) insert(cell uint32, e Entry) {
 	mx := m()
 	mx.inserts.Inc()
-	list := s.cells[cell]
-	if len(list) == 0 {
-		s.occupied = append(s.occupied, cell)
+	si := s.slot[cell]
+	if si == 0 {
+		s.newRegion(cell, e)
+		return
 	}
-	// idx = number of entries with At <= e.At (insertion point).
-	idx := upperBound(list, e.At)
+	r := &s.regs[si-1]
+	n := int(r.n)
+	list := s.arena[r.off : int(r.off)+n]
+	// idx = number of entries with At <= e.At (insertion point). Reverse-
+	// chronological ingestion lands before the whole list almost every
+	// time, so short-circuit the binary search on that case.
+	idx := 0
+	if e.At >= list[0].At {
+		idx = upperBound(list, e.At)
+	}
 	// Dominated by an earlier-or-equal-time entry with rank >= ours?
 	if idx > 0 && list[idx-1].Rank >= e.Rank {
 		mx.dominated.Inc()
@@ -117,20 +189,102 @@ func (s *Sketch) insert(cell uint32, e Entry) {
 	// Evict the run of later-time entries we dominate (ranks ascend, so
 	// the dominated entries form a contiguous run starting at idx).
 	hi := idx
-	for hi < len(list) && list[hi].Rank <= e.Rank {
+	for hi < n && list[hi].Rank <= e.Rank {
 		hi++
 	}
-	// Replace list[lo:hi] with e.
 	if lo == hi {
-		list = append(list, Entry{})
-		copy(list[lo+1:], list[lo:])
-		list[lo] = e
-	} else {
-		mx.evicted.Add(int64(hi - lo))
-		list[lo] = e
-		list = append(list[:lo+1], list[hi:]...)
+		// Pure insertion: shift in place when the region has room, else
+		// relocate to the frontier with doubled capacity.
+		if n < int(r.c) {
+			room := s.arena[r.off : int(r.off)+n+1]
+			copy(room[lo+1:], room[lo:n])
+			room[lo] = e
+			r.n++
+			s.live++
+			return
+		}
+		s.growInsert(si, lo, e)
+		return
 	}
-	s.cells[cell] = list
+	// Replace list[lo:hi] with e — never longer than before, so always in
+	// place.
+	mx.evicted.Add(int64(hi - lo))
+	list[lo] = e
+	copy(list[lo+1:], list[hi:])
+	removed := hi - lo - 1
+	r.n = uint16(n - removed)
+	s.live -= removed
+}
+
+// newRegion allocates a region for a first-touched cell holding only e.
+func (s *Sketch) newRegion(cell uint32, e Entry) {
+	s.reserve(regionInitCap)
+	off := len(s.arena)
+	s.arena = s.arena[:off+regionInitCap]
+	s.arena[off] = e
+	s.regs = append(s.regs, region{off: uint32(off), n: 1, c: regionInitCap})
+	s.occupied = append(s.occupied, cell)
+	s.slot[cell] = uint32(len(s.occupied))
+	s.live++
+}
+
+// growInsert relocates region si-1 to the arena frontier with doubled
+// capacity, inserting e at staircase position lo on the way.
+func (s *Sketch) growInsert(si uint32, lo int, e Entry) {
+	n := int(s.regs[si-1].n)
+	nc := int(s.regs[si-1].c) * 2
+	if nc > maxCellEntries {
+		nc = maxCellEntries
+	}
+	if nc < n+1 {
+		nc = n + 1
+	}
+	s.reserve(nc)
+	// reserve may have compacted; re-read the region after it.
+	r := &s.regs[si-1]
+	old := s.arena[r.off : int(r.off)+n]
+	front := len(s.arena)
+	s.arena = s.arena[:front+nc]
+	dst := s.arena[front:]
+	copy(dst, old[:lo])
+	dst[lo] = e
+	copy(dst[lo+1:], old[lo:])
+	s.garbage += int(r.c)
+	r.off = uint32(front)
+	r.n = uint16(n + 1)
+	r.c = uint16(nc)
+	s.live++
+}
+
+// reserve makes room for k more arena slots, compacting the arena first
+// when garbage dominates it (so retained memory tracks live state) and
+// growing the allocation amortized-doubling otherwise.
+func (s *Sketch) reserve(k int) {
+	if cap(s.arena)-len(s.arena) >= k {
+		return
+	}
+	if s.garbage*2 > len(s.arena) {
+		s.compact(k)
+		if cap(s.arena)-len(s.arena) >= k {
+			return
+		}
+	}
+	s.arena = slices.Grow(s.arena, k)
+}
+
+// compact rewrites the arena without the garbage left by relocations,
+// preserving each region's capacity, with room for extra more slots.
+func (s *Sketch) compact(extra int) {
+	na := make([]Entry, 0, len(s.arena)-s.garbage+extra)
+	for i := range s.regs {
+		r := &s.regs[i]
+		off := len(na)
+		na = append(na, s.arena[r.off:int(r.off)+int(r.n)]...)
+		na = na[:off+int(r.c)]
+		r.off = uint32(off)
+	}
+	s.arena = na
+	s.garbage = 0
 }
 
 // upperBound returns the number of entries with At <= t.
@@ -165,11 +319,11 @@ func maxRankInWindow(list []Entry, lo, hi int64) uint8 {
 // EstimateWindow approximates the number of distinct items whose timestamp
 // lies in [t, t+omega−1].
 func (s *Sketch) EstimateWindow(t, omega int64) float64 {
-	registers := make([]uint8, len(s.cells))
+	registers := make([]uint8, s.NumCells())
 	hi := t + omega - 1
-	for _, i := range s.occupied {
-		if r := maxRankInWindow(s.cells[i], t, hi); r > registers[i] {
-			registers[i] = r
+	for k, cell := range s.occupied {
+		if r := maxRankInWindow(s.cellEntries(k), t, hi); r > 0 {
+			registers[cell] = r
 		}
 	}
 	return hll.EstimateRegisters(registers)
@@ -178,11 +332,10 @@ func (s *Sketch) EstimateWindow(t, omega int64) float64 {
 // Estimate approximates the number of distinct items ever inserted,
 // ignoring timestamps (every version participates).
 func (s *Sketch) Estimate() float64 {
-	registers := make([]uint8, len(s.cells))
-	for _, i := range s.occupied {
-		if n := len(s.cells[i]); n > 0 && s.cells[i][n-1].Rank > registers[i] {
-			registers[i] = s.cells[i][n-1].Rank
-		}
+	registers := make([]uint8, s.NumCells())
+	for k, cell := range s.occupied {
+		r := s.regs[k]
+		registers[cell] = s.arena[int(r.off)+int(r.n)-1].Rank
 	}
 	return hll.EstimateRegisters(registers)
 }
@@ -192,10 +345,9 @@ func (s *Sketch) Estimate() float64 {
 // which is how the influence oracle combines per-node summaries (§4.1).
 func (s *Sketch) Collapse() *hll.Sketch {
 	out := hll.MustNew(int(s.precision))
-	for _, i := range s.occupied {
-		if n := len(s.cells[i]); n > 0 {
-			out.SetRegister(i, s.cells[i][n-1].Rank)
-		}
+	for k, cell := range s.occupied {
+		r := s.regs[k]
+		out.SetRegister(cell, s.arena[int(r.off)+int(r.n)-1].Rank)
 	}
 	return out
 }
@@ -207,11 +359,11 @@ func (s *Sketch) Collapse() *hll.Sketch {
 // where an item's timestamp is λ(u,v), this estimates how many nodes u
 // reaches BY the deadline.
 func (s *Sketch) EstimateBefore(deadline int64) float64 {
-	registers := make([]uint8, len(s.cells))
-	for _, i := range s.occupied {
-		list := s.cells[i]
-		if idx := upperBound(list, deadline); idx > 0 && list[idx-1].Rank > registers[i] {
-			registers[i] = list[idx-1].Rank
+	registers := make([]uint8, s.NumCells())
+	for k, cell := range s.occupied {
+		list := s.cellEntries(k)
+		if idx := upperBound(list, deadline); idx > 0 {
+			registers[cell] = list[idx-1].Rank
 		}
 	}
 	return hll.EstimateRegisters(registers)
@@ -221,10 +373,10 @@ func (s *Sketch) EstimateBefore(deadline int64) float64 {
 // deadline, for O(β) unions of deadline-bounded summaries.
 func (s *Sketch) CollapseBefore(deadline int64) *hll.Sketch {
 	out := hll.MustNew(int(s.precision))
-	for _, i := range s.occupied {
-		list := s.cells[i]
+	for k, cell := range s.occupied {
+		list := s.cellEntries(k)
 		if idx := upperBound(list, deadline); idx > 0 {
-			out.SetRegister(i, list[idx-1].Rank)
+			out.SetRegister(cell, list[idx-1].Rank)
 		}
 	}
 	return out
@@ -235,9 +387,9 @@ func (s *Sketch) CollapseBefore(deadline int64) *hll.Sketch {
 func (s *Sketch) CollapseWindow(t, omega int64) *hll.Sketch {
 	out := hll.MustNew(int(s.precision))
 	hi := t + omega - 1
-	for _, i := range s.occupied {
-		if r := maxRankInWindow(s.cells[i], t, hi); r > 0 {
-			out.SetRegister(i, r)
+	for k, cell := range s.occupied {
+		if r := maxRankInWindow(s.cellEntries(k), t, hi); r > 0 {
+			out.SetRegister(cell, r)
 		}
 	}
 	return out
@@ -247,6 +399,11 @@ func (s *Sketch) CollapseWindow(t, omega int64) *hll.Sketch {
 // satisfies tx − t < omega. This is the ApproxMerge of Algorithm 3: when
 // the IRS scan processes interaction (u, v, t), node u inherits from ϕ(v)
 // exactly the reachability entries still inside the window anchored at t.
+//
+// The admissible prefix of a staircase is itself a staircase, so each
+// source cell folds in through the same two-pointer union as Merge —
+// linear in the touched entries and allocation-free at steady state —
+// instead of entry-by-entry insertion.
 func (s *Sketch) MergeWindow(other *Sketch, t, omega int64) error {
 	if other.precision != s.precision {
 		return fmt.Errorf("vhll: cannot merge precision %d into %d", other.precision, s.precision)
@@ -254,38 +411,29 @@ func (s *Sketch) MergeWindow(other *Sketch, t, omega int64) error {
 	mx := m()
 	mx.merges.Inc()
 	examined := int64(0)
-	if other.sparse() {
-		for _, i := range other.occupied {
-			for _, e := range other.cells[i] {
-				examined++
-				// Cell entries ascend in At; once one falls outside the
-				// window every later one does too.
-				if e.At-t >= omega {
-					break
-				}
-				s.insert(i, e)
-			}
+	for k, cell := range other.occupied {
+		r := other.regs[k]
+		list := other.arena[r.off : int(r.off)+int(r.n)]
+		// Cell entries ascend in At; once one falls outside the window
+		// every later one does too. Whole-cell misses (common when the
+		// window trails far behind the cell's activity) cost one compare.
+		if list[0].At-t >= omega {
+			examined++ // the entry that broke the walk was examined
+			continue
 		}
-		mx.mergeEntries.Add(examined)
-		return nil
-	}
-	for i, list := range other.cells {
-		for _, e := range list {
+		cut := 1
+		for cut < len(list) && list[cut].At-t < omega {
+			cut++
+		}
+		examined += int64(cut)
+		if cut < len(list) {
 			examined++
-			if e.At-t >= omega {
-				break
-			}
-			s.insert(uint32(i), e)
 		}
+		s.mergeCell(cell, list[:cut])
 	}
 	mx.mergeEntries.Add(examined)
 	return nil
 }
-
-// sparse reports whether visiting cells through the occupied index beats
-// a linear scan: indirection wins only while few cells are populated;
-// once most are, the sequential scan's locality wins.
-func (s *Sketch) sparse() bool { return len(s.occupied)*4 < len(s.cells) }
 
 // Merge folds every entry of other into s (no window filter), the general
 // sketch union of paper Example 4.
@@ -293,20 +441,16 @@ func (s *Sketch) Merge(other *Sketch) error {
 	if other.precision != s.precision {
 		return fmt.Errorf("vhll: cannot merge precision %d into %d", other.precision, s.precision)
 	}
+	if other == s {
+		return nil // self-union is the identity
+	}
 	mx := m()
 	mx.merges.Inc()
 	examined := int64(0)
-	if other.sparse() {
-		for _, i := range other.occupied {
-			examined += int64(len(other.cells[i]))
-			s.mergeCell(i, other.cells[i])
-		}
-		mx.mergeEntries.Add(examined)
-		return nil
-	}
-	for i, list := range other.cells {
+	for k, cell := range other.occupied {
+		list := other.cellEntries(k)
 		examined += int64(len(list))
-		s.mergeCell(uint32(i), list)
+		s.mergeCell(cell, list)
 	}
 	mx.mergeEntries.Add(examined)
 	return nil
@@ -334,55 +478,95 @@ func MergeInto(dst, src *Sketch) *Sketch {
 	return dst
 }
 
-// mergeCell folds one source cell list into cell i. Both lists are
+// mergeCell folds one source staircase into cell. Both lists are
 // staircases (ascending At, strictly ascending Rank), so the union is a
 // single linear sweep in time order keeping entries whose rank exceeds
 // everything emitted so far — O(m+n), against the O(m·n) worst case of
-// rebuilding insert by insert. An empty destination cell just adopts a
-// copy. The parallel scan's stitch fold leans on this: it re-merges
+// rebuilding insert by insert. The union is written into reserved space
+// at the arena frontier (never aliasing either input) and copied back
+// into the cell's region when it fits its capacity; otherwise the
+// frontier space becomes the cell's new region. Steady-state merges —
+// where the destination cell has seen the churn before — allocate
+// nothing. The parallel scan's stitch fold leans on this: it re-merges
 // whole block-local sketches once per block boundary.
-func (s *Sketch) mergeCell(i uint32, other []Entry) {
+func (s *Sketch) mergeCell(cell uint32, other []Entry) {
 	if len(other) == 0 {
 		return
 	}
-	list := s.cells[i]
-	if len(list) == 0 {
-		s.cells[i] = append([]Entry(nil), other...)
-		s.occupied = append(s.occupied, i)
+	si := s.slot[cell]
+	if si == 0 {
+		// First touch: adopt a tight copy.
+		s.reserve(len(other))
+		off := len(s.arena)
+		s.arena = s.arena[:off+len(other)]
+		copy(s.arena[off:], other)
+		s.regs = append(s.regs, region{off: uint32(off), n: uint16(len(other)), c: uint16(len(other))})
+		s.occupied = append(s.occupied, cell)
+		s.slot[cell] = uint32(len(s.occupied))
+		s.live += len(other)
 		return
 	}
-	merged := make([]Entry, 0, len(list)+len(other))
+	need := int(s.regs[si-1].n) + len(other)
+	s.reserve(need)
+	r := &s.regs[si-1]
+	list := s.arena[r.off : int(r.off)+int(r.n)]
+	front := len(s.arena)
+	out := s.arena[front : front+need] // reserved, beyond len, within cap
+	n := unionStaircase(out, list, other)
+	if n <= int(r.c) {
+		// The union fits where the cell already lives; the frontier stays
+		// untouched scratch.
+		copy(s.arena[r.off:int(r.off)+n], out[:n])
+		s.live += n - int(r.n)
+		r.n = uint16(n)
+		return
+	}
+	s.arena = s.arena[:front+need]
+	s.garbage += int(r.c)
+	s.live += n - int(r.n)
+	r.off = uint32(front)
+	r.n = uint16(n)
+	r.c = uint16(need)
+}
+
+// unionStaircase merges staircases a and b into dst (which must not alias
+// either and must hold len(a)+len(b) entries), keeping the dominance-
+// maximal pairs: sweep in time order, emit when the rank exceeds
+// everything emitted. Returns the number of entries written.
+func unionStaircase(dst, a, b []Entry) int {
+	n := 0
 	last := -1 // rank of the last emitted entry; ranks fit in uint8
-	a, b := 0, 0
-	for a < len(list) || b < len(other) {
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
 		var e Entry
 		switch {
-		case b == len(other):
-			e = list[a]
-			a++
-		case a == len(list):
-			e = other[b]
-			b++
-		case list[a].At < other[b].At:
-			e = list[a]
-			a++
-		case other[b].At < list[a].At:
-			e = other[b]
-			b++
+		case j == len(b):
+			e = a[i]
+			i++
+		case i == len(a):
+			e = b[j]
+			j++
+		case a[i].At < b[j].At:
+			e = a[i]
+			i++
+		case b[j].At < a[i].At:
+			e = b[j]
+			j++
 		default: // same version: the larger rank wins
-			e = list[a]
-			if other[b].Rank > e.Rank {
-				e = other[b]
+			e = a[i]
+			if b[j].Rank > e.Rank {
+				e = b[j]
 			}
-			a++
-			b++
+			i++
+			j++
 		}
 		if int(e.Rank) > last {
-			merged = append(merged, e)
+			dst[n] = e
+			n++
 			last = int(e.Rank)
 		}
 	}
-	s.cells[i] = merged
+	return n
 }
 
 // Prune drops entries that can never again influence a window query
@@ -390,89 +574,182 @@ func (s *Sketch) mergeCell(i uint32, other []Entry) {
 // This is the "periodically entries are removed" step of §3.2.2, used by
 // sliding-window distinct counting. The IRS algorithms do NOT prune,
 // because their final per-node estimates span every entry ever retained.
-// Prune also rebuilds the occupied-cell index, so it is the only
-// operation after which a cell can leave it — keeping the index
-// duplicate-free for the counting paths.
+// A cell pruned empty leaves the occupied index immediately (its region
+// returns to garbage), so iteration cost after a prune always matches the
+// surviving entry count — a long-lived sketch never walks stale slots.
 func (s *Sketch) Prune(current, omega int64) {
 	mx := m()
 	mx.prunes.Inc()
 	dropped := int64(0)
 	hi := current + omega - 1
-	kept := s.occupied[:0]
-	for _, i := range s.occupied {
-		list := s.cells[i]
+	for k := 0; k < len(s.occupied); {
+		r := &s.regs[k]
+		list := s.arena[r.off : int(r.off)+int(r.n)]
 		idx := upperBound(list, hi)
 		if idx < len(list) {
 			dropped += int64(len(list) - idx)
-			s.cells[i] = list[:idx]
+			s.live -= len(list) - idx
+			r.n = uint16(idx)
 		}
-		if len(s.cells[i]) > 0 {
-			kept = append(kept, i)
+		if r.n == 0 {
+			s.removeRegion(k)
+			continue // the swapped-in region re-examines index k
 		}
+		k++
 	}
-	s.occupied = kept
 	mx.prunedEntries.Add(dropped)
 }
 
-// EntryCount returns the total number of stored (rank, timestamp) pairs.
-func (s *Sketch) EntryCount() int {
-	n := 0
-	for _, i := range s.occupied {
-		n += len(s.cells[i])
+// removeRegion unlinks region k (its cell pruned empty), swapping the
+// last region into its place and returning the owned space to garbage.
+func (s *Sketch) removeRegion(k int) {
+	cell := s.occupied[k]
+	s.garbage += int(s.regs[k].c)
+	last := len(s.occupied) - 1
+	if k != last {
+		s.occupied[k] = s.occupied[last]
+		s.regs[k] = s.regs[last]
+		s.slot[s.occupied[k]] = uint32(k + 1)
 	}
-	return n
+	s.occupied = s.occupied[:last]
+	s.regs = s.regs[:last]
+	s.slot[cell] = 0
 }
 
-// MemoryBytes returns the payload size of the sketch: EntryBytes per
-// stored pair. Empty cells cost nothing.
-func (s *Sketch) MemoryBytes() int { return s.EntryCount() * EntryBytes }
+// EntryCount returns the total number of stored (rank, timestamp) pairs.
+func (s *Sketch) EntryCount() int { return s.live }
 
-// Clone returns a deep copy.
+// PayloadBytes returns the implementation-neutral payload size of the
+// sketch — EntryBytes per stored pair, the quantity of the paper's
+// Table 4. Empty cells cost nothing.
+func (s *Sketch) PayloadBytes() int { return s.live * EntryBytes }
+
+// entrySize and regionSize are the in-memory footprints the truthful
+// accounting multiplies by.
+const (
+	entrySize  = int(unsafe.Sizeof(Entry{}))
+	regionSize = int(unsafe.Sizeof(region{}))
+)
+
+// MemoryBytes returns the bytes the sketch actually retains: the arena
+// allocation (capacity, not just live entries), the region and occupied
+// indexes, and the per-cell slot map. This is what a resident-memory
+// budget observes; for the paper-comparable payload accounting use
+// PayloadBytes.
+func (s *Sketch) MemoryBytes() int {
+	return cap(s.arena)*entrySize +
+		cap(s.regs)*regionSize +
+		cap(s.occupied)*4 +
+		len(s.slot)*4 +
+		int(unsafe.Sizeof(*s))
+}
+
+// Clone returns a deep copy. The copy's arena is rebuilt tight — live
+// entries only, no relocation garbage, capacities trimmed — because
+// clones are what fold caches and checkpoints retain long-term.
 func (s *Sketch) Clone() *Sketch {
 	c := &Sketch{
 		precision: s.precision,
-		cells:     make([][]Entry, len(s.cells)),
+		live:      s.live,
+		arena:     make([]Entry, 0, s.live),
+		regs:      make([]region, 0, len(s.regs)),
 		occupied:  append([]uint32(nil), s.occupied...),
+		slot:      append([]uint32(nil), s.slot...),
 	}
-	for i, list := range s.cells {
-		if len(list) > 0 {
-			c.cells[i] = append([]Entry(nil), list...)
-		}
+	for k := range s.regs {
+		r := s.regs[k]
+		off := len(c.arena)
+		c.arena = append(c.arena, s.arena[r.off:int(r.off)+int(r.n)]...)
+		c.regs = append(c.regs, region{off: uint32(off), n: r.n, c: r.n})
 	}
 	return c
 }
 
 // Cell exposes a copy of one cell's list, for tests and diagnostics.
 func (s *Sketch) Cell(i int) []Entry {
-	return append([]Entry(nil), s.cells[i]...)
+	if si := s.slot[i]; si != 0 {
+		return append([]Entry(nil), s.cellEntries(int(si-1))...)
+	}
+	return nil
 }
 
 // CheckInvariant verifies the staircase property of every cell list —
-// ascending timestamps, strictly ascending ranks — and the consistency of
-// the occupied-cell index: every populated cell is listed exactly once.
-// It returns the first violation, or nil. Property tests call this after
-// random operation sequences.
+// strictly ascending timestamps, strictly ascending ranks, which together
+// mean no stored pair dominates another — and the consistency of the flat
+// layout: slot map and occupied index agree exactly, regions are in
+// bounds and disjoint, and the live/garbage accounting sums match the
+// arena. It returns the first violation, or nil. Property tests call this
+// after random operation sequences.
 func (s *Sketch) CheckInvariant() error {
-	for i, list := range s.cells {
+	if len(s.regs) != len(s.occupied) {
+		return fmt.Errorf("vhll: %d regions for %d occupied cells", len(s.regs), len(s.occupied))
+	}
+	if len(s.slot) != s.NumCells() {
+		return fmt.Errorf("vhll: slot map covers %d of %d cells", len(s.slot), s.NumCells())
+	}
+	live, caps := 0, 0
+	for k, cell := range s.occupied {
+		if int(cell) >= s.NumCells() {
+			return fmt.Errorf("vhll: occupied cell %d out of range", cell)
+		}
+		if s.slot[cell] != uint32(k+1) {
+			return fmt.Errorf("vhll: cell %d at occupied slot %d but slot map says %d", cell, k, int(s.slot[cell])-1)
+		}
+		r := s.regs[k]
+		if r.n == 0 {
+			return fmt.Errorf("vhll: cell %d occupied with an empty region", cell)
+		}
+		if r.n > r.c {
+			return fmt.Errorf("vhll: cell %d region holds %d entries over capacity %d", cell, r.n, r.c)
+		}
+		if int(r.off)+int(r.c) > len(s.arena) {
+			return fmt.Errorf("vhll: cell %d region [%d,%d) outside arena of %d", cell, r.off, int(r.off)+int(r.c), len(s.arena))
+		}
+		live += int(r.n)
+		caps += int(r.c)
+		list := s.arena[r.off : int(r.off)+int(r.n)]
 		for j := 1; j < len(list); j++ {
 			if list[j].At < list[j-1].At {
-				return fmt.Errorf("vhll: cell %d: timestamps out of order at %d (%d < %d)", i, j, list[j].At, list[j-1].At)
+				return fmt.Errorf("vhll: cell %d: timestamps out of order at %d (%d < %d)", cell, j, list[j].At, list[j-1].At)
+			}
+			if list[j].At == list[j-1].At {
+				// Equal-time pairs cannot both be maximal: the higher rank
+				// dominates the lower. Unreachable through the API (the
+				// dominance property test pins it); only hostile decode
+				// input can present one.
+				return fmt.Errorf("vhll: cell %d: dominated pair at %d (equal time %d)", cell, j, list[j].At)
 			}
 			if list[j].Rank <= list[j-1].Rank {
-				return fmt.Errorf("vhll: cell %d: ranks not strictly ascending at %d (%d <= %d)", i, j, list[j].Rank, list[j-1].Rank)
+				return fmt.Errorf("vhll: cell %d: ranks not strictly ascending at %d (%d <= %d)", cell, j, list[j].Rank, list[j-1].Rank)
 			}
 		}
 	}
-	seen := make(map[uint32]bool, len(s.occupied))
-	for _, i := range s.occupied {
-		if seen[i] {
-			return fmt.Errorf("vhll: cell %d listed twice in occupied index", i)
+	for cell, si := range s.slot {
+		if si == 0 {
+			continue
 		}
-		seen[i] = true
+		if int(si) > len(s.occupied) || s.occupied[si-1] != uint32(cell) {
+			return fmt.Errorf("vhll: slot map points cell %d at occupied entry %d", cell, si-1)
+		}
 	}
-	for i, list := range s.cells {
-		if len(list) > 0 && !seen[uint32(i)] {
-			return fmt.Errorf("vhll: populated cell %d missing from occupied index", i)
+	if live != s.live {
+		return fmt.Errorf("vhll: live count %d, regions hold %d", s.live, live)
+	}
+	if caps+s.garbage != len(s.arena) {
+		return fmt.Errorf("vhll: capacities %d + garbage %d != arena %d", caps, s.garbage, len(s.arena))
+	}
+	// Regions must not overlap: sort by offset and check adjacency.
+	if len(s.regs) > 1 {
+		order := make([]int, len(s.regs))
+		for i := range order {
+			order[i] = i
+		}
+		slices.SortFunc(order, func(a, b int) int { return int(s.regs[a].off) - int(s.regs[b].off) })
+		for i := 1; i < len(order); i++ {
+			prev, cur := s.regs[order[i-1]], s.regs[order[i]]
+			if int(prev.off)+int(prev.c) > int(cur.off) {
+				return fmt.Errorf("vhll: regions of cells %d and %d overlap", s.occupied[order[i-1]], s.occupied[order[i]])
+			}
 		}
 	}
 	return nil

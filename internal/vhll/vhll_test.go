@@ -221,16 +221,25 @@ func TestCloneIsIndependent(t *testing.T) {
 
 func TestMemoryAccounting(t *testing.T) {
 	s := MustNew(testPrecision)
-	if s.MemoryBytes() != 0 || s.EntryCount() != 0 {
-		t.Fatal("empty sketch reports memory")
+	if s.PayloadBytes() != 0 || s.EntryCount() != 0 {
+		t.Fatal("empty sketch reports payload")
+	}
+	// An empty sketch still retains its slot map and struct — MemoryBytes
+	// is truthful about that, and PayloadBytes is not allowed to count it.
+	if got, floor := s.MemoryBytes(), s.NumCells()*4; got < floor {
+		t.Fatalf("MemoryBytes = %d below slot-map floor %d", got, floor)
 	}
 	addCR(s, 0, 1, 10)
 	addCR(s, 1, 2, 9)
 	if got := s.EntryCount(); got != 2 {
 		t.Fatalf("EntryCount = %d, want 2", got)
 	}
-	if got := s.MemoryBytes(); got != 2*EntryBytes {
-		t.Fatalf("MemoryBytes = %d, want %d", got, 2*EntryBytes)
+	if got := s.PayloadBytes(); got != 2*EntryBytes {
+		t.Fatalf("PayloadBytes = %d, want %d", got, 2*EntryBytes)
+	}
+	// Retained bytes must cover at least what the live entries occupy.
+	if got := s.MemoryBytes(); got < s.NumCells()*4+2*16 {
+		t.Fatalf("MemoryBytes = %d does not cover retained state", got)
 	}
 }
 
